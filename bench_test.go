@@ -1,0 +1,103 @@
+package mssp
+
+// One benchmark per table/figure of the reconstructed MSSP evaluation.
+// Each benchmark regenerates its experiment's rows/series on the reference
+// inputs and logs the rendered table/figure; a single iteration is the
+// complete experiment (go test's default -benchtime runs expensive
+// benchmarks exactly once). EXPERIMENTS.md records the paper-shape
+// expectation next to these outputs.
+//
+// Shared artifacts (programs, profiles, distillations, baseline runs) are
+// cached in one context so the sweep benchmarks don't redo the common work
+// of earlier ones.
+
+import (
+	"sync"
+	"testing"
+
+	"mssp/internal/bench"
+	"mssp/internal/workloads"
+)
+
+var (
+	benchOnce sync.Once
+	benchCtx  *bench.Context
+)
+
+func experimentContext() *bench.Context {
+	benchOnce.Do(func() {
+		benchCtx = bench.NewContext(workloads.Ref)
+	})
+	return benchCtx
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out string
+	for i := 0; i < b.N; i++ {
+		out, err = e.Run(experimentContext())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("%s: %s\n%s", e.ID, e.Title, out)
+}
+
+func BenchmarkE1Config(b *testing.B)         { runExperiment(b, "E1") }
+func BenchmarkE2Distillation(b *testing.B)   { runExperiment(b, "E2") }
+func BenchmarkE3Speedup(b *testing.B)        { runExperiment(b, "E3") }
+func BenchmarkE4Scaling(b *testing.B)        { runExperiment(b, "E4") }
+func BenchmarkE5TaskSize(b *testing.B)       { runExperiment(b, "E5") }
+func BenchmarkE6Outcomes(b *testing.B)       { runExperiment(b, "E6") }
+func BenchmarkE7Aggressiveness(b *testing.B) { runExperiment(b, "E7") }
+func BenchmarkE8Latency(b *testing.B)        { runExperiment(b, "E8") }
+func BenchmarkE9Breakdown(b *testing.B)      { runExperiment(b, "E9") }
+func BenchmarkE10Refinement(b *testing.B)    { runExperiment(b, "E10") }
+func BenchmarkE11Runahead(b *testing.B)      { runExperiment(b, "E11") }
+func BenchmarkE12Traffic(b *testing.B)       { runExperiment(b, "E12") }
+
+// BenchmarkPipelinePrepare measures the profile+distill front end on the
+// training input of one workload (not a paper experiment; a health check
+// for the tooling itself).
+func BenchmarkPipelinePrepare(b *testing.B) {
+	w, err := workloads.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := w.Build(workloads.Train)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Prepare(train, DefaultPipelineOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineRun measures end-to-end MSSP simulation throughput on a
+// training input (simulator performance, not simulated performance).
+func BenchmarkMachineRun(b *testing.B) {
+	w, err := workloads.ByName("bitops")
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := w.Build(workloads.Train)
+	pl, err := Prepare(train, DefaultPipelineOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := pl.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.MSSP.Metrics.CommittedInsts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-insts/s")
+}

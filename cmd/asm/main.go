@@ -1,0 +1,57 @@
+// Command asm assembles a MIR source file, reporting errors, and prints
+// the disassembly and symbol table.
+//
+// Usage:
+//
+//	asm prog.s
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"mssp"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: asm <file.s>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	p, err := mssp.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("entry: %d\ncode:  [%d, %d) — %d instructions\n",
+		p.Entry, p.Code.Base, p.Code.End(), len(p.Code.Words))
+	for _, seg := range p.Data {
+		fmt.Printf("data:  [%d, %d) — %d words\n", seg.Base, seg.End(), len(seg.Words))
+	}
+
+	type symbol struct {
+		name string
+		addr uint64
+	}
+	syms := make([]symbol, 0, len(p.Symbols))
+	for n, a := range p.Symbols {
+		syms = append(syms, symbol{n, a})
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
+	fmt.Println("\nsymbols:")
+	for _, s := range syms {
+		fmt.Printf("  %8d  %s\n", s.addr, s.name)
+	}
+
+	fmt.Println("\ndisassembly:")
+	fmt.Print(p.Disassemble())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asm:", err)
+	os.Exit(1)
+}

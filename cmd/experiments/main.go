@@ -1,0 +1,63 @@
+// Command experiments regenerates the tables and figures of the
+// reconstructed MSSP evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments                      # every experiment, ref inputs
+//	experiments -run E3,E4           # a subset
+//	experiments -scale train         # quick pass on training inputs
+//	experiments -workloads compress,mtf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mssp/internal/bench"
+	"mssp/internal/workloads"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		scale = flag.String("scale", "ref", "workload input scale: train or ref")
+		names = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	)
+	flag.Parse()
+
+	s := workloads.Ref
+	if *scale == "train" {
+		s = workloads.Train
+	}
+	ctx := bench.NewContext(s)
+	if *names != "" {
+		ctx.Names = strings.Split(*names, ",")
+	}
+
+	exps := bench.All()
+	if *run != "" {
+		exps = exps[:0]
+		for _, id := range strings.Split(*run, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for _, e := range exps {
+		out, err := e.Run(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("== %s: %s ==\n%s\n", e.ID, e.Title, out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command msspsim runs a program under the MSSP machine and reports
+// metrics and speedup against the sequential baseline.
+//
+// Usage:
+//
+//	msspsim -workload compress -scale ref
+//	msspsim -file prog.s -slaves 15 -stride 200 -audit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mssp"
+	"mssp/internal/trace"
+	"mssp/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "built-in workload name (see -list)")
+		file      = flag.String("file", "", "MIR assembly file to run instead of a workload")
+		scale     = flag.String("scale", "ref", "workload input scale: train or ref")
+		slaves    = flag.Int("slaves", 7, "number of slave processors")
+		stride    = flag.Uint64("stride", 100, "task-size target in instructions")
+		threshold = flag.Float64("threshold", 0.99, "distiller bias threshold (1.0 disables pruning)")
+		audit     = flag.Bool("audit", false, "run the jumping-refinement auditor alongside")
+		traceN    = flag.Int("trace", 0, "print the last N commit/squash timeline events")
+		list      = flag.Bool("list", false, "list built-in workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-10s models %-12s %s\n", w.Name, w.Models, w.Description)
+		}
+		return
+	}
+
+	prog, train, err := loadProgram(*workload, *file, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := mssp.DefaultPipelineOptions()
+	opts.Stride = *stride
+	opts.TrainProgram = train
+	opts.Distill.BiasThreshold = *threshold
+	opts.Machine.Slaves = *slaves
+	opts.Machine.MinTaskSpacing = *stride
+
+	var rec trace.Recorder
+	if *traceN > 0 {
+		rec.Cap = *traceN
+		rec.Attach(&opts.Machine)
+	}
+
+	pl, err := mssp.Prepare(prog, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("distilled: %d -> %d static instructions (ratio %.3f), %d anchors\n",
+		pl.Distilled.Stats.OrigInsts, pl.Distilled.Stats.DistInsts,
+		pl.Distilled.Stats.StaticCodeRatio, len(pl.Distilled.Anchors))
+
+	res, err := pl.Run()
+	if err != nil {
+		fatal(err)
+	}
+	m := res.MSSP.Metrics
+	fmt.Printf("mssp:     %s\n", m.String())
+	fmt.Printf("baseline: %.0f cycles (%d instructions)\n", res.Baseline.Cycles, res.Baseline.Steps)
+	fmt.Printf("speedup:  %.3f  (dynamic distillation ratio %.3f, mean task %.1f insts)\n",
+		res.Speedup(), m.DynamicDistillationRatio(), m.MeanTaskLen())
+
+	if *traceN > 0 {
+		fmt.Printf("\ntimeline (last %d events):\n%s", *traceN, rec.String())
+	}
+
+	if *audit {
+		rep, err := pl.Audit()
+		if err != nil {
+			fatal(err)
+		}
+		if rep.OK {
+			fmt.Printf("audit:    OK — %d commits, %d reference instructions replayed\n",
+				rep.Commits, rep.RefSteps)
+		} else {
+			fmt.Printf("audit:    VIOLATED — %v\n", rep.FirstViolation())
+			os.Exit(1)
+		}
+	}
+}
+
+// loadProgram resolves the measured program and (for workloads) the train
+// build used for profiling.
+func loadProgram(workload, file, scale string) (prog, train *mssp.Program, err error) {
+	switch {
+	case workload != "" && file != "":
+		return nil, nil, fmt.Errorf("msspsim: -workload and -file are mutually exclusive")
+	case workload != "":
+		w, err := workloads.ByName(workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		s := workloads.Ref
+		if scale == "train" {
+			s = workloads.Train
+		}
+		return w.Build(s), w.Build(workloads.Train), nil
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := mssp.Assemble(string(src))
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, nil, nil
+	}
+	return nil, nil, fmt.Errorf("msspsim: need -workload or -file (try -list)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msspsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Distillation: show what the distiller does to a program — the pruned
+// branches, the dropped cold code, the inserted task-boundary FORKs — and
+// how much shorter the master's dynamic instruction stream becomes.
+//
+//	go run ./examples/distillation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mssp"
+	"mssp/internal/workloads"
+)
+
+func main() {
+	// Use the gzip-like workload from the benchmark suite: a run-length
+	// encoder with a biased rare path (long-run dictionary snapshots).
+	w, err := workloads.ByName("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := w.Build(workloads.Train)
+
+	for _, threshold := range []float64{1.0, 0.99, 0.95} {
+		opts := mssp.DefaultPipelineOptions()
+		opts.Distill.BiasThreshold = threshold
+		pl, err := mssp.Prepare(train, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := pl.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := pl.Distilled.Stats
+		m := res.MSSP.Metrics
+		fmt.Printf("threshold %.2f: static %2d->%2d  pruned=%d dropped=%2d  dynamic ratio %.3f  squashes %3d  speedup %.3f\n",
+			threshold, st.OrigInsts, st.DistInsts,
+			st.PrunedToJump+st.PrunedToNop, st.DroppedInsts,
+			m.DynamicDistillationRatio(), m.Squashes, res.Speedup())
+	}
+
+	// Show the distilled program at the default threshold.
+	pl, err := mssp.Prepare(train, mssp.DefaultPipelineOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndistilled program (FORK instructions mark task boundaries):")
+	fmt.Print(pl.Distilled.Prog.Disassemble())
+}

@@ -1,0 +1,80 @@
+// Misspeculation: run a distillation-hostile program, watch the verify
+// unit catch wrong master predictions and squash, and confirm with the
+// jumping-refinement auditor that correctness never depended on the master.
+//
+//	go run ./examples/misspeculation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mssp"
+	"mssp/internal/core"
+)
+
+// The rare path perturbs an accumulator register every later iteration
+// reads, so each rare visit the distiller pruned away from the master
+// forces a live-in mismatch at verification.
+const src = `
+	.entry main
+	main:   ldi  r1, 8192
+	        ldi  r4, 1
+	loop:   andi r2, r1, 511
+	        bnez r2, common       ; pruned: taken 511/512 times
+	rare:   muli r4, r4, 17      ; perturbs state the master predicts
+	        addi r4, r4, 13
+	common: addi r4, r4, 1
+	        andi r4, r4, 0xffff
+	        addi r1, r1, -1
+	        bnez r1, loop
+	        la   r3, out
+	        st   r4, 0(r3)
+	        halt
+	.data
+	.org 1000000
+	out:    .space 1
+`
+
+func main() {
+	prog, err := mssp.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := mssp.DefaultPipelineOptions()
+	shown := 0
+	opts.Machine.OnSquash = func(ev core.SquashEvent) {
+		shown++
+		if shown <= 5 {
+			fmt.Printf("squash %d: task %d at pc %d — %s (%v), %d younger tasks discarded\n",
+				shown, ev.TaskID, ev.Start, ev.Reason, ev.Inconsistency, ev.Discarded)
+		}
+	}
+	pl, err := mssp.Prepare(prog, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pl.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.MSSP.Metrics
+	fmt.Printf("\ntasks committed %d, live-in mismatches %d, squashes %d, commit rate %.3f\n",
+		m.TasksCommitted, m.TasksMisspec, m.Squashes, m.CommitRate())
+	fmt.Printf("speedup %.3f (recovery cost %.0f cycles)\n", res.Speedup(), m.RecoveryCycles)
+	fmt.Printf("result out = %d — identical to sequential execution despite %d squashes\n",
+		res.MSSP.Final.Mem.Read(prog.MustSymbol("out")), m.Squashes)
+
+	// The formal guarantee, checked mechanically: every commit was a jump
+	// of the sequential machine.
+	rep, err := pl.Audit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.OK {
+		fmt.Printf("refinement audit: OK over %d commits (%d instructions replayed)\n",
+			rep.Commits, rep.RefSteps)
+	} else {
+		fmt.Printf("refinement audit: VIOLATED — %v\n", rep.FirstViolation())
+	}
+}

@@ -1,0 +1,75 @@
+// Quickstart: assemble a small program, run it under MSSP, and compare
+// against sequential execution.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mssp"
+)
+
+// The program sums a polynomial over a counter loop. One branch guards a
+// rare, expensive path (taken every 256 iterations) whose results go to a
+// private buffer: exactly the kind of work the distiller removes from the
+// master's program.
+const src = `
+	.entry main
+	main:   ldi  r1, 20000        ; loop counter
+	        ldi  r4, 0            ; accumulator
+	loop:   andi r2, r1, 255
+	        bnez r2, common       ; rare path below is skipped 255/256 times
+	rare:   la   r9, buf          ; expensive side computation
+	        ldi  r7, 200
+	side:   muli r8, r7, 31
+	        st   r8, 0(r9)
+	        addi r9, r9, 1
+	        addi r7, r7, -1
+	        bnez r7, side
+	common: muli r5, r1, 3
+	        xor  r4, r4, r5
+	        addi r4, r4, 7
+	        andi r4, r4, 0xfffff
+	        addi r1, r1, -1
+	        bnez r1, loop
+	        la   r3, out
+	        st   r4, 0(r3)
+	        halt
+	.data
+	.org 1000000
+	out:    .space 1
+	buf:    .space 256
+`
+
+func main() {
+	prog, err := mssp.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile, distill, and build the default 8-CPU MSSP machine.
+	pl, err := mssp.Prepare(prog, mssp.DefaultPipelineOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distiller: %d -> %d static instructions; %d branches pruned, %d cold instructions dropped\n",
+		pl.Distilled.Stats.OrigInsts, pl.Distilled.Stats.DistInsts,
+		pl.Distilled.Stats.PrunedToJump+pl.Distilled.Stats.PrunedToNop,
+		pl.Distilled.Stats.DroppedInsts)
+
+	// Run under MSSP and on the sequential baseline. Run verifies that
+	// both machines produce identical architected state.
+	res, err := pl.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.MSSP.Metrics
+	fmt.Printf("sequential: %10.0f cycles\n", res.Baseline.Cycles)
+	fmt.Printf("mssp:       %10.0f cycles  (%d tasks, commit rate %.3f)\n",
+		res.MSSP.Cycles, m.TasksCommitted, m.CommitRate())
+	fmt.Printf("speedup:    %10.3f\n", res.Speedup())
+	fmt.Printf("result:     out = %d (identical on both machines)\n",
+		res.MSSP.Final.Mem.Read(prog.MustSymbol("out")))
+}

@@ -1,0 +1,3 @@
+module mssp
+
+go 1.22

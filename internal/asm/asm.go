@@ -1,0 +1,665 @@
+// Package asm implements a two-pass assembler for the MIR instruction set.
+//
+// The source language is line-oriented. A line holds an optional label, then
+// an optional instruction or directive, then an optional comment introduced
+// by '#' or ';'.
+//
+// Directives:
+//
+//	.code            switch to the code section (the default)
+//	.data            switch to the data section
+//	.org N           set the base address of the current section (before
+//	                 anything has been emitted into it)
+//	.entry LABEL     set the program entry point (default: code base)
+//	.word E, E, ...  emit data words (expressions allowed)
+//	.space N         reserve N zeroed words
+//
+// Operands:
+//
+//	registers     r0..r31, or the aliases zero, sp, ra
+//	immediates    decimal or 0x hex, optionally negative
+//	labels        a label name, optionally with +N or -N
+//	displacement  imm(reg) for ld/st
+//
+// Pseudo-instructions:
+//
+//	li rd, imm      ldi (imm must fit in 32 signed bits)
+//	la rd, label    ldi with a label value
+//	mov rd, rs      addi rd, rs, 0
+//	j label         jal r0, label
+//	jr rs           jalr r0, rs, 0
+//	call label      jal ra, label
+//	ret             jalr r0, ra, 0
+//	beqz rs, label  beq rs, r0, label
+//	bnez rs, label  bne rs, r0, label
+//	halt            halt r0, 0
+//
+// Code and data live in one address space; each instruction and each data
+// word occupies one word address.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mssp/internal/isa"
+)
+
+// Error is an assembly error tagged with a 1-based source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Assemble translates MIR assembly source into a program.
+func Assemble(src string) (*isa.Program, error) {
+	a := &assembler{
+		labels:   make(map[string]uint64),
+		codeBase: 0,
+		dataBase: 1 << 20, // default data base, far from code
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	return a.pass2(src)
+}
+
+// MustAssemble is Assemble for sources that are compiled into the binary;
+// it panics on error. Workloads use it so malformed programs fail loudly.
+func MustAssemble(src string) *isa.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	labels     map[string]uint64
+	codeBase   uint64
+	dataBase   uint64
+	codeLen    uint64 // in words
+	dataLen    uint64
+	entryLabel string
+	entrySet   bool
+}
+
+type stmt struct {
+	line    int
+	label   string
+	mnem    string // lower-case mnemonic or directive (with leading '.')
+	args    []string
+	inData  bool
+	address uint64 // assigned in pass 1 (for emitting statements)
+}
+
+// parseLines splits source into statements, leaving operand parsing for later.
+func parseLines(src string) ([]stmt, error) {
+	var out []stmt
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		if idx := strings.IndexAny(line, "#;"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		st := stmt{line: i + 1}
+		if idx := strings.Index(line, ":"); idx >= 0 && !strings.ContainsAny(line[:idx], " \t") {
+			st.label = line[:idx]
+			if st.label == "" {
+				return nil, &Error{i + 1, "empty label"}
+			}
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line != "" {
+			fields := strings.Fields(line)
+			st.mnem = strings.ToLower(fields[0])
+			rest := strings.TrimSpace(line[len(fields[0]):])
+			if rest != "" {
+				for _, arg := range strings.Split(rest, ",") {
+					st.args = append(st.args, strings.TrimSpace(arg))
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// size returns the number of words a statement emits.
+func (a *assembler) size(st *stmt) (uint64, error) {
+	switch st.mnem {
+	case "", ".org", ".entry", ".code", ".data":
+		return 0, nil
+	case ".word":
+		return uint64(len(st.args)), nil
+	case ".space":
+		n, err := strconv.ParseUint(st.args[0], 0, 32)
+		if err != nil {
+			return 0, &Error{st.line, fmt.Sprintf(".space wants a count: %v", err)}
+		}
+		return n, nil
+	default:
+		return 1, nil // every instruction (incl. pseudo) is one word
+	}
+}
+
+func (a *assembler) pass1(src string) error {
+	stmts, err := parseLines(src)
+	if err != nil {
+		return err
+	}
+	inData := false
+	var codePC, dataPC uint64
+	orgSeen := map[bool]bool{}
+	emitted := map[bool]bool{}
+	for i := range stmts {
+		st := &stmts[i]
+		switch st.mnem {
+		case ".code":
+			inData = false
+			continue
+		case ".data":
+			inData = true
+			continue
+		case ".org":
+			if len(st.args) != 1 {
+				return &Error{st.line, ".org wants one argument"}
+			}
+			n, err := strconv.ParseUint(st.args[0], 0, 64)
+			if err != nil {
+				return &Error{st.line, fmt.Sprintf("bad .org address: %v", err)}
+			}
+			if emitted[inData] {
+				return &Error{st.line, ".org after emission in section"}
+			}
+			if orgSeen[inData] {
+				return &Error{st.line, "duplicate .org for section"}
+			}
+			orgSeen[inData] = true
+			if inData {
+				a.dataBase = n
+			} else {
+				a.codeBase = n
+			}
+			continue
+		case ".entry":
+			if len(st.args) != 1 {
+				return &Error{st.line, ".entry wants one label"}
+			}
+			a.entryLabel = st.args[0]
+			a.entrySet = true
+			continue
+		}
+
+		pc := &codePC
+		base := a.codeBase
+		if inData {
+			pc = &dataPC
+			base = a.dataBase
+		}
+		if st.label != "" {
+			if _, dup := a.labels[st.label]; dup {
+				return &Error{st.line, fmt.Sprintf("duplicate label %q", st.label)}
+			}
+			a.labels[st.label] = base + *pc
+		}
+		sz, err := a.size(st)
+		if err != nil {
+			return err
+		}
+		if st.mnem != "" {
+			st.inData = inData
+			st.address = base + *pc
+			if sz > 0 {
+				emitted[inData] = true
+			}
+			if !inData && (st.mnem == ".word" || st.mnem == ".space") {
+				return &Error{st.line, "data directive in code section"}
+			}
+			if inData && st.mnem[0] != '.' {
+				return &Error{st.line, "instruction in data section"}
+			}
+		}
+		*pc += sz
+	}
+	a.codeLen, a.dataLen = codePC, dataPC
+	return nil
+}
+
+func (a *assembler) pass2(src string) (*isa.Program, error) {
+	stmts, _ := parseLines(src) // pass1 already validated line structure
+	p := &isa.Program{
+		Code:    isa.Segment{Base: a.codeBase, Words: make([]uint64, 0, a.codeLen)},
+		Symbols: a.labels,
+	}
+	data := isa.Segment{Base: a.dataBase, Words: make([]uint64, 0, a.dataLen)}
+
+	for i := range stmts {
+		st := &stmts[i]
+		switch st.mnem {
+		case "", ".org", ".entry", ".code", ".data":
+			continue
+		case ".word":
+			for _, arg := range st.args {
+				v, err := a.evalExpr(arg, st.line)
+				if err != nil {
+					return nil, err
+				}
+				data.Words = append(data.Words, v)
+			}
+			continue
+		case ".space":
+			n, _ := strconv.ParseUint(st.args[0], 0, 32)
+			data.Words = append(data.Words, make([]uint64, n)...)
+			continue
+		}
+		in, err := a.encodeInst(st)
+		if err != nil {
+			return nil, err
+		}
+		w, err := isa.EncodeChecked(in)
+		if err != nil {
+			return nil, &Error{st.line, err.Error()}
+		}
+		p.Code.Words = append(p.Code.Words, w)
+	}
+
+	if len(data.Words) > 0 {
+		p.Data = []isa.Segment{data}
+	}
+	p.Entry = a.codeBase
+	if a.entrySet {
+		addr, ok := a.labels[a.entryLabel]
+		if !ok {
+			return nil, &Error{0, fmt.Sprintf("undefined entry label %q", a.entryLabel)}
+		}
+		p.Entry = addr
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// evalExpr evaluates an immediate operand: a number, a label, or label±N.
+func (a *assembler) evalExpr(s string, line int) (uint64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, &Error{line, "empty operand"}
+	}
+	// Plain number (possibly negative)?
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return uint64(v), nil
+	}
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return v, nil
+	}
+	// label, label+N, label-N
+	name, off := s, int64(0)
+	for _, sep := range []string{"+", "-"} {
+		if idx := strings.Index(s, sep); idx > 0 {
+			name = strings.TrimSpace(s[:idx])
+			n, err := strconv.ParseInt(strings.TrimSpace(s[idx:]), 0, 64)
+			if err != nil {
+				return 0, &Error{line, fmt.Sprintf("bad offset in %q", s)}
+			}
+			off = n
+			break
+		}
+	}
+	addr, ok := a.labels[name]
+	if !ok {
+		return 0, &Error{line, fmt.Sprintf("undefined symbol %q", name)}
+	}
+	return addr + uint64(off), nil
+}
+
+func parseReg(s string) (uint8, bool) {
+	switch strings.ToLower(s) {
+	case "zero":
+		return isa.RegZero, true
+	case "sp":
+		return isa.RegSP, true
+	case "ra":
+		return isa.RegRA, true
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+func (a *assembler) reg(s string, line int) (uint8, error) {
+	r, ok := parseReg(s)
+	if !ok {
+		return 0, &Error{line, fmt.Sprintf("bad register %q", s)}
+	}
+	return r, nil
+}
+
+func (a *assembler) imm(s string, line int) (int64, error) {
+	v, err := a.evalExpr(s, line)
+	if err != nil {
+		return 0, err
+	}
+	iv := int64(v)
+	if iv < -(1<<31) || iv > (1<<31)-1 {
+		return 0, &Error{line, fmt.Sprintf("immediate %d out of 32-bit range", iv)}
+	}
+	return iv, nil
+}
+
+// parseDisp splits "imm(reg)" into its parts.
+func (a *assembler) parseDisp(s string, line int) (int64, uint8, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, &Error{line, fmt.Sprintf("bad displacement operand %q", s)}
+	}
+	immPart := strings.TrimSpace(s[:open])
+	if immPart == "" {
+		immPart = "0"
+	}
+	imm, err := a.imm(immPart, line)
+	if err != nil {
+		return 0, 0, err
+	}
+	r, err := a.reg(strings.TrimSpace(s[open+1:len(s)-1]), line)
+	if err != nil {
+		return 0, 0, err
+	}
+	return imm, r, nil
+}
+
+var regRegRegOps = map[string]isa.Op{
+	"add": isa.OpAdd, "sub": isa.OpSub, "mul": isa.OpMul, "div": isa.OpDiv,
+	"rem": isa.OpRem, "and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor,
+	"sll": isa.OpSll, "srl": isa.OpSrl, "sra": isa.OpSra,
+	"slt": isa.OpSlt, "sltu": isa.OpSltu,
+}
+
+var regRegImmOps = map[string]isa.Op{
+	"addi": isa.OpAddi, "andi": isa.OpAndi, "ori": isa.OpOri, "xori": isa.OpXori,
+	"slli": isa.OpSlli, "srli": isa.OpSrli, "srai": isa.OpSrai,
+	"slti": isa.OpSlti, "sltui": isa.OpSltui, "muli": isa.OpMuli,
+}
+
+var branchOps = map[string]isa.Op{
+	"beq": isa.OpBeq, "bne": isa.OpBne, "blt": isa.OpBlt,
+	"bge": isa.OpBge, "bltu": isa.OpBltu, "bgeu": isa.OpBgeu,
+}
+
+func (a *assembler) encodeInst(st *stmt) (isa.Inst, error) {
+	bad := func(format string, args ...any) (isa.Inst, error) {
+		return isa.Inst{}, &Error{st.line, fmt.Sprintf(format, args...)}
+	}
+	need := func(n int) error {
+		if len(st.args) != n {
+			return &Error{st.line, fmt.Sprintf("%s wants %d operands, got %d", st.mnem, n, len(st.args))}
+		}
+		return nil
+	}
+
+	if op, ok := regRegRegOps[st.mnem]; ok {
+		if err := need(3); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		rs1, err := a.reg(st.args[1], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		rs2, err := a.reg(st.args[2], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+	}
+	if op, ok := regRegImmOps[st.mnem]; ok {
+		if err := need(3); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		rs1, err := a.reg(st.args[1], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		imm, err := a.imm(st.args[2], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm}, nil
+	}
+	if op, ok := branchOps[st.mnem]; ok {
+		if err := need(3); err != nil {
+			return isa.Inst{}, err
+		}
+		rs1, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		rs2, err := a.reg(st.args[1], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		imm, err := a.imm(st.args[2], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm}, nil
+	}
+
+	switch st.mnem {
+	case "nop":
+		if err := need(0); err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpNop}, nil
+
+	case "ldi", "li", "la":
+		if err := need(2); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		imm, err := a.imm(st.args[1], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpLdi, Rd: rd, Imm: imm}, nil
+
+	case "ldih":
+		if err := need(2); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		imm, err := a.imm(st.args[1], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpLdih, Rd: rd, Rs1: rd, Imm: imm}, nil
+
+	case "mov":
+		if err := need(2); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		rs, err := a.reg(st.args[1], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rs}, nil
+
+	case "ld":
+		if err := need(2); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		imm, rs1, err := a.parseDisp(st.args[1], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpLd, Rd: rd, Rs1: rs1, Imm: imm}, nil
+
+	case "st":
+		if err := need(2); err != nil {
+			return isa.Inst{}, err
+		}
+		rs2, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		imm, rs1, err := a.parseDisp(st.args[1], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpSt, Rs1: rs1, Rs2: rs2, Imm: imm}, nil
+
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return isa.Inst{}, err
+		}
+		rs1, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		imm, err := a.imm(st.args[1], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		op := isa.OpBeq
+		if st.mnem == "bnez" {
+			op = isa.OpBne
+		}
+		return isa.Inst{Op: op, Rs1: rs1, Imm: imm}, nil
+
+	case "jal":
+		if err := need(2); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		imm, err := a.imm(st.args[1], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpJal, Rd: rd, Imm: imm}, nil
+
+	case "jalr":
+		if err := need(3); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		rs1, err := a.reg(st.args[1], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		imm, err := a.imm(st.args[2], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpJalr, Rd: rd, Rs1: rs1, Imm: imm}, nil
+
+	case "j":
+		if err := need(1); err != nil {
+			return isa.Inst{}, err
+		}
+		imm, err := a.imm(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpJal, Rd: isa.RegZero, Imm: imm}, nil
+
+	case "jr":
+		if err := need(1); err != nil {
+			return isa.Inst{}, err
+		}
+		rs1, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: rs1}, nil
+
+	case "call":
+		if err := need(1); err != nil {
+			return isa.Inst{}, err
+		}
+		imm, err := a.imm(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpJal, Rd: isa.RegRA, Imm: imm}, nil
+
+	case "ret":
+		if err := need(0); err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA}, nil
+
+	case "halt":
+		// Accepts: halt | halt imm | halt reg, imm (the disassembly form).
+		switch len(st.args) {
+		case 0:
+			return isa.Inst{Op: isa.OpHalt}, nil
+		case 1:
+			imm, err := a.imm(st.args[0], st.line)
+			if err != nil {
+				return isa.Inst{}, err
+			}
+			return isa.Inst{Op: isa.OpHalt, Imm: imm}, nil
+		case 2:
+			rs1, err := a.reg(st.args[0], st.line)
+			if err != nil {
+				return isa.Inst{}, err
+			}
+			imm, err := a.imm(st.args[1], st.line)
+			if err != nil {
+				return isa.Inst{}, err
+			}
+			return isa.Inst{Op: isa.OpHalt, Rs1: rs1, Imm: imm}, nil
+		}
+		return bad("halt wants at most 2 operands")
+
+	case "fork":
+		if err := need(1); err != nil {
+			return isa.Inst{}, err
+		}
+		imm, err := a.imm(st.args[0], st.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpFork, Imm: imm}, nil
+	}
+
+	return bad("unknown mnemonic %q", st.mnem)
+}

@@ -1,0 +1,272 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"mssp/internal/cpu"
+	"mssp/internal/isa"
+	"mssp/internal/state"
+)
+
+// runProgram assembles and executes src, returning the final state.
+func runProgram(t *testing.T, src string, maxSteps uint64) *state.State {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	s := state.NewFromProgram(p, 1<<19)
+	res, err := cpu.Run(cpu.StateEnv{S: s}, maxSteps)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Halted {
+		t.Fatalf("program did not halt in %d steps", maxSteps)
+	}
+	return s
+}
+
+func TestAssembleCountdownLoop(t *testing.T) {
+	s := runProgram(t, `
+		# sum 1..10 into r2
+		        ldi  r1, 10
+		        ldi  r2, 0
+		loop:   add  r2, r2, r1
+		        addi r1, r1, -1
+		        bnez r1, loop
+		        halt
+	`, 1000)
+	if got := s.ReadReg(2); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestAssembleDataAndSymbols(t *testing.T) {
+	src := `
+		.entry main
+		main:   la   r1, table
+		        ld   r2, 1(r1)      ; table[1]
+		        la   r3, result
+		        st   r2, 0(r3)
+		        halt
+		.data
+		.org 5000
+		table:  .word 10, 20, 30
+		result: .space 2
+		after:  .word 7
+	`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MustSymbol("table") != 5000 || p.MustSymbol("result") != 5003 || p.MustSymbol("after") != 5005 {
+		t.Errorf("data layout wrong: table=%d result=%d after=%d",
+			p.MustSymbol("table"), p.MustSymbol("result"), p.MustSymbol("after"))
+	}
+	s := state.NewFromProgram(p, 1<<19)
+	if _, err := cpu.Run(cpu.StateEnv{S: s}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Mem.Read(p.MustSymbol("result")); got != 20 {
+		t.Errorf("result = %d, want 20", got)
+	}
+	if s.Mem.Read(p.MustSymbol("after")) != 7 {
+		t.Error(".space mis-sized")
+	}
+}
+
+func TestAssembleCallRet(t *testing.T) {
+	s := runProgram(t, `
+		.entry main
+		double: add r1, r2, r2
+		        ret
+		main:   ldi  r2, 21
+		        call double
+		        halt
+	`, 100)
+	if s.ReadReg(1) != 42 {
+		t.Errorf("r1 = %d, want 42", s.ReadReg(1))
+	}
+}
+
+func TestAssembleIndirectJump(t *testing.T) {
+	s := runProgram(t, `
+		main:   la   r1, target
+		        jr   r1
+		        ldi  r2, 1    ; skipped
+		        halt
+		target: ldi  r2, 2
+		        halt
+	`, 100)
+	if s.ReadReg(2) != 2 {
+		t.Errorf("r2 = %d, want 2", s.ReadReg(2))
+	}
+}
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	// One of everything; just has to assemble and round-trip the encoding.
+	src := `
+		l:  add r1, r2, r3
+		    sub r1, r2, r3
+		    mul r1, r2, r3
+		    div r1, r2, r3
+		    rem r1, r2, r3
+		    and r1, r2, r3
+		    or  r1, r2, r3
+		    xor r1, r2, r3
+		    sll r1, r2, r3
+		    srl r1, r2, r3
+		    sra r1, r2, r3
+		    slt r1, r2, r3
+		    sltu r1, r2, r3
+		    addi r1, r2, -7
+		    andi r1, r2, 0xff
+		    ori r1, r2, 1
+		    xori r1, r2, 1
+		    slli r1, r2, 3
+		    srli r1, r2, 3
+		    srai r1, r2, 3
+		    slti r1, r2, 3
+		    sltui r1, r2, 3
+		    muli r1, r2, 3
+		    ldi r1, 5
+		    ldih r1, 5
+		    li  r1, 6
+		    la  r1, l
+		    mov r1, r2
+		    ld  r1, 4(r2)
+		    ld  r1, (r2)
+		    st  r1, -4(sp)
+		    beq r1, r2, l
+		    bne r1, r2, l
+		    blt r1, r2, l
+		    bge r1, r2, l
+		    bltu r1, r2, l
+		    bgeu r1, r2, l
+		    beqz r1, l
+		    bnez r1, l
+		    jal ra, l
+		    jalr zero, ra, 0
+		    j   l
+		    jr  ra
+		    call l
+		    ret
+		    nop
+		    fork l+2
+		    halt 3
+		    halt
+	`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code.Words) != 49 {
+		t.Errorf("emitted %d words, want 49", len(p.Code.Words))
+	}
+	// Spot-check pseudo-expansions.
+	if in := p.InstAt(p.MustSymbol("l") + 27); in.Op != isa.OpAddi || in.Rd != 1 || in.Rs1 != 2 || in.Imm != 0 {
+		t.Errorf("mov expansion = %v", in)
+	}
+	if in := p.InstAt(p.MustSymbol("l") + 45); in.Op != isa.OpNop {
+		t.Errorf("nop = %v", in)
+	}
+	if in := p.InstAt(p.MustSymbol("l") + 46); in.Op != isa.OpFork || in.Imm != int64(p.MustSymbol("l")+2) {
+		t.Errorf("fork with label arithmetic = %v", in)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":    "frobnicate r1",
+		"bad register":        "add r1, r2, r99",
+		"bad register alias":  "add r1, r2, bogus",
+		"missing operand":     "add r1, r2",
+		"undefined symbol":    "j nowhere",
+		"duplicate label":     "a: nop\na: nop",
+		"imm out of range":    "ldi r1, 0x100000000",
+		"bad displacement":    "ld r1, r2",
+		"data op in code":     ".word 5",
+		"inst in data":        ".data\nnop",
+		"org after emit":      "nop\n.org 5",
+		"duplicate org":       ".org 1\n.org 2",
+		"bad org":             ".org banana",
+		"bad space":           ".data\n.space banana",
+		"empty label":         ": nop",
+		"undefined entry":     ".entry nope\nnop",
+		"entry wants a label": ".entry\nnop",
+		"org wants one arg":   ".org 1, 2",
+		"halt extra args":     "halt 1, 2",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled without error:\n%s", name, src)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus r1\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q lacks line number", err)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p, err := Assemble(`
+		# full-line comment
+		; alternative comment leader
+
+		nop   # trailing
+		halt  ; trailing
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code.Words) != 2 {
+		t.Errorf("words = %d, want 2", len(p.Code.Words))
+	}
+}
+
+func TestCodeOrg(t *testing.T) {
+	p, err := Assemble(`
+		.org 100
+		start: j start
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code.Base != 100 || p.Entry != 100 {
+		t.Errorf("base=%d entry=%d, want 100", p.Code.Base, p.Entry)
+	}
+	if in := p.InstAt(100); in.Imm != 100 {
+		t.Errorf("label resolved to %d, want 100", in.Imm)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("bogus")
+}
+
+func TestLabelMinusOffset(t *testing.T) {
+	p, err := Assemble(`
+		a: nop
+		b: la r1, b-1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := p.InstAt(p.MustSymbol("b")); in.Imm != int64(p.MustSymbol("a")) {
+		t.Errorf("b-1 = %d, want %d", in.Imm, p.MustSymbol("a"))
+	}
+}

@@ -1,0 +1,119 @@
+package asm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mssp/internal/isa"
+)
+
+// TestGeneratedProgramsAssemble builds random-but-valid source texts and
+// checks the assembler accepts them and lays them out densely.
+func TestGeneratedProgramsAssemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(40)
+		src := ""
+		for i := 0; i < n; i++ {
+			r1, r2, r3 := rng.Intn(30)+1, rng.Intn(30)+1, rng.Intn(30)+1
+			switch rng.Intn(6) {
+			case 0:
+				src += fmt.Sprintf("l%d: add r%d, r%d, r%d\n", i, r1, r2, r3)
+			case 1:
+				src += fmt.Sprintf("l%d: addi r%d, r%d, %d\n", i, r1, r2, rng.Intn(1000)-500)
+			case 2:
+				src += fmt.Sprintf("l%d: ldi r%d, %d\n", i, r1, rng.Intn(100000))
+			case 3:
+				src += fmt.Sprintf("l%d: ld r%d, %d(r%d)\n", i, r1, rng.Intn(64), r2)
+			case 4:
+				src += fmt.Sprintf("l%d: st r%d, %d(r%d)\n", i, r1, rng.Intn(64), r2)
+			case 5:
+				// Forward branch to a label that always exists (the halt).
+				src += fmt.Sprintf("l%d: beq r%d, r%d, end\n", i, r1, r2)
+			}
+		}
+		src += "end: halt\n"
+		p, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		if len(p.Code.Words) != n+1 {
+			t.Fatalf("trial %d: %d words, want %d", trial, len(p.Code.Words), n+1)
+		}
+		for i, w := range p.Code.Words {
+			if !isa.Decode(w).Op.Valid() {
+				t.Fatalf("trial %d: word %d undecodable", trial, i)
+			}
+		}
+	}
+}
+
+// TestDisassembleReassembleStable: for ops whose disassembly is accepted
+// assembler syntax, text -> program -> disassemble -> reassemble must be a
+// fixpoint.
+func TestDisassembleReassembleStable(t *testing.T) {
+	src := `
+		add r1, r2, r3
+		sub r4, r5, r6
+		addi r7, r8, -42
+		ldi r9, 777
+		ld r1, 5(r2)
+		st r3, 7(r4)
+		beq r1, r2, 0
+		jal r31, 0
+		jalr r0, r31, 0
+		nop
+		fork 3
+		halt r0, 0
+	`
+	p1, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p1.Disassemble()
+	// Strip the "addr:" prefixes to get assembler-ready source.
+	src2 := ""
+	for _, line := range splitLines(text) {
+		if idx := indexByte(line, ':'); idx >= 0 {
+			src2 += line[idx+1:] + "\n"
+		}
+	}
+	p2, err := Assemble(src2)
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\n%s", err, src2)
+	}
+	if len(p1.Code.Words) != len(p2.Code.Words) {
+		t.Fatalf("length changed: %d vs %d", len(p1.Code.Words), len(p2.Code.Words))
+	}
+	for i := range p1.Code.Words {
+		if p1.Code.Words[i] != p2.Code.Words[i] {
+			t.Errorf("word %d changed: %v vs %v",
+				i, isa.Decode(p1.Code.Words[i]), isa.Decode(p2.Code.Words[i]))
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

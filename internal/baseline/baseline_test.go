@@ -1,0 +1,53 @@
+package baseline
+
+import (
+	"testing"
+
+	"mssp/internal/asm"
+)
+
+func TestRunCountsCycles(t *testing.T) {
+	p := asm.MustAssemble(`
+		        ldi  r1, 10
+		loop:   addi r1, r1, -1
+		        bnez r1, loop
+		        halt
+	`)
+	res, err := Run(p, Config{CPI: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 22 {
+		t.Errorf("steps = %d, want 22", res.Steps)
+	}
+	if res.Cycles != 44 {
+		t.Errorf("cycles = %v, want 44", res.Cycles)
+	}
+	if !res.Halted || res.Final.ReadReg(1) != 0 {
+		t.Error("final state wrong")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	p := asm.MustAssemble("halt")
+	res, err := Run(p, DefaultConfig())
+	if err != nil || res.Steps != 1 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := asm.MustAssemble("halt")
+	if _, err := Run(p, Config{CPI: 0}); err == nil {
+		t.Error("zero CPI accepted")
+	}
+	spin := asm.MustAssemble("s: j s\nhalt")
+	if _, err := Run(spin, Config{CPI: 1, MaxSteps: 100}); err == nil {
+		t.Error("non-halting program did not error")
+	}
+	bad := asm.MustAssemble("halt")
+	bad.Code.Words = nil
+	if _, err := Run(bad, DefaultConfig()); err == nil {
+		t.Error("invalid program accepted")
+	}
+}

@@ -1,0 +1,251 @@
+// Package bench implements the experiment harness: one runner per table or
+// figure of the reconstructed MICRO-35 MSSP evaluation. Each experiment
+// renders the same rows/series the paper reports; EXPERIMENTS.md records
+// the paper-shape expectation next to the measured result.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mssp/internal/baseline"
+	"mssp/internal/core"
+	"mssp/internal/distill"
+	"mssp/internal/isa"
+	"mssp/internal/profile"
+	"mssp/internal/workloads"
+)
+
+// Context carries the experiment configuration and caches the expensive
+// shared artifacts (programs, profiles, distillations, baseline runs) so
+// sweeps do not redo common work.
+type Context struct {
+	// Scale selects the measured input (Ref for real experiments; tests
+	// use Train for speed).
+	Scale workloads.Scale
+	// Stride is the default task-size target in instructions.
+	Stride uint64
+	// Names restricts the workload set (nil = all).
+	Names []string
+
+	mu        sync.Mutex
+	progs     map[progKey]*isa.Program
+	profiles  map[profKey]*profile.Profile
+	distills  map[distKey]*distill.Result
+	baselines map[progKey]*baseline.Result
+}
+
+type progKey struct {
+	name  string
+	scale workloads.Scale
+}
+type profKey struct {
+	name   string
+	stride uint64
+}
+type distKey struct {
+	name      string
+	stride    uint64
+	threshold float64
+}
+
+// NewContext returns a context with the default experiment configuration.
+func NewContext(scale workloads.Scale) *Context {
+	return &Context{
+		Scale:     scale,
+		Stride:    100,
+		progs:     make(map[progKey]*isa.Program),
+		profiles:  make(map[profKey]*profile.Profile),
+		distills:  make(map[distKey]*distill.Result),
+		baselines: make(map[progKey]*baseline.Result),
+	}
+}
+
+// Workloads returns the selected workload list.
+func (c *Context) Workloads() []*workloads.Workload {
+	all := workloads.All()
+	if len(c.Names) == 0 {
+		return all
+	}
+	want := map[string]bool{}
+	for _, n := range c.Names {
+		want[n] = true
+	}
+	var out []*workloads.Workload
+	for _, w := range all {
+		if want[w.Name] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// SweepWorkloads returns the representative subset used by parameter
+// sweeps (full-suite sweeps would multiply run time without changing the
+// shapes; the harness prints which workloads a sweep covered).
+func (c *Context) SweepWorkloads() []*workloads.Workload {
+	if len(c.Names) > 0 {
+		return c.Workloads()
+	}
+	subset := []string{"bitops", "compress", "graphwalk", "interp", "sortwin"}
+	var out []*workloads.Workload
+	for _, n := range subset {
+		w, err := workloads.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Prog builds (and caches) a workload's program at the given scale.
+func (c *Context) Prog(w *workloads.Workload, s workloads.Scale) *isa.Program {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := progKey{w.Name, s}
+	if p, ok := c.progs[k]; ok {
+		return p
+	}
+	p := w.Build(s)
+	c.progs[k] = p
+	return p
+}
+
+// Profile collects (and caches) a training profile at the given stride.
+func (c *Context) Profile(w *workloads.Workload, stride uint64) (*profile.Profile, error) {
+	train := c.Prog(w, workloads.Train)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := profKey{w.Name, stride}
+	if p, ok := c.profiles[k]; ok {
+		return p, nil
+	}
+	p, err := profile.Collect(train, profile.Options{Stride: stride})
+	if err != nil {
+		return nil, fmt.Errorf("profile %s: %w", w.Name, err)
+	}
+	c.profiles[k] = p
+	return p, nil
+}
+
+// Distill produces (and caches) a distillation at the given stride and
+// bias threshold, with otherwise-default options.
+func (c *Context) Distill(w *workloads.Workload, stride uint64, threshold float64) (*distill.Result, error) {
+	prof, err := c.Profile(w, stride)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := distKey{w.Name, stride, threshold}
+	if d, ok := c.distills[k]; ok {
+		return d, nil
+	}
+	opts := distill.DefaultOptions()
+	opts.BiasThreshold = threshold
+	d, err := distill.Distill(c.progs[progKey{w.Name, workloads.Train}], prof, opts)
+	if err != nil {
+		return nil, fmt.Errorf("distill %s: %w", w.Name, err)
+	}
+	c.distills[k] = d
+	return d, nil
+}
+
+// Baseline runs (and caches) the sequential baseline at the context scale.
+func (c *Context) Baseline(w *workloads.Workload) (*baseline.Result, error) {
+	p := c.Prog(w, c.Scale)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := progKey{w.Name, c.Scale}
+	if b, ok := c.baselines[k]; ok {
+		return b, nil
+	}
+	b, err := baseline.Run(p, baseline.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", w.Name, err)
+	}
+	c.baselines[k] = b
+	return b, nil
+}
+
+// MSSPConfig returns the default machine configuration with the task
+// spacing matched to the context stride.
+func (c *Context) MSSPConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MinTaskSpacing = c.Stride
+	return cfg
+}
+
+// RunMSSP executes one workload under MSSP at the context scale.
+func (c *Context) RunMSSP(w *workloads.Workload, d *distill.Result, cfg core.Config) (*core.Result, error) {
+	p := c.Prog(w, c.Scale)
+	m, err := core.New(p, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("mssp %s: %w", w.Name, err)
+	}
+	return res, nil
+}
+
+// RunDefault runs a workload with the context's default distillation and
+// machine, returning the MSSP result and the baseline.
+func (c *Context) RunDefault(w *workloads.Workload) (*core.Result, *baseline.Result, error) {
+	d, err := c.Distill(w, c.Stride, distill.DefaultOptions().BiasThreshold)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := c.RunMSSP(w, d, c.MSSPConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := c.Baseline(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, b, nil
+}
+
+// Experiment is one table or figure reproduction.
+type Experiment struct {
+	// ID is the experiment identifier (E1..E12).
+	ID string
+	// Title names what the experiment reproduces.
+	Title string
+	// Run executes the experiment and renders its table/figure.
+	Run func(c *Context) (string, error)
+}
+
+var experiments []*Experiment
+
+func registerExperiment(e *Experiment) { experiments = append(experiments, e) }
+
+// All returns every experiment in id order.
+func All() []*Experiment {
+	out := append([]*Experiment(nil), experiments...)
+	sort.Slice(out, func(i, j int) bool {
+		// E2 < E10 requires numeric comparison.
+		return expNum(out[i].ID) < expNum(out[j].ID)
+	})
+	return out
+}
+
+func expNum(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (*Experiment, error) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown experiment %q", id)
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"mssp/internal/workloads"
+)
+
+// quickCtx runs experiments at train scale over a two-workload subset so
+// the whole experiment registry is exercised quickly; the real harness
+// (cmd/experiments, bench_test.go at the repo root) uses ref scale.
+func quickCtx() *Context {
+	c := NewContext(workloads.Train)
+	c.Names = []string{"compress", "graphwalk"}
+	return c
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("experiments = %d, want 12", len(all))
+	}
+	for i, e := range all {
+		if want := i + 1; expNum(e.ID) != want {
+			t.Errorf("position %d holds %s", i, e.ID)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+	if _, err := ByID("E3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	c := quickCtx()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(c)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if !strings.Contains(out, e.ID+":") {
+				t.Errorf("%s output lacks its header:\n%s", e.ID, out)
+			}
+			if len(out) < 50 {
+				t.Errorf("%s output suspiciously short: %q", e.ID, out)
+			}
+			t.Log("\n" + out)
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	c := quickCtx()
+	out, err := RunAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range All() {
+		if !strings.Contains(out, "== "+e.ID+":") {
+			t.Errorf("RunAll output missing %s", e.ID)
+		}
+	}
+}
+
+func TestContextCaching(t *testing.T) {
+	c := quickCtx()
+	w, err := workloads.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c.Profile(w, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Profile(w, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("profile not cached")
+	}
+	d1, err := c.Distill(w, 100, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.Distill(w, 100, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("distillation not cached")
+	}
+	d3, err := c.Distill(w, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Error("distillations with different thresholds share cache entry")
+	}
+	b1, err := c.Baseline(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c.Baseline(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Error("baseline not cached")
+	}
+}
+
+func TestWorkloadSelection(t *testing.T) {
+	c := NewContext(workloads.Train)
+	if len(c.Workloads()) != len(workloads.All()) {
+		t.Error("default selection should include all workloads")
+	}
+	sweep := c.SweepWorkloads()
+	if len(sweep) == 0 || len(sweep) > len(workloads.All()) {
+		t.Error("sweep subset wrong")
+	}
+	c.Names = []string{"mtf"}
+	if got := c.Workloads(); len(got) != 1 || got[0].Name != "mtf" {
+		t.Errorf("name filter broken: %v", got)
+	}
+	if got := c.SweepWorkloads(); len(got) != 1 || got[0].Name != "mtf" {
+		t.Error("sweep should respect explicit names")
+	}
+}

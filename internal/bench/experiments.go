@@ -1,0 +1,386 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mssp/internal/core"
+	"mssp/internal/refine"
+	"mssp/internal/stats"
+	"mssp/internal/workloads"
+)
+
+func init() {
+	registerExperiment(&Experiment{
+		ID:    "E1",
+		Title: "Table 1: simulated machine configuration",
+		Run:   runE1,
+	})
+	registerExperiment(&Experiment{
+		ID:    "E2",
+		Title: "Distillation effectiveness: distilled size relative to original",
+		Run:   runE2,
+	})
+	registerExperiment(&Experiment{
+		ID:    "E3",
+		Title: "MSSP speedup over the 1-core baseline (8-CPU CMP)",
+		Run:   runE3,
+	})
+	registerExperiment(&Experiment{
+		ID:    "E4",
+		Title: "Speedup vs processor count",
+		Run:   runE4,
+	})
+	registerExperiment(&Experiment{
+		ID:    "E5",
+		Title: "Task-size sensitivity",
+		Run:   runE5,
+	})
+	registerExperiment(&Experiment{
+		ID:    "E6",
+		Title: "Task outcome breakdown",
+		Run:   runE6,
+	})
+	registerExperiment(&Experiment{
+		ID:    "E7",
+		Title: "Distiller aggressiveness (bias threshold) sensitivity",
+		Run:   runE7,
+	})
+	registerExperiment(&Experiment{
+		ID:    "E8",
+		Title: "Checkpoint/spawn latency sensitivity",
+		Run:   runE8,
+	})
+	registerExperiment(&Experiment{
+		ID:    "E9",
+		Title: "Execution-time breakdown at the commit unit",
+		Run:   runE9,
+	})
+	registerExperiment(&Experiment{
+		ID:    "E10",
+		Title: "Jumping-refinement and task-safety audit",
+		Run:   runE10,
+	})
+	registerExperiment(&Experiment{
+		ID:    "E11",
+		Title: "Master run-ahead and slave utilization vs processor count",
+		Run:   runE11,
+	})
+	registerExperiment(&Experiment{
+		ID:    "E12",
+		Title: "Checkpoint and live-in/live-out traffic per task",
+		Run:   runE12,
+	})
+}
+
+func runE1(c *Context) (string, error) {
+	cfg := c.MSSPConfig()
+	t := stats.NewTable("E1: simulated machine configuration", "parameter", "value")
+	t.Row("CMP processors", cfg.Slaves+1)
+	t.Row("master cores", 1)
+	t.Row("slave cores", cfg.Slaves)
+	t.Row("master CPI", cfg.MasterCPI)
+	t.Row("slave CPI", cfg.SlaveCPI)
+	t.Row("spawn latency (cycles)", cfg.SpawnLatency)
+	t.Row("commit latency (cycles)", cfg.CommitLatency)
+	t.Row("commit per word (cycles)", cfg.CommitPerWord)
+	t.Row("squash penalty (cycles)", cfg.SquashPenalty)
+	t.Row("task cap (instructions)", cfg.MaxTaskLen)
+	t.Row("task-size target (instructions)", c.Stride)
+	t.Row("distiller bias threshold", 0.99)
+	t.Row("workloads", strings.Join(workloads.Names(), ","))
+	t.Row("measured scale", c.Scale.String())
+	return t.String(), nil
+}
+
+func runE2(c *Context) (string, error) {
+	t := stats.NewTable("E2: distillation effectiveness",
+		"workload", "static ratio", "dynamic ratio", "pruned", "dropped insts", "forks")
+	var dyn []float64
+	for _, w := range c.Workloads() {
+		d, err := c.Distill(w, c.Stride, 0.99)
+		if err != nil {
+			return "", err
+		}
+		res, _, err := c.RunDefault(w)
+		if err != nil {
+			return "", err
+		}
+		r := res.Metrics.DynamicDistillationRatio()
+		dyn = append(dyn, r)
+		t.Row(w.Name, d.Stats.StaticCodeRatio, r,
+			d.Stats.PrunedToJump+d.Stats.PrunedToNop, d.Stats.DroppedInsts, d.Stats.Forks)
+	}
+	t.Row("geomean", "", stats.Geomean(dyn), "", "", "")
+	return t.String(), nil
+}
+
+func runE3(c *Context) (string, error) {
+	t := stats.NewTable("E3: MSSP speedup over 1-core baseline (8-CPU CMP)",
+		"workload", "baseline cycles", "mssp cycles", "speedup", "commit rate")
+	var sp []float64
+	for _, w := range c.Workloads() {
+		res, b, err := c.RunDefault(w)
+		if err != nil {
+			return "", err
+		}
+		s := b.Cycles / res.Cycles
+		sp = append(sp, s)
+		t.Row(w.Name, fmt.Sprintf("%.0f", b.Cycles), fmt.Sprintf("%.0f", res.Cycles),
+			s, res.Metrics.CommitRate())
+	}
+	t.Row("geomean", "", "", stats.Geomean(sp), "")
+	return t.String(), nil
+}
+
+var cpuSweep = []int{2, 4, 8, 16}
+
+func runE4(c *Context) (string, error) {
+	f := stats.NewFigure("E4: speedup vs processor count", "cpus", "speedup over 1-core baseline")
+	geo := map[int][]float64{}
+	ws := c.SweepWorkloads()
+	for _, w := range ws {
+		d, err := c.Distill(w, c.Stride, 0.99)
+		if err != nil {
+			return "", err
+		}
+		b, err := c.Baseline(w)
+		if err != nil {
+			return "", err
+		}
+		s := f.Add(w.Name)
+		for _, cpus := range cpuSweep {
+			cfg := c.MSSPConfig()
+			cfg.Slaves = cpus - 1
+			res, err := c.RunMSSP(w, d, cfg)
+			if err != nil {
+				return "", err
+			}
+			sp := b.Cycles / res.Cycles
+			s.Point(float64(cpus), sp)
+			geo[cpus] = append(geo[cpus], sp)
+		}
+	}
+	g := f.Add("geomean")
+	for _, cpus := range cpuSweep {
+		g.Point(float64(cpus), stats.Geomean(geo[cpus]))
+	}
+	return f.String() + sweepNote(ws), nil
+}
+
+func runE5(c *Context) (string, error) {
+	f := stats.NewFigure("E5: task-size sensitivity", "target task size (insts)", "geomean speedup")
+	sizesSweep := []uint64{25, 50, 100, 200, 400, 800}
+	ws := c.SweepWorkloads()
+	speedups := f.Add("geomean speedup")
+	lens := f.Add("mean task length")
+	for _, stride := range sizesSweep {
+		var sp, ln []float64
+		for _, w := range ws {
+			d, err := c.Distill(w, stride, 0.99)
+			if err != nil {
+				return "", err
+			}
+			cfg := c.MSSPConfig()
+			cfg.MinTaskSpacing = stride
+			res, err := c.RunMSSP(w, d, cfg)
+			if err != nil {
+				return "", err
+			}
+			b, err := c.Baseline(w)
+			if err != nil {
+				return "", err
+			}
+			sp = append(sp, b.Cycles/res.Cycles)
+			ln = append(ln, res.Metrics.MeanTaskLen())
+		}
+		speedups.Point(float64(stride), stats.Geomean(sp))
+		lens.Point(float64(stride), stats.Mean(ln))
+	}
+	return f.String() + sweepNote(ws), nil
+}
+
+func runE6(c *Context) (string, error) {
+	t := stats.NewTable("E6: task outcome breakdown",
+		"workload", "committed", "livein-miss", "overflow", "fault", "squashed-young", "commit rate")
+	for _, w := range c.Workloads() {
+		res, _, err := c.RunDefault(w)
+		if err != nil {
+			return "", err
+		}
+		m := res.Metrics
+		t.Row(w.Name, m.TasksCommitted, m.TasksMisspec, m.TasksOverflowed,
+			m.TasksFaulted, m.TasksSquashedDown, m.CommitRate())
+	}
+	return t.String(), nil
+}
+
+func runE7(c *Context) (string, error) {
+	f := stats.NewFigure("E7: distiller aggressiveness", "bias threshold", "geomean value")
+	thresholds := []float64{0.90, 0.95, 0.99, 0.995, 1.0}
+	ws := c.SweepWorkloads()
+	sp := f.Add("speedup")
+	ratio := f.Add("dyn distill ratio")
+	miss := f.Add("misspecs/1k tasks")
+	for _, th := range thresholds {
+		var s, r, ms []float64
+		for _, w := range ws {
+			d, err := c.Distill(w, c.Stride, th)
+			if err != nil {
+				return "", err
+			}
+			res, err := c.RunMSSP(w, d, c.MSSPConfig())
+			if err != nil {
+				return "", err
+			}
+			b, err := c.Baseline(w)
+			if err != nil {
+				return "", err
+			}
+			s = append(s, b.Cycles/res.Cycles)
+			r = append(r, res.Metrics.DynamicDistillationRatio())
+			ms = append(ms, res.Metrics.MisspecRate()*1000)
+		}
+		sp.Point(th, stats.Geomean(s))
+		ratio.Point(th, stats.Geomean(r))
+		miss.Point(th, stats.Mean(ms))
+	}
+	return f.String() + sweepNote(ws), nil
+}
+
+func runE8(c *Context) (string, error) {
+	f := stats.NewFigure("E8: spawn-latency sensitivity", "spawn latency (cycles)", "geomean speedup")
+	lats := []float64{0, 10, 30, 100, 300, 1000}
+	ws := c.SweepWorkloads()
+	s := f.Add("geomean speedup")
+	for _, lat := range lats {
+		var sp []float64
+		for _, w := range ws {
+			d, err := c.Distill(w, c.Stride, 0.99)
+			if err != nil {
+				return "", err
+			}
+			cfg := c.MSSPConfig()
+			cfg.SpawnLatency = lat
+			res, err := c.RunMSSP(w, d, cfg)
+			if err != nil {
+				return "", err
+			}
+			b, err := c.Baseline(w)
+			if err != nil {
+				return "", err
+			}
+			sp = append(sp, b.Cycles/res.Cycles)
+		}
+		s.Point(lat, stats.Geomean(sp))
+	}
+	return f.String() + sweepNote(ws), nil
+}
+
+func runE9(c *Context) (string, error) {
+	t := stats.NewTable("E9: execution-time breakdown (fraction of cycles)",
+		"workload", "master-bound", "slave-bound", "commit-bound", "recovery")
+	for _, w := range c.Workloads() {
+		res, _, err := c.RunDefault(w)
+		if err != nil {
+			return "", err
+		}
+		m := res.Metrics
+		total := m.MasterBoundCycles + m.SlaveBoundCycles + m.CommitBoundCycles + m.RecoveryCycles
+		if total <= 0 {
+			total = 1
+		}
+		t.Row(w.Name,
+			m.MasterBoundCycles/total, m.SlaveBoundCycles/total,
+			m.CommitBoundCycles/total, m.RecoveryCycles/total)
+	}
+	return t.String(), nil
+}
+
+func runE10(c *Context) (string, error) {
+	t := stats.NewTable("E10: jumping-refinement and task-safety audit",
+		"workload", "refinement", "commits audited", "ref insts", "violations")
+	for _, w := range c.Workloads() {
+		d, err := c.Distill(w, c.Stride, 0.99)
+		if err != nil {
+			return "", err
+		}
+		rep, err := refine.Check(c.Prog(w, c.Scale), d, c.MSSPConfig(), refine.DefaultOptions())
+		if err != nil {
+			return "", err
+		}
+		verdict := "OK"
+		if !rep.OK {
+			verdict = "VIOLATED"
+		}
+		t.Row(w.Name, verdict, rep.Commits, rep.RefSteps, len(rep.Violations))
+	}
+	return t.String(), nil
+}
+
+func runE11(c *Context) (string, error) {
+	f := stats.NewFigure("E11: run-ahead and slave utilization vs processor count",
+		"cpus", "tasks in flight / utilization")
+	ws := c.SweepWorkloads()
+	run := f.Add("mean run-ahead (tasks)")
+	util := f.Add("slave utilization")
+	for _, cpus := range cpuSweep {
+		var ra, ut []float64
+		for _, w := range ws {
+			d, err := c.Distill(w, c.Stride, 0.99)
+			if err != nil {
+				return "", err
+			}
+			cfg := c.MSSPConfig()
+			cfg.Slaves = cpus - 1
+			res, err := c.RunMSSP(w, d, cfg)
+			if err != nil {
+				return "", err
+			}
+			ra = append(ra, res.Metrics.MeanRunahead())
+			ut = append(ut, res.Metrics.SlaveUtilization(cfg.Slaves))
+		}
+		run.Point(float64(cpus), stats.Mean(ra))
+		util.Point(float64(cpus), stats.Mean(ut))
+	}
+	return f.String() + sweepNote(ws), nil
+}
+
+func runE12(c *Context) (string, error) {
+	t := stats.NewTable("E12: checkpoint and verification traffic (words/task)",
+		"workload", "checkpoint diff", "live-in", "live-out", "mean task len")
+	for _, w := range c.Workloads() {
+		res, _, err := c.RunDefault(w)
+		if err != nil {
+			return "", err
+		}
+		m := res.Metrics
+		t.Row(w.Name, m.CheckpointWordsPerTask(), m.LiveInWordsPerTask(),
+			m.LiveOutWordsPerTask(), m.MeanTaskLen())
+	}
+	return t.String(), nil
+}
+
+func sweepNote(ws []*workloads.Workload) string {
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return fmt.Sprintf("(sweep over: %s)\n", strings.Join(names, ", "))
+}
+
+// RunAll executes every experiment and concatenates the rendered outputs.
+func RunAll(c *Context) (string, error) {
+	var b strings.Builder
+	for _, e := range All() {
+		out, err := e.Run(c)
+		if err != nil {
+			return b.String(), fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(&b, "== %s: %s ==\n%s\n", e.ID, e.Title, out)
+	}
+	return b.String(), nil
+}
+
+// Ensure the E-numbering helper stays consistent with core config use.
+var _ = core.DefaultConfig

@@ -1,0 +1,211 @@
+package cfg
+
+import (
+	"testing"
+
+	"mssp/internal/asm"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+const diamondSrc = `
+	start:  bnez r1, right   ; 0
+	left:   addi r2, r2, 1   ; 1
+	        j join           ; 2
+	right:  addi r2, r2, 2   ; 3
+	join:   halt             ; 4
+`
+
+func TestBuildDiamond(t *testing.T) {
+	g := build(t, diamondSrc)
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(g.Blocks))
+	}
+	byStart := g.ByStart
+	if got := byStart[0].Succs; len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("entry succs = %v", got)
+	}
+	if got := byStart[1].Succs; len(got) != 1 || got[0] != 4 {
+		t.Errorf("left succs = %v", got)
+	}
+	if got := byStart[3].Succs; len(got) != 1 || got[0] != 4 {
+		t.Errorf("right succs = %v", got)
+	}
+	if got := byStart[4].Succs; len(got) != 0 {
+		t.Errorf("halt succs = %v", got)
+	}
+	if byStart[1].Len() != 2 || byStart[4].Len() != 1 {
+		t.Error("block extents wrong")
+	}
+}
+
+func TestBlockFor(t *testing.T) {
+	g := build(t, diamondSrc)
+	if b := g.BlockFor(2); b == nil || b.Start != 1 {
+		t.Errorf("BlockFor(2) = %+v, want block starting at 1", b)
+	}
+	if b := g.BlockFor(99); b != nil {
+		t.Errorf("BlockFor(99) = %+v, want nil", b)
+	}
+}
+
+func TestBuildLoop(t *testing.T) {
+	g := build(t, `
+		        ldi r1, 10       ; 0
+		loop:   addi r1, r1, -1  ; 1
+		        bnez r1, loop    ; 2
+		        halt             ; 3
+	`)
+	loops := g.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 {
+		t.Errorf("header = %d, want 1", l.Header)
+	}
+	if !l.Blocks[1] || len(l.Blocks) != 1 {
+		t.Errorf("loop body = %v, want just the header block", l.Blocks)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	g := build(t, `
+		outer:  ldi  r2, 3        ; 0
+		inner:  addi r2, r2, -1   ; 1
+		        bnez r2, inner    ; 2
+		        addi r1, r1, -1   ; 3
+		        bnez r1, outer    ; 4
+		        halt              ; 5
+	`)
+	loops := g.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	if loops[0].Header != 0 || loops[1].Header != 1 {
+		t.Errorf("headers = %d,%d", loops[0].Header, loops[1].Header)
+	}
+	// Outer loop contains the inner blocks.
+	if !loops[0].Blocks[1] || !loops[0].Blocks[3] {
+		t.Errorf("outer loop blocks = %v", loops[0].Blocks)
+	}
+	// Inner loop does not contain the outer tail.
+	if loops[1].Blocks[3] {
+		t.Errorf("inner loop leaked: %v", loops[1].Blocks)
+	}
+}
+
+func TestCallCreatesReturnEdge(t *testing.T) {
+	g := build(t, `
+		.entry main
+		f:      ret              ; 0
+		main:   call f           ; 1
+		        halt             ; 2
+	`)
+	b := g.ByStart[1]
+	if len(b.Succs) != 2 || b.Succs[0] != 0 || b.Succs[1] != 2 {
+		t.Errorf("call succs = %v, want [0 2]", b.Succs)
+	}
+	if !g.ByStart[0].IsReturn {
+		t.Error("ret block not marked IsReturn")
+	}
+	if g.HasIndirect {
+		t.Error("plain call/ret marked indirect")
+	}
+	// halt (2) must be reachable through the call's return edge.
+	if !g.Reachable()[2] {
+		t.Error("return point unreachable")
+	}
+}
+
+func TestIndirectJumpConservatism(t *testing.T) {
+	g := build(t, `
+		main:   la  r1, dest      ; 0
+		        jr  r1            ; 1
+		dead:   addi r2, r2, 1    ; 2
+		        halt              ; 3
+		dest:   halt              ; 4
+	`)
+	if !g.HasIndirect {
+		t.Fatal("indirect jump not flagged")
+	}
+	r := g.Reachable()
+	for _, b := range g.Blocks {
+		if !r[b.Start] {
+			t.Errorf("block %d not reachable under conservative rule", b.Start)
+		}
+	}
+}
+
+func TestReachabilityPrunes(t *testing.T) {
+	g := build(t, `
+		main:   j skip          ; 0
+		dead:   addi r1, r1, 1  ; 1
+		        halt            ; 2
+		skip:   halt            ; 3
+	`)
+	r := g.Reachable()
+	if !r[0] || !r[3] {
+		t.Error("live blocks missing")
+	}
+	if r[1] {
+		t.Error("dead block marked reachable")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := build(t, diamondSrc)
+	idom := g.Dominators()
+	if idom[1] != 0 || idom[3] != 0 || idom[4] != 0 {
+		t.Errorf("idom = %v, want all dominated directly by 0", idom)
+	}
+	if !Dominates(idom, 0, 4) {
+		t.Error("entry should dominate join")
+	}
+	if Dominates(idom, 1, 4) {
+		t.Error("left arm should not dominate join")
+	}
+	if !Dominates(idom, 4, 4) {
+		t.Error("self-domination broken")
+	}
+}
+
+func TestBuildRejectsTargetOutsideCode(t *testing.T) {
+	p, err := asm.Assemble("main: j main\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the jump to point outside the code segment.
+	p.Code.Words[0] = p.Code.Words[0]&^uint64(0xffffffff) | 999
+	if _, err := Build(p); err == nil {
+		t.Error("target outside code accepted")
+	}
+}
+
+func TestStraightLineSplitsAtCallTargets(t *testing.T) {
+	g := build(t, `
+		.entry main
+		main:  nop               ; 0
+		       nop               ; 1
+		mid:   nop               ; 2  (branch target below)
+		       beqz r1, mid      ; 3
+		       halt              ; 4
+	`)
+	if _, ok := g.ByStart[2]; !ok {
+		t.Error("branch target did not become a leader")
+	}
+	if b := g.ByStart[0]; b.End != 2 {
+		t.Errorf("first block end = %d, want 2", b.End)
+	}
+}

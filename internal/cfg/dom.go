@@ -1,0 +1,167 @@
+package cfg
+
+import "sort"
+
+// Dominators computes the immediate-dominator relation over the blocks
+// reachable from the entry, using the classic iterative dataflow algorithm
+// (Cooper/Harvey/Kennedy). The result maps each reachable block start to the
+// start of its immediate dominator; the entry block maps to itself.
+//
+// When the graph has indirect jumps the dominator tree is still computed,
+// but only over statically known edges; consumers that prune code must
+// already be refusing to do so via HasIndirect.
+func (g *Graph) Dominators() map[uint64]uint64 {
+	entryBlock := g.BlockFor(g.Prog.Entry).Start
+
+	// Reverse postorder over statically known edges.
+	order := g.postorder(entryBlock)
+	rpoIndex := make(map[uint64]int, len(order))
+	for i, s := range order {
+		rpoIndex[s] = len(order) - 1 - i
+	}
+	rpo := make([]uint64, len(order))
+	for _, s := range order {
+		rpo[rpoIndex[s]] = s
+	}
+
+	preds := g.predecessors()
+
+	idom := map[uint64]uint64{entryBlock: entryBlock}
+	intersect := func(a, b uint64) uint64 {
+		for a != b {
+			for rpoIndex[a] > rpoIndex[b] {
+				a = idom[a]
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entryBlock {
+				continue
+			}
+			var newIdom uint64
+			have := false
+			for _, p := range preds[b] {
+				if _, ok := idom[p]; !ok {
+					continue
+				}
+				if !have {
+					newIdom, have = p, true
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if !have {
+				continue
+			}
+			if old, ok := idom[b]; !ok || old != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// postorder returns block starts in postorder from the given entry.
+func (g *Graph) postorder(entry uint64) []uint64 {
+	var order []uint64
+	seen := map[uint64]bool{}
+	var visit func(s uint64)
+	visit = func(s uint64) {
+		if seen[s] {
+			return
+		}
+		seen[s] = true
+		for _, succ := range g.ByStart[s].Succs {
+			visit(succ)
+		}
+		order = append(order, s)
+	}
+	visit(entry)
+	return order
+}
+
+// predecessors returns the statically known predecessor lists.
+func (g *Graph) predecessors() map[uint64][]uint64 {
+	preds := make(map[uint64][]uint64, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, succ := range b.Succs {
+			preds[succ] = append(preds[succ], b.Start)
+		}
+	}
+	return preds
+}
+
+// Dominates reports whether block a dominates block b under the given
+// immediate-dominator map.
+func Dominates(idom map[uint64]uint64, a, b uint64) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next, ok := idom[b]
+		if !ok || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// Loop is a natural loop: a back edge tail->Header plus the set of blocks
+// that reach the tail without passing through the header.
+type Loop struct {
+	Header uint64
+	Blocks map[uint64]bool
+}
+
+// NaturalLoops finds the natural loops of the graph: back edges t->h where h
+// dominates t. Loops sharing a header are merged. Results are ordered by
+// header address.
+func (g *Graph) NaturalLoops() []*Loop {
+	idom := g.Dominators()
+	preds := g.predecessors()
+	byHeader := map[uint64]*Loop{}
+
+	for _, b := range g.Blocks {
+		for _, succ := range b.Succs {
+			if _, reachable := idom[b.Start]; !reachable {
+				continue
+			}
+			if !Dominates(idom, succ, b.Start) {
+				continue
+			}
+			// Back edge b -> succ.
+			l := byHeader[succ]
+			if l == nil {
+				l = &Loop{Header: succ, Blocks: map[uint64]bool{succ: true}}
+				byHeader[succ] = l
+			}
+			// Walk predecessors from the tail until the header.
+			stack := []uint64{b.Start}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[n] {
+					continue
+				}
+				l.Blocks[n] = true
+				for _, p := range preds[n] {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+	return loops
+}

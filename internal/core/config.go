@@ -1,0 +1,195 @@
+// Package core implements the MSSP machine: a master processor running a
+// distilled program, a pool of slave processors executing original-program
+// tasks, and the verify/commit unit that is the machine's sole writer of
+// architected state.
+//
+// # Execution model
+//
+// The simulator is a deterministic discrete-event model layered over an
+// exact functional execution:
+//
+//   - The master executes the distilled program in its own memory image
+//     (distilled code + architected data as of its last reseed), logging its
+//     writes. Each FORK instruction it retires defines a task boundary: the
+//     open task's end PC becomes the fork's anchor, and a new task is
+//     spawned carrying a checkpoint (master registers + write-log snapshot)
+//     and a snapshot of current architected state.
+//   - Slaves execute tasks (internal/task) against those frozen inputs,
+//     recording live-ins and live-outs. Slave execution never reads anything
+//     written after its spawn, exactly like a hardware slave reading stale
+//     architected state — the verify unit is what catches the consequences.
+//   - The verify/commit unit processes tasks in program order. A task whose
+//     recorded live-ins match current architected state commits: its
+//     live-outs are superimposed and the machine "jumps" #t sequential
+//     steps. Anything else — a live-in mismatch, an overflow, a fault —
+//     squashes the task, every younger task, and the master, which is then
+//     reseeded from architected state at the failure point.
+//   - If a squash makes no progress over the previous squash, the machine
+//     falls back to bounded non-speculative sequential execution (the
+//     paper's dual-mode operation), guaranteeing forward progress no matter
+//     what the distiller produced.
+//
+// Timing is modeled with per-core CPIs, a spawn latency, commit-unit
+// serialization, and a squash penalty; the functional layer is unaffected by
+// timing parameters, which keeps correctness arguments independent of
+// performance modeling (the paradigm's central decoupling, preserved in the
+// simulator's structure).
+package core
+
+import (
+	"fmt"
+
+	"mssp/internal/state"
+	"mssp/internal/task"
+)
+
+// Config sets the machine's structural and timing parameters.
+type Config struct {
+	// Slaves is the number of slave processors (the paper's P-1 of a
+	// P-core CMP).
+	Slaves int
+
+	// TaskBuffer bounds in-flight (spawned, uncommitted) tasks: the
+	// checkpoint/verification buffering. Queued tasks still contend for
+	// the Slaves processors; buffering beyond the slave count lets the
+	// master run ahead past an occasional long task instead of stalling
+	// the moment every slave is busy. Zero means 4x Slaves.
+	TaskBuffer int
+
+	// MasterCPI and SlaveCPI are cycles per instruction for the master and
+	// slave cores. The master is typically modeled as the same core type
+	// (speedup comes from the distilled program being shorter, not from a
+	// faster clock), but the ratio is configurable.
+	MasterCPI float64
+	SlaveCPI  float64
+
+	// SpawnLatency is the delay, in cycles, between the master retiring a
+	// FORK and the assigned slave starting the task (checkpoint transfer).
+	SpawnLatency float64
+
+	// CommitLatency is the fixed cost of verifying and committing one
+	// task; CommitPerWord adds cost per live-in plus live-out word.
+	CommitLatency float64
+	CommitPerWord float64
+
+	// SquashPenalty is the cost of discarding speculative state and
+	// reseeding the master.
+	SquashPenalty float64
+
+	// MaxTaskLen caps slave task length in instructions; a task that
+	// does not reach its end PC within the cap overflows and is treated
+	// as a misspeculation (finite speculative buffering).
+	MaxTaskLen uint64
+
+	// MasterRunaheadCap bounds distilled instructions between taken forks;
+	// exceeding it marks the master lost (it is stuck in a loop the
+	// distiller broke) and lets recovery take over.
+	MasterRunaheadCap uint64
+
+	// MinTaskSpacing makes the master skip FORKs until at least this many
+	// distilled instructions have executed since the last taken fork
+	// (dynamic task-boundary thinning). Zero takes every fork.
+	MinTaskSpacing uint64
+
+	// SP is the initial stack pointer.
+	SP uint64
+
+	// MaxCommitted aborts the simulation after this many committed
+	// instructions (runaway guard). Zero means a large default.
+	MaxCommitted uint64
+
+	// OnCommit, when non-nil, observes every architected-state advance
+	// (task commits and sequential-fallback chunks), in order. Hooks must
+	// not mutate the event's state.
+	OnCommit func(CommitEvent)
+
+	// OnSquash, when non-nil, observes every squash with its cause.
+	OnSquash func(SquashEvent)
+
+	// MasterSuppliesAllData makes checkpoints carry the master's entire
+	// memory image, so slave data reads never consult architected state —
+	// the design alternative the paper rejects as demanding too much
+	// master-to-slave bandwidth (kept here as an ablation; correctness is
+	// unaffected because the verify unit checks live-ins either way).
+	MasterSuppliesAllData bool
+
+	// NonSpecRegions lists word-address ranges (memory-mapped I/O and
+	// other non-idempotent state) that must never be accessed
+	// speculatively. A task touching one is squashed and its region is
+	// executed non-speculatively, per the formal model's treatment of
+	// non-idempotent accesses.
+	NonSpecRegions []task.AddrRange
+}
+
+// DefaultConfig returns the 8-CPU configuration the experiments use as the
+// baseline machine: one master plus seven slaves.
+func DefaultConfig() Config {
+	return Config{
+		Slaves:            7,
+		MasterCPI:         1.0,
+		SlaveCPI:          1.0,
+		SpawnLatency:      30,
+		CommitLatency:     10,
+		CommitPerWord:     0.125,
+		SquashPenalty:     100,
+		MaxTaskLen:        100_000,
+		MasterRunaheadCap: 100_000,
+		MinTaskSpacing:    100,
+		SP:                1 << 28,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Slaves < 1 {
+		return fmt.Errorf("core: need at least one slave, got %d", c.Slaves)
+	}
+	if c.MasterCPI <= 0 || c.SlaveCPI <= 0 {
+		return fmt.Errorf("core: CPIs must be positive")
+	}
+	if c.MaxTaskLen == 0 {
+		return fmt.Errorf("core: MaxTaskLen must be positive")
+	}
+	if c.SpawnLatency < 0 || c.CommitLatency < 0 || c.CommitPerWord < 0 || c.SquashPenalty < 0 {
+		return fmt.Errorf("core: negative latency")
+	}
+	if c.MasterRunaheadCap == 0 {
+		return fmt.Errorf("core: MasterRunaheadCap must be positive")
+	}
+	return nil
+}
+
+// SquashEvent describes one pipeline squash.
+type SquashEvent struct {
+	// TaskID is the failing task's fork sequence number.
+	TaskID uint64
+	// Start is the task's predicted start PC.
+	Start uint64
+	// Reason is "livein", "overflow", "fault", "nonspec" or
+	// "start-mismatch".
+	Reason string
+	// Inconsistency is the first mismatching live-in cell (livein only).
+	Inconsistency *state.Inconsistency
+	// Discarded is the number of younger in-flight tasks thrown away.
+	Discarded int
+}
+
+// CommitEvent describes one in-order advance of architected state.
+type CommitEvent struct {
+	// Kind is "task" for a committed task, "fallback" for a sequential
+	// non-speculative chunk.
+	Kind string
+	// TaskID is the fork sequence number (tasks only).
+	TaskID uint64
+	// Start is the original PC the region began at.
+	Start uint64
+	// Steps is the number of original-program instructions the commit
+	// advanced architected state by (#t).
+	Steps uint64
+	// Halted reports whether the region ended at a halt.
+	Halted bool
+	// LiveIn and LiveOut are the task's recorded sets (nil for fallback).
+	LiveIn, LiveOut *state.Delta
+	// Arch is the architected state after the commit. Observers must not
+	// mutate it; clone before storing.
+	Arch *state.State
+}

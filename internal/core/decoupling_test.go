@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mssp/internal/distill"
+)
+
+// TestTimingNeverAffectsFunction is the paradigm's decoupling property
+// checked as a property test: any combination of timing parameters —
+// however absurd — may change how long the machine takes, never what it
+// computes. Functional state is produced by slaves and the verify unit
+// only; timing is bookkeeping on the side.
+func TestTimingNeverAffectsFunction(t *testing.T) {
+	h := prep(t, fsrc(1024), 100, distill.DefaultOptions())
+	hh := prep(t, hostileSrc, 100, distill.DefaultOptions())
+	b := runBaseline(t, h)
+	bb := runBaseline(t, hh)
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		cfg := DefaultConfig()
+		cfg.Slaves = 1 + rng.Intn(24)
+		cfg.TaskBuffer = 1 + rng.Intn(64)
+		cfg.MasterCPI = 0.25 + rng.Float64()*4
+		cfg.SlaveCPI = 0.25 + rng.Float64()*4
+		cfg.SpawnLatency = float64(rng.Intn(2000))
+		cfg.CommitLatency = float64(rng.Intn(200))
+		cfg.CommitPerWord = rng.Float64() * 4
+		cfg.SquashPenalty = float64(rng.Intn(5000))
+		cfg.MinTaskSpacing = uint64(rng.Intn(600))
+		cfg.MaxTaskLen = 1000 + uint64(rng.Intn(100_000))
+
+		res := runMSSP(t, h, cfg)
+		if !res.Final.Equal(b.Final) {
+			t.Fatalf("trial %d (%+v): friendly workload diverged", trial, cfg)
+		}
+		res2 := runMSSP(t, hh, cfg)
+		if !res2.Final.Equal(bb.Final) {
+			t.Fatalf("trial %d (%+v): hostile workload diverged", trial, cfg)
+		}
+	}
+}

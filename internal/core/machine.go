@@ -1,0 +1,444 @@
+package core
+
+import (
+	"fmt"
+
+	"mssp/internal/cpu"
+	"mssp/internal/distill"
+	"mssp/internal/isa"
+	"mssp/internal/state"
+	"mssp/internal/task"
+)
+
+// pend is a spawned task waiting, executing, or awaiting verification.
+type pend struct {
+	t      *task.Task
+	closed bool // end PC known (or declared endless during drain)
+
+	forkAt   float64 // master clock at spawn
+	closedAt float64 // master clock when the end-defining fork was taken
+
+	ex *task.Exec // cached functional execution (lazy)
+}
+
+// Machine is one MSSP machine instance, single-use: construct, Run, inspect.
+type Machine struct {
+	cfg  Config
+	orig *isa.Program
+	dist *distill.Result
+
+	anchors map[uint64]bool
+	arch    *state.State
+	master  master
+
+	queue []*pend // program order; tail may be open
+
+	slaveFree     []float64
+	commitFree    float64
+	lastCommitEnd float64
+
+	metrics Metrics
+	taskSeq uint64
+	done    bool
+
+	lastSquashCommitted uint64
+	anySquash           bool
+}
+
+// Result is the outcome of a completed run.
+type Result struct {
+	// Metrics holds all counters and the cycle model's totals.
+	Metrics Metrics
+	// Final is the architected state at program halt.
+	Final *state.State
+	// Cycles is the modeled end-to-end execution time.
+	Cycles float64
+}
+
+// New builds a machine for the given original program and distillation.
+func New(orig *isa.Program, dist *distill.Result, cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := orig.Validate(); err != nil {
+		return nil, fmt.Errorf("core: original program: %w", err)
+	}
+	if cfg.MaxCommitted == 0 {
+		cfg.MaxCommitted = 10_000_000_000
+	}
+	if cfg.SP == 0 {
+		cfg.SP = 1 << 28
+	}
+	if cfg.TaskBuffer == 0 {
+		cfg.TaskBuffer = 4 * cfg.Slaves
+	}
+	if cfg.TaskBuffer < cfg.Slaves {
+		cfg.TaskBuffer = cfg.Slaves
+	}
+	m := &Machine{
+		cfg:       cfg,
+		orig:      orig,
+		dist:      dist,
+		anchors:   dist.AnchorSet(),
+		arch:      state.NewFromProgram(orig, cfg.SP),
+		slaveFree: make([]float64, cfg.Slaves),
+	}
+	return m, nil
+}
+
+// Run executes the program to completion under MSSP and returns the result.
+func (m *Machine) Run() (*Result, error) {
+	m.reseed(0)
+
+	for !m.done {
+		if m.metrics.CommittedInsts > m.cfg.MaxCommitted {
+			return nil, fmt.Errorf("core: committed instructions exceeded MaxCommitted=%d", m.cfg.MaxCommitted)
+		}
+
+		if !m.master.alive {
+			if err := m.drain(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		anchor, count, stop := m.runToFork()
+		if stop != masterForked {
+			continue // drain on the next iteration
+		}
+
+		// The fork closes the open task, if any.
+		if open := m.openTask(); open != nil {
+			open.t.End = anchor
+			open.t.EndCount = count
+			open.t.HasEnd = true
+			open.closed = true
+			open.closedAt = m.master.clock
+		}
+
+		// Commit everything that would have committed by now, so the new
+		// task's architected snapshot is as fresh as the hardware's.
+		if m.processDue(m.master.clock) {
+			continue // a squash reset the pipeline
+		}
+
+		// Enforce in-flight capacity: the master stalls until the oldest
+		// task's slot frees.
+		squashed := false
+		for !m.done && len(m.queue) >= m.cfg.TaskBuffer {
+			if m.verifyHead() {
+				squashed = true
+				break
+			}
+			if m.lastCommitEnd > m.master.clock {
+				m.master.clock = m.lastCommitEnd // stall
+			}
+		}
+		if squashed || m.done {
+			continue
+		}
+
+		m.spawn(anchor)
+	}
+
+	m.metrics.Cycles = maxf(m.lastCommitEnd, m.commitFree)
+	return &Result{Metrics: m.metrics, Final: m.arch, Cycles: m.metrics.Cycles}, nil
+}
+
+// openTask returns the youngest task if its end is still unknown.
+func (m *Machine) openTask() *pend {
+	if n := len(m.queue); n > 0 && !m.queue[n-1].closed {
+		return m.queue[n-1]
+	}
+	return nil
+}
+
+// spawn creates a new open task starting at the given anchor.
+func (m *Machine) spawn(anchor uint64) {
+	ck := m.checkpoint()
+	p := &pend{
+		t: &task.Task{
+			ID:         m.taskSeq,
+			Start:      anchor,
+			Checkpoint: ck,
+			Snap:       m.archSnapshot(),
+			NonSpec:    m.cfg.NonSpecRegions,
+		},
+		forkAt: m.master.clock,
+	}
+	m.taskSeq++
+	m.metrics.Forks++
+	m.metrics.CheckpointNew += uint64(ck.NewDiffWords)
+	m.metrics.RunaheadSum += uint64(len(m.queue))
+	m.queue = append(m.queue, p)
+}
+
+// processDue verifies closed head tasks whose commit completes by time now.
+// Reports whether a squash occurred.
+func (m *Machine) processDue(now float64) bool {
+	for !m.done && len(m.queue) > 0 && m.queue[0].closed {
+		h := m.queue[0]
+		m.ensureExec(h)
+		if vt := m.commitTimeOf(h); vt > now {
+			return false
+		}
+		if m.verifyHead() {
+			return true
+		}
+	}
+	return false
+}
+
+// drain handles a dead master: verify whatever is in flight (the youngest
+// task runs to halt or the cap), then make progress sequentially and try to
+// revive the master.
+func (m *Machine) drain() error {
+	if len(m.queue) > 0 {
+		h := m.queue[0]
+		if !h.closed {
+			h.closed = true
+			h.closedAt = m.master.clock
+			// End remains unknown: the task runs until halt or cap.
+		}
+		m.verifyHead()
+		return nil
+	}
+	// Nothing in flight: advance non-speculatively, then reseed.
+	m.seqFallback()
+	if m.done {
+		return nil
+	}
+	now := maxf(m.lastCommitEnd, m.master.clock)
+	m.reseed(now)
+	if !m.master.alive {
+		// Architected PC does not map into the distilled program; keep
+		// making sequential progress (the next drain call falls back
+		// again). Forward progress is guaranteed because seqFallback
+		// always executes at least one instruction.
+		return nil
+	}
+	return nil
+}
+
+// ensureExec runs the task's functional execution once.
+func (m *Machine) ensureExec(p *pend) {
+	if p.ex == nil {
+		p.ex = p.t.Execute(m.cfg.MaxTaskLen)
+	}
+}
+
+// slavePick returns the index of the earliest-free slave.
+func (m *Machine) slavePick() int {
+	best := 0
+	for i := 1; i < len(m.slaveFree); i++ {
+		if m.slaveFree[i] < m.slaveFree[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// commitTimeOf computes when the head task's verification would complete,
+// without committing it.
+func (m *Machine) commitTimeOf(h *pend) float64 {
+	sl := m.slavePick()
+	st := maxf(h.forkAt+m.cfg.SpawnLatency, m.slaveFree[sl])
+	ct := st + float64(h.ex.Steps)*m.cfg.SlaveCPI
+	if h.ex.Outcome == task.OutcomeReachedEnd {
+		// The slave only knows it is done once the master has named the
+		// next task's start.
+		ct = maxf(ct, h.closedAt)
+	}
+	words := float64(h.ex.LiveIn.Len() + h.ex.LiveOut.Len())
+	return maxf(ct, m.commitFree) + m.cfg.CommitLatency + m.cfg.CommitPerWord*words
+}
+
+// verifyHead pops and verifies the oldest task, committing or squashing.
+// Reports whether a squash occurred.
+func (m *Machine) verifyHead() (squashed bool) {
+	h := m.queue[0]
+	m.ensureExec(h)
+
+	// Timing.
+	sl := m.slavePick()
+	st := maxf(h.forkAt+m.cfg.SpawnLatency, m.slaveFree[sl])
+	compute := st + float64(h.ex.Steps)*m.cfg.SlaveCPI
+	ct := compute
+	if h.ex.Outcome == task.OutcomeReachedEnd {
+		ct = maxf(ct, h.closedAt)
+	}
+	words := float64(h.ex.LiveIn.Len() + h.ex.LiveOut.Len())
+	vt := maxf(ct, m.commitFree) + m.cfg.CommitLatency + m.cfg.CommitPerWord*words
+
+	// Functional verification.
+	fail := func(reason string, inc *state.Inconsistency) {
+		if m.cfg.OnSquash != nil {
+			m.cfg.OnSquash(SquashEvent{
+				TaskID:        h.t.ID,
+				Start:         h.t.Start,
+				Reason:        reason,
+				Inconsistency: inc,
+				Discarded:     len(m.queue) - 1,
+			})
+		}
+		m.squashAndRecover(vt, false)
+	}
+	switch {
+	case h.t.Start != m.arch.PC:
+		m.metrics.TasksStartMismatch++
+		fail("start-mismatch", nil)
+		return true
+	case h.ex.Outcome == task.OutcomeOverflow:
+		m.metrics.TasksOverflowed++
+		fail("overflow", nil)
+		return true
+	case h.ex.Outcome == task.OutcomeFault:
+		m.metrics.TasksFaulted++
+		fail("fault", nil)
+		return true
+	case h.ex.Outcome == task.OutcomeNonSpec:
+		m.metrics.TasksNonSpec++
+		if m.cfg.OnSquash != nil {
+			m.cfg.OnSquash(SquashEvent{
+				TaskID: h.t.ID, Start: h.t.Start,
+				Reason: "nonspec", Discarded: len(m.queue) - 1,
+			})
+		}
+		// The non-idempotent access must happen architecturally, exactly
+		// once: discard all speculation and run forward sequentially
+		// before re-engaging the master.
+		m.squashAndRecover(vt, true)
+		return true
+	}
+	if inc := m.arch.FirstInconsistency(h.ex.LiveIn); inc != nil {
+		m.metrics.TasksMisspec++
+		fail("livein", inc)
+		return true
+	}
+
+	// Commit: the jump. Architected state advances #t sequential steps by
+	// superimposing the live-outs (task safety: live-ins consistent).
+	m.arch.Apply(h.ex.LiveOut)
+	m.queue = m.queue[1:]
+
+	m.metrics.TasksCommitted++
+	m.metrics.CommittedInsts += h.ex.Steps
+	m.metrics.LiveInWords += uint64(h.ex.LiveIn.Len())
+	m.metrics.LiveOutWords += uint64(h.ex.LiveOut.Len())
+	m.metrics.SlaveBusyCycles += float64(h.ex.Steps) * m.cfg.SlaveCPI
+
+	// Attribute the commit-to-commit gap to its limiter.
+	gap := vt - m.lastCommitEnd
+	switch {
+	case m.commitFree >= ct:
+		m.metrics.CommitBoundCycles += gap
+	case h.ex.Outcome == task.OutcomeReachedEnd && h.closedAt >= compute,
+		h.forkAt+m.cfg.SpawnLatency >= m.slaveFree[sl] && h.forkAt+m.cfg.SpawnLatency >= compute-float64(h.ex.Steps)*m.cfg.SlaveCPI:
+		m.metrics.MasterBoundCycles += gap
+	default:
+		m.metrics.SlaveBoundCycles += gap
+	}
+
+	m.slaveFree[sl] = ct
+	m.commitFree = vt
+	m.lastCommitEnd = vt
+
+	if m.cfg.OnCommit != nil {
+		m.cfg.OnCommit(CommitEvent{
+			Kind:    "task",
+			TaskID:  h.t.ID,
+			Start:   h.t.Start,
+			Steps:   h.ex.Steps,
+			Halted:  h.ex.Outcome == task.OutcomeHalted,
+			LiveIn:  h.ex.LiveIn,
+			LiveOut: h.ex.LiveOut,
+			Arch:    m.arch,
+		})
+	}
+
+	if h.ex.Outcome == task.OutcomeHalted {
+		m.done = true
+	}
+	return false
+}
+
+// squashAndRecover discards all speculative state: every in-flight task and
+// the master. If forceFallback is set, or no instructions have committed
+// since the previous squash, the machine first makes bounded
+// non-speculative progress (dual-mode fallback) so non-idempotent accesses
+// execute architecturally and repeated failures cannot livelock.
+func (m *Machine) squashAndRecover(at float64, forceFallback bool) {
+	m.metrics.Squashes++
+	if len(m.queue) > 1 {
+		m.metrics.TasksSquashedDown += uint64(len(m.queue) - 1)
+	}
+	m.queue = nil
+	m.master.alive = false
+
+	now := maxf(at, m.master.clock) + m.cfg.SquashPenalty
+	m.metrics.RecoveryCycles += m.cfg.SquashPenalty
+	m.lastCommitEnd = now
+	m.commitFree = now
+
+	if forceFallback || (m.anySquash && m.metrics.CommittedInsts == m.lastSquashCommitted) {
+		m.seqFallback()
+	}
+	m.anySquash = true
+	m.lastSquashCommitted = m.metrics.CommittedInsts
+	if m.done {
+		return
+	}
+	m.reseed(maxf(m.lastCommitEnd, now))
+}
+
+// seqFallback executes the original program non-speculatively from the
+// architected state until the next anchor (or halt, or a bound), advancing
+// time at slave speed. This is the machine's sequential mode.
+func (m *Machine) seqFallback() {
+	env := cpu.StateEnv{S: m.arch}
+	var steps uint64
+	bound := 4 * m.cfg.MaxTaskLen
+	halted := false
+	for steps < bound {
+		in, err := cpu.Step(env)
+		if err != nil {
+			// An architected-state fault is a real program fault; stop.
+			halted = true
+			m.done = true
+			break
+		}
+		steps++
+		if in.Op == isa.OpHalt {
+			halted = true
+			m.done = true
+			break
+		}
+		if m.anchors[m.arch.PC] {
+			break
+		}
+	}
+	m.metrics.SeqFallbackInsts += steps
+	m.metrics.CommittedInsts += steps
+
+	now := maxf(m.lastCommitEnd, m.master.clock) + float64(steps)*m.cfg.SlaveCPI
+	m.metrics.RecoveryCycles += float64(steps) * m.cfg.SlaveCPI
+	m.lastCommitEnd = now
+	m.commitFree = now
+
+	if m.cfg.OnCommit != nil && steps > 0 {
+		m.cfg.OnCommit(CommitEvent{
+			Kind:   "fallback",
+			Start:  0,
+			Steps:  steps,
+			Halted: halted,
+			Arch:   m.arch,
+		})
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mssp/internal/asm"
+	"mssp/internal/baseline"
+	"mssp/internal/distill"
+	"mssp/internal/isa"
+	"mssp/internal/profile"
+	"mssp/internal/state"
+)
+
+// friendlySrc is distillation-friendly: the rare path (taken every 256
+// iterations) does expensive work whose results go to a write-only log, so
+// skipping it in the distilled program rarely perturbs later live-ins.
+const friendlySrc = `
+	.entry main
+	main:   ldi  r1, %d           ; outer counter
+	        ldi  r4, 0            ; checksum
+	loop:   andi r2, r1, 255
+	        bnez r2, common
+	rare:   srli r8, r1, 8        ; rare-visit index
+	        muli r8, r8, 300
+	        la   r9, log
+	        add  r9, r9, r8       ; private log segment for this visit
+	        ldi  r7, 300          ; expensive, write-only side work
+	spin:   st   r7, 0(r9)
+	        addi r9, r9, 1
+	        addi r7, r7, -1
+	        bnez r7, spin
+	common: addi r4, r4, 1
+	        muli r5, r1, 3
+	        xor  r4, r4, r5
+	        addi r5, r5, 7
+	        add  r4, r4, r5
+	        andi r4, r4, 0xffff
+	        addi r1, r1, -1
+	        bnez r1, loop
+	        la   r3, out
+	        st   r4, 0(r3)
+	        halt
+	.data
+	.org 100000
+	out:    .space 1
+	log:    .space 70000
+`
+
+// hostileSrc is distillation-hostile: the rare path (every 256 iterations)
+// updates an accumulator register that every later iteration reads, so each
+// rare visit the master skipped forces a misspeculation.
+const hostileSrc = `
+	.entry main
+	main:   ldi  r1, 4096
+	        ldi  r4, 0
+	loop:   andi r2, r1, 255
+	        bnez r2, common
+	rare:   muli r4, r4, 17      ; perturbs the accumulator
+	        addi r4, r4, 13
+	common: addi r4, r4, 1
+	        andi r4, r4, 0xffff
+	        addi r1, r1, -1
+	        bnez r1, loop
+	        la   r3, out
+	        st   r4, 0(r3)
+	        halt
+	.data
+	.org 100000
+	out:    .space 1
+`
+
+type harness struct {
+	orig *isa.Program
+	prof *profile.Profile
+	dist *distill.Result
+}
+
+func prep(t *testing.T, src string, stride uint64, dopts distill.Options) *harness {
+	t.Helper()
+	p := asm.MustAssemble(src)
+	prof, err := profile.Collect(p, profile.Options{Stride: stride})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	d, err := distill.Distill(p, prof, dopts)
+	if err != nil {
+		t.Fatalf("distill: %v", err)
+	}
+	return &harness{orig: p, prof: prof, dist: d}
+}
+
+func runMSSP(t *testing.T, h *harness, cfg Config) *Result {
+	t.Helper()
+	m, err := New(h.orig, h.dist, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func runBaseline(t *testing.T, h *harness) *baseline.Result {
+	t.Helper()
+	b, err := baseline.Run(h.orig, baseline.DefaultConfig())
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	return b
+}
+
+// assertEquivalent checks the MSSP final state matches the sequential
+// machine exactly — registers, PC and all of memory.
+func assertEquivalent(t *testing.T, b *baseline.Result, r *Result) {
+	t.Helper()
+	if r.Metrics.CommittedInsts != b.Steps {
+		t.Errorf("committed %d instructions, sequential executed %d", r.Metrics.CommittedInsts, b.Steps)
+	}
+	if !r.Final.Equal(b.Final) {
+		r.Final.Mem.Diff(b.Final.Mem, func(a uint64, mv, ov uint64) {
+			t.Logf("  mem[%d]: mssp=%d seq=%d", a, mv, ov)
+		})
+		t.Fatalf("final state diverged from sequential execution\nmssp: %s\nseq:  %s",
+			r.Final.Dump(), b.Final.Dump())
+	}
+}
+
+func fsrc(n int) string { return fmt.Sprintf(friendlySrc, n) }
+
+func TestEquivalenceFriendly(t *testing.T) {
+	h := prep(t, fsrc(4096), 100, distill.DefaultOptions())
+	res := runMSSP(t, h, DefaultConfig())
+	assertEquivalent(t, runBaseline(t, h), res)
+	if res.Metrics.TasksCommitted == 0 {
+		t.Error("no tasks committed; MSSP never engaged")
+	}
+}
+
+func TestEquivalenceHostile(t *testing.T) {
+	h := prep(t, hostileSrc, 100, distill.DefaultOptions())
+	res := runMSSP(t, h, DefaultConfig())
+	assertEquivalent(t, runBaseline(t, h), res)
+	if res.Metrics.Squashes == 0 {
+		t.Error("hostile workload produced no squashes; distiller was not aggressive enough for the test premise")
+	}
+}
+
+func TestEquivalenceNoPruning(t *testing.T) {
+	// Threshold 1.0: the distilled program is semantically identical, so
+	// there must be no misspeculation at all.
+	h := prep(t, fsrc(2048), 100, distill.Options{BiasThreshold: 1.0, MinBranchCount: 16})
+	res := runMSSP(t, h, DefaultConfig())
+	assertEquivalent(t, runBaseline(t, h), res)
+	if res.Metrics.Squashes != 0 {
+		t.Errorf("faithful distillation squashed %d times", res.Metrics.Squashes)
+	}
+	if res.Metrics.SeqFallbackInsts != 0 {
+		t.Errorf("fallback used %d instructions without misspeculation", res.Metrics.SeqFallbackInsts)
+	}
+}
+
+func TestSpeedupOnFriendlyWorkload(t *testing.T) {
+	h := prep(t, fsrc(8192), 200, distill.DefaultOptions())
+	res := runMSSP(t, h, DefaultConfig())
+	b := runBaseline(t, h)
+	assertEquivalent(t, b, res)
+	speedup := b.Cycles / res.Cycles
+	if speedup <= 1.0 {
+		t.Errorf("speedup = %.3f, want > 1 (metrics: %s)", speedup, res.Metrics.String())
+	}
+	if ratio := res.Metrics.DynamicDistillationRatio(); ratio >= 1.0 {
+		t.Errorf("dynamic distillation ratio = %.3f, want < 1", ratio)
+	}
+}
+
+func TestHostileMisspeculatesButRecovers(t *testing.T) {
+	h := prep(t, hostileSrc, 100, distill.DefaultOptions())
+	res := runMSSP(t, h, DefaultConfig())
+	m := &res.Metrics
+	// Every 256th iteration perturbs the accumulator; expect misspeculation
+	// on the order of the 16 rare visits.
+	if m.TasksMisspec+m.TasksOverflowed == 0 {
+		t.Error("expected live-in mismatches on the hostile workload")
+	}
+	if m.CommitRate() >= 1.0 || m.CommitRate() <= 0 {
+		t.Errorf("commit rate = %v, want in (0,1)", m.CommitRate())
+	}
+	if m.RecoveryCycles == 0 {
+		t.Error("squash recovery cost not accounted")
+	}
+}
+
+func TestTinyProgram(t *testing.T) {
+	h := prep(t, "main: ldi r1, 42\nhalt", 100, distill.DefaultOptions())
+	res := runMSSP(t, h, DefaultConfig())
+	assertEquivalent(t, runBaseline(t, h), res)
+	if res.Final.ReadReg(1) != 42 {
+		t.Error("result wrong")
+	}
+}
+
+func TestSingleSlave(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Slaves = 1
+	h := prep(t, fsrc(1024), 100, distill.DefaultOptions())
+	res := runMSSP(t, h, cfg)
+	assertEquivalent(t, runBaseline(t, h), res)
+}
+
+func TestManySlaves(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Slaves = 31
+	h := prep(t, fsrc(4096), 100, distill.DefaultOptions())
+	res := runMSSP(t, h, cfg)
+	assertEquivalent(t, runBaseline(t, h), res)
+}
+
+func TestSmallTaskCapForcesOverflowsButStaysCorrect(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxTaskLen = 40 // smaller than many task bodies
+	h := prep(t, fsrc(1024), 300, distill.DefaultOptions())
+	res := runMSSP(t, h, cfg)
+	assertEquivalent(t, runBaseline(t, h), res)
+	if res.Metrics.TasksOverflowed == 0 {
+		t.Error("expected overflows with a tiny task cap")
+	}
+}
+
+func TestMinTaskSpacingThinsForks(t *testing.T) {
+	h := prep(t, fsrc(2048), 50, distill.DefaultOptions())
+	base := runMSSP(t, h, DefaultConfig())
+
+	cfg := DefaultConfig()
+	cfg.MinTaskSpacing = 300
+	thinned := runMSSP(t, h, cfg)
+	assertEquivalent(t, runBaseline(t, h), thinned)
+	if thinned.Metrics.ForksSkipped == 0 {
+		t.Error("no forks skipped despite MinTaskSpacing")
+	}
+	if thinned.Metrics.Forks >= base.Metrics.Forks {
+		t.Errorf("thinned forks = %d, unthinned = %d", thinned.Metrics.Forks, base.Metrics.Forks)
+	}
+	if thinned.Metrics.MeanTaskLen() <= base.Metrics.MeanTaskLen() {
+		t.Error("thinning did not grow tasks")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	h := prep(t, hostileSrc, 100, distill.DefaultOptions())
+	a := runMSSP(t, h, DefaultConfig())
+	b := runMSSP(t, h, DefaultConfig())
+	if a.Metrics != b.Metrics {
+		t.Errorf("metrics differ across identical runs:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	if !a.Final.Equal(b.Final) {
+		t.Error("final states differ across identical runs")
+	}
+}
+
+func TestOnCommitObservesEveryAdvance(t *testing.T) {
+	h := prep(t, hostileSrc, 100, distill.DefaultOptions())
+	cfg := DefaultConfig()
+	var steps uint64
+	var events int
+	var lastArch *state.State
+	cfg.OnCommit = func(ev CommitEvent) {
+		steps += ev.Steps
+		events++
+		lastArch = ev.Arch
+		if ev.Kind != "task" && ev.Kind != "fallback" {
+			t.Errorf("unknown event kind %q", ev.Kind)
+		}
+		if ev.Kind == "task" && (ev.LiveIn == nil || ev.LiveOut == nil) {
+			t.Error("task event without live sets")
+		}
+	}
+	res := runMSSP(t, h, cfg)
+	if steps != res.Metrics.CommittedInsts {
+		t.Errorf("hook saw %d instructions, machine committed %d", steps, res.Metrics.CommittedInsts)
+	}
+	if events == 0 || lastArch == nil {
+		t.Fatal("hook never fired")
+	}
+	if !lastArch.Equal(res.Final) {
+		t.Error("last event state is not the final state")
+	}
+}
+
+func TestMasterOnlyConfigsRejected(t *testing.T) {
+	h := prep(t, "main: halt", 100, distill.DefaultOptions())
+	bad := []Config{
+		{},
+		{Slaves: 0, MasterCPI: 1, SlaveCPI: 1, MaxTaskLen: 1, MasterRunaheadCap: 1},
+		{Slaves: 1, MasterCPI: 0, SlaveCPI: 1, MaxTaskLen: 1, MasterRunaheadCap: 1},
+		{Slaves: 1, MasterCPI: 1, SlaveCPI: 1, MaxTaskLen: 0, MasterRunaheadCap: 1},
+		{Slaves: 1, MasterCPI: 1, SlaveCPI: 1, MaxTaskLen: 1, MasterRunaheadCap: 0},
+		{Slaves: 1, MasterCPI: 1, SlaveCPI: 1, MaxTaskLen: 1, MasterRunaheadCap: 1, SpawnLatency: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(h.orig, h.dist, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	h := prep(t, "main: ldi r1, 1\nloop: addi r1, r1, 1\n j loop\nhalt", 100, distill.DefaultOptions())
+	cfg := DefaultConfig()
+	cfg.MaxCommitted = 10_000
+	m, err := New(h.orig, h.dist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Error("non-terminating program did not trip MaxCommitted")
+	}
+}
+
+func TestMetricsRelations(t *testing.T) {
+	h := prep(t, fsrc(4096), 100, distill.DefaultOptions())
+	res := runMSSP(t, h, DefaultConfig())
+	m := &res.Metrics
+	if m.Forks < m.TasksCommitted {
+		t.Errorf("forks %d < committed %d", m.Forks, m.TasksCommitted)
+	}
+	if m.CommittedInsts < m.SeqFallbackInsts {
+		t.Error("fallback instructions exceed total committed")
+	}
+	if m.Cycles <= 0 {
+		t.Error("no cycles accumulated")
+	}
+	breakdown := m.MasterBoundCycles + m.SlaveBoundCycles + m.CommitBoundCycles
+	if breakdown <= 0 {
+		t.Error("no cycle attribution recorded")
+	}
+	if u := m.SlaveUtilization(7); u <= 0 || u > 1 {
+		t.Errorf("slave utilization = %v", u)
+	}
+	if m.MeanTaskLen() <= 0 {
+		t.Error("mean task length not positive")
+	}
+	if m.String() == "" {
+		t.Error("metrics summary empty")
+	}
+}
+
+func TestScalingImprovesOrHolds(t *testing.T) {
+	h := prep(t, fsrc(8192), 200, distill.DefaultOptions())
+	var prev float64
+	for i, slaves := range []int{1, 3, 7} {
+		cfg := DefaultConfig()
+		cfg.Slaves = slaves
+		res := runMSSP(t, h, cfg)
+		assertEquivalent(t, runBaseline(t, h), res)
+		if i > 0 && res.Cycles > prev*1.05 {
+			t.Errorf("cycles grew substantially with more slaves: %d slaves -> %.0f (prev %.0f)",
+				slaves, res.Cycles, prev)
+		}
+		prev = res.Cycles
+	}
+}
+
+func TestSpawnLatencySlowdown(t *testing.T) {
+	h := prep(t, fsrc(4096), 200, distill.DefaultOptions())
+	fast := DefaultConfig()
+	fast.SpawnLatency = 0
+	slow := DefaultConfig()
+	slow.SpawnLatency = 2000
+	fastRes := runMSSP(t, h, fast)
+	slowRes := runMSSP(t, h, slow)
+	assertEquivalent(t, runBaseline(t, h), slowRes)
+	if slowRes.Cycles < fastRes.Cycles {
+		t.Errorf("huge spawn latency sped things up: %.0f < %.0f", slowRes.Cycles, fastRes.Cycles)
+	}
+}

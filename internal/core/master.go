@@ -1,0 +1,176 @@
+package core
+
+import (
+	"mssp/internal/cpu"
+	"mssp/internal/isa"
+	"mssp/internal/mem"
+	"mssp/internal/state"
+	"mssp/internal/task"
+)
+
+// master is the fast-path processor: it executes the distilled program over
+// its own speculative memory image and produces checkpoints at fork points.
+// Nothing the master does can touch architected state.
+type master struct {
+	alive bool
+
+	regs [isa.NumRegs]uint64
+	pc   uint64
+	// memory is the master's speculative image: distilled code overlaid on
+	// the architected memory as of the last reseed.
+	memory *mem.Memory
+	// diff logs every master store since the last reseed; snapshots of it
+	// become checkpoint memory diffs.
+	diff *mem.Overlay
+	// diffAtFork is diff.Len() at the previous fork, for traffic metrics.
+	diffAtFork int
+
+	clock          float64
+	instsSinceFork uint64
+	// crossings counts dynamic executions of each anchor's FORK since the
+	// last taken fork; the count for the taken anchor becomes the task's
+	// EndCount so the slave lets the same number of occurrences pass.
+	crossings map[uint64]uint64
+}
+
+// masterEnv adapts the master to cpu.Env, teeing stores into the write log.
+type masterEnv struct{ m *master }
+
+func (e masterEnv) ReadReg(r int) uint64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return e.m.regs[r]
+}
+
+func (e masterEnv) WriteReg(r int, v uint64) {
+	if r != isa.RegZero {
+		e.m.regs[r] = v
+	}
+}
+
+func (e masterEnv) ReadMem(addr uint64) uint64 { return e.m.memory.Read(addr) }
+
+func (e masterEnv) WriteMem(addr, v uint64) {
+	e.m.memory.Write(addr, v)
+	e.m.diff.Set(addr, v)
+}
+
+func (e masterEnv) Fetch(addr uint64) uint64 { return e.m.memory.Read(addr) }
+func (e masterEnv) PC() uint64               { return e.m.pc }
+func (e masterEnv) SetPC(pc uint64)          { e.m.pc = pc }
+
+var _ cpu.Env = masterEnv{}
+
+// masterStop says why runToFork returned without a fork.
+type masterStop int
+
+const (
+	masterForked masterStop = iota
+	masterHalted
+	masterLost
+)
+
+// runToFork advances the master until it takes a fork, halts, or loses its
+// way (fault, unmapped indirect target, or run-ahead cap). It returns the
+// fork's anchor (an original-program PC) and the number of times that
+// anchor was crossed since the last taken fork when stop == masterForked.
+func (m *Machine) runToFork() (anchor uint64, count uint64, stop masterStop) {
+	ms := &m.master
+	env := masterEnv{ms}
+	for {
+		in, err := cpu.Step(env)
+		if err != nil {
+			ms.alive = false
+			m.metrics.MasterLost++
+			return 0, 0, masterLost
+		}
+		m.metrics.MasterInsts++
+		ms.clock += m.cfg.MasterCPI
+		ms.instsSinceFork++
+
+		switch in.Op {
+		case isa.OpHalt:
+			ms.alive = false
+			m.metrics.MasterHalts++
+			return 0, 0, masterHalted
+
+		case isa.OpFork:
+			a := uint64(in.Imm)
+			ms.crossings[a]++
+			if ms.instsSinceFork <= m.cfg.MinTaskSpacing {
+				m.metrics.ForksSkipped++
+				break
+			}
+			ms.instsSinceFork = 0
+			c := ms.crossings[a]
+			clear(ms.crossings)
+			return a, c, masterForked
+
+		case isa.OpJalr:
+			// Indirect-jump targets in distilled code are original-program
+			// addresses (the distiller predicts original link values);
+			// translate them into the distilled address space. A target
+			// with no translation that does not look like distilled code
+			// means the master has lost its way.
+			target := ms.pc
+			if dpc, ok := m.dist.OrigToDist[target]; ok {
+				ms.pc = dpc
+			} else if !m.dist.Prog.InCode(target) {
+				ms.alive = false
+				m.metrics.MasterLost++
+				return 0, 0, masterLost
+			}
+		}
+
+		if ms.instsSinceFork > m.cfg.MasterRunaheadCap {
+			ms.alive = false
+			m.metrics.MasterLost++
+			return 0, 0, masterLost
+		}
+	}
+}
+
+// reseed restarts the master from architected state at time now. The
+// architected PC must translate into the distilled program; if it does not,
+// the master stays dead and the main loop continues in fallback mode.
+func (m *Machine) reseed(now float64) {
+	dpc, ok := m.dist.OrigToDist[m.arch.PC]
+	if !ok {
+		m.master.alive = false
+		return
+	}
+	ms := &m.master
+	ms.regs = m.arch.Regs
+	ms.memory = m.arch.Mem.Snapshot()
+	ms.memory.CopyWords(m.dist.Prog.Code.Base, m.dist.Prog.Code.Words)
+	ms.diff = mem.NewOverlay()
+	ms.diffAtFork = 0
+	ms.pc = dpc
+	ms.clock = now
+	// The master restarts on the fork at the architected PC; that fork
+	// must be taken unconditionally (it starts the first post-reseed task
+	// exactly where architected state stands), so the spacing counter is
+	// primed past any threshold.
+	ms.instsSinceFork = 1 << 62
+	ms.crossings = make(map[uint64]uint64)
+	ms.alive = true
+}
+
+// checkpoint captures the master's current prediction of machine state.
+func (m *Machine) checkpoint() task.Checkpoint {
+	ms := &m.master
+	ck := task.Checkpoint{
+		Regs:         ms.regs,
+		MemDiff:      ms.diff.Snapshot(),
+		NewDiffWords: ms.diff.Len() - ms.diffAtFork,
+	}
+	ms.diffAtFork = ms.diff.Len()
+	if m.cfg.MasterSuppliesAllData {
+		ck.FullMem = ms.memory.Snapshot()
+	}
+	return ck
+}
+
+// archSnapshot freezes architected state for a spawning task.
+func (m *Machine) archSnapshot() *state.State { return m.arch.Clone() }

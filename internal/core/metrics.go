@@ -1,0 +1,135 @@
+package core
+
+import "fmt"
+
+// Metrics aggregates everything the experiments report. All cycle values
+// come from the event-timing model; all instruction counts come from the
+// functional execution and are exact.
+type Metrics struct {
+	// Committed original-program instructions (task commits + fallback).
+	CommittedInsts uint64
+	// Distilled instructions the master executed, including work thrown
+	// away by squashes.
+	MasterInsts uint64
+	// Instructions executed in non-speculative sequential fallback.
+	SeqFallbackInsts uint64
+
+	// Task outcome taxonomy.
+	TasksCommitted     uint64
+	TasksMisspec       uint64 // live-in mismatch at verify
+	TasksOverflowed    uint64
+	TasksFaulted       uint64
+	TasksStartMismatch uint64 // predicted start PC disagreed with architected PC
+	TasksNonSpec       uint64 // touched a non-speculative (I/O) region
+	TasksSquashedDown  uint64 // younger tasks discarded by an older failure
+	Squashes           uint64
+
+	// Fork statistics.
+	Forks        uint64 // taken forks (spawned tasks)
+	ForksSkipped uint64 // forks thinned by MinTaskSpacing
+	MasterLost   uint64 // times the master lost its way (fault/unmapped/runaway)
+	MasterHalts  uint64
+
+	// Traffic, in words.
+	LiveInWords   uint64
+	LiveOutWords  uint64
+	CheckpointNew uint64 // new checkpoint-diff words transferred per fork
+
+	// Run-ahead: queue depth observed at each spawn.
+	RunaheadSum uint64
+
+	// Timing.
+	Cycles            float64 // end-to-end execution time
+	MasterBoundCycles float64 // commit-to-commit gaps limited by the master
+	SlaveBoundCycles  float64 // ... limited by slave computation
+	CommitBoundCycles float64 // ... limited by commit-unit serialization
+	RecoveryCycles    float64 // squash penalties + fallback execution
+	SlaveBusyCycles   float64 // total slave compute time (committed tasks)
+}
+
+// CommitRate returns the fraction of executed tasks that committed.
+func (m *Metrics) CommitRate() float64 {
+	total := m.TasksCommitted + m.TasksMisspec + m.TasksOverflowed + m.TasksFaulted + m.TasksStartMismatch + m.TasksNonSpec
+	if total == 0 {
+		return 0
+	}
+	return float64(m.TasksCommitted) / float64(total)
+}
+
+// MisspecRate returns misspeculations (of any kind, excluding downstream
+// discards) per committed task.
+func (m *Metrics) MisspecRate() float64 {
+	if m.TasksCommitted == 0 {
+		return 0
+	}
+	bad := m.TasksMisspec + m.TasksOverflowed + m.TasksFaulted + m.TasksStartMismatch + m.TasksNonSpec
+	return float64(bad) / float64(m.TasksCommitted)
+}
+
+// MeanTaskLen returns committed instructions per committed task.
+func (m *Metrics) MeanTaskLen() float64 {
+	if m.TasksCommitted == 0 {
+		return 0
+	}
+	return float64(m.CommittedInsts-m.SeqFallbackInsts) / float64(m.TasksCommitted)
+}
+
+// DynamicDistillationRatio returns master (distilled) instructions per
+// committed original instruction — the dynamic size of the distilled
+// program relative to the original, the paper's distillation-effectiveness
+// measure, as observed at run time.
+func (m *Metrics) DynamicDistillationRatio() float64 {
+	if m.CommittedInsts == 0 {
+		return 0
+	}
+	return float64(m.MasterInsts) / float64(m.CommittedInsts)
+}
+
+// MeanRunahead returns the mean number of in-flight tasks at spawn time —
+// how far the master runs ahead of the commit point.
+func (m *Metrics) MeanRunahead() float64 {
+	if m.Forks == 0 {
+		return 0
+	}
+	return float64(m.RunaheadSum) / float64(m.Forks)
+}
+
+// SlaveUtilization returns the fraction of slave-cycles spent computing
+// committed tasks, given the slave count.
+func (m *Metrics) SlaveUtilization(slaves int) float64 {
+	if m.Cycles <= 0 || slaves <= 0 {
+		return 0
+	}
+	return m.SlaveBusyCycles / (m.Cycles * float64(slaves))
+}
+
+// CheckpointWordsPerTask returns mean new checkpoint words per taken fork.
+func (m *Metrics) CheckpointWordsPerTask() float64 {
+	if m.Forks == 0 {
+		return 0
+	}
+	return float64(m.CheckpointNew) / float64(m.Forks)
+}
+
+// LiveInWordsPerTask returns mean live-in words per committed task.
+func (m *Metrics) LiveInWordsPerTask() float64 {
+	if m.TasksCommitted == 0 {
+		return 0
+	}
+	return float64(m.LiveInWords) / float64(m.TasksCommitted)
+}
+
+// LiveOutWordsPerTask returns mean live-out words per committed task.
+func (m *Metrics) LiveOutWordsPerTask() float64 {
+	if m.TasksCommitted == 0 {
+		return 0
+	}
+	return float64(m.LiveOutWords) / float64(m.TasksCommitted)
+}
+
+// String gives a compact one-line summary for logs.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("cycles=%.0f insts=%d tasks=%d commit-rate=%.3f distill-ratio=%.3f squashes=%d fallback=%d",
+		m.Cycles, m.CommittedInsts, m.TasksCommitted, m.CommitRate(),
+		m.DynamicDistillationRatio(), m.Squashes, m.SeqFallbackInsts)
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"mssp/internal/distill"
+	"mssp/internal/task"
+)
+
+// ioDev is the word address of a memory-mapped "device" the test program
+// touches once every 64 iterations; the test declares it non-speculative.
+const ioDev = 90000
+
+func TestNonSpecRegions(t *testing.T) {
+	src := `
+	.entry main
+	main:   ldi  r1, 4096
+	        ldi  r4, 0
+	        ldi  r8, 90000        ; I/O device base
+	loop:   andi r2, r1, 63
+	        bnez r2, common
+	iowr:   st   r1, 0(r8)
+	        ld   r5, 1(r8)
+	        add  r4, r4, r5
+	common: addi r4, r4, 1
+	        muli r5, r1, 5
+	        xor  r4, r4, r5
+	        andi r4, r4, 0xffff
+	        addi r1, r1, -1
+	        bnez r1, loop
+	        la   r3, out
+	        st   r4, 0(r3)
+	        halt
+	.data
+	.org 100000
+	out:    .space 1
+	`
+	h := prep(t, src, 100, distill.Options{BiasThreshold: 1.0, MinBranchCount: 16})
+
+	cfg := DefaultConfig()
+	cfg.NonSpecRegions = []task.AddrRange{{Lo: ioDev, Hi: ioDev + 8}}
+	res := runMSSP(t, h, cfg)
+	assertEquivalent(t, runBaseline(t, h), res)
+
+	if res.Metrics.TasksNonSpec == 0 {
+		t.Error("no tasks flagged non-speculative despite I/O accesses")
+	}
+	if res.Metrics.SeqFallbackInsts == 0 {
+		t.Error("I/O was never executed through the non-speculative path")
+	}
+	// The same program with no declared regions runs fully speculatively.
+	free := runMSSP(t, h, DefaultConfig())
+	assertEquivalent(t, runBaseline(t, h), free)
+	if free.Metrics.TasksNonSpec != 0 {
+		t.Error("tasks flagged non-speculative without configured regions")
+	}
+	// Declaring I/O costs performance but never correctness.
+	if res.Cycles <= free.Cycles {
+		t.Logf("note: non-spec run unexpectedly not slower (%.0f vs %.0f)", res.Cycles, free.Cycles)
+	}
+}
+
+func TestNonSpecRangeContains(t *testing.T) {
+	r := task.AddrRange{Lo: 10, Hi: 20}
+	for _, tc := range []struct {
+		a  uint64
+		in bool
+	}{{9, false}, {10, true}, {19, true}, {20, false}} {
+		if r.Contains(tc.a) != tc.in {
+			t.Errorf("Contains(%d) = %v", tc.a, r.Contains(tc.a))
+		}
+	}
+}

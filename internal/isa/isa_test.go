@@ -1,0 +1,263 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: OpNop},
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpAddi, Rd: 31, Rs1: 30, Imm: -1},
+		{Op: OpLdi, Rd: 5, Imm: 1<<31 - 1},
+		{Op: OpLdi, Rd: 5, Imm: -(1 << 31)},
+		{Op: OpLd, Rd: 7, Rs1: 8, Imm: 1024},
+		{Op: OpSt, Rs1: 9, Rs2: 10, Imm: -1024},
+		{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 123456},
+		{Op: OpJal, Rd: 31, Imm: 42},
+		{Op: OpJalr, Rd: 0, Rs1: 31, Imm: 0},
+		{Op: OpHalt, Rs1: 4, Imm: 7},
+		{Op: OpFork, Imm: 99},
+	}
+	for _, in := range cases {
+		w, err := EncodeChecked(in)
+		if err != nil {
+			t.Fatalf("EncodeChecked(%v): %v", in, err)
+		}
+		got := Decode(w)
+		if got != in {
+			t.Errorf("round trip %v -> %#x -> %v", in, w, got)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Inst{
+			Op:  Op(op % uint8(numOps)),
+			Rd:  rd % NumRegs,
+			Rs1: rs1 % NumRegs,
+			Rs2: rs2 % NumRegs,
+			Imm: int64(imm),
+		}
+		return Decode(Encode(in)) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeCheckedRejectsBadFields(t *testing.T) {
+	cases := []Inst{
+		{Op: numOps},
+		{Op: OpAdd, Rd: 32},
+		{Op: OpAdd, Rs1: 40},
+		{Op: OpAdd, Rs2: 255},
+		{Op: OpLdi, Imm: 1 << 31},
+		{Op: OpLdi, Imm: -(1 << 31) - 1},
+	}
+	for _, in := range cases {
+		if _, err := EncodeChecked(in); err == nil {
+			t.Errorf("EncodeChecked(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpBeq.IsBranch() || !OpBgeu.IsBranch() {
+		t.Error("branch range predicates broken")
+	}
+	if OpJal.IsBranch() || OpAdd.IsBranch() {
+		t.Error("non-branches classified as branches")
+	}
+	if !OpJal.IsJump() || !OpJalr.IsJump() || OpBeq.IsJump() {
+		t.Error("jump predicate broken")
+	}
+	for _, op := range []Op{OpBeq, OpJal, OpJalr, OpHalt} {
+		if !op.EndsBlock() {
+			t.Errorf("%v should end a block", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpLd, OpSt, OpFork, OpNop} {
+		if op.EndsBlock() {
+			t.Errorf("%v should not end a block", op)
+		}
+	}
+	// rd/rs1/rs2 usage
+	if !OpAdd.HasRd() || !OpLd.HasRd() || !OpJal.HasRd() {
+		t.Error("HasRd broken for writers")
+	}
+	if OpSt.HasRd() || OpBeq.HasRd() || OpHalt.HasRd() || OpFork.HasRd() {
+		t.Error("HasRd broken for non-writers")
+	}
+	if !OpSt.ReadsRs1() || !OpSt.ReadsRs2() || !OpBeq.ReadsRs1() || !OpBeq.ReadsRs2() {
+		t.Error("source predicates broken")
+	}
+	if OpLdi.ReadsRs1() || OpJal.ReadsRs1() || OpFork.ReadsRs1() {
+		t.Error("ReadsRs1 broken for immediate-only ops")
+	}
+	if OpLd.ReadsRs2() || OpAddi.ReadsRs2() {
+		t.Error("ReadsRs2 broken")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" || OpFork.String() != "fork" {
+		t.Error("mnemonics wrong")
+	}
+	if Op(200).Valid() {
+		t.Error("Op(200) should be invalid")
+	}
+	if Op(200).String() == "" {
+		t.Error("invalid op should still stringify")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := map[string]Inst{
+		"nop":             {Op: OpNop},
+		"add r1, r2, r3":  {Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		"addi r1, r2, -5": {Op: OpAddi, Rd: 1, Rs1: 2, Imm: -5},
+		"ldi r4, 77":      {Op: OpLdi, Rd: 4, Imm: 77},
+		"ld r1, 8(r2)":    {Op: OpLd, Rd: 1, Rs1: 2, Imm: 8},
+		"st r3, 0(r2)":    {Op: OpSt, Rs1: 2, Rs2: 3},
+		"beq r1, r2, 10":  {Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 10},
+		"jal r31, 4":      {Op: OpJal, Rd: 31, Imm: 4},
+		"jalr r0, r31, 0": {Op: OpJalr, Rd: 0, Rs1: 31},
+		"halt r0, 0":      {Op: OpHalt},
+		"fork 123":        {Op: OpFork, Imm: 123},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String(%+v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	code := []uint64{Encode(Inst{Op: OpNop}), Encode(Inst{Op: OpHalt})}
+	p := &Program{Entry: 0, Code: Segment{Base: 0, Words: code}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+
+	bad := &Program{Entry: 5, Code: Segment{Base: 0, Words: code}}
+	if err := bad.Validate(); err == nil {
+		t.Error("entry outside code accepted")
+	}
+
+	empty := &Program{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty program accepted")
+	}
+
+	overlap := &Program{
+		Entry: 0,
+		Code:  Segment{Base: 0, Words: code},
+		Data:  []Segment{{Base: 1, Words: []uint64{1, 2, 3}}},
+	}
+	if err := overlap.Validate(); err == nil {
+		t.Error("overlapping segments accepted")
+	}
+
+	badword := &Program{Entry: 0, Code: Segment{Base: 0, Words: []uint64{^uint64(0)}}}
+	if err := badword.Validate(); err == nil {
+		t.Error("undecodable code word accepted")
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	code := []uint64{
+		Encode(Inst{Op: OpLdi, Rd: 1, Imm: 9}),
+		Encode(Inst{Op: OpHalt}),
+	}
+	p := &Program{
+		Entry:   100,
+		Code:    Segment{Base: 100, Words: code},
+		Data:    []Segment{{Base: 500, Words: []uint64{7}}},
+		Symbols: map[string]uint64{"x": 500},
+	}
+	if !p.InCode(100) || !p.InCode(101) || p.InCode(102) || p.InCode(99) {
+		t.Error("InCode boundaries wrong")
+	}
+	if in := p.InstAt(100); in.Op != OpLdi || in.Imm != 9 {
+		t.Errorf("InstAt(100) = %v", in)
+	}
+	if a, ok := p.Symbol("x"); !ok || a != 500 {
+		t.Error("Symbol lookup failed")
+	}
+	if _, ok := p.Symbol("y"); ok {
+		t.Error("Symbol invented a label")
+	}
+	if p.MustSymbol("x") != 500 {
+		t.Error("MustSymbol wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustSymbol on missing label should panic")
+			}
+		}()
+		p.MustSymbol("nope")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("InstAt outside code should panic")
+			}
+		}()
+		p.InstAt(0)
+	}()
+}
+
+func TestProgramClone(t *testing.T) {
+	p := &Program{
+		Entry:   0,
+		Code:    Segment{Base: 0, Words: []uint64{Encode(Inst{Op: OpNop}), Encode(Inst{Op: OpHalt})}},
+		Data:    []Segment{{Base: 100, Words: []uint64{1, 2}}},
+		Symbols: map[string]uint64{"a": 100},
+	}
+	q := p.Clone()
+	q.Code.Words[0] = Encode(Inst{Op: OpHalt})
+	q.Data[0].Words[0] = 42
+	q.Symbols["a"] = 1
+	if Decode(p.Code.Words[0]).Op != OpNop || p.Data[0].Words[0] != 1 || p.Symbols["a"] != 100 {
+		t.Error("Clone aliases original storage")
+	}
+}
+
+func TestDisassembleStable(t *testing.T) {
+	p := &Program{
+		Entry: 0,
+		Code: Segment{Base: 0, Words: []uint64{
+			Encode(Inst{Op: OpLdi, Rd: 1, Imm: 3}),
+			Encode(Inst{Op: OpHalt}),
+		}},
+	}
+	want := "     0: ldi r1, 3\n     1: halt r0, 0\n"
+	if got := p.Disassemble(); got != want {
+		t.Errorf("Disassemble = %q, want %q", got, want)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	words := make([]uint64, 1024)
+	for i := range words {
+		words[i] = Encode(Inst{
+			Op:  Op(rng.Intn(int(numOps))),
+			Rd:  uint8(rng.Intn(NumRegs)),
+			Rs1: uint8(rng.Intn(NumRegs)),
+			Rs2: uint8(rng.Intn(NumRegs)),
+			Imm: int64(int32(rng.Uint32())),
+		})
+	}
+	b.ResetTimer()
+	var sink Inst
+	for i := 0; i < b.N; i++ {
+		sink = Decode(words[i&1023])
+	}
+	_ = sink
+}

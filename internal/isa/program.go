@@ -1,0 +1,113 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Segment is a contiguous run of initialized words at a base address.
+type Segment struct {
+	Base  uint64   // word address of the first element of Words
+	Words []uint64 // initial contents
+}
+
+// End returns the first word address past the segment.
+func (s Segment) End() uint64 { return s.Base + uint64(len(s.Words)) }
+
+// Program is a fully linked MIR program image: an entry point, a code
+// segment, zero or more data segments, and a symbol table. The code segment
+// is distinguished because the control-flow analyses and the distiller
+// operate on it; at run time code and data live in the same address space.
+type Program struct {
+	// Entry is the word address execution starts at.
+	Entry uint64
+	// Code holds the instruction words.
+	Code Segment
+	// Data holds initialized data segments, sorted by base address.
+	Data []Segment
+	// Symbols maps labels to word addresses. Used by workloads and tests
+	// to locate inputs and results; never consulted by the machine.
+	Symbols map[string]uint64
+}
+
+// Validate checks structural invariants: a nonempty code segment containing
+// the entry point, decodable instruction words, and non-overlapping segments.
+func (p *Program) Validate() error {
+	if len(p.Code.Words) == 0 {
+		return fmt.Errorf("isa: program has no code")
+	}
+	if p.Entry < p.Code.Base || p.Entry >= p.Code.End() {
+		return fmt.Errorf("isa: entry %#x outside code segment [%#x,%#x)", p.Entry, p.Code.Base, p.Code.End())
+	}
+	for i, w := range p.Code.Words {
+		if !Decode(w).Op.Valid() {
+			return fmt.Errorf("isa: invalid instruction word at %#x", p.Code.Base+uint64(i))
+		}
+	}
+	segs := make([]Segment, 0, len(p.Data)+1)
+	segs = append(segs, p.Code)
+	segs = append(segs, p.Data...)
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Base < segs[j].Base })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Base < segs[i-1].End() {
+			return fmt.Errorf("isa: segments overlap at %#x", segs[i].Base)
+		}
+	}
+	return nil
+}
+
+// InCode reports whether addr lies within the code segment.
+func (p *Program) InCode(addr uint64) bool {
+	return addr >= p.Code.Base && addr < p.Code.End()
+}
+
+// InstAt returns the decoded instruction at the given code address.
+// It panics if addr is outside the code segment; callers doing speculative
+// lookups should guard with InCode.
+func (p *Program) InstAt(addr uint64) Inst {
+	if !p.InCode(addr) {
+		panic(fmt.Sprintf("isa: InstAt(%#x) outside code segment", addr))
+	}
+	return Decode(p.Code.Words[addr-p.Code.Base])
+}
+
+// Symbol returns the address of a label, reporting whether it exists.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	a, ok := p.Symbols[name]
+	return a, ok
+}
+
+// MustSymbol returns the address of a label, panicking if it is undefined.
+// Intended for workload and test setup code where absence is a bug.
+func (p *Program) MustSymbol(name string) uint64 {
+	a, ok := p.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("isa: undefined symbol %q", name))
+	}
+	return a
+}
+
+// Clone returns a deep copy of the program. Distillation mutates copies.
+func (p *Program) Clone() *Program {
+	q := &Program{Entry: p.Entry}
+	q.Code = Segment{Base: p.Code.Base, Words: append([]uint64(nil), p.Code.Words...)}
+	q.Data = make([]Segment, len(p.Data))
+	for i, s := range p.Data {
+		q.Data[i] = Segment{Base: s.Base, Words: append([]uint64(nil), s.Words...)}
+	}
+	q.Symbols = make(map[string]uint64, len(p.Symbols))
+	for k, v := range p.Symbols {
+		q.Symbols[k] = v
+	}
+	return q
+}
+
+// Disassemble renders the code segment, one instruction per line, with
+// addresses. Intended for debugging and golden tests.
+func (p *Program) Disassemble() string {
+	out := make([]byte, 0, 16*len(p.Code.Words))
+	for i, w := range p.Code.Words {
+		out = append(out, fmt.Sprintf("%6d: %s\n", p.Code.Base+uint64(i), Decode(w))...)
+	}
+	return string(out)
+}

@@ -1,0 +1,159 @@
+// Package mem provides the memory structures the MSSP simulator is built on:
+// a sparse, word-addressed 64-bit memory with O(pages) copy-on-write
+// snapshots (Memory), and a sparse overlay that additionally distinguishes
+// "written" from "zero" cells (Overlay).
+//
+// Snapshots are the workhorse of the simulator. Architected state is
+// snapshotted at every task spawn so that slave processors read the state the
+// machine was in when the master forked them — exactly the stale-read hazard
+// the MSSP verify/commit unit exists to catch. The master's write log is an
+// Overlay snapshotted at every fork to form the checkpoint's live-in diff.
+package mem
+
+// PageWords is the number of 64-bit words per page. Pages are the unit of
+// copy-on-write sharing.
+const PageWords = 1024
+
+const (
+	pageShift = 10
+	pageMask  = PageWords - 1
+)
+
+type page struct {
+	gen  uint64
+	data [PageWords]uint64
+}
+
+// Memory is a sparse word-addressed memory. Absent words read as zero.
+//
+// A Memory value and its snapshots share pages copy-on-write: Snapshot is
+// O(number of pages), and the first write to a shared page after a snapshot
+// copies that page. The zero value... is not usable; call New.
+type Memory struct {
+	pages map[uint64]*page
+	gen   uint64
+	// genCounter is shared across a snapshot family so generations stay
+	// unique even when snapshots of snapshots are taken.
+	genCounter *uint64
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	var ctr uint64 = 1
+	return &Memory{pages: make(map[uint64]*page), gen: 1, genCounter: &ctr}
+}
+
+// Read returns the word at addr (zero if never written).
+func (m *Memory) Read(addr uint64) uint64 {
+	if p, ok := m.pages[addr>>pageShift]; ok {
+		return p.data[addr&pageMask]
+	}
+	return 0
+}
+
+// Write stores v at addr, copying the containing page if it is shared with
+// a snapshot.
+func (m *Memory) Write(addr uint64, v uint64) {
+	pn := addr >> pageShift
+	p, ok := m.pages[pn]
+	switch {
+	case !ok:
+		if v == 0 {
+			return // writing zero to an absent page is a no-op
+		}
+		p = &page{gen: m.gen}
+		m.pages[pn] = p
+	case p.gen != m.gen:
+		cp := *p
+		cp.gen = m.gen
+		p = &cp
+		m.pages[pn] = p
+	}
+	p.data[addr&pageMask] = v
+}
+
+// Snapshot returns a logically independent copy of the memory. The copy and
+// the receiver share pages until either side writes.
+func (m *Memory) Snapshot() *Memory {
+	*m.genCounter++
+	clone := &Memory{
+		pages:      make(map[uint64]*page, len(m.pages)),
+		gen:        *m.genCounter,
+		genCounter: m.genCounter,
+	}
+	for pn, p := range m.pages {
+		clone.pages[pn] = p
+	}
+	// The receiver must also stop writing into shared pages in place.
+	*m.genCounter++
+	m.gen = *m.genCounter
+	return clone
+}
+
+// CopyWords bulk-writes words starting at base. Used to load program images.
+func (m *Memory) CopyWords(base uint64, words []uint64) {
+	for i, w := range words {
+		m.Write(base+uint64(i), w)
+	}
+}
+
+// PageCount returns the number of materialized pages (for metrics).
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Equal reports whether two memories hold identical contents. Pages absent
+// on one side compare equal to all-zero pages on the other.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.subsetZero(o) && o.subsetZero(m)
+}
+
+// subsetZero checks every page of m against o, treating absence as zeros.
+func (m *Memory) subsetZero(o *Memory) bool {
+	for pn, p := range m.pages {
+		q, ok := o.pages[pn]
+		if ok {
+			if p == q {
+				continue
+			}
+			if p.data != q.data {
+				return false
+			}
+			continue
+		}
+		for _, w := range p.data {
+			if w != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diff calls f for every address whose value differs between m and o,
+// passing the values in each. Useful for debugging refinement failures.
+// Iteration order is unspecified.
+func (m *Memory) Diff(o *Memory, f func(addr uint64, mv, ov uint64)) {
+	seen := make(map[uint64]bool, len(m.pages))
+	for pn, p := range m.pages {
+		seen[pn] = true
+		q := o.pages[pn]
+		for i := 0; i < PageWords; i++ {
+			var ov uint64
+			if q != nil {
+				ov = q.data[i]
+			}
+			if p.data[i] != ov {
+				f(pn<<pageShift|uint64(i), p.data[i], ov)
+			}
+		}
+	}
+	for pn, q := range o.pages {
+		if seen[pn] {
+			continue
+		}
+		for i := 0; i < PageWords; i++ {
+			if q.data[i] != 0 {
+				f(pn<<pageShift|uint64(i), 0, q.data[i])
+			}
+		}
+	}
+}

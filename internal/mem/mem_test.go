@@ -1,0 +1,321 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := New()
+	if got := m.Read(123); got != 0 {
+		t.Fatalf("fresh memory read = %d, want 0", got)
+	}
+	m.Write(123, 7)
+	m.Write(0, 1)
+	m.Write(1<<40, 9) // far page
+	if m.Read(123) != 7 || m.Read(0) != 1 || m.Read(1<<40) != 9 {
+		t.Error("read-after-write broken")
+	}
+	m.Write(123, 8)
+	if m.Read(123) != 8 {
+		t.Error("overwrite broken")
+	}
+}
+
+func TestMemoryZeroWriteToAbsentPage(t *testing.T) {
+	m := New()
+	m.Write(5000, 0)
+	if m.PageCount() != 0 {
+		t.Error("writing zero materialized a page")
+	}
+	if m.Read(5000) != 0 {
+		t.Error("zero read broken")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	m := New()
+	m.Write(10, 1)
+	m.Write(2000, 2)
+
+	s := m.Snapshot()
+	// Writes to the original must not appear in the snapshot.
+	m.Write(10, 100)
+	m.Write(3000, 3)
+	if s.Read(10) != 1 || s.Read(2000) != 2 || s.Read(3000) != 0 {
+		t.Error("snapshot sees writes made after it was taken")
+	}
+	// Writes to the snapshot must not appear in the original.
+	s.Write(2000, 200)
+	if m.Read(2000) != 2 {
+		t.Error("original sees snapshot writes")
+	}
+	if m.Read(10) != 100 || m.Read(3000) != 3 {
+		t.Error("original lost its own writes")
+	}
+}
+
+func TestSnapshotChain(t *testing.T) {
+	m := New()
+	snaps := make([]*Memory, 0, 10)
+	for i := uint64(0); i < 10; i++ {
+		m.Write(i, i+1)
+		snaps = append(snaps, m.Snapshot())
+	}
+	for i, s := range snaps {
+		for j := uint64(0); j < 10; j++ {
+			want := uint64(0)
+			if j <= uint64(i) {
+				want = j + 1
+			}
+			if got := s.Read(j); got != want {
+				t.Fatalf("snap %d read(%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	// Snapshot of a snapshot must also be isolated.
+	ss := snaps[5].Snapshot()
+	snaps[5].Write(3, 999)
+	if ss.Read(3) != 4 {
+		t.Error("snapshot-of-snapshot sees parent writes")
+	}
+}
+
+func TestMemoryEqual(t *testing.T) {
+	a, b := New(), New()
+	if !a.Equal(b) {
+		t.Error("empty memories unequal")
+	}
+	a.Write(7, 1)
+	if a.Equal(b) {
+		t.Error("different memories equal")
+	}
+	b.Write(7, 1)
+	if !a.Equal(b) {
+		t.Error("same contents unequal")
+	}
+	// A page of explicit zeros equals an absent page.
+	a.Write(9000, 5)
+	a.Write(9000, 0)
+	if !a.Equal(b) {
+		t.Error("explicit zero page should equal absent page")
+	}
+	b.Write(12345, 1)
+	if a.Equal(b) {
+		t.Error("extra nonzero word on other side should be unequal")
+	}
+}
+
+func TestMemoryDiff(t *testing.T) {
+	a, b := New(), New()
+	a.Write(1, 10)
+	b.Write(1, 20)
+	b.Write(5000, 7)
+	got := map[uint64][2]uint64{}
+	a.Diff(b, func(addr uint64, av, bv uint64) { got[addr] = [2]uint64{av, bv} })
+	want := map[uint64][2]uint64{1: {10, 20}, 5000: {0, 7}}
+	if len(got) != len(want) {
+		t.Fatalf("diff = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("diff[%d] = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestCopyWords(t *testing.T) {
+	m := New()
+	m.CopyWords(100, []uint64{1, 2, 3})
+	for i := uint64(0); i < 3; i++ {
+		if m.Read(100+i) != i+1 {
+			t.Fatal("CopyWords broken")
+		}
+	}
+}
+
+// Property: a memory behaves like a map with zero default, across snapshots.
+func TestMemoryVsModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New()
+		model := map[uint64]uint64{}
+		type snap struct {
+			m     *Memory
+			model map[uint64]uint64
+		}
+		var snaps []snap
+		for i := 0; i < 300; i++ {
+			addr := uint64(rng.Intn(5000))
+			switch rng.Intn(10) {
+			case 0: // snapshot
+				mc := map[uint64]uint64{}
+				for k, v := range model {
+					mc[k] = v
+				}
+				snaps = append(snaps, snap{m.Snapshot(), mc})
+			case 1, 2, 3: // read
+				if m.Read(addr) != model[addr] {
+					return false
+				}
+			default: // write
+				v := rng.Uint64() % 100
+				m.Write(addr, v)
+				model[addr] = v
+			}
+		}
+		for _, s := range snaps {
+			for k, v := range s.model {
+				if s.m.Read(k) != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlayBasics(t *testing.T) {
+	o := NewOverlay()
+	if _, ok := o.Get(1); ok {
+		t.Error("fresh overlay has entries")
+	}
+	o.Set(1, 0) // explicit zero must be present
+	if v, ok := o.Get(1); !ok || v != 0 {
+		t.Error("explicit zero not distinguishable from absent")
+	}
+	o.Set(1, 5)
+	o.Set(70, 6)
+	if o.Len() != 2 {
+		t.Errorf("Len = %d, want 2", o.Len())
+	}
+	if v, _ := o.Get(1); v != 5 {
+		t.Error("overwrite broken")
+	}
+}
+
+func TestOverlaySnapshotIsolation(t *testing.T) {
+	o := NewOverlay()
+	o.Set(1, 1)
+	s := o.Snapshot()
+	o.Set(1, 2)
+	o.Set(2, 3)
+	if v, _ := s.Get(1); v != 1 {
+		t.Error("overlay snapshot sees later writes")
+	}
+	if _, ok := s.Get(2); ok {
+		t.Error("overlay snapshot sees later additions")
+	}
+	s.Set(9, 9)
+	if _, ok := o.Get(9); ok {
+		t.Error("original sees snapshot writes")
+	}
+	if s.Len() != 2 || o.Len() != 2 {
+		t.Errorf("Len after snapshot writes: s=%d o=%d, want 2,2", s.Len(), o.Len())
+	}
+}
+
+func TestOverlayRange(t *testing.T) {
+	o := NewOverlay()
+	want := map[uint64]uint64{0: 5, 63: 1, 64: 2, 1023: 3, 1024: 4, 99999: 6}
+	for k, v := range want {
+		o.Set(k, v)
+	}
+	got := map[uint64]uint64{}
+	o.Range(func(a, v uint64) bool { got[a] = v; return true })
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Range[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early stop.
+	n := 0
+	o.Range(func(a, v uint64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestOverlayClear(t *testing.T) {
+	o := NewOverlay()
+	o.Set(1, 1)
+	s := o.Snapshot()
+	o.Clear()
+	if o.Len() != 0 {
+		t.Error("Clear did not empty overlay")
+	}
+	if _, ok := o.Get(1); ok {
+		t.Error("Clear left entries behind")
+	}
+	if v, ok := s.Get(1); !ok || v != 1 {
+		t.Error("Clear damaged outstanding snapshot")
+	}
+	o.Set(2, 2)
+	if v, ok := o.Get(2); !ok || v != 2 {
+		t.Error("overlay unusable after Clear")
+	}
+}
+
+func TestOverlayVsModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := NewOverlay()
+		model := map[uint64]uint64{}
+		for i := 0; i < 400; i++ {
+			addr := uint64(rng.Intn(3000))
+			if rng.Intn(3) == 0 {
+				v, ok := o.Get(addr)
+				mv, mok := model[addr]
+				if ok != mok || v != mv {
+					return false
+				}
+			} else {
+				v := rng.Uint64() % 50
+				o.Set(addr, v)
+				model[addr] = v
+			}
+		}
+		if o.Len() != len(model) {
+			return false
+		}
+		n := 0
+		ok := true
+		o.Range(func(a, v uint64) bool {
+			n++
+			if mv, present := model[a]; !present || mv != v {
+				ok = false
+			}
+			return true
+		})
+		return ok && n == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMemoryWrite(b *testing.B) {
+	m := New()
+	for i := 0; i < b.N; i++ {
+		m.Write(uint64(i)&0xffff, uint64(i))
+	}
+}
+
+func BenchmarkMemorySnapshotAndWrite(b *testing.B) {
+	m := New()
+	for i := uint64(0); i < 1<<16; i++ {
+		m.Write(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := m.Snapshot()
+		s.Write(uint64(i)&0xffff, 1)
+	}
+}

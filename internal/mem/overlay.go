@@ -1,0 +1,110 @@
+package mem
+
+import "math/bits"
+
+type opage struct {
+	gen     uint64
+	present [PageWords / 64]uint64
+	data    [PageWords]uint64
+}
+
+// Overlay is a sparse word-addressed map from address to value that, unlike
+// Memory, distinguishes "written with zero" from "never written". It supports
+// the same O(pages) copy-on-write Snapshot.
+//
+// Overlays model the master processor's write log: at each fork point the
+// current overlay snapshot becomes the checkpoint's memory live-in diff, and
+// slave reads consult it before falling back to the architected snapshot.
+type Overlay struct {
+	pages      map[uint64]*opage
+	gen        uint64
+	genCounter *uint64
+	count      int // number of present words
+}
+
+// NewOverlay returns an empty overlay.
+func NewOverlay() *Overlay {
+	var ctr uint64 = 1
+	return &Overlay{pages: make(map[uint64]*opage), gen: 1, genCounter: &ctr}
+}
+
+// Get returns the value at addr and whether it is present.
+func (o *Overlay) Get(addr uint64) (uint64, bool) {
+	p, ok := o.pages[addr>>pageShift]
+	if !ok {
+		return 0, false
+	}
+	idx := addr & pageMask
+	if p.present[idx/64]&(1<<(idx%64)) == 0 {
+		return 0, false
+	}
+	return p.data[idx], true
+}
+
+// Set stores v at addr.
+func (o *Overlay) Set(addr uint64, v uint64) {
+	pn := addr >> pageShift
+	p, ok := o.pages[pn]
+	switch {
+	case !ok:
+		p = &opage{gen: o.gen}
+		o.pages[pn] = p
+	case p.gen != o.gen:
+		cp := *p
+		cp.gen = o.gen
+		p = &cp
+		o.pages[pn] = p
+	}
+	idx := addr & pageMask
+	if p.present[idx/64]&(1<<(idx%64)) == 0 {
+		p.present[idx/64] |= 1 << (idx % 64)
+		o.count++
+	}
+	p.data[idx] = v
+}
+
+// Len returns the number of present words.
+func (o *Overlay) Len() int { return o.count }
+
+// Snapshot returns a logically independent copy sharing pages copy-on-write.
+func (o *Overlay) Snapshot() *Overlay {
+	*o.genCounter++
+	clone := &Overlay{
+		pages:      make(map[uint64]*opage, len(o.pages)),
+		gen:        *o.genCounter,
+		genCounter: o.genCounter,
+		count:      o.count,
+	}
+	for pn, p := range o.pages {
+		clone.pages[pn] = p
+	}
+	*o.genCounter++
+	o.gen = *o.genCounter
+	return clone
+}
+
+// Range calls f for every present (addr, value) pair until f returns false.
+// Iteration order is unspecified.
+func (o *Overlay) Range(f func(addr uint64, v uint64) bool) {
+	for pn, p := range o.pages {
+		for w, mask := range p.present {
+			for mask != 0 {
+				b := bits.TrailingZeros64(mask)
+				mask &^= 1 << b
+				idx := uint64(w*64 + b)
+				if !f(pn<<pageShift|idx, p.data[idx]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Clear removes all entries. The overlay remains usable and keeps its
+// snapshot family, so outstanding snapshots are unaffected.
+func (o *Overlay) Clear() {
+	*o.genCounter++
+	o.pages = make(map[uint64]*opage)
+	o.gen = *o.genCounter
+	o.count = 0
+}

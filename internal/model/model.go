@@ -1,0 +1,178 @@
+// Package model implements the *abstract* MSSP execution model of the
+// companion formal paper (Salverda, Roşu, Zilles: "Formally Defining and
+// Verifying Master/Slave Speculative Parallelization"), executable in Go:
+//
+//   - SEQ, the sequential reference model: seq(S, n) advances a machine
+//     state n instructions (Definition 2);
+//   - tasks as ⟨S_in, n, S_out, k⟩ tuples that evolve by sequentially
+//     advancing their live-in sets (Definitions 4–5);
+//   - task safety: t is safe for S iff seq(S, #t) = S ← live_out(t)
+//     (Definition 6);
+//   - the MSSP machine as a transition system over a machine state and a
+//     *multiset* of tasks, committing any safe task in any order
+//     (Definitions 3 and 7).
+//
+// The value of the executable model is the properties it lets the test
+// suite check mechanically at the paradigm level, independent of the
+// simulator in internal/core: commit order does not matter for safe task
+// sets (Lemma 1 / Theorem 1), committing a safe task equals jumping the
+// sequential machine, and consistency + completeness imply safety
+// (Theorem 2).
+package model
+
+import (
+	"fmt"
+
+	"mssp/internal/cpu"
+	"mssp/internal/state"
+)
+
+// Task is the abstract MSSP task tuple ⟨S_in, n, S_out, k⟩. Unlike
+// internal/task, the live-in set here is given up front as a full machine
+// state (the formal model's simplifying assumption that the master supplies
+// everything a slave needs).
+type Task struct {
+	// In is the live-in state S_in the task was created with.
+	In *state.State
+	// N is the number of instructions constituting complete execution.
+	N uint64
+	// Out is the evolving live-out state; starts equal to In.
+	Out *state.State
+	// K is the number of instructions executed so far (0 ≤ K ≤ N).
+	K uint64
+}
+
+// NewTask creates ⟨S_in, n, S_in, 0⟩.
+func NewTask(in *state.State, n uint64) *Task {
+	return &Task{In: in, N: n, Out: in.Clone(), K: 0}
+}
+
+// Evolve applies the task-evolution rule (Definition 5) once: if k < n the
+// live-out set advances one sequential step. Evolution past completion is a
+// no-op, exactly as in the model.
+func (t *Task) Evolve() error {
+	if t.K >= t.N {
+		return nil
+	}
+	if _, err := cpu.Step(cpu.StateEnv{S: t.Out}); err != nil {
+		return fmt.Errorf("model: task evolution: %w", err)
+	}
+	t.K++
+	return nil
+}
+
+// Complete runs the task to completion (Lemma 2: the only way a task
+// completes is by sequentially advancing its live-in set, so at completion
+// live_out(t) = seq(live_in(t), #t)).
+func (t *Task) Complete() error {
+	for t.K < t.N {
+		if err := t.Evolve(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Done reports whether the task has completed.
+func (t *Task) Done() bool { return t.K >= t.N }
+
+// SafeFor reports task safety (Definition 6): seq(S, #t) = S ← live_out(t).
+// The task must be complete. The superimposition here is total-state
+// overwrite, so with full live-in states this reduces to comparing
+// seq(S, #t) with live_out(t) — but we keep the definition's form so the
+// function also works for the theorem tests that build partial overlays.
+func (t *Task) SafeFor(s *state.State) (bool, error) {
+	if !t.Done() {
+		return false, fmt.Errorf("model: safety is defined for completed tasks")
+	}
+	ref := s.Clone()
+	if _, err := cpu.Seq(ref, t.N); err != nil {
+		return false, err
+	}
+	return ref.Equal(t.Out), nil
+}
+
+// Machine is the abstract MSSP machine: an architected state plus a
+// multiset of tasks. Its single rule is: pick any task that is safe for the
+// current state and commit it (Definition 3/7); this advances the state by
+// the task's live-outs, which — by safety — equals seq(S, #t).
+type Machine struct {
+	State *state.State
+	Tasks []*Task // multiset; order carries no meaning
+	// Committed counts instructions committed so far (Σ #t).
+	Committed uint64
+}
+
+// NewMachine builds the abstract machine.
+func NewMachine(s *state.State, tasks ...*Task) *Machine {
+	return &Machine{State: s, Tasks: append([]*Task(nil), tasks...)}
+}
+
+// CommitIndex commits the i-th task if it is safe for the current state,
+// reporting whether it committed. An unsafe task is left in place (the
+// model's conditional rewrite rule simply does not apply).
+func (m *Machine) CommitIndex(i int) (bool, error) {
+	t := m.Tasks[i]
+	if err := t.Complete(); err != nil {
+		return false, err
+	}
+	safe, err := t.SafeFor(m.State)
+	if err != nil || !safe {
+		return false, err
+	}
+	// Commit: S ← live_out(t). With total live-out states this is
+	// replacement; using Apply on a delta view keeps the operation the
+	// same shape as the simulator's.
+	m.State = t.Out.Clone()
+	m.Committed += t.N
+	m.Tasks = append(m.Tasks[:i], m.Tasks[i+1:]...)
+	return true, nil
+}
+
+// Step finds some safe task (in the order given, which a caller may
+// shuffle to exercise commit-order freedom) and commits it. If no task is
+// safe, the machine discards the remaining tasks — the "equivalence for all
+// task sets" extension: a poor commit choice costs efficiency, never
+// correctness.
+func (m *Machine) Step() (committed bool, err error) {
+	for i := range m.Tasks {
+		ok, err := m.CommitIndex(i)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	m.Tasks = nil
+	return false, nil
+}
+
+// Run drives Step until the task set is empty, returning the final state.
+func (m *Machine) Run() (*state.State, error) {
+	for len(m.Tasks) > 0 {
+		if _, err := m.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return m.State, nil
+}
+
+// ChainTasks builds a "safe enumeration" of k tasks from a starting state:
+// task i covers n_i instructions starting where task i-1 ended, with exact
+// live-ins. By construction the resulting set is safe for s0 in the order
+// built — and, per the model's central result, committing them in any order
+// that only ever commits safe tasks reaches the same final state.
+func ChainTasks(s0 *state.State, lens []uint64) ([]*Task, error) {
+	cur := s0.Clone()
+	tasks := make([]*Task, 0, len(lens))
+	for _, n := range lens {
+		t := NewTask(cur.Clone(), n)
+		if err := t.Complete(); err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, t)
+		cur = t.Out.Clone()
+	}
+	return tasks, nil
+}

@@ -1,0 +1,242 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mssp/internal/asm"
+	"mssp/internal/cpu"
+	"mssp/internal/state"
+)
+
+// program builds a deterministic state machine rich enough that task
+// boundaries land in interesting places: a loop mixing register and memory
+// updates.
+const modelSrc = `
+	        ldi  r1, 600
+	        la   r3, buf
+	loop:   andi r2, r1, 7
+	        add  r4, r4, r2
+	        add  r5, r3, r2
+	        ld   r6, 0(r5)
+	        add  r6, r6, r4
+	        st   r6, 0(r5)
+	        addi r1, r1, -1
+	        bnez r1, loop
+	        halt
+	.data
+	.org 5000
+	buf:    .space 8
+`
+
+func startState(t *testing.T) *state.State {
+	t.Helper()
+	p, err := asm.Assemble(modelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return state.NewFromProgram(p, 1<<16)
+}
+
+func TestTaskEvolution(t *testing.T) {
+	s := startState(t)
+	tk := NewTask(s, 10)
+	if tk.Done() || tk.K != 0 {
+		t.Fatal("fresh task should be at k=0")
+	}
+	if err := tk.Evolve(); err != nil {
+		t.Fatal(err)
+	}
+	if tk.K != 1 {
+		t.Error("Evolve did not advance k")
+	}
+	if err := tk.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if !tk.Done() || tk.K != 10 {
+		t.Errorf("k = %d, want 10", tk.K)
+	}
+	// Evolution past completion is a no-op.
+	out := tk.Out.Clone()
+	if err := tk.Evolve(); err != nil {
+		t.Fatal(err)
+	}
+	if tk.K != 10 || !tk.Out.Equal(out) {
+		t.Error("evolution past completion changed the task")
+	}
+	// Lemma 2: live_out = seq(live_in, n).
+	ref := s.Clone()
+	if _, err := cpu.Seq(ref, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !tk.Out.Equal(ref) {
+		t.Error("completed live-out differs from seq(live_in, n)")
+	}
+}
+
+func TestSafety(t *testing.T) {
+	s := startState(t)
+	tk := NewTask(s.Clone(), 25)
+	if _, err := tk.SafeFor(s); err == nil {
+		t.Error("safety of an incomplete task should be rejected")
+	}
+	if err := tk.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	safe, err := tk.SafeFor(s)
+	if err != nil || !safe {
+		t.Fatalf("task built from S should be safe for S: %v %v", safe, err)
+	}
+	// A task is not safe for a state other than the one it was built from.
+	other := s.Clone()
+	if _, err := cpu.Seq(other, 3); err != nil {
+		t.Fatal(err)
+	}
+	safe, err = tk.SafeFor(other)
+	if err != nil || safe {
+		t.Errorf("task safe for an advanced state: %v %v", safe, err)
+	}
+}
+
+// Lemma 1: committing a safe task set in its safe enumeration order reaches
+// seq(S, #τ).
+func TestSafeChainCommitsToSeq(t *testing.T) {
+	s := startState(t)
+	lens := []uint64{7, 13, 20, 11, 9}
+	tasks, err := ChainTasks(s, lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(s.Clone(), tasks...)
+	final, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, n := range lens {
+		total += n
+	}
+	if m.Committed != total {
+		t.Errorf("committed %d, want %d", m.Committed, total)
+	}
+	ref := s.Clone()
+	if _, err := cpu.Seq(ref, total); err != nil {
+		t.Fatal(err)
+	}
+	if !final.Equal(ref) {
+		t.Error("machine final state differs from seq(S, #τ)")
+	}
+}
+
+// The model's central discovery: commit order is not prescribed. Shuffling
+// the task multiset must not change the result, because Step only ever
+// commits safe tasks.
+func TestCommitOrderIrrelevantForSafeSets(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := startState(t)
+		lens := make([]uint64, 2+rng.Intn(5))
+		for i := range lens {
+			lens[i] = 1 + uint64(rng.Intn(30))
+		}
+		tasks, err := ChainTasks(s, lens)
+		if err != nil {
+			return false
+		}
+		rng.Shuffle(len(tasks), func(i, j int) { tasks[i], tasks[j] = tasks[j], tasks[i] })
+
+		m := NewMachine(s.Clone(), tasks...)
+		final, err := m.Run()
+		if err != nil {
+			return false
+		}
+		var total uint64
+		for _, n := range lens {
+			total += n
+		}
+		ref := s.Clone()
+		if _, err := cpu.Seq(ref, total); err != nil {
+			return false
+		}
+		return m.Committed == total && final.Equal(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 1 shape: a set containing safe tasks plus garbage tasks commits
+// the safe subset and discards the rest — never corrupting the state.
+func TestUnsafeTasksDiscarded(t *testing.T) {
+	s := startState(t)
+	tasks, err := ChainTasks(s, []uint64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A garbage task: built from a perturbed state, never safe for the
+	// trajectory.
+	bad := s.Clone()
+	bad.WriteReg(4, 999999)
+	garbage := NewTask(bad, 5)
+	if err := garbage.Complete(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMachine(s.Clone(), garbage, tasks[0], tasks[1])
+	final, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Committed != 20 {
+		t.Errorf("committed %d instructions, want 20 (garbage discarded)", m.Committed)
+	}
+	ref := s.Clone()
+	if _, err := cpu.Seq(ref, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !final.Equal(ref) {
+		t.Error("garbage task corrupted the machine")
+	}
+}
+
+// "Choosing an inappropriate task affects only efficiency, not
+// correctness": committing a later-position safe task first renders the
+// earlier ones unsafe; they are discarded and the state is still a seq
+// state — just further along a valid prefix than the discarded work.
+func TestPoorCommitChoiceLosesWorkNotCorrectness(t *testing.T) {
+	s := startState(t)
+	tasks, err := ChainTasks(s, []uint64{10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(s.Clone(), tasks...)
+	// Force-commit task 0, then try task 2 (unsafe now that only 10
+	// instructions have committed): it must be refused.
+	ok, err := m.CommitIndex(0)
+	if err != nil || !ok {
+		t.Fatalf("first task should commit: %v %v", ok, err)
+	}
+	ok, err = m.CommitIndex(1) // tasks[2] shifted to index 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		// tasks[2] starts 10 instructions further on; it must not be
+		// safe immediately after task 0.
+		t.Fatal("out-of-order commit of a non-adjacent task succeeded")
+	}
+	// Whatever the machine does next, its state stays on the sequential
+	// trajectory.
+	final, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := s.Clone()
+	if _, err := cpu.Seq(ref, m.Committed); err != nil {
+		t.Fatal(err)
+	}
+	if !final.Equal(ref) {
+		t.Error("machine left the sequential trajectory")
+	}
+}

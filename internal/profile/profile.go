@@ -1,0 +1,220 @@
+// Package profile collects the execution profiles that drive program
+// distillation: per-instruction execution counts, conditional-branch bias,
+// control-flow edge counts, and the task-boundary anchor set.
+//
+// Anchors are the static program counters at which the distiller will insert
+// FORK task markers. They are selected online during a profiling run, the
+// way trace-driven task selection works in practice: walking the dynamic
+// instruction stream, a program counter is marked as an anchor whenever at
+// least stride instructions have executed since the last anchor and the
+// previous instruction ended a basic block (so every anchor is a block
+// leader). The same static anchor therefore recurs roughly every stride
+// dynamic instructions on the profiled input.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"mssp/internal/cfg"
+	"mssp/internal/cpu"
+	"mssp/internal/isa"
+	"mssp/internal/state"
+)
+
+// Edge is a control-flow edge between two dynamic program counters.
+type Edge struct{ From, To uint64 }
+
+// Profile summarizes one or more training runs of a program.
+type Profile struct {
+	// Exec counts how many times each instruction address executed.
+	Exec map[uint64]uint64
+	// Taken and NotTaken count conditional branch outcomes per address.
+	Taken    map[uint64]uint64
+	NotTaken map[uint64]uint64
+	// Edges counts control-transfer edges (taken branches, jumps, and the
+	// implicit fall-through after a not-taken branch).
+	Edges map[Edge]uint64
+	// IndirectTargets counts jalr targets per jalr site.
+	IndirectTargets map[uint64]map[uint64]uint64
+	// Anchors is the static task-boundary set, ascending.
+	Anchors []uint64
+	// Total is the number of instructions executed while profiling.
+	Total uint64
+	// Halted reports whether the profiled run reached a halt.
+	Halted bool
+	// Stride is the anchor stride the profile was collected with.
+	Stride uint64
+}
+
+// Options configures a profiling run.
+type Options struct {
+	// Stride is the target dynamic distance between task anchors.
+	Stride uint64
+	// MaxSteps bounds the run; zero means a large default.
+	MaxSteps uint64
+	// SP is the initial stack pointer; zero means a default placement.
+	SP uint64
+}
+
+const (
+	defaultMaxSteps = 200_000_000
+	defaultSP       = 1 << 28
+)
+
+// Collect runs the program on the sequential model, gathering a profile.
+//
+// Collection is two-pass. The first pass gathers counts; the second selects
+// anchors with those counts in hand: an anchor should recur roughly every
+// stride dynamic instructions, so block leaders that execute far more often
+// than Total/stride (hot inner-loop headers) are ineligible — task
+// boundaries get hoisted to outer-loop level, where the master's and the
+// architected execution's crossing counts are robust to distilled-path
+// deviations inside inner loops. If no eligible leader shows up for a long
+// time the constraint is relaxed rather than leaving a huge region
+// anchorless.
+func Collect(p *isa.Program, opts Options) (*Profile, error) {
+	if opts.Stride == 0 {
+		return nil, fmt.Errorf("profile: Stride must be positive")
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = defaultMaxSteps
+	}
+	if opts.SP == 0 {
+		opts.SP = defaultSP
+	}
+	prof := &Profile{
+		Exec:            make(map[uint64]uint64),
+		Taken:           make(map[uint64]uint64),
+		NotTaken:        make(map[uint64]uint64),
+		Edges:           make(map[Edge]uint64),
+		IndirectTargets: make(map[uint64]map[uint64]uint64),
+		Stride:          opts.Stride,
+	}
+
+	// Pass 1: counts.
+	s := state.NewFromProgram(p, opts.SP)
+	env := cpu.StateEnv{S: s}
+	for prof.Total < opts.MaxSteps {
+		pc := s.PC
+		in, err := cpu.Step(env)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		prof.Exec[pc]++
+		prof.Total++
+
+		switch {
+		case in.Op.IsBranch():
+			if s.PC == pc+1 {
+				prof.NotTaken[pc]++
+			} else {
+				prof.Taken[pc]++
+			}
+			prof.Edges[Edge{pc, s.PC}]++
+		case in.Op == isa.OpJal:
+			prof.Edges[Edge{pc, s.PC}]++
+		case in.Op == isa.OpJalr:
+			prof.Edges[Edge{pc, s.PC}]++
+			m := prof.IndirectTargets[pc]
+			if m == nil {
+				m = make(map[uint64]uint64)
+				prof.IndirectTargets[pc] = m
+			}
+			m[s.PC]++
+		}
+
+		if in.Op == isa.OpHalt {
+			prof.Halted = true
+			break
+		}
+	}
+
+	// Pass 2: anchor selection. A location is eligible when (a) its
+	// recurrence interval (Total / Exec) is at least about half the
+	// stride, and (b) it is a natural-loop header, a direct call target,
+	// or the entry — points whose dynamic crossing counts are stable when
+	// the distiller prunes branches around them. (An anchor inside an
+	// if-arm would be crossed a different number of times by the master
+	// once the branch is pruned, misaligning task boundaries.) When no
+	// eligible point appears for 8 strides the structural constraint is
+	// relaxed to any block leader.
+	budget := 2 * prof.Total / opts.Stride
+	if budget == 0 {
+		budget = 1
+	}
+	structural := map[uint64]bool{p.Entry: true}
+	if g, err := cfg.Build(p); err == nil {
+		for _, l := range g.NaturalLoops() {
+			structural[l.Header] = true
+		}
+		for pc := p.Code.Base; pc < p.Code.End(); pc++ {
+			if in := p.InstAt(pc); in.Op == isa.OpJal && in.Rd != isa.RegZero {
+				structural[uint64(in.Imm)] = true
+			}
+		}
+	}
+	anchorSet := map[uint64]bool{}
+	sinceAnchor := uint64(0)
+	blockEnded := true // program start behaves like a boundary
+	s2 := state.NewFromProgram(p, opts.SP)
+	env2 := cpu.StateEnv{S: s2}
+	for steps := uint64(0); steps < opts.MaxSteps; steps++ {
+		pc := s2.PC
+		if blockEnded {
+			switch {
+			case anchorSet[pc]:
+				// Crossing an existing anchor restarts the spacing count,
+				// keeping the static anchor set minimal.
+				sinceAnchor = 0
+			case sinceAnchor >= opts.Stride && prof.Exec[pc] <= budget && structural[pc],
+				sinceAnchor >= 8*opts.Stride && prof.Exec[pc] <= budget,
+				sinceAnchor >= 16*opts.Stride:
+				anchorSet[pc] = true
+				sinceAnchor = 0
+			}
+		}
+		in, err := cpu.Step(env2)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		sinceAnchor++
+		blockEnded = in.Op.EndsBlock()
+		if in.Op == isa.OpHalt {
+			break
+		}
+	}
+
+	prof.Anchors = make([]uint64, 0, len(anchorSet))
+	for a := range anchorSet {
+		prof.Anchors = append(prof.Anchors, a)
+	}
+	sort.Slice(prof.Anchors, func(i, j int) bool { return prof.Anchors[i] < prof.Anchors[j] })
+	return prof, nil
+}
+
+// Bias returns the taken fraction of the conditional branch at pc and the
+// total number of times it executed.
+func (p *Profile) Bias(pc uint64) (takenFrac float64, total uint64) {
+	t, nt := p.Taken[pc], p.NotTaken[pc]
+	total = t + nt
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(t) / float64(total), total
+}
+
+// HotFraction returns the fraction of all executed instructions accounted
+// for by the given set of addresses. Used in tests and reports.
+func (p *Profile) HotFraction(addrs map[uint64]bool) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	var n uint64
+	for a, c := range p.Exec {
+		if addrs[a] {
+			n += c
+		}
+	}
+	return float64(n) / float64(p.Total)
+}

@@ -1,0 +1,73 @@
+package refine
+
+import (
+	"testing"
+
+	"mssp/internal/core"
+	"mssp/internal/distill"
+	"mssp/internal/task"
+)
+
+func TestOptionsVariants(t *testing.T) {
+	p, d := prepare(t, workloadSrc, distill.DefaultOptions())
+
+	t.Run("no-periodic-memory-checks", func(t *testing.T) {
+		opts := Options{FullCheckEvery: 0, CheckTaskSafety: true}
+		rep, err := Check(p, d, core.DefaultConfig(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			t.Fatalf("violated: %v", rep.FirstViolation())
+		}
+		if rep.FullChecks != 1 {
+			t.Errorf("FullChecks = %d, want exactly the final one", rep.FullChecks)
+		}
+	})
+
+	t.Run("no-task-safety", func(t *testing.T) {
+		opts := Options{FullCheckEvery: 32}
+		rep, err := Check(p, d, core.DefaultConfig(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			t.Fatalf("violated: %v", rep.FirstViolation())
+		}
+	})
+
+	t.Run("user-hook-preserved", func(t *testing.T) {
+		cfg := core.DefaultConfig()
+		calls := 0
+		cfg.OnCommit = func(core.CommitEvent) { calls++ }
+		rep, err := Check(p, d, cfg, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls == 0 {
+			t.Error("auditor replaced the user's commit hook instead of chaining it")
+		}
+		if calls != rep.Commits {
+			t.Errorf("user hook saw %d commits, auditor %d", calls, rep.Commits)
+		}
+	})
+}
+
+func TestAuditWithNonSpecRegions(t *testing.T) {
+	// The refinement property must hold when part of the address space is
+	// executed through the non-speculative path.
+	p, d := prepare(t, workloadSrc, distill.DefaultOptions())
+	cfg := core.DefaultConfig()
+	out := p.MustSymbol("out")
+	cfg.NonSpecRegions = []task.AddrRange{{Lo: out, Hi: out + 1}}
+	rep, err := Check(p, d, cfg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("violated with non-spec regions: %v", rep.FirstViolation())
+	}
+	if rep.Result.Metrics.TasksNonSpec == 0 {
+		t.Error("the out-word store never took the non-speculative path")
+	}
+}

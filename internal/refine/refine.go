@@ -1,0 +1,162 @@
+// Package refine implements the jumping-refinement audit from the MSSP
+// formal model: every transition of the MSSP machine must correspond to a
+// (possibly empty, possibly long) sequence of transitions of the sequential
+// reference machine, observed through the projection ψ that extracts
+// architected state.
+//
+// Concretely, the checker runs an MSSP machine with a commit observer and a
+// sequential reference machine side by side. Each commit event claims the
+// machine "jumped" #t sequential steps; the checker advances the reference
+// by #t instructions and compares architected state against the reference
+// (registers and PC at every commit, full memory periodically and at the
+// end). It also independently re-checks task safety: the event's live-in
+// set must have been consistent with the pre-commit reference state, and
+// superimposing the live-outs must reproduce the reference's post-state —
+// Theorem 2's "consistency + completeness ⇒ safety" checked on every jump.
+package refine
+
+import (
+	"fmt"
+
+	"mssp/internal/core"
+	"mssp/internal/cpu"
+	"mssp/internal/distill"
+	"mssp/internal/isa"
+	"mssp/internal/state"
+)
+
+// Options configures the audit.
+type Options struct {
+	// FullCheckEvery performs a full-memory comparison every N commits
+	// (0 = only at the end). Register and PC checks happen on every
+	// commit regardless.
+	FullCheckEvery int
+	// CheckTaskSafety re-verifies each task's live-in consistency and
+	// live-out superimposition against the reference machine.
+	CheckTaskSafety bool
+}
+
+// DefaultOptions enables all checks with a full memory comparison every 64
+// commits.
+func DefaultOptions() Options {
+	return Options{FullCheckEvery: 64, CheckTaskSafety: true}
+}
+
+// Violation describes one failed check.
+type Violation struct {
+	Commit int    // 0-based commit event index
+	Kind   string // "regs", "pc", "memory", "livein", "liveout", "final", "steps"
+	Detail string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("refine: commit %d: %s: %s", v.Commit, v.Kind, v.Detail)
+}
+
+// Report is the audit result.
+type Report struct {
+	// OK reports whether the run was a jumping refinement of SEQ.
+	OK bool
+	// Violations lists every failed check (empty when OK).
+	Violations []*Violation
+	// Commits is the number of architected-state advances observed.
+	Commits int
+	// FullChecks is the number of full-memory comparisons performed.
+	FullChecks int
+	// RefSteps is the total number of reference instructions executed.
+	RefSteps uint64
+	// Result is the underlying MSSP run result.
+	Result *core.Result
+}
+
+// Check runs the program under MSSP with the given configuration and audits
+// it against the sequential model.
+func Check(orig *isa.Program, dist *distill.Result, cfg core.Config, opts Options) (*Report, error) {
+	rep := &Report{}
+	if cfg.SP == 0 {
+		cfg.SP = 1 << 28
+	}
+	ref := state.NewFromProgram(orig, cfg.SP)
+
+	violate := func(kind, format string, args ...any) {
+		rep.Violations = append(rep.Violations, &Violation{
+			Commit: rep.Commits,
+			Kind:   kind,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	prevHook := cfg.OnCommit
+	cfg.OnCommit = func(ev core.CommitEvent) {
+		if prevHook != nil {
+			prevHook(ev)
+		}
+		if opts.CheckTaskSafety && ev.Kind == "task" {
+			// Task safety, part 1: the live-ins the slave observed must be
+			// consistent with the pre-commit architected state, which the
+			// reference machine currently holds.
+			if inc := ref.FirstInconsistency(ev.LiveIn); inc != nil {
+				violate("livein", "committed task's live-ins inconsistent with reference: %v", inc)
+			}
+		}
+
+		// The jump: advance the reference #t sequential steps.
+		n, err := cpu.Seq(ref, ev.Steps)
+		rep.RefSteps += n
+		if err != nil {
+			violate("steps", "reference faulted: %v", err)
+		} else if n != ev.Steps {
+			violate("steps", "reference executed %d of claimed %d steps", n, ev.Steps)
+		}
+
+		// ψ(MSSP state) must now equal the reference state.
+		if ev.Arch.Regs != ref.Regs {
+			violate("regs", "register files diverge")
+		}
+		if ev.Arch.PC != ref.PC {
+			violate("pc", "pc %d != reference %d", ev.Arch.PC, ref.PC)
+		}
+		if opts.CheckTaskSafety && ev.Kind == "task" {
+			// Task safety, part 2: the live-outs must cover everything the
+			// jump changed — every live-out cell must match the reference
+			// post-state. (Completeness of the live-out set relative to
+			// the jump is implied by the periodic full-memory checks.)
+			if inc := ref.FirstInconsistency(ev.LiveOut); inc != nil {
+				violate("liveout", "live-outs disagree with reference post-state: %v", inc)
+			}
+		}
+		rep.Commits++
+		if opts.FullCheckEvery > 0 && rep.Commits%opts.FullCheckEvery == 0 {
+			rep.FullChecks++
+			if !ev.Arch.Mem.Equal(ref.Mem) {
+				violate("memory", "memory images diverge at periodic check")
+			}
+		}
+	}
+
+	m, err := core.New(orig, dist, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	rep.Result = res
+
+	// Final full comparison.
+	rep.FullChecks++
+	if !res.Final.Equal(ref) {
+		violate("final", "final architected state differs from sequential execution")
+	}
+	rep.OK = len(rep.Violations) == 0
+	return rep, nil
+}
+
+// FirstViolation returns the first violation, or nil.
+func (r *Report) FirstViolation() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return r.Violations[0]
+}

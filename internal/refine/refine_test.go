@@ -1,0 +1,195 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+
+	"mssp/internal/asm"
+	"mssp/internal/core"
+	"mssp/internal/distill"
+	"mssp/internal/isa"
+	"mssp/internal/profile"
+)
+
+const workloadSrc = `
+	.entry main
+	main:   ldi  r1, 4096
+	        ldi  r4, 0
+	loop:   andi r2, r1, 255
+	        bnez r2, common
+	rare:   muli r4, r4, 17
+	        addi r4, r4, 13
+	common: addi r4, r4, 1
+	        muli r5, r1, 3
+	        xor  r4, r4, r5
+	        andi r4, r4, 0xffff
+	        la   r3, out
+	        st   r4, 0(r3)
+	        addi r1, r1, -1
+	        bnez r1, loop
+	        halt
+	.data
+	.org 100000
+	out:    .space 1
+`
+
+func prepare(t *testing.T, src string, dopts distill.Options) (*isa.Program, *distill.Result) {
+	t.Helper()
+	p := asm.MustAssemble(src)
+	prof, err := profile.Collect(p, profile.Options{Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := distill.Distill(p, prof, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, d
+}
+
+func TestRefinementHolds(t *testing.T) {
+	p, d := prepare(t, workloadSrc, distill.DefaultOptions())
+	rep, err := Check(p, d, core.DefaultConfig(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("refinement violated: %v (of %d violations)", rep.FirstViolation(), len(rep.Violations))
+	}
+	if rep.Commits == 0 || rep.RefSteps == 0 {
+		t.Error("audit observed nothing")
+	}
+	if rep.Result.Metrics.Squashes == 0 {
+		t.Log("note: no squashes; hostile premise did not trigger (still a valid audit)")
+	}
+	if rep.FullChecks == 0 {
+		t.Error("no full memory checks")
+	}
+}
+
+func TestRefinementHoldsAcrossConfigs(t *testing.T) {
+	p, d := prepare(t, workloadSrc, distill.DefaultOptions())
+	configs := map[string]func(*core.Config){
+		"one-slave":    func(c *core.Config) { c.Slaves = 1 },
+		"sixteen":      func(c *core.Config) { c.Slaves = 16 },
+		"tiny-cap":     func(c *core.Config) { c.MaxTaskLen = 30 },
+		"wide-spacing": func(c *core.Config) { c.MinTaskSpacing = 500 },
+		"no-spacing":   func(c *core.Config) { c.MinTaskSpacing = 0 },
+		"slow-spawn":   func(c *core.Config) { c.SpawnLatency = 1000 },
+	}
+	for name, mod := range configs {
+		t.Run(name, func(t *testing.T) {
+			cfg := core.DefaultConfig()
+			mod(&cfg)
+			rep, err := Check(p, d, cfg, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK {
+				t.Fatalf("refinement violated: %v", rep.FirstViolation())
+			}
+		})
+	}
+}
+
+// The paper's central claim: correctness cannot depend on what the master
+// executes. Corrupt the distilled program arbitrarily and the machine must
+// still refine SEQ.
+func TestRefinementSurvivesCorruptDistilledCode(t *testing.T) {
+	p, _ := prepare(t, workloadSrc, distill.DefaultOptions())
+
+	for seed := int64(1); seed <= 8; seed++ {
+		_, d := prepare(t, workloadSrc, distill.DefaultOptions())
+		rng := rand.New(rand.NewSource(seed))
+		words := d.Prog.Code.Words
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			idx := rng.Intn(len(words))
+			switch rng.Intn(3) {
+			case 0: // random garbage word
+				words[idx] = rng.Uint64()
+			case 1: // flip one bit
+				words[idx] ^= 1 << uint(rng.Intn(64))
+			case 2: // replace with a random valid-looking instruction
+				words[idx] = isa.Encode(isa.Inst{
+					Op:  isa.Op(rng.Intn(40)),
+					Rd:  uint8(rng.Intn(isa.NumRegs)),
+					Rs1: uint8(rng.Intn(isa.NumRegs)),
+					Rs2: uint8(rng.Intn(isa.NumRegs)),
+					Imm: int64(int32(rng.Uint32())),
+				})
+			}
+		}
+
+		cfg := core.DefaultConfig()
+		cfg.MaxTaskLen = 5_000 // keep wrong-path tasks cheap
+		cfg.MasterRunaheadCap = 50_000
+		cfg.MaxCommitted = 50_000_000
+		opts := DefaultOptions()
+		opts.FullCheckEvery = 16
+		rep, err := Check(p, d, cfg, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.OK {
+			t.Fatalf("seed %d: corrupted master broke architected state: %v", seed, rep.FirstViolation())
+		}
+	}
+}
+
+// An adversarial "distiller" that returns an arbitrary program: the
+// machine must fall back to sequential execution and still be correct.
+func TestRefinementSurvivesUnrelatedDistilledProgram(t *testing.T) {
+	p, d := prepare(t, workloadSrc, distill.DefaultOptions())
+	// Replace the distilled code with one that halts immediately.
+	d.Prog.Code.Words = []uint64{isa.Encode(isa.Inst{Op: isa.OpHalt})}
+	d.Prog.Entry = d.Prog.Code.Base
+	// Break the translation map too: everything maps to the halt.
+	for k := range d.OrigToDist {
+		d.OrigToDist[k] = d.Prog.Code.Base
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.MaxTaskLen = 5_000
+	rep, err := Check(p, d, cfg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("hostile distilled program broke correctness: %v", rep.FirstViolation())
+	}
+	if rep.Result.Metrics.SeqFallbackInsts == 0 && rep.Result.Metrics.TasksCommitted == 0 {
+		t.Error("machine made progress through no visible mechanism")
+	}
+}
+
+func TestCheckDetectsViolations(t *testing.T) {
+	// Sanity-check the auditor itself: a hook that corrupts architected
+	// state after the engine commits must be flagged.
+	p, d := prepare(t, workloadSrc, distill.DefaultOptions())
+	cfg := core.DefaultConfig()
+	n := 0
+	cfg.OnCommit = func(ev core.CommitEvent) {
+		n++
+		if n == 5 {
+			ev.Arch.WriteReg(4, ev.Arch.ReadReg(4)+1) // sabotage
+		}
+	}
+	rep, err := Check(p, d, cfg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("auditor failed to notice sabotaged architected state")
+	}
+}
+
+func TestReportAccessors(t *testing.T) {
+	r := &Report{}
+	if r.FirstViolation() != nil {
+		t.Error("empty report has a violation")
+	}
+	v := &Violation{Commit: 3, Kind: "pc", Detail: "x"}
+	if v.Error() == "" {
+		t.Error("violation error text empty")
+	}
+}

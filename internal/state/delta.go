@@ -1,0 +1,152 @@
+package state
+
+import (
+	"fmt"
+
+	"mssp/internal/isa"
+	"mssp/internal/mem"
+)
+
+// Delta is a sparse, partial machine state: a set of (cell, value) bindings
+// over registers, memory words, and optionally the program counter. It is
+// the Go realization of the formal model's "machine state that need not hold
+// members for all ISA-visible cells".
+//
+// Deltas serve three roles in the simulator:
+//   - task live-in sets (what a slave read before writing, and from where);
+//   - task live-out sets (the writes a task wants to commit);
+//   - master checkpoint diffs (what the master predicts has changed).
+type Delta struct {
+	Regs       [isa.NumRegs]uint64
+	regPresent uint32 // bit r set when Regs[r] is bound
+	PC         uint64
+	HasPC      bool
+	Mem        *mem.Overlay
+}
+
+// NewDelta returns an empty delta.
+func NewDelta() *Delta {
+	return &Delta{Mem: mem.NewOverlay()}
+}
+
+// SetReg binds register r to v. Binding register 0 is allowed (it will bind
+// the value 0 in well-formed uses) so the algebra stays total.
+func (d *Delta) SetReg(r int, v uint64) {
+	d.Regs[r] = v
+	d.regPresent |= 1 << r
+}
+
+// Reg returns the binding for register r and whether it is present.
+func (d *Delta) Reg(r int) (uint64, bool) {
+	return d.Regs[r], d.regPresent&(1<<r) != 0
+}
+
+// SetPC binds the program counter.
+func (d *Delta) SetPC(pc uint64) {
+	d.PC = pc
+	d.HasPC = true
+}
+
+// SetMem binds memory word addr to v.
+func (d *Delta) SetMem(addr, v uint64) { d.Mem.Set(addr, v) }
+
+// MemVal returns the binding for memory word addr and whether it is present.
+func (d *Delta) MemVal(addr uint64) (uint64, bool) { return d.Mem.Get(addr) }
+
+// Len returns the number of bound cells (registers + memory + PC).
+func (d *Delta) Len() int {
+	n := d.Mem.Len()
+	for r := 0; r < isa.NumRegs; r++ {
+		if d.regPresent&(1<<r) != 0 {
+			n++
+		}
+	}
+	if d.HasPC {
+		n++
+	}
+	return n
+}
+
+// Empty reports whether the delta binds no cells.
+func (d *Delta) Empty() bool { return d.regPresent == 0 && !d.HasPC && d.Mem.Len() == 0 }
+
+// Clone returns an independent copy. Memory bindings are shared
+// copy-on-write.
+func (d *Delta) Clone() *Delta {
+	c := *d
+	c.Mem = d.Mem.Snapshot()
+	return &c
+}
+
+// Superimpose overwrites d's bindings with e's (d ← e), returning d.
+// Cells bound only in d keep their values; cells bound in e take e's values.
+func (d *Delta) Superimpose(e *Delta) *Delta {
+	for r := 0; r < isa.NumRegs; r++ {
+		if e.regPresent&(1<<r) != 0 {
+			d.SetReg(r, e.Regs[r])
+		}
+	}
+	if e.HasPC {
+		d.SetPC(e.PC)
+	}
+	e.Mem.Range(func(a, v uint64) bool {
+		d.Mem.Set(a, v)
+		return true
+	})
+	return d
+}
+
+// ConsistentWith reports whether every cell d binds is bound to the same
+// value in e (d ⊑ e over deltas; cells absent from e make the check fail).
+func (d *Delta) ConsistentWith(e *Delta) bool {
+	for r := 0; r < isa.NumRegs; r++ {
+		if d.regPresent&(1<<r) != 0 {
+			v, ok := e.Reg(r)
+			if !ok || v != d.Regs[r] {
+				return false
+			}
+		}
+	}
+	if d.HasPC && (!e.HasPC || d.PC != e.PC) {
+		return false
+	}
+	ok := true
+	d.Mem.Range(func(a, v uint64) bool {
+		ev, present := e.Mem.Get(a)
+		if !present || ev != v {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Equal reports whether two deltas bind exactly the same cells to the same
+// values.
+func (d *Delta) Equal(e *Delta) bool {
+	return d.ConsistentWith(e) && e.ConsistentWith(d)
+}
+
+// String renders the delta deterministically (registers ascending, then PC,
+// then memory ascending). Intended for tests and debugging.
+func (d *Delta) String() string {
+	out := "{"
+	sep := ""
+	for r := 0; r < isa.NumRegs; r++ {
+		if d.regPresent&(1<<r) != 0 {
+			out += fmt.Sprintf("%sr%d=%d", sep, r, d.Regs[r])
+			sep = " "
+		}
+	}
+	if d.HasPC {
+		out += fmt.Sprintf("%spc=%d", sep, d.PC)
+		sep = " "
+	}
+	for _, a := range sortedAddrs(d.Mem) {
+		v, _ := d.Mem.Get(a)
+		out += fmt.Sprintf("%sm%d=%d", sep, a, v)
+		sep = " "
+	}
+	return out + "}"
+}

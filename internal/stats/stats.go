@@ -1,0 +1,202 @@
+// Package stats provides the small numeric and rendering helpers the
+// experiment harness uses: geometric means, ASCII tables matching the
+// paper's rows, and ASCII series/bar charts standing in for its figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (NaN for empty or non-positive
+// inputs treated as skipped; returns 0 if nothing remains).
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Table accumulates rows and renders a fixed-width ASCII table.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; cells are formatted with %v, floats with 3 decimals.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is a labeled sequence of (x, y) points — one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a set of series sharing an x axis, rendered as an ASCII chart.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends a series and returns it.
+func (f *Figure) Add(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Point appends one point to the series.
+func (s *Series) Point(x, y float64) { s.X = append(s.X, x); s.Y = append(s.Y, y) }
+
+// String renders the figure as a table of series values plus a bar sketch
+// per series — enough to read off the shape the paper's figure shows.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	// Collect the union of x values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-16s", f.XLabel+":")
+	for _, x := range xs {
+		fmt.Fprintf(&b, " %10s", trimFloat(x))
+	}
+	b.WriteByte('\n')
+	ymax := 0.0
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-16s", s.Name)
+		byX := map[float64]float64{}
+		for i, x := range s.X {
+			byX[x] = s.Y[i]
+		}
+		for _, x := range xs {
+			if y, ok := byX[x]; ok {
+				fmt.Fprintf(&b, " %10s", trimFloat(y))
+			} else {
+				fmt.Fprintf(&b, " %10s", "-")
+			}
+		}
+		b.WriteByte('\n')
+		// Bar sketch.
+		fmt.Fprintf(&b, "%-16s", "")
+		for _, x := range xs {
+			y := byX[x]
+			n := 0
+			if ymax > 0 {
+				n = int(math.Round(y / ymax * 10))
+			}
+			fmt.Fprintf(&b, " %10s", strings.Repeat("#", n))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(y: %s)\n", f.YLabel)
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e9 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.3f", x)
+}

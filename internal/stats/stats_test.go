@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("Geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v", g)
+	}
+	// Non-positive and NaN values are skipped.
+	if g := Geomean([]float64{4, 0, -1, math.NaN()}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("Geomean with junk = %v, want 4", g)
+	}
+	if g := Geomean([]float64{0}); g != 0 {
+		t.Errorf("Geomean(0) = %v", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T1: config", "param", "value")
+	tb.Row("slaves", 7)
+	tb.Row("cpi", 1.25)
+	out := tb.String()
+	for _, want := range []string{"T1: config", "param", "value", "slaves", "7", "1.250", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Column alignment: all lines after the title equal width-ish — check
+	// the header and separator have the same leading column width.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatal("too few lines")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := NewFigure("F3: speedup vs CPUs", "cpus", "speedup")
+	s := f.Add("compress")
+	s.Point(2, 1.1)
+	s.Point(4, 1.3)
+	s.Point(8, 1.5)
+	g := f.Add("graphwalk")
+	g.Point(2, 0.9)
+	g.Point(8, 1.0)
+	out := f.String()
+	for _, want := range []string{"F3: speedup vs CPUs", "compress", "graphwalk", "cpus:", "1.500", "#", "(y: speedup)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	// Missing x for graphwalk at 4 renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Error("missing point not rendered")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(8) != "8" {
+		t.Errorf("trimFloat(8) = %q", trimFloat(8))
+	}
+	if trimFloat(1.25) != "1.250" {
+		t.Errorf("trimFloat(1.25) = %q", trimFloat(1.25))
+	}
+}

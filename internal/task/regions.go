@@ -1,0 +1,19 @@
+package task
+
+// AddrRange is a half-open word-address interval [Lo, Hi).
+type AddrRange struct {
+	Lo, Hi uint64
+}
+
+// Contains reports whether addr falls in the range.
+func (r AddrRange) Contains(addr uint64) bool { return addr >= r.Lo && addr < r.Hi }
+
+// inRegions reports whether addr falls in any of the ranges.
+func inRegions(regions []AddrRange, addr uint64) bool {
+	for _, r := range regions {
+		if r.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,264 @@
+// Package task implements MSSP tasks: bounded regions of original-program
+// execution performed speculatively by slave processors.
+//
+// A task is spawned with a checkpoint (the master's predicted register file
+// and memory diff) and a snapshot of architected state as of the spawn. The
+// slave executes the original program from the task's start PC, reading
+// unknown values through the checkpoint overlay and falling back to the
+// architected snapshot, while recording everything it read before writing
+// (the live-in set) and everything it wrote (the live-out set). This is the
+// ⟨S_in, n, S_out, k⟩ task tuple of the formal MSSP model, with the live-in
+// set accumulated lazily as the actual read-before-write footprint.
+//
+// Task execution never touches architected state; the verify/commit unit
+// (internal/core) decides later whether the recorded live-ins are consistent
+// with architected state and, only then, superimposes the live-outs.
+package task
+
+import (
+	"mssp/internal/cpu"
+	"mssp/internal/isa"
+	"mssp/internal/mem"
+	"mssp/internal/state"
+)
+
+// Checkpoint is the master's prediction of machine state at a task boundary.
+type Checkpoint struct {
+	// Regs is the full predicted register file.
+	Regs [isa.NumRegs]uint64
+	// MemDiff holds the memory words the master has written since it was
+	// last reseeded from architected state; reads outside the diff fall
+	// through to the architected snapshot.
+	MemDiff *mem.Overlay
+	// NewDiffWords is the number of diff words added since the previous
+	// checkpoint (checkpoint traffic, for the bandwidth experiments).
+	NewDiffWords int
+	// FullMem, when non-nil, is the master's entire memory image at the
+	// fork: the "master supplies all data" design alternative the paper
+	// rejects on bandwidth grounds (slave data reads then never consult
+	// architected state). Instruction fetches still come from the
+	// architected snapshot — slaves always execute the original program.
+	FullMem *mem.Memory
+}
+
+// Task is one speculative work unit.
+type Task struct {
+	// ID is the task's position in the fork sequence (0-based).
+	ID uint64
+	// Start is the original-program PC the task begins at.
+	Start uint64
+	// End is the original-program PC at which the task completes (the next
+	// task's start). The task completes at the EndCount-th dynamic
+	// occurrence of End: when the master skips fork points to enforce a
+	// minimum task spacing, it may cross the end anchor several times
+	// within one task, and the slave must let the same number of
+	// occurrences pass. If HasEnd is false the task runs until halt or
+	// the cap.
+	End      uint64
+	EndCount uint64 // occurrences of End to consume; 0 behaves as 1
+	HasEnd   bool
+	// Checkpoint is the master's state prediction at Start.
+	Checkpoint Checkpoint
+	// Snap is the architected state as of the spawn. The slave reads
+	// values the master did not predict from here, and fetches original-
+	// program code from here.
+	Snap *state.State
+	// NonSpec lists address ranges that must not be accessed
+	// speculatively (memory-mapped I/O and other non-idempotent state).
+	// A task touching one stops with OutcomeNonSpec and is executed
+	// non-speculatively by the machine instead.
+	NonSpec []AddrRange
+}
+
+// Outcome classifies how a task execution ended.
+type Outcome int
+
+const (
+	// OutcomeReachedEnd: the task reached its end PC.
+	OutcomeReachedEnd Outcome = iota
+	// OutcomeHalted: the task executed a halt instruction.
+	OutcomeHalted
+	// OutcomeOverflow: the instruction cap was hit before the end PC.
+	OutcomeOverflow
+	// OutcomeFault: the slave decoded an invalid instruction word
+	// (possible when seeded with garbage predictions).
+	OutcomeFault
+	// OutcomeNonSpec: the task touched a non-speculative region and must
+	// be re-executed non-speculatively.
+	OutcomeNonSpec
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeReachedEnd:
+		return "reached-end"
+	case OutcomeHalted:
+		return "halted"
+	case OutcomeOverflow:
+		return "overflow"
+	case OutcomeFault:
+		return "fault"
+	case OutcomeNonSpec:
+		return "nonspec"
+	}
+	return "unknown"
+}
+
+// Exec is the result of executing a task on a slave.
+type Exec struct {
+	Outcome Outcome
+	// Steps is the number of original-program instructions executed (#t).
+	Steps uint64
+	// LiveIn is everything the slave read before writing, with the values
+	// it observed (from the checkpoint overlay or the snapshot).
+	LiveIn *state.Delta
+	// LiveOut is everything the slave wrote, plus the final PC.
+	// Committing a safe task is exactly arch.Apply(LiveOut).
+	LiveOut *state.Delta
+}
+
+// slaveEnv implements cpu.Env with live-in/live-out capture over the
+// checkpoint overlay and architected snapshot.
+type slaveEnv struct {
+	t *Task
+
+	regs       [isa.NumRegs]uint64
+	regWritten uint32
+	regRead    uint32
+
+	writes *mem.Overlay // local write buffer (live-outs)
+	liveIn *state.Delta
+
+	pc uint64
+	// nonSpecHit is set when an access touches a non-speculative region.
+	nonSpecHit bool
+}
+
+func newSlaveEnv(t *Task) *slaveEnv {
+	e := &slaveEnv{
+		t:      t,
+		regs:   t.Checkpoint.Regs,
+		writes: mem.NewOverlay(),
+		liveIn: state.NewDelta(),
+		pc:     t.Start,
+	}
+	return e
+}
+
+func (e *slaveEnv) ReadReg(r int) uint64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	bit := uint32(1) << r
+	if e.regWritten&bit == 0 && e.regRead&bit == 0 {
+		e.regRead |= bit
+		e.liveIn.SetReg(r, e.regs[r])
+	}
+	return e.regs[r]
+}
+
+func (e *slaveEnv) WriteReg(r int, v uint64) {
+	if r == isa.RegZero {
+		return
+	}
+	e.regWritten |= 1 << r
+	e.regs[r] = v
+}
+
+func (e *slaveEnv) ReadMem(addr uint64) uint64 {
+	if inRegions(e.t.NonSpec, addr) {
+		e.nonSpecHit = true
+	}
+	if v, ok := e.writes.Get(addr); ok {
+		return v
+	}
+	var v uint64
+	if cv, ok := e.t.Checkpoint.MemDiff.Get(addr); ok {
+		v = cv
+	} else if e.t.Checkpoint.FullMem != nil {
+		v = e.t.Checkpoint.FullMem.Read(addr)
+	} else {
+		v = e.t.Snap.Mem.Read(addr)
+	}
+	if _, seen := e.liveIn.MemVal(addr); !seen {
+		e.liveIn.SetMem(addr, v)
+	}
+	return v
+}
+
+func (e *slaveEnv) WriteMem(addr, v uint64) {
+	if inRegions(e.t.NonSpec, addr) {
+		e.nonSpecHit = true
+	}
+	e.writes.Set(addr, v)
+}
+
+// Fetch reads instruction words from the architected snapshot only: MIR
+// programs are not self-modifying and, like the real MSSP hardware, the
+// verify unit does not track code reads.
+func (e *slaveEnv) Fetch(addr uint64) uint64 { return e.t.Snap.Mem.Read(addr) }
+
+func (e *slaveEnv) PC() uint64      { return e.pc }
+func (e *slaveEnv) SetPC(pc uint64) { e.pc = pc }
+
+var _ cpu.Env = (*slaveEnv)(nil)
+
+// Execute runs the task to completion on a virtual slave processor,
+// executing at most cap instructions.
+func (t *Task) Execute(cap uint64) *Exec {
+	env := newSlaveEnv(t)
+	ex := &Exec{LiveIn: env.liveIn, LiveOut: state.NewDelta()}
+
+	remaining := t.EndCount
+	if remaining == 0 {
+		remaining = 1
+	}
+	for ex.Steps < cap {
+		in, err := cpu.Step(env)
+		if err != nil {
+			ex.Outcome = OutcomeFault
+			t.finish(env, ex)
+			return ex
+		}
+		ex.Steps++
+		if env.nonSpecHit {
+			// The offending instruction's effects stay in the local
+			// buffers and are discarded with the task; the machine
+			// performs the access non-speculatively instead.
+			ex.Outcome = OutcomeNonSpec
+			t.finish(env, ex)
+			return ex
+		}
+		if in.Op == isa.OpHalt {
+			ex.Outcome = OutcomeHalted
+			t.finish(env, ex)
+			return ex
+		}
+		if t.HasEnd && env.pc == t.End {
+			remaining--
+			if remaining == 0 {
+				ex.Outcome = OutcomeReachedEnd
+				t.finish(env, ex)
+				return ex
+			}
+		}
+	}
+	ex.Outcome = OutcomeOverflow
+	t.finish(env, ex)
+	return ex
+}
+
+// finish assembles the live-out delta: written registers, the write buffer,
+// and the final PC.
+func (t *Task) finish(env *slaveEnv, ex *Exec) {
+	for r := 1; r < isa.NumRegs; r++ {
+		if env.regWritten&(1<<r) != 0 {
+			ex.LiveOut.SetReg(r, env.regs[r])
+		}
+	}
+	env.writes.Range(func(a, v uint64) bool {
+		ex.LiveOut.SetMem(a, v)
+		return true
+	})
+	ex.LiveOut.SetPC(env.pc)
+}

@@ -1,0 +1,263 @@
+package task
+
+import (
+	"testing"
+
+	"mssp/internal/asm"
+	"mssp/internal/cpu"
+	"mssp/internal/isa"
+	"mssp/internal/mem"
+	"mssp/internal/state"
+)
+
+// mkTask builds a task over the given program with an empty checkpoint diff
+// and registers copied from the architected snapshot (a trivially safe
+// checkpoint).
+func mkTask(t *testing.T, src string, start, end uint64, hasEnd bool) (*Task, *state.State) {
+	t.Helper()
+	p := asm.MustAssemble(src)
+	arch := state.NewFromProgram(p, 1<<19)
+	arch.PC = start
+	tk := &Task{
+		Start:  start,
+		End:    end,
+		HasEnd: hasEnd,
+		Checkpoint: Checkpoint{
+			Regs:    arch.Regs,
+			MemDiff: mem.NewOverlay(),
+		},
+		Snap: arch.Clone(),
+	}
+	return tk, arch
+}
+
+const sumSrc = `
+	        ldi  r1, 5          ; 0
+	loop:   add  r2, r2, r1     ; 1
+	        addi r1, r1, -1     ; 2
+	        bnez r1, loop       ; 3
+	        halt                ; 4
+`
+
+func TestExecuteToHalt(t *testing.T) {
+	tk, arch := mkTask(t, sumSrc, 0, 0, false)
+	ex := tk.Execute(1000)
+	if ex.Outcome != OutcomeHalted {
+		t.Fatalf("outcome = %v, want halted", ex.Outcome)
+	}
+	if ex.Steps != 17 { // 1 + 3*5 + 1
+		t.Errorf("steps = %d, want 17", ex.Steps)
+	}
+	if v, ok := ex.LiveOut.Reg(2); !ok || v != 15 {
+		t.Errorf("live-out r2 = %d,%v, want 15", v, ok)
+	}
+	if !ex.LiveOut.HasPC || ex.LiveOut.PC != 4 {
+		t.Errorf("live-out PC = %v,%d, want 4", ex.LiveOut.HasPC, ex.LiveOut.PC)
+	}
+	// Committing the live-outs must reproduce sequential execution.
+	seqState := arch.Clone()
+	if _, err := cpu.Seq(seqState, 17); err != nil {
+		t.Fatal(err)
+	}
+	arch.Apply(ex.LiveOut)
+	if !arch.Equal(seqState) {
+		t.Error("commit does not match sequential execution (task safety violated)")
+	}
+}
+
+func TestExecuteToEndPC(t *testing.T) {
+	// End at the loop header: exactly one iteration (3 instructions after
+	// the first visit).
+	tk, _ := mkTask(t, sumSrc, 1, 1, true)
+	tk.Checkpoint.Regs[1] = 5
+	tk.Snap.WriteReg(1, 5)
+	ex := tk.Execute(1000)
+	if ex.Outcome != OutcomeReachedEnd {
+		t.Fatalf("outcome = %v, want reached-end", ex.Outcome)
+	}
+	if ex.Steps != 3 {
+		t.Errorf("steps = %d, want 3 (one loop iteration)", ex.Steps)
+	}
+	if !ex.LiveOut.HasPC || ex.LiveOut.PC != 1 {
+		t.Errorf("final PC = %d, want 1", ex.LiveOut.PC)
+	}
+}
+
+func TestStartEqualsEndRunsAtLeastOnce(t *testing.T) {
+	tk, _ := mkTask(t, sumSrc, 1, 1, true)
+	tk.Checkpoint.Regs[1] = 5
+	ex := tk.Execute(1000)
+	if ex.Steps == 0 {
+		t.Error("task with start==end terminated without executing")
+	}
+}
+
+func TestOverflow(t *testing.T) {
+	tk, _ := mkTask(t, "spin: j spin\nhalt", 0, 1, true)
+	ex := tk.Execute(50)
+	if ex.Outcome != OutcomeOverflow || ex.Steps != 50 {
+		t.Errorf("outcome = %v steps = %d, want overflow at 50", ex.Outcome, ex.Steps)
+	}
+}
+
+func TestFaultOnGarbage(t *testing.T) {
+	tk, _ := mkTask(t, "halt", 0, 0, false)
+	tk.Start = 999 // garbage PC: memory there holds zero words
+	tk.Snap.Mem.Write(999, ^uint64(0))
+	env := &Task{
+		Start:      999,
+		Checkpoint: tk.Checkpoint,
+		Snap:       tk.Snap,
+	}
+	ex := env.Execute(10)
+	if ex.Outcome != OutcomeFault {
+		t.Errorf("outcome = %v, want fault", ex.Outcome)
+	}
+}
+
+func TestLiveInCapturesReadBeforeWrite(t *testing.T) {
+	src := `
+		start:  add  r3, r1, r2   ; reads r1, r2
+		        ldi  r1, 9        ; writes r1 (already read)
+		        add  r4, r1, r1   ; r1 now local, not a live-in
+		        ld   r5, 0(r6)    ; reads r6 (reg) and mem[100]
+		        st   r5, 1(r6)    ; store to mem[101]
+		        ld   r7, 1(r6)    ; reads own store: not a live-in
+		        halt
+	`
+	tk, _ := mkTask(t, src, 0, 0, false)
+	tk.Checkpoint.Regs[1] = 10
+	tk.Checkpoint.Regs[2] = 20
+	tk.Checkpoint.Regs[6] = 100
+	tk.Snap.Mem.Write(100, 77)
+	ex := tk.Execute(100)
+	if ex.Outcome != OutcomeHalted {
+		t.Fatalf("outcome = %v", ex.Outcome)
+	}
+
+	// Live-in registers: r1, r2, r6 — not r3/r4/r5/r7 (written first).
+	for _, want := range []struct {
+		r int
+		v uint64
+	}{{1, 10}, {2, 20}, {6, 100}} {
+		if v, ok := ex.LiveIn.Reg(want.r); !ok || v != want.v {
+			t.Errorf("live-in r%d = %d,%v, want %d", want.r, v, ok, want.v)
+		}
+	}
+	for _, r := range []int{3, 4, 5, 7} {
+		if _, ok := ex.LiveIn.Reg(r); ok {
+			t.Errorf("r%d recorded as live-in but was written first", r)
+		}
+	}
+	// Live-in memory: address 100 only (101 was written first).
+	if v, ok := ex.LiveIn.MemVal(100); !ok || v != 77 {
+		t.Errorf("live-in m100 = %d,%v, want 77", v, ok)
+	}
+	if _, ok := ex.LiveIn.MemVal(101); ok {
+		t.Error("m101 recorded as live-in but was written first")
+	}
+	// Live-outs: r1 (rewritten), r3, r4, r5, r7, m101.
+	if v, ok := ex.LiveOut.MemVal(101); !ok || v != 77 {
+		t.Errorf("live-out m101 = %d,%v, want 77", v, ok)
+	}
+	if v, ok := ex.LiveOut.Reg(3); !ok || v != 30 {
+		t.Errorf("live-out r3 = %d,%v, want 30", v, ok)
+	}
+}
+
+func TestCheckpointDiffOverridesSnapshot(t *testing.T) {
+	src := `
+		ld r1, 0(r0)      ; but r0 base: reads mem[500]? no: addr = 0+imm
+		halt
+	`
+	_ = src
+	// Build directly: ld r1, 500(r0); halt.
+	p := &isa.Program{
+		Entry: 0,
+		Code: isa.Segment{Base: 0, Words: []uint64{
+			isa.Encode(isa.Inst{Op: isa.OpLd, Rd: 1, Rs1: 0, Imm: 500}),
+			isa.Encode(isa.Inst{Op: isa.OpHalt}),
+		}},
+	}
+	arch := state.NewFromProgram(p, 1<<19)
+	arch.Mem.Write(500, 1) // stale architected value
+	diff := mem.NewOverlay()
+	diff.Set(500, 2) // master predicts 2
+	tk := &Task{
+		Start:      0,
+		Checkpoint: Checkpoint{Regs: arch.Regs, MemDiff: diff},
+		Snap:       arch.Clone(),
+	}
+	ex := tk.Execute(10)
+	if ex.Outcome != OutcomeHalted {
+		t.Fatalf("outcome = %v", ex.Outcome)
+	}
+	if v, ok := ex.LiveIn.MemVal(500); !ok || v != 2 {
+		t.Errorf("live-in m500 = %d, want the checkpoint value 2", v)
+	}
+	if v, _ := ex.LiveOut.Reg(1); v != 2 {
+		t.Errorf("r1 = %d, want 2", v)
+	}
+}
+
+func TestWrongCheckpointDetectableAtVerify(t *testing.T) {
+	// The slave computes with a wrong register prediction; the live-in
+	// record must expose it against architected state.
+	tk, arch := mkTask(t, sumSrc, 0, 0, false)
+	tk.Checkpoint.Regs[2] = 999 // master mispredicts r2 (accumulator seed)
+	ex := tk.Execute(1000)
+	if ex.Outcome != OutcomeHalted {
+		t.Fatalf("outcome = %v", ex.Outcome)
+	}
+	if arch.Consistent(ex.LiveIn) {
+		t.Error("wrong checkpoint value not visible in live-in set")
+	}
+}
+
+func TestExecutionIsolatedFromArchitectedState(t *testing.T) {
+	tk, arch := mkTask(t, sumSrc, 0, 0, false)
+	before := arch.Clone()
+	_ = tk.Execute(1000)
+	if !arch.Equal(before) {
+		t.Error("task execution mutated architected state")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OutcomeReachedEnd: "reached-end",
+		OutcomeHalted:     "halted",
+		OutcomeOverflow:   "overflow",
+		OutcomeFault:      "fault",
+		Outcome(99):       "unknown",
+	} {
+		if o.String() != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+// Tasks with identical inputs must produce identical results even when
+// executed concurrently (slave independence).
+func TestConcurrentExecutionIndependence(t *testing.T) {
+	mk := func() *Task {
+		tk, _ := mkTask(t, sumSrc, 0, 0, false)
+		return tk
+	}
+	ref := mk().Execute(1000)
+	const n = 16
+	results := make(chan *Exec, n)
+	for i := 0; i < n; i++ {
+		tk := mk()
+		go func() { results <- tk.Execute(1000) }()
+	}
+	for i := 0; i < n; i++ {
+		ex := <-results
+		if ex.Outcome != ref.Outcome || ex.Steps != ref.Steps {
+			t.Fatalf("concurrent divergence: %v/%d vs %v/%d", ex.Outcome, ex.Steps, ref.Outcome, ref.Steps)
+		}
+		if !ex.LiveOut.Equal(ref.LiveOut) || !ex.LiveIn.Equal(ref.LiveIn) {
+			t.Fatal("concurrent live set divergence")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package trace records the observable events of an MSSP run — commits and
+// squashes, in order — and renders them as a compact textual timeline.
+// It exists for debugging and for tests that assert on event sequences;
+// attach a Recorder to a machine through core.Config's hooks.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"mssp/internal/core"
+)
+
+// Kind classifies a recorded event.
+type Kind int
+
+const (
+	// KindCommit is a committed task.
+	KindCommit Kind = iota
+	// KindFallback is a sequential non-speculative chunk.
+	KindFallback
+	// KindSquash is a pipeline squash.
+	KindSquash
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCommit:
+		return "commit"
+	case KindFallback:
+		return "fallback"
+	case KindSquash:
+		return "squash"
+	}
+	return "unknown"
+}
+
+// Event is one recorded machine event.
+type Event struct {
+	Kind   Kind
+	TaskID uint64
+	Start  uint64 // original PC (commits/squashes)
+	Steps  uint64 // instructions (commits/fallback)
+	Reason string // squash reason
+	Halted bool
+}
+
+// Recorder accumulates events. Attach with Attach; a zero Recorder is
+// ready to use. Recorder is not safe for concurrent use, matching the
+// machine's single-threaded hook contract.
+type Recorder struct {
+	Events []Event
+	// Cap bounds the number of retained events (0 = unbounded). When
+	// full, the oldest events are dropped and Dropped counts them.
+	Cap     int
+	Dropped uint64
+}
+
+// Attach hooks the recorder into a machine configuration, chaining any
+// hooks already present.
+func (r *Recorder) Attach(cfg *core.Config) {
+	prevCommit := cfg.OnCommit
+	cfg.OnCommit = func(ev core.CommitEvent) {
+		if prevCommit != nil {
+			prevCommit(ev)
+		}
+		kind := KindCommit
+		if ev.Kind == "fallback" {
+			kind = KindFallback
+		}
+		r.add(Event{
+			Kind:   kind,
+			TaskID: ev.TaskID,
+			Start:  ev.Start,
+			Steps:  ev.Steps,
+			Halted: ev.Halted,
+		})
+	}
+	prevSquash := cfg.OnSquash
+	cfg.OnSquash = func(ev core.SquashEvent) {
+		if prevSquash != nil {
+			prevSquash(ev)
+		}
+		r.add(Event{
+			Kind:   KindSquash,
+			TaskID: ev.TaskID,
+			Start:  ev.Start,
+			Reason: ev.Reason,
+		})
+	}
+}
+
+func (r *Recorder) add(ev Event) {
+	if r.Cap > 0 && len(r.Events) >= r.Cap {
+		n := copy(r.Events, r.Events[1:])
+		r.Events = r.Events[:n]
+		r.Dropped++
+	}
+	r.Events = append(r.Events, ev)
+}
+
+// Summary tallies the recorded events by kind and committed instructions.
+func (r *Recorder) Summary() (commits, fallbacks, squashes int, insts uint64) {
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case KindCommit:
+			commits++
+			insts += ev.Steps
+		case KindFallback:
+			fallbacks++
+			insts += ev.Steps
+		case KindSquash:
+			squashes++
+		}
+	}
+	return
+}
+
+// String renders the timeline, one event per line.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "... %d earlier events dropped ...\n", r.Dropped)
+	}
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case KindCommit:
+			fmt.Fprintf(&b, "commit   task=%-6d start=%-8d #t=%-6d", ev.TaskID, ev.Start, ev.Steps)
+			if ev.Halted {
+				b.WriteString(" HALT")
+			}
+			b.WriteByte('\n')
+		case KindFallback:
+			fmt.Fprintf(&b, "fallback #t=%d", ev.Steps)
+			if ev.Halted {
+				b.WriteString(" HALT")
+			}
+			b.WriteByte('\n')
+		case KindSquash:
+			fmt.Fprintf(&b, "squash   task=%-6d start=%-8d reason=%s\n", ev.TaskID, ev.Start, ev.Reason)
+		}
+	}
+	return b.String()
+}

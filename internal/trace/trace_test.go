@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mssp/internal/asm"
+	"mssp/internal/core"
+	"mssp/internal/distill"
+	"mssp/internal/profile"
+)
+
+const src = `
+	.entry main
+	main:   ldi  r1, 2048
+	        ldi  r4, 1
+	loop:   andi r2, r1, 511
+	        bnez r2, common
+	rare:   muli r4, r4, 17      ; hostile: forces squashes
+	common: addi r4, r4, 1
+	        andi r4, r4, 0xffff
+	        addi r1, r1, -1
+	        bnez r1, loop
+	        halt
+`
+
+func run(t *testing.T, rec *Recorder) *core.Result {
+	t.Helper()
+	p := asm.MustAssemble(src)
+	prof, err := profile.Collect(p, profile.Options{Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := distill.Distill(p, prof, distill.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	rec.Attach(&cfg)
+	m, err := core.New(p, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRecorderCapturesRun(t *testing.T) {
+	var rec Recorder
+	res := run(t, &rec)
+	commits, fallbacks, squashes, insts := rec.Summary()
+	m := res.Metrics
+	if uint64(commits) != m.TasksCommitted {
+		t.Errorf("recorded %d commits, machine committed %d tasks", commits, m.TasksCommitted)
+	}
+	if uint64(squashes) != m.Squashes {
+		t.Errorf("recorded %d squashes, machine squashed %d", squashes, m.Squashes)
+	}
+	if insts != m.CommittedInsts {
+		t.Errorf("recorded %d instructions, machine committed %d", insts, m.CommittedInsts)
+	}
+	_ = fallbacks
+	out := rec.String()
+	if !strings.Contains(out, "commit") {
+		t.Error("timeline lacks commits")
+	}
+	if m.Squashes > 0 && !strings.Contains(out, "squash") {
+		t.Error("timeline lacks squashes despite machine squashing")
+	}
+	if !strings.Contains(out, "HALT") {
+		t.Error("timeline does not mark the halting commit")
+	}
+	// The last event must be the halting advance.
+	last := rec.Events[len(rec.Events)-1]
+	if !last.Halted {
+		t.Errorf("last event = %+v, want the halting one", last)
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	rec := Recorder{Cap: 8}
+	run(t, &rec)
+	if len(rec.Events) > 8 {
+		t.Errorf("cap exceeded: %d events", len(rec.Events))
+	}
+	if rec.Dropped == 0 {
+		t.Error("nothing dropped despite the tiny cap")
+	}
+	if !strings.Contains(rec.String(), "earlier events dropped") {
+		t.Error("timeline does not note dropped events")
+	}
+	// The retained suffix still ends at the halt.
+	if last := rec.Events[len(rec.Events)-1]; !last.Halted {
+		t.Error("cap evicted the wrong end of the ring")
+	}
+}
+
+func TestAttachChainsHooks(t *testing.T) {
+	p := asm.MustAssemble(src)
+	prof, err := profile.Collect(p, profile.Options{Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := distill.Distill(p, prof, distill.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	userCommits, userSquashes := 0, 0
+	cfg.OnCommit = func(core.CommitEvent) { userCommits++ }
+	cfg.OnSquash = func(core.SquashEvent) { userSquashes++ }
+	var rec Recorder
+	rec.Attach(&cfg)
+	m, err := core.New(p, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(userCommits) != res.Metrics.TasksCommitted+boolToU64(res.Metrics.SeqFallbackInsts > 0) {
+		// Fallback chunks also fire the commit hook; allow either exact
+		// task count or task count plus fallback events.
+		if userCommits == 0 {
+			t.Error("user commit hook lost")
+		}
+	}
+	if res.Metrics.Squashes > 0 && userSquashes == 0 {
+		t.Error("user squash hook lost")
+	}
+}
+
+func boolToU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

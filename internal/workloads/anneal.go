@@ -1,0 +1,117 @@
+package workloads
+
+import "mssp/internal/isa"
+
+// anneal models vpr's placement kernel: simulated-annealing-style swap
+// moves over a cell-to-slot assignment, driven by an in-program linear
+// congruential generator. The accept/reject branch follows the sign of a
+// data-dependent delta (roughly 50/50 — nothing for the distiller there,
+// like vpr's hard-to-predict branches); the rare full-cost recomputation
+// every 2048 moves is pruned and writes only a private cost log.
+const annealSrc = `
+	.entry main
+	; r1=move r2=nmoves r3=&pos r7=&wt r9=mask r10=checksum r16=lcg
+	main:   la    r3, pos
+	        la    r7, wt
+	        la    r13, nmoves
+	        ld    r2, 0(r13)
+	        ldi   r16, 88172645
+	        ldi   r1, 0
+	        ldi   r10, 0
+	        ldi   r9, 0xfffffff
+	loop:   bge   r1, r2, done        ; loop exit
+	        muli  r16, r16, 1103515245
+	        addi  r16, r16, 12345
+	        andi  r16, r16, 0x3fffffff
+	        srli  r4, r16, 5
+	        andi  r4, r4, 1023        ; cell a
+	        muli  r16, r16, 1103515245
+	        addi  r16, r16, 12345
+	        andi  r16, r16, 0x3fffffff
+	        srli  r5, r16, 7
+	        andi  r5, r5, 1023        ; cell b
+	        add   r11, r3, r4
+	        ld    r12, 0(r11)         ; slot(a)
+	        add   r13, r3, r5
+	        ld    r14, 0(r13)         ; slot(b)
+	        add   r15, r7, r4
+	        ld    r17, 0(r15)         ; w(a)
+	        add   r18, r7, r5
+	        ld    r19, 0(r18)         ; w(b)
+	        sub   r20, r17, r19
+	        sub   r21, r14, r12
+	        mul   r22, r20, r21       ; swap delta
+	        blt   r22, r0, accept     ; ~50/50 data-dependent: kept
+	        xor   r10, r10, r22       ; reject: fold the rejected delta
+	        and   r10, r10, r9
+	        j     chk
+	accept: st    r14, 0(r11)         ; commit the swap
+	        st    r12, 0(r13)
+	        add   r10, r10, r22
+	        and   r10, r10, r9
+	chk:    andi  r23, r1, 2047
+	        bnez  r23, next           ; rare: full cost recompute (pruned)
+	rare:   ldi   r24, 0
+	        ldi   r25, 0
+	cl:     add   r26, r3, r25
+	        ld    r27, 0(r26)
+	        add   r26, r7, r25
+	        ld    r28, 0(r26)
+	        mul   r27, r27, r28
+	        add   r24, r24, r27
+	        and   r24, r24, r9
+	        addi  r25, r25, 1
+	        slti  r26, r25, 1024
+	        bnez  r26, cl
+	        la    r26, costlog        ; write-only result log
+	        srli  r27, r1, 11
+	        andi  r27, r27, 255
+	        add   r26, r26, r27
+	        st    r24, 0(r26)
+	next:   addi  r1, r1, 1
+	        j     loop
+	done:   la    r13, out
+	        st    r10, 0(r13)
+	        halt
+	.data
+	.org 2000000
+	nmoves: .space 1
+	out:    .space 1
+	costlog:.space 256
+	pos:    .space 1024
+	wt:     .space 1024
+`
+
+func annealData(seed uint64) (pos, wt []uint64) {
+	r := newRNG(seed)
+	pos = make([]uint64, 1024)
+	wt = make([]uint64, 1024)
+	for i := range pos {
+		pos[i] = uint64(i)
+		wt[i] = r.intn(1000) + 1
+	}
+	// Shuffle the initial placement.
+	for i := len(pos) - 1; i > 0; i-- {
+		j := r.intn(uint64(i + 1))
+		pos[i], pos[j] = pos[j], pos[i]
+	}
+	return pos, wt
+}
+
+func init() {
+	register(&Workload{
+		Name:        "anneal",
+		Models:      "175.vpr",
+		Description: "annealing-style swap moves with rare cost recomputation",
+		Build: func(s Scale) *isa.Program {
+			moves := sizes(s, 13_000, 95_000)
+			seed := uint64(0xb00b + s)
+			pos, wt := annealData(seed)
+			return build(annealSrc, map[string][]uint64{
+				"nmoves": {uint64(moves)},
+				"pos":    pos,
+				"wt":     wt,
+			})
+		},
+	})
+}

@@ -1,0 +1,92 @@
+package workloads
+
+import "mssp/internal/isa"
+
+// bitops models crafty: bitboard-style manipulation — population counts,
+// shift/xor mixing — over an array of boards. Nearly all state lives in
+// registers and read-only input, so the workload is highly distillation-
+// friendly: the empty-board path and the periodic magic-table rebuild are
+// both pruned, and neither perturbs values later tasks read.
+const bitopsSrc = `
+	.entry main
+	; r1=i r2=n r3=&boards r4=board r5=popcount r9=mask r10=checksum
+	main:   la    r3, boards
+	        la    r13, nwords
+	        ld    r2, 0(r13)
+	        ldi   r1, 0
+	        ldi   r10, 0
+	        ldi   r9, 0x7ffffff
+	loop:   bge   r1, r2, done        ; loop exit
+	        add   r12, r3, r1
+	        ld    r4, 0(r12)
+	        beqz  r4, empty           ; ~1/256 boards are empty (pruned)
+	        mov   r6, r4
+	        ldi   r5, 0
+	pop:    andi  r7, r6, 1
+	        add   r5, r5, r7
+	        srli  r6, r6, 1
+	        bnez  r6, pop             ; data-dependent popcount loop
+	        slli  r7, r4, 13
+	        xor   r7, r7, r4
+	        srli  r8, r7, 7
+	        xor   r7, r7, r8
+	        add   r10, r10, r7
+	        add   r10, r10, r5
+	        and   r10, r10, r9
+	        andi  r7, r1, 255
+	        bnez  r7, next            ; rare: magic-table rebuild (pruned)
+	rare:   la    r14, magic
+	        ldi   r15, 0
+	mag:    add   r16, r14, r15
+	        muli  r17, r15, 11
+	        xor   r17, r17, r1
+	        st    r17, 0(r16)
+	        addi  r15, r15, 1
+	        slti  r16, r15, 512
+	        bnez  r16, mag
+	next:   addi  r1, r1, 1
+	        j     loop
+	empty:  la    r12, emptyctr
+	        st    r1, 0(r12)
+	        j     next
+	done:   la    r13, out
+	        st    r10, 0(r13)
+	        halt
+	.data
+	.org 2000000
+	nwords: .space 1
+	out:    .space 1
+	magic:  .space 512
+	emptyctr: .space 1
+	boards: .space 50000
+`
+
+// bitopsInput generates boards with ~14 significant bits (bounded popcount
+// loops) and an occasional zero board.
+func bitopsInput(seed uint64, n int) []uint64 {
+	r := newRNG(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		if r.intn(256) == 0 {
+			continue // zero board
+		}
+		out[i] = r.next()&0x3fff | 1
+	}
+	return out
+}
+
+func init() {
+	register(&Workload{
+		Name:        "bitops",
+		Models:      "186.crafty",
+		Description: "bitboard popcounts and mixing with rare table rebuilds",
+		Build: func(s Scale) *isa.Program {
+			n := sizes(s, 6_000, 45_000)
+			seed := uint64(0x2002 + s)
+			return build(bitopsSrc, map[string][]uint64{
+				"nwords": {uint64(n)},
+				"boards": bitopsInput(seed, n),
+			})
+		},
+	})
+}

@@ -1,0 +1,107 @@
+package workloads
+
+import "mssp/internal/isa"
+
+// compress models gzip: run-length encoding over a byte-like stream with a
+// skewed run-length distribution. The hot loop has a moderately biased
+// run-continuation branch (kept by the distiller), a never-taken input
+// validation branch guarding an error path (pruned and dropped), and a
+// rare long-run path that snapshots a dictionary into private scratch
+// (pruned and dropped; write-only, so skipping it rarely perturbs live-ins).
+const compressSrc = `
+	.entry main
+	; r1=i r2=n r3=&input r4=outptr r5=prev r6=runlen r7=cur
+	; r10=checksum r11=&scratch r9=mask
+	main:   la    r3, input
+	        la    r4, outbuf
+	        la    r11, scratch
+	        la    r12, nwords
+	        ld    r2, 0(r12)
+	        ldi   r1, 0
+	        ldi   r5, -1
+	        ldi   r6, 0
+	        ldi   r10, 0
+	        ldi   r9, 0xffffff
+	iloop:  bge   r1, r2, flush       ; loop exit
+	        add   r12, r3, r1
+	        ld    r7, 0(r12)
+	        sltui r13, r7, 16
+	        beqz  r13, badval         ; never taken: input validation
+	        beq   r7, r5, same        ; run continues (~0.86 taken)
+	        beqz  r6, newrun          ; first element only
+	        st    r5, 0(r4)           ; emit (value, runlen)
+	        st    r6, 1(r4)
+	        addi  r4, r4, 2
+	        xor   r10, r10, r5
+	        add   r10, r10, r6
+	        muli  r10, r10, 3
+	        and   r10, r10, r9
+	newrun: mov   r5, r7
+	        ldi   r6, 1
+	        j     next
+	same:   addi  r6, r6, 1
+	        ldi   r13, 32
+	        bne   r6, r13, next       ; long-run start is rare (~0.998 taken)
+	rare:   ldi   r14, 0              ; dictionary snapshot: 96 private stores
+	rloop:  add   r15, r11, r14
+	        muli  r16, r14, 7
+	        add   r16, r16, r1
+	        st    r16, 0(r15)
+	        addi  r14, r14, 1
+	        slti  r13, r14, 224
+	        bnez  r13, rloop
+	next:   addi  r1, r1, 1
+	        j     iloop
+	flush:  beqz  r6, store
+	        st    r5, 0(r4)
+	        st    r6, 1(r4)
+	        xor   r10, r10, r5
+	        add   r10, r10, r6
+	store:  la    r13, out
+	        st    r10, 0(r13)
+	        halt
+	badval: ldi   r10, -1
+	        j     store
+	.data
+	.org 2000000
+	nwords: .space 1
+	out:    .space 1
+	scratch:.space 256
+	outbuf: .space 250000
+	input:  .space 250000
+`
+
+// compressInput generates a run-structured stream: runs of values 0..15,
+// mostly short (geometric, mean ~6), with ~5% long runs (36..80).
+func compressInput(seed uint64, n int) []uint64 {
+	r := newRNG(seed)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		v := r.intn(16)
+		runLen := 1 + int(r.intn(5)+r.intn(5))
+		if r.intn(20) == 0 {
+			runLen = 36 + int(r.intn(45))
+		}
+		for j := 0; j < runLen && len(out) < n; j++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func init() {
+	register(&Workload{
+		Name:        "compress",
+		Models:      "164.gzip",
+		Description: "run-length encoding with rare dictionary snapshots",
+		Build: func(s Scale) *isa.Program {
+			n := sizes(s, 30_000, 220_000)
+			seed := uint64(0x1001 + s)
+			in := compressInput(seed, n)
+			return build(compressSrc, map[string][]uint64{
+				"nwords": {uint64(n)},
+				"input":  in,
+			})
+		},
+	})
+}

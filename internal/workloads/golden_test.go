@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"testing"
+
+	"mssp/internal/baseline"
+)
+
+// These tests pin workload semantics against independent Go
+// reimplementations of the kernels, so an ISA or assembler regression
+// cannot hide behind "the checksum is still deterministic".
+
+// goldenCompress mirrors compressSrc: run-length encode, fold emitted
+// (value, runlen) pairs into the checksum.
+func goldenCompress(in []uint64) uint64 {
+	const mask = 0xffffff
+	var checksum uint64
+	prev, runlen := ^uint64(0), uint64(0)
+	emit := func() {
+		checksum ^= prev
+		checksum += runlen
+		checksum *= 3
+		checksum &= mask
+	}
+	for _, v := range in {
+		if v == prev {
+			runlen++
+			continue
+		}
+		if runlen != 0 {
+			emit()
+		}
+		prev, runlen = v, 1
+	}
+	if runlen != 0 {
+		// Final flush folds without the *3 scaling, as in the program.
+		checksum ^= prev
+		checksum += runlen
+	}
+	return checksum & 0xffffffffffffffff
+}
+
+func TestGoldenCompress(t *testing.T) {
+	w, err := ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scale{Train, Ref} {
+		p := w.Build(s)
+		res, err := baseline.Run(p, baseline.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Final.Mem.Read(p.MustSymbol("out"))
+		n := sizes(s, 30_000, 220_000)
+		want := goldenCompress(compressInput(uint64(0x1001+s), n))
+		if got != want {
+			t.Errorf("%s: machine checksum %d, golden model %d", s, got, want)
+		}
+	}
+}
+
+// goldenMTF mirrors mtfSrc: move-to-front indices folded into the
+// checksum, with the rare histogram snapshot (write-only, ignored) and the
+// block reset every 4096 symbols.
+func goldenMTF(in []uint64) uint64 {
+	const mask = 0xfffffff
+	var list [64]uint64
+	reset := func() {
+		for j := range list {
+			list[j] = uint64(j)
+		}
+	}
+	reset()
+	var checksum uint64
+	for i, sym := range in {
+		j := 0
+		for list[j] != sym {
+			j++
+		}
+		copy(list[1:j+1], list[0:j])
+		list[0] = sym
+		checksum ^= uint64(j)
+		checksum = checksum*5 + 1
+		checksum &= mask
+		if uint64(i)&4095 == 0 {
+			reset()
+			checksum = checksum * 17 & mask
+		}
+	}
+	return checksum
+}
+
+func TestGoldenMTF(t *testing.T) {
+	w, err := ByName("mtf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scale{Train, Ref} {
+		p := w.Build(s)
+		res, err := baseline.Run(p, baseline.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Final.Mem.Read(p.MustSymbol("out"))
+		n := sizes(s, 8_000, 60_000)
+		want := goldenMTF(mtfInput(uint64(0x3003+s), n))
+		if got != want {
+			t.Errorf("%s: machine checksum %d, golden model %d", s, got, want)
+		}
+	}
+}
+
+// goldenBitops mirrors bitopsSrc: popcount and shift/xor mixing.
+func goldenBitops(boards []uint64) uint64 {
+	const mask = 0x7ffffff
+	var checksum uint64
+	for _, b := range boards {
+		if b == 0 {
+			continue // empty path only logs the index (write-only)
+		}
+		pop := uint64(0)
+		for v := b; v != 0; v >>= 1 {
+			pop += v & 1
+		}
+		x := b<<13 ^ b
+		x ^= x >> 7
+		checksum = (checksum + x + pop) & mask
+	}
+	return checksum
+}
+
+func TestGoldenBitops(t *testing.T) {
+	w, err := ByName("bitops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scale{Train, Ref} {
+		p := w.Build(s)
+		res, err := baseline.Run(p, baseline.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Final.Mem.Read(p.MustSymbol("out"))
+		n := sizes(s, 6_000, 45_000)
+		want := goldenBitops(bitopsInput(uint64(0x2002+s), n))
+		if got != want {
+			t.Errorf("%s: machine checksum %d, golden model %d", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package workloads
+
+import "mssp/internal/isa"
+
+// graphwalk models mcf: a pointer chase over a node table, updating node
+// values as it goes. The rare relabel pass (every 512 steps) rewrites a
+// stretch of node values that the walk itself later reads, so pruning it
+// makes the master's predictions stale — a distillation-hostile workload,
+// matching mcf's role as a hard case in the original evaluation.
+const graphwalkSrc = `
+	.entry main
+	; r1=step r2=nsteps r3=&nodes r4=cur r9=mask r10=checksum
+	main:   la    r3, nodes
+	        la    r13, nsteps
+	        ld    r2, 0(r13)
+	        ldi   r1, 0
+	        ldi   r4, 0
+	        ldi   r10, 0
+	        ldi   r9, 0xfffffff
+	loop:   bge   r1, r2, done        ; loop exit
+	        slli  r5, r4, 1
+	        add   r5, r3, r5          ; &node[cur]
+	        ld    r6, 0(r5)           ; value
+	        ld    r7, 1(r5)           ; next index
+	        add   r10, r10, r6
+	        and   r10, r10, r9
+	        xor   r8, r6, r1
+	        st    r8, 0(r5)           ; update value (hot path)
+	        sltui r11, r7, 16384
+	        beqz  r11, badnode        ; never taken: bounds check
+	        mov   r4, r7
+	        andi  r11, r1, 511
+	        bnez  r11, next           ; rare: relabel pass (pruned, hostile)
+	rare:   mov   r12, r4
+	        ldi   r13, 0
+	rl:     slli  r14, r12, 1
+	        add   r14, r3, r14
+	        ld    r15, 0(r14)
+	        addi  r15, r15, 3
+	        st    r15, 0(r14)
+	        addi  r12, r12, 1
+	        andi  r12, r12, 16383
+	        addi  r13, r13, 1
+	        slti  r14, r13, 64
+	        bnez  r14, rl
+	next:   addi  r1, r1, 1
+	        j     loop
+	done:   la    r13, out
+	        st    r10, 0(r13)
+	        halt
+	badnode: ldi  r10, -2
+	        j    done
+	.data
+	.org 2000000
+	nsteps: .space 1
+	out:    .space 1
+	nodes:  .space 32768
+`
+
+// graphwalkNodes lays out nn nodes of [value, next] with random values and
+// a next pointer biased toward long wandering paths.
+func graphwalkNodes(seed uint64, nn int) []uint64 {
+	r := newRNG(seed)
+	words := make([]uint64, 2*nn)
+	for i := 0; i < nn; i++ {
+		words[2*i] = r.next() & 0xffff
+		words[2*i+1] = r.intn(uint64(nn))
+	}
+	return words
+}
+
+func init() {
+	register(&Workload{
+		Name:        "graphwalk",
+		Models:      "181.mcf",
+		Description: "pointer chase with rare hostile relabel passes",
+		Build: func(s Scale) *isa.Program {
+			const nn = 16384
+			steps := sizes(s, 30_000, 230_000)
+			seed := uint64(0x4004 + s)
+			return build(graphwalkSrc, map[string][]uint64{
+				"nsteps": {uint64(steps)},
+				"nodes":  graphwalkNodes(seed, nn),
+			})
+		},
+	})
+}

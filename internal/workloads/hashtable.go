@@ -1,0 +1,119 @@
+package workloads
+
+import "mssp/internal/isa"
+
+// hashtable models vortex: open-addressing hash table inserts and lookups
+// driven by a key stream with repeats. Probe loops are short and
+// data-dependent; a never-taken full-table guard is pruned; and every 1024
+// inserts a fold pass reads a table stretch, producing the large live-in
+// sets that make checkpoint/verification traffic interesting.
+const hashtableSrc = `
+	.entry main
+	; r1=i r2=n r3=&keys r4=&table r5=key r6=slot r9=mask
+	; r10=checksum r20=entries r21=probe budget
+	main:   la    r3, keys
+	        la    r4, table
+	        la    r13, nkeys
+	        ld    r2, 0(r13)
+	        ldi   r1, 0
+	        ldi   r10, 0
+	        ldi   r20, 0
+	        ldi   r9, 0xfffffff
+	loop:   bge   r1, r2, done        ; loop exit
+	        add   r12, r3, r1
+	        ld    r5, 0(r12)
+	        muli  r6, r5, 40503       ; Fibonacci-style hash
+	        srli  r6, r6, 4
+	        andi  r6, r6, 262143
+	        ldi   r21, 0
+	probe:  slli  r7, r6, 1
+	        add   r7, r4, r7
+	        ld    r8, 0(r7)           ; slot key
+	        beqz  r8, insert          ; empty -> insert
+	        beq   r8, r5, hit         ; match -> lookup hit
+	        addi  r6, r6, 1
+	        andi  r6, r6, 262143
+	        addi  r21, r21, 1
+	        slti  r8, r21, 64
+	        bnez  r8, probe           ; probe-budget guard, never exhausted
+	        j     full                ; never reached: table sized for load
+	insert: st    r5, 0(r7)
+	        muli  r11, r5, 3
+	        addi  r11, r11, 1
+	        st    r11, 1(r7)
+	        addi  r20, r20, 1
+	        andi  r11, r20, 511
+	        bnez  r11, next           ; rare: fold pass over a table stretch
+	rare:   ldi   r12, 0
+	        ldi   r16, 0
+	        mov   r13, r6
+	fold:   slli  r14, r13, 1
+	        add   r14, r4, r14
+	        ld    r15, 1(r14)
+	        add   r16, r16, r15
+	        addi  r13, r13, 1
+	        andi  r13, r13, 262143
+	        addi  r12, r12, 1
+	        slti  r14, r12, 512
+	        bnez  r14, fold
+	        la    r14, foldlog        ; write-only result log
+	        srli  r15, r20, 9
+	        andi  r15, r15, 255
+	        add   r14, r14, r15
+	        st    r16, 0(r14)
+	        j     next
+	hit:    ld    r11, 1(r7)
+	        add   r10, r10, r11
+	        xor   r10, r10, r6
+	        and   r10, r10, r9
+	next:   addi  r1, r1, 1
+	        j     loop
+	full:   ldi   r10, -3
+	done:   la    r13, out
+	        st    r10, 0(r13)
+	        halt
+	.data
+	.org 2000000
+	nkeys:  .space 1
+	out:    .space 1
+	foldlog:.space 256
+	table:  .space 524288
+	keys:   .space 110000
+`
+
+// hashtableKeys generates a key stream: ~60%% fresh keys, ~40%% repeats of
+// recent keys (lookup hits). Keys are nonzero.
+func hashtableKeys(seed uint64, n int) []uint64 {
+	r := newRNG(seed)
+	out := make([]uint64, n)
+	var recent [64]uint64
+	for i := range recent {
+		recent[i] = r.next()%100_000 + 1
+	}
+	for i := range out {
+		if r.intn(10) < 4 && i > 0 {
+			out[i] = recent[r.intn(64)]
+		} else {
+			k := r.next()%1_000_000 + 1
+			out[i] = k
+			recent[r.intn(64)] = k
+		}
+	}
+	return out
+}
+
+func init() {
+	register(&Workload{
+		Name:        "hashtable",
+		Models:      "255.vortex",
+		Description: "open-addressing hash inserts/lookups with rare fold passes",
+		Build: func(s Scale) *isa.Program {
+			n := sizes(s, 14_000, 110_000)
+			seed := uint64(0x5005 + s)
+			return build(hashtableSrc, map[string][]uint64{
+				"nkeys": {uint64(n)},
+				"keys":  hashtableKeys(seed, n),
+			})
+		},
+	})
+}

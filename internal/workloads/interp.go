@@ -1,0 +1,152 @@
+package workloads
+
+import "mssp/internal/isa"
+
+// interp models perlbmk: a bytecode interpreter whose dispatch is an
+// indirect jump through a handler table. The handler table holds
+// original-program code addresses, so this workload exercises the master's
+// indirect-target translation and the distiller's link-value preservation.
+// The interpreted program is a 64-iteration loop, so the VM's JNZ branch
+// sits below the pruning threshold (kept); the distiller removes the
+// never-taken bad-opcode guard, the accumulator renormalization path, and
+// the rare trace flush.
+const interpSrc = `
+	.entry main
+	; r1=run r2=nruns r3=&bytecode r4=vmpc r5=acc r6=vm counter
+	; r14=&jumptab r9=mask r10=checksum
+	main:    la    r3, bytecode
+	         la    r14, jumptab
+	         la    r13, nruns
+	         ld    r2, 0(r13)
+	         ldi   r1, 0
+	         ldi   r10, 0
+	         ldi   r9, 0xfffff
+	outer:   bge   r1, r2, done       ; loop exit
+	         mov   r4, r3
+	         ldi   r5, 0
+	         ldi   r6, 64             ; interpreted loop trip count
+	vmloop:  ld    r7, 0(r4)          ; opcode
+	         ld    r8, 1(r4)          ; argument
+	         addi  r4, r4, 2
+	         addi  r22, r22, 1        ; dispatch counter
+	         andi  r11, r22, 127
+	         bnez  r11, disp          ; rare: opcode-profiling hook (pruned)
+	prof:    la    r12, icount
+	         ldi   r15, 0
+	ic:      add   r16, r12, r15
+	         muli  r17, r15, 13
+	         xor   r17, r17, r22
+	         st    r17, 0(r16)
+	         addi  r15, r15, 1
+	         slti  r16, r15, 256
+	         bnez  r16, ic
+	disp:    sltui r11, r7, 8
+	         beqz  r11, badop         ; never taken: opcode validation
+	         add   r11, r14, r7
+	         ld    r12, 0(r11)        ; handler address (original code)
+	         jr    r12                ; dispatch
+	op_add:  add   r5, r5, r8
+	         ldi   r11, 0x1000000
+	         blt   r5, r11, vmloop    ; renormalization is ~never needed
+	         srli  r5, r5, 8
+	         j     vmloop
+	op_xor:  xor   r5, r5, r8
+	         j     vmloop
+	op_mul:  muli  r5, r5, 3
+	         add   r5, r5, r8
+	         and   r5, r5, r9
+	         j     vmloop
+	op_st:   la    r11, vmmem
+	         andi  r12, r8, 255
+	         add   r11, r11, r12
+	         st    r5, 0(r11)
+	         j     vmloop
+	op_ld:   la    r11, vmmem
+	         andi  r12, r8, 255
+	         add   r11, r11, r12
+	         ld    r12, 0(r11)
+	         add   r5, r5, r12
+	         j     vmloop
+	op_dec:  addi  r6, r6, -1
+	         j     vmloop
+	op_jnz:  bnez  r6, takejmp        ; 63/64 taken: below threshold, kept
+	         j     vmloop
+	takejmp: slli  r11, r8, 1
+	         add   r4, r3, r11
+	         j     vmloop
+	op_exit: xor   r10, r10, r5
+	         muli  r10, r10, 5
+	         and   r10, r10, r9
+	         andi  r11, r1, 255
+	         bnez  r11, onext         ; rare: trace flush (pruned, friendly)
+	rare:    la    r12, trace
+	         andi  r13, r1, 1023
+	         add   r12, r12, r13
+	         ldi   r15, 0
+	tr:      st    r10, 0(r12)
+	         addi  r12, r12, 1
+	         addi  r15, r15, 1
+	         slti  r16, r15, 24
+	         bnez  r16, tr
+	onext:   addi  r1, r1, 1
+	         j     outer
+	badop:   ldi   r10, -5
+	done:    la    r13, out
+	         st    r10, 0(r13)
+	         halt
+	.data
+	.org 2000000
+	nruns:   .space 1
+	out:     .space 1
+	jumptab: .space 8
+	vmmem:   .space 256
+	icount:  .space 256
+	trace:   .space 2048
+	bytecode:.space 64
+`
+
+// interpBytecode builds the interpreted program: a body of random compute
+// ops, then DEC and JNZ back to the top, then EXIT. Ops: 0 add, 1 xor,
+// 2 mul, 3 store, 4 load, 5 dec, 6 jnz, 7 exit.
+func interpBytecode(seed uint64, bodyOps int) []uint64 {
+	r := newRNG(seed)
+	code := make([]uint64, 0, 2*(bodyOps+3))
+	for i := 0; i < bodyOps; i++ {
+		op := r.intn(5)
+		arg := r.intn(256)
+		code = append(code, op, arg)
+	}
+	code = append(code, 5, 0) // dec
+	code = append(code, 6, 0) // jnz -> instruction index 0
+	code = append(code, 7, 0) // exit
+	return code
+}
+
+func init() {
+	register(&Workload{
+		Name:        "interp",
+		Models:      "253.perlbmk",
+		Description: "bytecode interpreter with jump-table dispatch",
+		Build: func(s Scale) *isa.Program {
+			runs := sizes(s, 40, 310)
+			seed := uint64(0x7007 + s)
+			code := interpBytecode(seed, 16)
+			p := build(interpSrc, map[string][]uint64{
+				"nruns":    {uint64(runs)},
+				"bytecode": code,
+			})
+			// The handler table holds original code addresses.
+			fillData(p, "jumptab", []uint64{
+				p.MustSymbol("op_add"),
+				p.MustSymbol("op_xor"),
+				p.MustSymbol("op_mul"),
+				p.MustSymbol("op_st"),
+				p.MustSymbol("op_ld"),
+				p.MustSymbol("op_dec"),
+				p.MustSymbol("op_jnz"),
+				p.MustSymbol("op_exit"),
+			})
+			return p
+		},
+	})
+}

@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"fmt"
+
+	"mssp/internal/isa"
+)
+
+// matmul models gap's computational kernels: an 8x8 fixed-point
+// matrix-vector iteration, v' = (M v) >> 8, folded into a checksum. The
+// renormalization branch is data-dependent and very biased but not quite
+// never-taken, so the distiller's decision about it depends on the bias
+// threshold — the workload that gives experiment E7 its gradient.
+const matmulSrc = `
+	.entry main
+	; r1=t r2=iters r3=&mat r4=&vec r5=&tmp r9=mask r10=checksum
+	main:   la    r3, mat
+	        la    r4, vec
+	        la    r5, tmp
+	        la    r13, iters
+	        ld    r2, 0(r13)
+	        ldi   r1, 0
+	        ldi   r10, 0
+	        ldi   r9, 0xfffffff
+	outer:  bge   r1, r2, done        ; loop exit
+	        ldi   r6, 0               ; i
+	rowlp:  ldi   r7, 0               ; j
+	        ldi   r8, 0               ; acc
+	        muli  r11, r6, 8
+	collp:  add   r12, r11, r7
+	        add   r12, r3, r12
+	        ld    r14, 0(r12)         ; M[i][j]
+	        add   r15, r4, r7
+	        ld    r16, 0(r15)         ; v[j]
+	        mul   r14, r14, r16
+	        add   r8, r8, r14
+	        addi  r7, r7, 1
+	        slti  r12, r7, 8
+	        bnez  r12, collp
+	        srli  r8, r8, 8           ; fixed-point scale
+	        add   r12, r5, r6
+	        st    r8, 0(r12)          ; tmp[i]
+	        addi  r6, r6, 1
+	        slti  r12, r6, 8
+	        bnez  r12, rowlp
+	        ldi   r6, 0               ; copy tmp -> vec, fold norm
+	        ldi   r8, 0
+	cplp:   add   r12, r5, r6
+	        ld    r14, 0(r12)
+	        add   r15, r4, r6
+	        st    r14, 0(r15)
+	        add   r8, r8, r14
+	        addi  r6, r6, 1
+	        slti  r12, r6, 8
+	        bnez  r12, cplp
+	        add   r10, r10, r8
+	        and   r10, r10, r9
+	        ldi   r12, %d             ; renorm threshold
+	        blt   r8, r12, next       ; very biased, threshold-sensitive
+	rare:   ldi   r6, 0               ; renormalize vector (hostile when
+	rnlp:   add   r12, r4, r6         ; pruned: later tasks read vec)
+	        ld    r14, 0(r12)
+	        srli  r14, r14, 2
+	        addi  r14, r14, 1
+	        st    r14, 0(r12)
+	        addi  r6, r6, 1
+	        slti  r12, r6, 8
+	        bnez  r12, rnlp
+	next:   addi  r1, r1, 1
+	        j     outer
+	done:   la    r13, out
+	        st    r10, 0(r13)
+	        halt
+	.data
+	.org 2000000
+	iters:  .space 1
+	out:    .space 1
+	tmp:    .space 8
+	mat:    .space 64
+	vec:    .space 8
+`
+
+func matmulData(seed uint64) (mat, vec []uint64) {
+	r := newRNG(seed)
+	mat = make([]uint64, 64)
+	for i := range mat {
+		mat[i] = r.intn(300) + 1
+	}
+	vec = make([]uint64, 8)
+	for i := range vec {
+		vec[i] = r.intn(4000) + 1
+	}
+	return mat, vec
+}
+
+func init() {
+	register(&Workload{
+		Name:        "matmul",
+		Models:      "254.gap",
+		Description: "fixed-point matrix-vector iteration with threshold-sensitive renorms",
+		Build: func(s Scale) *isa.Program {
+			iters := sizes(s, 900, 7_000)
+			seed := uint64(0xa00a + s)
+			mat, vec := matmulData(seed)
+			src := fmt.Sprintf(matmulSrc, 60_000)
+			return build(src, map[string][]uint64{
+				"iters": {uint64(iters)},
+				"mat":   mat,
+				"vec":   vec,
+			})
+		},
+	})
+}

@@ -1,0 +1,86 @@
+package workloads
+
+import (
+	"testing"
+
+	"mssp/internal/baseline"
+	"mssp/internal/core"
+	"mssp/internal/distill"
+	"mssp/internal/profile"
+)
+
+// pipeline runs the full MSSP flow for a workload: profile the train input,
+// distill, execute the given scale under MSSP, and compare against the
+// sequential baseline.
+func pipeline(t *testing.T, w *Workload, s Scale) (*core.Result, *baseline.Result) {
+	t.Helper()
+	train := w.Build(Train)
+	prof, err := profile.Collect(train, profile.Options{Stride: 100})
+	if err != nil {
+		t.Fatalf("%s: profile: %v", w.Name, err)
+	}
+	d, err := distill.Distill(train, prof, distill.DefaultOptions())
+	if err != nil {
+		t.Fatalf("%s: distill: %v", w.Name, err)
+	}
+	// The distilled code and maps transfer to the measured program because
+	// Build emits identical code at both scales (only data differs).
+	target := w.Build(s)
+	m, err := core.New(target, d, core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("%s: New: %v", w.Name, err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s: Run: %v", w.Name, err)
+	}
+	b, err := baseline.Run(target, baseline.DefaultConfig())
+	if err != nil {
+		t.Fatalf("%s: baseline: %v", w.Name, err)
+	}
+	return res, b
+}
+
+// TestMSSPEquivalenceAllWorkloads is the suite's end-to-end correctness
+// gate: for every workload, MSSP execution (train-profiled, default
+// distillation, default machine) must produce exactly the sequential
+// machine's final state.
+func TestMSSPEquivalenceAllWorkloads(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			res, b := pipeline(t, w, Train)
+			if res.Metrics.CommittedInsts != b.Steps {
+				t.Errorf("committed %d vs sequential %d", res.Metrics.CommittedInsts, b.Steps)
+			}
+			if !res.Final.Equal(b.Final) {
+				t.Fatal("MSSP final state diverged from sequential execution")
+			}
+			t.Logf("%s: %s speedup=%.3f", w.Name, res.Metrics.String(), b.Cycles/res.Cycles)
+		})
+	}
+}
+
+// TestMSSPEquivalenceRefScale runs two representative workloads at the
+// measured (ref) scale: train-profiled distillation applied to different
+// data — the configuration the experiments use.
+func TestMSSPEquivalenceRefScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ref scale is expensive; skipped with -short")
+	}
+	for _, name := range []string{"compress", "graphwalk"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, b := pipeline(t, w, Ref)
+			if !res.Final.Equal(b.Final) {
+				t.Fatal("MSSP final state diverged at ref scale")
+			}
+			t.Logf("%s/ref: %s speedup=%.3f", name, res.Metrics.String(), b.Cycles/res.Cycles)
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package workloads
+
+import "mssp/internal/isa"
+
+// mtf models bzip2's move-to-front transform: per input symbol, a linear
+// search of a 64-entry recency list, a shift of the preceding entries, and
+// an emitted index. The list is hot-path state the master tracks precisely;
+// the pruned block-boundary reset makes the master's list predictions go
+// stale once per block, costing roughly one misspeculation per block —
+// a semi-hostile workload.
+const mtfSrc = `
+	.entry main
+	; r1=i r2=n r3=&input r4=&list r5=sym r6=index r9=mask r10=checksum
+	main:   la    r4, list
+	        ldi   r6, 0
+	init:   add   r7, r4, r6          ; list[j] = j
+	        st    r6, 0(r7)
+	        addi  r6, r6, 1
+	        slti  r7, r6, 64
+	        bnez  r7, init
+	        la    r3, input
+	        la    r13, nwords
+	        ld    r2, 0(r13)
+	        ldi   r1, 0
+	        ldi   r10, 0
+	        ldi   r9, 0xfffffff
+	loop:   bge   r1, r2, done        ; loop exit
+	        add   r12, r3, r1
+	        ld    r5, 0(r12)
+	        ldi   r6, 0
+	find:   add   r7, r4, r6          ; linear search (always terminates:
+	        ld    r8, 0(r7)           ; the list is a permutation of 0..63)
+	        beq   r8, r5, found
+	        addi  r6, r6, 1
+	        j     find
+	found:  mov   r7, r6              ; shift list[0..j-1] up by one
+	shift:  beqz  r7, place
+	        add   r8, r4, r7
+	        ld    r11, -1(r8)
+	        st    r11, 0(r8)
+	        addi  r7, r7, -1
+	        j     shift
+	place:  st    r5, 0(r4)           ; symbol moves to front
+	        xor   r10, r10, r6        ; emit the MTF index
+	        muli  r10, r10, 5
+	        addi  r10, r10, 1
+	        and   r10, r10, r9
+	        andi  r7, r1, 255
+	        bnez  r7, chkrst          ; rare: histogram snapshot (pruned)
+	prof:   la    r7, freq
+	        ldi   r11, 0
+	pf:     add   r12, r7, r11
+	        muli  r13, r11, 3
+	        xor   r13, r13, r1
+	        st    r13, 0(r12)
+	        addi  r11, r11, 1
+	        slti  r12, r11, 1024
+	        bnez  r12, pf
+	chkrst: andi  r7, r1, 4095
+	        bnez  r7, next            ; rare: block boundary reset (pruned)
+	rare:   ldi   r6, 0               ; reset the recency list, fold block
+	rst:    add   r7, r4, r6
+	        st    r6, 0(r7)
+	        addi  r6, r6, 1
+	        slti  r7, r6, 64
+	        bnez  r7, rst
+	        muli  r10, r10, 17
+	        and   r10, r10, r9
+	next:   addi  r1, r1, 1
+	        j     loop
+	done:   la    r13, out
+	        st    r10, 0(r13)
+	        halt
+	.data
+	.org 2000000
+	nwords: .space 1
+	out:    .space 1
+	list:   .space 64
+	freq:   .space 1024
+	input:  .space 60000
+`
+
+// mtfInput generates a locality-skewed symbol stream in 0..63: mostly
+// recently seen symbols (small MTF indices), occasionally fresh ones.
+func mtfInput(seed uint64, n int) []uint64 {
+	r := newRNG(seed)
+	out := make([]uint64, n)
+	recent := [4]uint64{1, 2, 3, 4}
+	for i := range out {
+		var v uint64
+		if r.intn(8) < 6 {
+			v = recent[r.intn(4)]
+		} else {
+			v = r.intn(64)
+			recent[r.intn(4)] = v
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func init() {
+	register(&Workload{
+		Name:        "mtf",
+		Models:      "256.bzip2",
+		Description: "move-to-front transform with rare block resets",
+		Build: func(s Scale) *isa.Program {
+			n := sizes(s, 8_000, 60_000)
+			seed := uint64(0x3003 + s)
+			return build(mtfSrc, map[string][]uint64{
+				"nwords": {uint64(n)},
+				"input":  mtfInput(seed, n),
+			})
+		},
+	})
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import "mssp/internal/isa"
+
+// parser models 197.parser: a tokenizer classifying a character stream
+// through a read-only table, folding token runs into a checksum. The
+// class-change branch has natural medium bias (kept by the distiller); the
+// invalid-character guard is never taken (pruned, error path dropped); a
+// rare per-128-tokens log flush writes a private buffer (pruned, friendly).
+const parserSrc = `
+	.entry main
+	; r1=i r2=n r3=&chars r4=&class r5=ch r6=cls r7=state
+	; r8=run accumulator r9=mask r10=checksum r21=tokens
+	main:   la    r3, chars
+	        la    r4, class
+	        la    r13, nchars
+	        ld    r2, 0(r13)
+	        ldi   r1, 0
+	        ldi   r7, -1
+	        ldi   r8, 0
+	        ldi   r10, 0
+	        ldi   r21, 0
+	        ldi   r9, 0xfffffff
+	loop:   bge   r1, r2, done        ; loop exit
+	        add   r12, r3, r1
+	        ld    r5, 0(r12)
+	        sltui r13, r5, 128
+	        beqz  r13, badch          ; never taken: invalid character
+	        add   r13, r4, r5
+	        ld    r6, 0(r13)          ; class lookup (read-only table)
+	        beq   r6, r7, cont        ; same class: run continues (~0.7)
+	        muli  r10, r10, 7         ; token boundary: fold finished run
+	        add   r10, r10, r8
+	        and   r10, r10, r9
+	        addi  r21, r21, 1
+	        ldi   r8, 0
+	        mov   r7, r6
+	        andi  r13, r21, 127
+	        bnez  r13, cont           ; rare: log flush every 128 tokens
+	rare:   la    r14, log
+	        andi  r15, r21, 1023
+	        add   r14, r14, r15
+	        ldi   r16, 0
+	lg:     st    r10, 0(r14)
+	        addi  r14, r14, 1
+	        addi  r16, r16, 1
+	        slti  r15, r16, 512
+	        bnez  r15, lg
+	cont:   add   r8, r8, r5
+	        slli  r8, r8, 1
+	        and   r8, r8, r9
+	        addi  r1, r1, 1
+	        j     loop
+	done:   muli  r10, r10, 7        ; fold trailing run
+	        add   r10, r10, r8
+	        add   r10, r10, r21
+	        and   r10, r10, r9
+	        la    r13, out
+	        st    r10, 0(r13)
+	        halt
+	badch:  ldi   r10, -4
+	        la    r13, out
+	        st    r10, 0(r13)
+	        halt
+	.data
+	.org 2000000
+	nchars: .space 1
+	out:    .space 1
+	log:    .space 2048
+	class:  .space 128
+	chars:  .space 330000
+`
+
+// parserClassTable maps characters to classes: 0 space, 1 alpha, 2 digit,
+// 3 punctuation.
+func parserClassTable() []uint64 {
+	t := make([]uint64, 128)
+	for c := 0; c < 128; c++ {
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			t[c] = 0
+		case (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			t[c] = 1
+		case c >= '0' && c <= '9':
+			t[c] = 2
+		default:
+			t[c] = 3
+		}
+	}
+	return t
+}
+
+// parserChars generates text-like content: words of letters, numbers,
+// spaces and occasional punctuation.
+func parserChars(seed uint64, n int) []uint64 {
+	r := newRNG(seed)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		switch r.intn(10) {
+		case 0, 1: // number
+			for j, l := 0, 1+int(r.intn(5)); j < l && len(out) < n; j++ {
+				out = append(out, '0'+r.intn(10))
+			}
+		case 2: // punctuation
+			puncts := []uint64{'.', ',', ';', '(', ')'}
+			out = append(out, puncts[r.intn(5)])
+		default: // word
+			for j, l := 0, 2+int(r.intn(7)); j < l && len(out) < n; j++ {
+				out = append(out, 'a'+r.intn(26))
+			}
+		}
+		if len(out) < n {
+			out = append(out, ' ')
+		}
+	}
+	return out
+}
+
+func init() {
+	register(&Workload{
+		Name:        "parser",
+		Models:      "197.parser",
+		Description: "table-driven tokenizer with rare log flushes",
+		Build: func(s Scale) *isa.Program {
+			n := sizes(s, 40_000, 330_000)
+			seed := uint64(0x6006 + s)
+			return build(parserSrc, map[string][]uint64{
+				"nchars": {uint64(n)},
+				"class":  parserClassTable(),
+				"chars":  parserChars(seed, n),
+			})
+		},
+	})
+}

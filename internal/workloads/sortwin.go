@@ -1,0 +1,106 @@
+package workloads
+
+import "mssp/internal/isa"
+
+// sortwin models twolf's placement-cost kernels: per sliding window of 16
+// elements, copy into scratch, insertion-sort, and fold spread statistics
+// into a checksum. Sorting branches are data-dependent (kept by the
+// distiller); the rare reflow pass writes a private buffer (pruned,
+// friendly); the window bounds guard is never taken (pruned).
+const sortwinSrc = `
+	.entry main
+	; r1=w r2=nwin r3=&input r4=&scratch r9=mask r10=checksum
+	main:   la    r3, input
+	        la    r4, scratch
+	        la    r13, nwin
+	        ld    r2, 0(r13)
+	        ldi   r1, 0
+	        ldi   r10, 0
+	        ldi   r9, 0xfffffff
+	outer:  bge   r1, r2, done        ; loop exit
+	        ldi   r5, 0
+	copy:   add   r6, r3, r1
+	        add   r6, r6, r5
+	        ld    r7, 0(r6)
+	        sltui r11, r7, 0x100000
+	        beqz  r11, badval         ; never taken: input range guard
+	        add   r8, r4, r5
+	        st    r7, 0(r8)
+	        addi  r5, r5, 1
+	        slti  r6, r5, 16
+	        bnez  r6, copy
+	        ldi   r5, 1               ; insertion sort of scratch[0..16)
+	isort:  slti  r6, r5, 16
+	        beqz  r6, sorted
+	        add   r6, r4, r5
+	        ld    r7, 0(r6)           ; key
+	        mov   r8, r5
+	inner:  beqz  r8, insert
+	        add   r11, r4, r8
+	        ld    r12, -1(r11)
+	        bge   r7, r12, insert     ; data-dependent: kept
+	        st    r12, 0(r11)
+	        addi  r8, r8, -1
+	        j     inner
+	insert: add   r11, r4, r8
+	        st    r7, 0(r11)
+	        addi  r5, r5, 1
+	        j     isort
+	sorted: ld    r7, 7(r4)           ; fold median gap and range
+	        ld    r8, 8(r4)
+	        sub   r11, r8, r7
+	        add   r10, r10, r11
+	        ld    r7, 0(r4)
+	        ld    r8, 15(r4)
+	        sub   r11, r8, r7
+	        xor   r10, r10, r11
+	        and   r10, r10, r9
+	        andi  r11, r1, 255
+	        bnez  r11, next           ; rare: reflow pass (pruned, friendly)
+	rare:   la    r12, reflow
+	        ldi   r13, 0
+	rf:     add   r14, r12, r13
+	        add   r15, r10, r13
+	        st    r15, 0(r14)
+	        addi  r13, r13, 1
+	        slti  r14, r13, 128
+	        bnez  r14, rf
+	next:   addi  r1, r1, 1
+	        j     outer
+	badval: ldi   r10, -6
+	done:   la    r13, out
+	        st    r10, 0(r13)
+	        halt
+	.data
+	.org 2000000
+	nwin:   .space 1
+	out:    .space 1
+	scratch:.space 16
+	reflow: .space 128
+	input:  .space 5516
+`
+
+func sortwinInput(seed uint64, n int) []uint64 {
+	r := newRNG(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.next() & 0xffff
+	}
+	return out
+}
+
+func init() {
+	register(&Workload{
+		Name:        "sortwin",
+		Models:      "300.twolf",
+		Description: "sliding-window insertion sorts with spread folding",
+		Build: func(s Scale) *isa.Program {
+			nwin := sizes(s, 700, 5_500)
+			seed := uint64(0x8008 + s)
+			return build(sortwinSrc, map[string][]uint64{
+				"nwin":  {uint64(nwin)},
+				"input": sortwinInput(seed, nwin+16),
+			})
+		},
+	})
+}

@@ -1,0 +1,124 @@
+package workloads
+
+import "mssp/internal/isa"
+
+// treeins models gcc's symbol-table behaviour: binary search tree inserts
+// and lookups over a key stream, with nodes bump-allocated from a pool.
+// Compare branches are near 50/50 (nothing for the distiller to prune on
+// the hot path), so this is the suite's low-headroom case, like gcc in the
+// original evaluation. Only the pool-exhaustion guard and the rare audit
+// scan are pruned.
+const treeinsSrc = `
+	.entry main
+	; node i: pool[3i]=key pool[3i+1]=left pool[3i+2]=right (0 = null)
+	; r1=i r2=n r3=&keys r4=&pool r20=next free node index
+	; r5=key r6=cur r9=mask r10=checksum
+	main:   la    r3, keys
+	        la    r4, pool
+	        la    r13, nkeys
+	        ld    r2, 0(r13)
+	        ldi   r1, 0
+	        ldi   r10, 0
+	        ldi   r9, 0xfffffff
+	        ldi   r20, 2              ; node 0 = null, node 1 = root
+	        add   r12, r3, r0
+	        ld    r5, 0(r12)
+	        st    r5, 3(r4)           ; root = first key (node 1)
+	        ldi   r1, 1
+	loop:   bge   r1, r2, done        ; loop exit
+	        add   r12, r3, r1
+	        ld    r5, 0(r12)
+	        ldi   r6, 1               ; cur = root
+	        ldi   r21, 0              ; depth
+	walk:   muli  r7, r6, 3
+	        add   r7, r4, r7          ; &node
+	        ld    r8, 0(r7)           ; node key
+	        beq   r8, r5, found       ; duplicate key: count as hit
+	        addi  r21, r21, 1
+	        blt   r5, r8, goleft      ; ~50/50: kept
+	        ld    r11, 2(r7)          ; right child
+	        bnez  r11, right
+	        st    r20, 2(r7)          ; attach new right child
+	        j     alloc
+	right:  mov   r6, r11
+	        j     walk
+	goleft: ld    r11, 1(r7)
+	        bnez  r11, left
+	        st    r20, 1(r7)
+	        j     alloc
+	left:   mov   r6, r11
+	        j     walk
+	alloc:  ldi   r11, 60002
+	        blt   r20, r11, room
+	        j     full                ; never taken: pool exhausted
+	room:   muli  r7, r20, 3
+	        add   r7, r4, r7
+	        st    r5, 0(r7)           ; init node: key, null children
+	        st    r0, 1(r7)
+	        st    r0, 2(r7)
+	        addi  r20, r20, 1
+	        add   r10, r10, r21       ; fold insertion depth
+	        and   r10, r10, r9
+	        j     stat
+	found:  xor   r10, r10, r21
+	        addi  r10, r10, 1
+	        and   r10, r10, r9
+	stat:   andi  r11, r1, 511
+	        bnez  r11, next           ; rare: audit scan (pruned)
+	rare:   ldi   r12, 1
+	        ldi   r13, 0
+	aud:    muli  r14, r12, 3
+	        add   r14, r4, r14
+	        ld    r15, 0(r14)
+	        add   r10, r10, r15
+	        and   r10, r10, r9
+	        addi  r12, r12, 7
+	        andi  r12, r12, 1023
+	        bnez  r12, skip0
+	        ldi   r12, 1
+	skip0:  addi  r13, r13, 1
+	        slti  r14, r13, 64
+	        bnez  r14, aud
+	next:   addi  r1, r1, 1
+	        j     loop
+	full:   ldi   r10, -7
+	done:   la    r13, out
+	        st    r10, 0(r13)
+	        halt
+	.data
+	.org 2000000
+	nkeys:  .space 1
+	out:    .space 1
+	pool:   .space 180006
+	keys:   .space 60000
+`
+
+// treeinsKeys generates mostly unique keys with ~20%% repeats.
+func treeinsKeys(seed uint64, n int) []uint64 {
+	r := newRNG(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		if i > 0 && r.intn(5) == 0 {
+			out[i] = out[r.intn(uint64(i))]
+		} else {
+			out[i] = r.next()%1_000_000 + 1
+		}
+	}
+	return out
+}
+
+func init() {
+	register(&Workload{
+		Name:        "treeins",
+		Models:      "176.gcc",
+		Description: "binary search tree inserts/lookups (low distillation headroom)",
+		Build: func(s Scale) *isa.Program {
+			n := sizes(s, 9_000, 60_000)
+			seed := uint64(0x9009 + s)
+			return build(treeinsSrc, map[string][]uint64{
+				"nkeys": {uint64(n)},
+				"keys":  treeinsKeys(seed, n),
+			})
+		},
+	})
+}
