@@ -1,12 +1,21 @@
 // Command experiments regenerates the tables and figures of the
 // reconstructed MSSP evaluation (see DESIGN.md and EXPERIMENTS.md).
 //
+// Sweep points run concurrently through the internal/sched worker pool by
+// default; results are merged in submission order, so the rendered output
+// is byte-identical to -parallel=false.
+//
 // Usage:
 //
 //	experiments                      # every experiment, ref inputs
 //	experiments -run E3,E4           # a subset
 //	experiments -scale train         # quick pass on training inputs
 //	experiments -workloads compress,mtf
+//	experiments -parallel=false      # serial harness
+//	experiments -workers 4           # bound the worker pool
+//
+// Every requested experiment runs even if an earlier one fails; failures
+// are summarized on stderr and reflected in a non-zero exit code.
 package main
 
 import (
@@ -21,9 +30,12 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		scale = flag.String("scale", "ref", "workload input scale: train or ref")
-		names = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		run      = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		scale    = flag.String("scale", "ref", "workload input scale: train or ref")
+		names    = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		parallel = flag.Bool("parallel", true, "fan sweep points out across a worker pool")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("stats", false, "print scheduler and cache counters to stderr at exit")
 	)
 	flag.Parse()
 
@@ -32,6 +44,9 @@ func main() {
 		s = workloads.Train
 	}
 	ctx := bench.NewContext(s)
+	ctx.Parallel = *parallel
+	ctx.Workers = *workers
+	defer ctx.Close()
 	if *names != "" {
 		ctx.Names = strings.Split(*names, ",")
 	}
@@ -48,12 +63,27 @@ func main() {
 		}
 	}
 
+	var failed []string
 	for _, e := range exps {
 		out, err := e.Run(ctx)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			failed = append(failed, e.ID)
+			continue
 		}
 		fmt.Printf("== %s: %s ==\n%s\n", e.ID, e.Title, out)
+	}
+
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "scheduler: %+v\n", ctx.SchedulerMetrics())
+		for kind, m := range ctx.CacheMetrics() {
+			fmt.Fprintf(os.Stderr, "cache[%s]: %+v (hit rate %.3f)\n", kind, m, m.HitRate())
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiment(s) failed: %s\n",
+			len(failed), len(exps), strings.Join(failed, ", "))
+		os.Exit(1)
 	}
 }
 

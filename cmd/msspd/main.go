@@ -1,0 +1,66 @@
+// Command msspd is the MSSP simulation daemon: a long-running job service
+// that runs workload simulations concurrently through the internal/sched
+// worker pool, memoizes pipeline artifacts in internal/cache, and serves
+// an HTTP JSON API:
+//
+//	POST /jobs        submit {"workload": "compress", "scale": "train",
+//	                  "stride": 100, "threshold": 0.99, "slaves": 7};
+//	                  returns {"id": "job-1"} with 202
+//	GET  /jobs/{id}   poll status; terminal states carry result or error
+//	GET  /metrics     scheduler, cache and job-state counters
+//	GET  /healthz     liveness
+//
+// Usage:
+//
+//	msspd                          # listen on :8350
+//	msspd -addr :9000 -workers 8 -queue 64 -job-timeout 5m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8350", "listen address")
+		workers    = flag.Int("workers", 0, "scheduler workers (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "scheduler queue depth (0 = 2x workers)")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job deadline (0 = none)")
+	)
+	flag.Parse()
+
+	srv := NewServer(ServerOptions{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "msspd: listening on %s (workers=%d)\n", *addr, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "msspd:", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "msspd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		srv.Close() // drain in-flight simulations
+	}
+}

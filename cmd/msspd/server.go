@@ -1,0 +1,381 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mssp/internal/bench"
+	"mssp/internal/cache"
+	"mssp/internal/core"
+	"mssp/internal/sched"
+	"mssp/internal/workloads"
+)
+
+// ServerOptions configures the msspd job service.
+type ServerOptions struct {
+	// Workers is the scheduler pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the scheduler queue (0 = 2×Workers).
+	QueueDepth int
+	// JobTimeout is the per-simulation deadline (0 = none).
+	JobTimeout time.Duration
+	// MaxJobs bounds the retained job records (oldest finished records are
+	// evicted past this; 0 = 4096).
+	MaxJobs int
+}
+
+// Server is the msspd HTTP job service: simulation jobs are submitted to
+// the shared scheduler, artifacts are memoized in the bench caches, and
+// results are polled by id.
+type Server struct {
+	opts    ServerOptions
+	sched   *sched.Scheduler
+	started time.Time
+
+	mu    sync.Mutex
+	seq   int
+	jobs  map[string]*jobRecord
+	order []string // submission order, for bounded retention
+	ctxs  map[workloads.Scale]*bench.Context
+}
+
+type jobRecord struct {
+	mu       sync.Mutex
+	status   JobStatus
+	finished chan struct{}
+}
+
+// JobRequest describes one simulation: a workload at an input scale run
+// under a machine/distiller configuration point.
+type JobRequest struct {
+	// Workload names a registered workload (required).
+	Workload string `json:"workload"`
+	// Scale is "train" or "ref" (default "train").
+	Scale string `json:"scale,omitempty"`
+	// Stride is the task-size target in instructions (default 100).
+	Stride uint64 `json:"stride,omitempty"`
+	// Threshold is the distiller bias threshold (default 0.99).
+	Threshold float64 `json:"threshold,omitempty"`
+	// Slaves overrides the slave-core count (default: machine default).
+	Slaves int `json:"slaves,omitempty"`
+}
+
+// JobResult is the outcome of a completed simulation job.
+type JobResult struct {
+	BaselineCycles float64 `json:"baseline_cycles"`
+	MSSPCycles     float64 `json:"mssp_cycles"`
+	Speedup        float64 `json:"speedup"`
+	CommitRate     float64 `json:"commit_rate"`
+	TasksCommitted uint64  `json:"tasks_committed"`
+	CommittedInsts uint64  `json:"committed_insts"`
+	MeanTaskLen    float64 `json:"mean_task_len"`
+	DistillRatio   float64 `json:"dynamic_distill_ratio"`
+}
+
+// JobStatus is the polled view of a job.
+type JobStatus struct {
+	ID          string     `json:"id"`
+	State       string     `json:"state"` // queued | running | done | failed
+	Request     JobRequest `json:"request"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// NewServer starts the scheduler and returns a ready service.
+func NewServer(opts ServerOptions) *Server {
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 4096
+	}
+	return &Server{
+		opts: opts,
+		sched: sched.New(sched.Options{
+			Workers:    opts.Workers,
+			QueueDepth: opts.QueueDepth,
+			JobTimeout: opts.JobTimeout,
+		}),
+		started: time.Now(),
+		jobs:    make(map[string]*jobRecord),
+		ctxs:    make(map[workloads.Scale]*bench.Context),
+	}
+}
+
+// Close drains the scheduler; in-flight jobs finish first.
+func (s *Server) Close() { s.sched.Close() }
+
+// Handler returns the HTTP API:
+//
+//	POST /jobs        submit a simulation, returns {"id": ...} with 202
+//	GET  /jobs/{id}   job status/result
+//	GET  /metrics     scheduler, cache and job-state counters
+//	GET  /healthz     liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// contextFor returns the artifact-sharing bench context for a scale.
+func (s *Server) contextFor(scale workloads.Scale) *bench.Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.ctxs[scale]
+	if !ok {
+		c = bench.NewContext(scale)
+		s.ctxs[scale] = c
+	}
+	return c
+}
+
+// normalize validates req and fills defaults, returning the parsed scale.
+func (req *JobRequest) normalize() (workloads.Scale, error) {
+	if _, err := workloads.ByName(req.Workload); err != nil {
+		return 0, err
+	}
+	var scale workloads.Scale
+	switch req.Scale {
+	case "", "train":
+		scale = workloads.Train
+		req.Scale = "train"
+	case "ref":
+		scale = workloads.Ref
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want train or ref)", req.Scale)
+	}
+	if req.Stride == 0 {
+		req.Stride = 100
+	}
+	if req.Threshold == 0 {
+		req.Threshold = 0.99
+	}
+	if req.Threshold < 0 || req.Threshold > 1 {
+		return 0, fmt.Errorf("threshold %v out of range (0,1]", req.Threshold)
+	}
+	if req.Slaves < 0 {
+		return 0, fmt.Errorf("slaves %d must be >= 0", req.Slaves)
+	}
+	return scale, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	scale, err := req.normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	rec := &jobRecord{finished: make(chan struct{})}
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("job-%d", s.seq)
+	rec.status = JobStatus{
+		ID:          id,
+		State:       "queued",
+		Request:     req,
+		SubmittedAt: time.Now().UTC(),
+	}
+	s.jobs[id] = rec
+	s.order = append(s.order, id)
+	s.evictOldLocked()
+	s.mu.Unlock()
+
+	// The job outlives this request: submit under the background context
+	// (the request context is canceled as soon as the handler returns,
+	// which would spuriously cancel still-queued jobs). Backpressure from
+	// a full queue therefore blocks the submitting client.
+	_, err = s.sched.Submit(context.Background(), sched.Job{
+		Label: fmt.Sprintf("%s/%s/%s", id, req.Workload, req.Scale),
+		Run: func(ctx context.Context) (any, error) {
+			s.runJob(rec, req, scale)
+			return nil, nil
+		},
+	})
+	if err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("submit: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+// runJob executes one simulation and records its outcome. Errors (and
+// panics, which the scheduler converts to errors elsewhere) land in the
+// record, not in the scheduler's failure path: the job service treats a
+// failed simulation as a completed request with a failed result. Panics
+// inside the pipeline are still caught here so the record never stays
+// "running" forever.
+func (s *Server) runJob(rec *jobRecord, req JobRequest, scale workloads.Scale) {
+	rec.transition(func(st *JobStatus) {
+		now := time.Now().UTC()
+		st.State = "running"
+		st.StartedAt = &now
+	})
+	res, err := s.simulate(req, scale)
+	rec.transition(func(st *JobStatus) {
+		now := time.Now().UTC()
+		st.FinishedAt = &now
+		if err != nil {
+			st.State = "failed"
+			st.Error = err.Error()
+			return
+		}
+		st.State = "done"
+		st.Result = res
+	})
+	close(rec.finished)
+}
+
+// simulate runs the full pipeline for one request through the shared
+// artifact caches.
+func (s *Server) simulate(req JobRequest, scale workloads.Scale) (_ *JobResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("simulation panicked: %v", p)
+		}
+	}()
+	c := s.contextFor(scale)
+	w, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	d, err := c.Distill(w, req.Stride, req.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.MinTaskSpacing = req.Stride
+	if req.Slaves > 0 {
+		cfg.Slaves = req.Slaves
+	}
+	res, err := c.RunMSSP(w, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b, err := c.Baseline(w)
+	if err != nil {
+		return nil, err
+	}
+	m := res.Metrics
+	return &JobResult{
+		BaselineCycles: b.Cycles,
+		MSSPCycles:     res.Cycles,
+		Speedup:        b.Cycles / res.Cycles,
+		CommitRate:     m.CommitRate(),
+		TasksCommitted: m.TasksCommitted,
+		CommittedInsts: m.CommittedInsts,
+		MeanTaskLen:    m.MeanTaskLen(),
+		DistillRatio:   m.DynamicDistillationRatio(),
+	}, nil
+}
+
+func (rec *jobRecord) transition(mut func(*JobStatus)) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	mut(&rec.status)
+}
+
+func (rec *jobRecord) snapshot() JobStatus {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.status
+}
+
+// evictOldLocked drops the oldest finished records past the retention
+// bound; unfinished jobs are never dropped.
+func (s *Server) evictOldLocked() {
+	for len(s.order) > s.opts.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			rec := s.jobs[id]
+			if rec == nil {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+			st := rec.snapshot()
+			if st.State == "done" || st.State == "failed" {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still pending/running
+		}
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rec := s.jobs[id]
+	s.mu.Unlock()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.snapshot())
+}
+
+// MetricsSnapshot is the /metrics payload.
+type MetricsSnapshot struct {
+	UptimeSec float64                             `json:"uptime_sec"`
+	Scheduler sched.Metrics                       `json:"scheduler"`
+	Caches    map[string]map[string]cache.Metrics `json:"caches"` // scale -> artifact kind -> counters
+	Jobs      map[string]int                      `json:"jobs"`   // state -> count
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := MetricsSnapshot{
+		UptimeSec: time.Since(s.started).Seconds(),
+		Scheduler: s.sched.Metrics(),
+		Caches:    map[string]map[string]cache.Metrics{},
+		Jobs:      map[string]int{},
+	}
+	s.mu.Lock()
+	recs := make([]*jobRecord, 0, len(s.jobs))
+	for _, rec := range s.jobs {
+		recs = append(recs, rec)
+	}
+	for scale, c := range s.ctxs {
+		snap.Caches[scale.String()] = c.CacheMetrics()
+	}
+	s.mu.Unlock()
+	for _, rec := range recs {
+		snap.Jobs[rec.snapshot().State]++
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,333 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(ServerOptions{Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, req JobRequest) string {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d", resp.StatusCode)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID == "" {
+		t.Fatal("empty job id")
+	}
+	return out.ID
+}
+
+func poll(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" || st.State == "failed" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %q after %v", id, st.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSubmitPollResult is the end-to-end loop: submit → poll → result.
+func TestSubmitPollResult(t *testing.T) {
+	_, ts := newTestServer(t)
+	id := submit(t, ts, JobRequest{Workload: "bitops"})
+	st := poll(t, ts, id, 2*time.Minute)
+	if st.State != "done" {
+		t.Fatalf("state = %q, error = %q", st.State, st.Error)
+	}
+	r := st.Result
+	if r == nil {
+		t.Fatal("done job has no result")
+	}
+	if r.Speedup <= 0 || r.MSSPCycles <= 0 || r.BaselineCycles <= 0 {
+		t.Errorf("implausible result: %+v", r)
+	}
+	if r.TasksCommitted == 0 {
+		t.Error("no tasks committed")
+	}
+	if st.StartedAt == nil || st.FinishedAt == nil {
+		t.Error("missing timestamps")
+	}
+	if st.Request.Scale != "train" || st.Request.Stride != 100 || st.Request.Threshold != 0.99 {
+		t.Errorf("defaults not applied: %+v", st.Request)
+	}
+}
+
+// TestConcurrentJobs drives many concurrent submitters end-to-end and then
+// checks the metrics endpoint reflects the work: scheduler completions and
+// cache activity (repeated workloads must hit, not recompute).
+func TestConcurrentJobs(t *testing.T) {
+	_, ts := newTestServer(t)
+	names := []string{"bitops", "mtf", "bitops", "mtf", "bitops", "mtf", "bitops", "mtf"}
+	ids := make([]string, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			body, _ := json.Marshal(JobRequest{Workload: name})
+			resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("POST = %d", resp.StatusCode)
+				return
+			}
+			var out struct {
+				ID string `json:"id"`
+			}
+			json.NewDecoder(resp.Body).Decode(&out)
+			ids[i] = out.ID
+		}(i, name)
+	}
+	wg.Wait()
+
+	results := map[string]*JobResult{}
+	for i, id := range ids {
+		if id == "" {
+			t.Fatal("missing id")
+		}
+		st := poll(t, ts, id, 2*time.Minute)
+		if st.State != "done" {
+			t.Fatalf("job %s: state %q, error %q", id, st.State, st.Error)
+		}
+		// Identical requests must produce identical results (deterministic
+		// simulation + shared artifacts).
+		if prev, ok := results[names[i]]; ok {
+			if *prev != *st.Result {
+				t.Errorf("nondeterministic result for %s: %+v vs %+v", names[i], prev, st.Result)
+			}
+		} else {
+			results[names[i]] = st.Result
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Scheduler.Submitted != 8 || m.Scheduler.Completed != 8 {
+		t.Errorf("scheduler metrics = %+v", m.Scheduler)
+	}
+	train, ok := m.Caches["train"]
+	if !ok {
+		t.Fatalf("no train cache metrics: %+v", m.Caches)
+	}
+	d := train["distillations"]
+	if d.Misses != 2 {
+		t.Errorf("distillation computes = %d, want 2 (bitops, mtf)", d.Misses)
+	}
+	if d.Hits+d.Shared != 6 {
+		t.Errorf("distillation reuse = %d, want 6 of 8 jobs", d.Hits+d.Shared)
+	}
+	if m.Jobs["done"] != 8 {
+		t.Errorf("job states = %+v", m.Jobs)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"unknown workload", `{"workload": "nonesuch"}`},
+		{"missing workload", `{}`},
+		{"bad scale", `{"workload": "bitops", "scale": "huge"}`},
+		{"bad threshold", `{"workload": "bitops", "threshold": 1.5}`},
+		{"negative slaves", `{"workload": "bitops", "slaves": -2}`},
+		{"unknown field", `{"workload": "bitops", "bogus": 1}`},
+		{"malformed json", `{"workload"`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+func TestUnknownJobAndHealth(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	// Wrong method on /jobs.
+	resp, err = http.Get(ts.URL + "/jobs/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("GET /jobs/ should not succeed, got %d", resp.StatusCode)
+	}
+}
+
+// TestFailedJobIsReported: a config that cannot run (too-aggressive
+// distillation) must land the job in "failed" with an error message, not
+// crash the daemon.
+func TestFailedJobIsReported(t *testing.T) {
+	_, ts := newTestServer(t)
+	id := submit(t, ts, JobRequest{Workload: "bitops", Threshold: 0.2})
+	st := poll(t, ts, id, time.Minute)
+	if st.State != "failed" {
+		// A 0.2 threshold may legitimately distill on some workloads; the
+		// point is the daemon survives either way. But it must be terminal.
+		if st.State != "done" {
+			t.Fatalf("state = %q", st.State)
+		}
+		return
+	}
+	if st.Error == "" {
+		t.Error("failed job carries no error")
+	}
+	if st.Result != nil {
+		t.Error("failed job carries a result")
+	}
+	// The daemon still serves.
+	id2 := submit(t, ts, JobRequest{Workload: "bitops"})
+	if st := poll(t, ts, id2, time.Minute); st.State != "done" {
+		t.Errorf("daemon unhealthy after failed job: %q (%s)", st.State, st.Error)
+	}
+}
+
+// TestJobRetentionBound: finished records are evicted past MaxJobs.
+func TestJobRetentionBound(t *testing.T) {
+	srv := NewServer(ServerOptions{Workers: 2, MaxJobs: 3})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		body, _ := json.Marshal(JobRequest{Workload: "bitops"})
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			ID string `json:"id"`
+		}
+		json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		ids = append(ids, out.ID)
+		// Let each finish so eviction has terminal records to drop.
+		pollAny(t, ts, out.ID, time.Minute)
+	}
+	srv.mu.Lock()
+	n := len(srv.jobs)
+	srv.mu.Unlock()
+	if n > 3 {
+		t.Errorf("retained %d records, bound 3", n)
+	}
+	// The newest job must still be visible.
+	resp, err := http.Get(ts.URL + "/jobs/" + ids[len(ids)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("newest job evicted: %d", resp.StatusCode)
+	}
+}
+
+func pollAny(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if st.State == "done" || st.State == "failed" {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+}
+
+// TestSubmitAfterClose: a drained daemon refuses new jobs with 503.
+func TestSubmitAfterClose(t *testing.T) {
+	srv := NewServer(ServerOptions{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Close()
+	body, _ := json.Marshal(JobRequest{Workload: "bitops"})
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit after close = %d, want 503", resp.StatusCode)
+	}
+}

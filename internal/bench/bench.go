@@ -2,20 +2,38 @@
 // figure of the reconstructed MICRO-35 MSSP evaluation. Each experiment
 // renders the same rows/series the paper reports; EXPERIMENTS.md records
 // the paper-shape expectation next to the measured result.
+//
+// Sweep points execute through internal/sched when Context.Parallel is set
+// (the default for cmd/experiments): independent (workload × config) jobs
+// fan out across GOMAXPROCS workers and their results are merged in
+// submission order, so rendered tables and figures are byte-identical to
+// the serial harness. Expensive shared artifacts — assembled programs,
+// profiles, distillations, baseline runs — are memoized content-keyed in
+// internal/cache with single-flight semantics, so concurrent sweep points
+// needing the same distillation compute it once.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"mssp/internal/baseline"
+	"mssp/internal/cache"
 	"mssp/internal/core"
 	"mssp/internal/distill"
 	"mssp/internal/isa"
 	"mssp/internal/profile"
+	"mssp/internal/sched"
 	"mssp/internal/workloads"
 )
+
+// artifactCacheCap bounds each artifact cache. The full experiment suite
+// needs well under this many distinct artifacts per kind, so within one
+// run the caches behave as pure memoization; the bound exists so a
+// long-lived caller (cmd/msspd) cannot grow without limit.
+const artifactCacheCap = 512
 
 // Context carries the experiment configuration and caches the expensive
 // shared artifacts (programs, profiles, distillations, baseline runs) so
@@ -28,26 +46,20 @@ type Context struct {
 	Stride uint64
 	// Names restricts the workload set (nil = all).
 	Names []string
+	// Parallel fans each experiment's sweep points out across a worker
+	// pool; results are merged in submission order, so output is
+	// byte-identical to a serial run.
+	Parallel bool
+	// Workers bounds the pool when Parallel is set (0 = GOMAXPROCS).
+	Workers int
 
-	mu        sync.Mutex
-	progs     map[progKey]*isa.Program
-	profiles  map[profKey]*profile.Profile
-	distills  map[distKey]*distill.Result
-	baselines map[progKey]*baseline.Result
-}
+	progs     *cache.Cache[string, *isa.Program]
+	profiles  *cache.Cache[string, *profile.Profile]
+	distills  *cache.Cache[string, *distill.Result]
+	baselines *cache.Cache[string, *baseline.Result]
 
-type progKey struct {
-	name  string
-	scale workloads.Scale
-}
-type profKey struct {
-	name   string
-	stride uint64
-}
-type distKey struct {
-	name      string
-	stride    uint64
-	threshold float64
+	mu    sync.Mutex
+	sched *sched.Scheduler
 }
 
 // NewContext returns a context with the default experiment configuration.
@@ -55,11 +67,75 @@ func NewContext(scale workloads.Scale) *Context {
 	return &Context{
 		Scale:     scale,
 		Stride:    100,
-		progs:     make(map[progKey]*isa.Program),
-		profiles:  make(map[profKey]*profile.Profile),
-		distills:  make(map[distKey]*distill.Result),
-		baselines: make(map[progKey]*baseline.Result),
+		progs:     cache.New[string, *isa.Program](artifactCacheCap),
+		profiles:  cache.New[string, *profile.Profile](artifactCacheCap),
+		distills:  cache.New[string, *distill.Result](artifactCacheCap),
+		baselines: cache.New[string, *baseline.Result](artifactCacheCap),
 	}
+}
+
+// scheduler lazily starts the context's worker pool.
+func (c *Context) scheduler() *sched.Scheduler {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sched == nil {
+		c.sched = sched.New(sched.Options{Workers: c.Workers})
+	}
+	return c.sched
+}
+
+// Close drains the context's worker pool, if one was started. The context
+// remains usable; a later parallel run starts a fresh pool.
+func (c *Context) Close() {
+	c.mu.Lock()
+	s := c.sched
+	c.sched = nil
+	c.mu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+}
+
+// CacheMetrics returns per-artifact-kind cache counters.
+func (c *Context) CacheMetrics() map[string]cache.Metrics {
+	return map[string]cache.Metrics{
+		"programs":      c.progs.Metrics(),
+		"profiles":      c.profiles.Metrics(),
+		"distillations": c.distills.Metrics(),
+		"baselines":     c.baselines.Metrics(),
+	}
+}
+
+// SchedulerMetrics returns the worker pool's counters (zero value if no
+// parallel work has run yet).
+func (c *Context) SchedulerMetrics() sched.Metrics {
+	c.mu.Lock()
+	s := c.sched
+	c.mu.Unlock()
+	if s == nil {
+		return sched.Metrics{}
+	}
+	return s.Metrics()
+}
+
+// fanOut computes fn(i) for every index in [0,n) — concurrently through
+// the context's scheduler when Parallel is set, serially otherwise — and
+// returns the results in index order either way, so callers render output
+// independent of completion order.
+func fanOut[T any](c *Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	if !c.Parallel {
+		out := make([]T, n)
+		for i := range out {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	return sched.Map(context.Background(), c.scheduler(), n,
+		func(_ context.Context, i int) (T, error) { return fn(i) })
 }
 
 // Workloads returns the selected workload list.
@@ -102,72 +178,51 @@ func (c *Context) SweepWorkloads() []*workloads.Workload {
 
 // Prog builds (and caches) a workload's program at the given scale.
 func (c *Context) Prog(w *workloads.Workload, s workloads.Scale) *isa.Program {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := progKey{w.Name, s}
-	if p, ok := c.progs[k]; ok {
-		return p
-	}
-	p := w.Build(s)
-	c.progs[k] = p
+	p, _ := c.progs.GetOrCompute(cache.KeyOf("prog", w.Name, s), func() (*isa.Program, error) {
+		return w.Build(s), nil
+	})
 	return p
 }
 
 // Profile collects (and caches) a training profile at the given stride.
 func (c *Context) Profile(w *workloads.Workload, stride uint64) (*profile.Profile, error) {
-	train := c.Prog(w, workloads.Train)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := profKey{w.Name, stride}
-	if p, ok := c.profiles[k]; ok {
+	return c.profiles.GetOrCompute(cache.KeyOf("profile", w.Name, stride), func() (*profile.Profile, error) {
+		train := c.Prog(w, workloads.Train)
+		p, err := profile.Collect(train, profile.Options{Stride: stride})
+		if err != nil {
+			return nil, fmt.Errorf("profile %s: %w", w.Name, err)
+		}
 		return p, nil
-	}
-	p, err := profile.Collect(train, profile.Options{Stride: stride})
-	if err != nil {
-		return nil, fmt.Errorf("profile %s: %w", w.Name, err)
-	}
-	c.profiles[k] = p
-	return p, nil
+	})
 }
 
 // Distill produces (and caches) a distillation at the given stride and
 // bias threshold, with otherwise-default options.
 func (c *Context) Distill(w *workloads.Workload, stride uint64, threshold float64) (*distill.Result, error) {
-	prof, err := c.Profile(w, stride)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := distKey{w.Name, stride, threshold}
-	if d, ok := c.distills[k]; ok {
+	return c.distills.GetOrCompute(cache.KeyOf("distill", w.Name, stride, threshold), func() (*distill.Result, error) {
+		prof, err := c.Profile(w, stride)
+		if err != nil {
+			return nil, err
+		}
+		opts := distill.DefaultOptions()
+		opts.BiasThreshold = threshold
+		d, err := distill.Distill(c.Prog(w, workloads.Train), prof, opts)
+		if err != nil {
+			return nil, fmt.Errorf("distill %s: %w", w.Name, err)
+		}
 		return d, nil
-	}
-	opts := distill.DefaultOptions()
-	opts.BiasThreshold = threshold
-	d, err := distill.Distill(c.progs[progKey{w.Name, workloads.Train}], prof, opts)
-	if err != nil {
-		return nil, fmt.Errorf("distill %s: %w", w.Name, err)
-	}
-	c.distills[k] = d
-	return d, nil
+	})
 }
 
 // Baseline runs (and caches) the sequential baseline at the context scale.
 func (c *Context) Baseline(w *workloads.Workload) (*baseline.Result, error) {
-	p := c.Prog(w, c.Scale)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := progKey{w.Name, c.Scale}
-	if b, ok := c.baselines[k]; ok {
+	return c.baselines.GetOrCompute(cache.KeyOf("baseline", w.Name, c.Scale), func() (*baseline.Result, error) {
+		b, err := baseline.Run(c.Prog(w, c.Scale), baseline.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", w.Name, err)
+		}
 		return b, nil
-	}
-	b, err := baseline.Run(p, baseline.DefaultConfig())
-	if err != nil {
-		return nil, fmt.Errorf("baseline %s: %w", w.Name, err)
-	}
-	c.baselines[k] = b
-	return b, nil
+	})
 }
 
 // MSSPConfig returns the default machine configuration with the task

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"mssp/internal/baseline"
 	"mssp/internal/core"
+	"mssp/internal/distill"
 	"mssp/internal/refine"
 	"mssp/internal/stats"
 	"mssp/internal/workloads"
@@ -93,22 +95,44 @@ func runE1(c *Context) (string, error) {
 	return t.String(), nil
 }
 
+// runDefaultRow is the per-workload unit of the default-configuration
+// experiments (E2/E3/E6/E9/E12): one distill + MSSP run + baseline.
+type runDefaultRow struct {
+	d   *distill.Result
+	res *core.Result
+	b   *baseline.Result
+}
+
+// defaultRows fans RunDefault out over the selected workloads.
+func defaultRows(c *Context, ws []*workloads.Workload) ([]runDefaultRow, error) {
+	return fanOut(c, len(ws), func(i int) (runDefaultRow, error) {
+		w := ws[i]
+		d, err := c.Distill(w, c.Stride, 0.99)
+		if err != nil {
+			return runDefaultRow{}, err
+		}
+		res, b, err := c.RunDefault(w)
+		if err != nil {
+			return runDefaultRow{}, err
+		}
+		return runDefaultRow{d: d, res: res, b: b}, nil
+	})
+}
+
 func runE2(c *Context) (string, error) {
+	ws := c.Workloads()
+	rows, err := defaultRows(c, ws)
+	if err != nil {
+		return "", err
+	}
 	t := stats.NewTable("E2: distillation effectiveness",
 		"workload", "static ratio", "dynamic ratio", "pruned", "dropped insts", "forks")
 	var dyn []float64
-	for _, w := range c.Workloads() {
-		d, err := c.Distill(w, c.Stride, 0.99)
-		if err != nil {
-			return "", err
-		}
-		res, _, err := c.RunDefault(w)
-		if err != nil {
-			return "", err
-		}
-		r := res.Metrics.DynamicDistillationRatio()
+	for i, row := range rows {
+		d := row.d
+		r := row.res.Metrics.DynamicDistillationRatio()
 		dyn = append(dyn, r)
-		t.Row(w.Name, d.Stats.StaticCodeRatio, r,
+		t.Row(ws[i].Name, d.Stats.StaticCodeRatio, r,
 			d.Stats.PrunedToJump+d.Stats.PrunedToNop, d.Stats.DroppedInsts, d.Stats.Forks)
 	}
 	t.Row("geomean", "", stats.Geomean(dyn), "", "", "")
@@ -116,18 +140,19 @@ func runE2(c *Context) (string, error) {
 }
 
 func runE3(c *Context) (string, error) {
+	ws := c.Workloads()
+	rows, err := defaultRows(c, ws)
+	if err != nil {
+		return "", err
+	}
 	t := stats.NewTable("E3: MSSP speedup over 1-core baseline (8-CPU CMP)",
 		"workload", "baseline cycles", "mssp cycles", "speedup", "commit rate")
 	var sp []float64
-	for _, w := range c.Workloads() {
-		res, b, err := c.RunDefault(w)
-		if err != nil {
-			return "", err
-		}
-		s := b.Cycles / res.Cycles
+	for i, row := range rows {
+		s := row.b.Cycles / row.res.Cycles
 		sp = append(sp, s)
-		t.Row(w.Name, fmt.Sprintf("%.0f", b.Cycles), fmt.Sprintf("%.0f", res.Cycles),
-			s, res.Metrics.CommitRate())
+		t.Row(ws[i].Name, fmt.Sprintf("%.0f", row.b.Cycles), fmt.Sprintf("%.0f", row.res.Cycles),
+			s, row.res.Metrics.CommitRate())
 	}
 	t.Row("geomean", "", "", stats.Geomean(sp), "")
 	return t.String(), nil
@@ -135,28 +160,42 @@ func runE3(c *Context) (string, error) {
 
 var cpuSweep = []int{2, 4, 8, 16}
 
+// gridPoint addresses one (workload, sweep value) cell of a 2-D sweep:
+// fanOut runs over the flattened grid and the renderers below re-walk it
+// in the same row-major order.
+func gridPoint(ws []*workloads.Workload, inner int, k int) (*workloads.Workload, int) {
+	return ws[k/inner], k % inner
+}
+
 func runE4(c *Context) (string, error) {
-	f := stats.NewFigure("E4: speedup vs processor count", "cpus", "speedup over 1-core baseline")
-	geo := map[int][]float64{}
 	ws := c.SweepWorkloads()
-	for _, w := range ws {
+	sps, err := fanOut(c, len(ws)*len(cpuSweep), func(k int) (float64, error) {
+		w, j := gridPoint(ws, len(cpuSweep), k)
 		d, err := c.Distill(w, c.Stride, 0.99)
 		if err != nil {
-			return "", err
+			return 0, err
 		}
 		b, err := c.Baseline(w)
 		if err != nil {
-			return "", err
+			return 0, err
 		}
+		cfg := c.MSSPConfig()
+		cfg.Slaves = cpuSweep[j] - 1
+		res, err := c.RunMSSP(w, d, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return b.Cycles / res.Cycles, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	f := stats.NewFigure("E4: speedup vs processor count", "cpus", "speedup over 1-core baseline")
+	geo := map[int][]float64{}
+	for i, w := range ws {
 		s := f.Add(w.Name)
-		for _, cpus := range cpuSweep {
-			cfg := c.MSSPConfig()
-			cfg.Slaves = cpus - 1
-			res, err := c.RunMSSP(w, d, cfg)
-			if err != nil {
-				return "", err
-			}
-			sp := b.Cycles / res.Cycles
+		for j, cpus := range cpuSweep {
+			sp := sps[i*len(cpuSweep)+j]
 			s.Point(float64(cpus), sp)
 			geo[cpus] = append(geo[cpus], sp)
 		}
@@ -169,30 +208,41 @@ func runE4(c *Context) (string, error) {
 }
 
 func runE5(c *Context) (string, error) {
-	f := stats.NewFigure("E5: task-size sensitivity", "target task size (insts)", "geomean speedup")
 	sizesSweep := []uint64{25, 50, 100, 200, 400, 800}
 	ws := c.SweepWorkloads()
+	type pt struct{ sp, ln float64 }
+	// Row-major over (stride, workload) so rendering walks strides in order.
+	pts, err := fanOut(c, len(sizesSweep)*len(ws), func(k int) (pt, error) {
+		stride := sizesSweep[k/len(ws)]
+		w := ws[k%len(ws)]
+		d, err := c.Distill(w, stride, 0.99)
+		if err != nil {
+			return pt{}, err
+		}
+		cfg := c.MSSPConfig()
+		cfg.MinTaskSpacing = stride
+		res, err := c.RunMSSP(w, d, cfg)
+		if err != nil {
+			return pt{}, err
+		}
+		b, err := c.Baseline(w)
+		if err != nil {
+			return pt{}, err
+		}
+		return pt{sp: b.Cycles / res.Cycles, ln: res.Metrics.MeanTaskLen()}, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	f := stats.NewFigure("E5: task-size sensitivity", "target task size (insts)", "geomean speedup")
 	speedups := f.Add("geomean speedup")
 	lens := f.Add("mean task length")
-	for _, stride := range sizesSweep {
+	for i, stride := range sizesSweep {
 		var sp, ln []float64
-		for _, w := range ws {
-			d, err := c.Distill(w, stride, 0.99)
-			if err != nil {
-				return "", err
-			}
-			cfg := c.MSSPConfig()
-			cfg.MinTaskSpacing = stride
-			res, err := c.RunMSSP(w, d, cfg)
-			if err != nil {
-				return "", err
-			}
-			b, err := c.Baseline(w)
-			if err != nil {
-				return "", err
-			}
-			sp = append(sp, b.Cycles/res.Cycles)
-			ln = append(ln, res.Metrics.MeanTaskLen())
+		for j := range ws {
+			p := pts[i*len(ws)+j]
+			sp = append(sp, p.sp)
+			ln = append(ln, p.ln)
 		}
 		speedups.Point(float64(stride), stats.Geomean(sp))
 		lens.Point(float64(stride), stats.Mean(ln))
@@ -201,45 +251,60 @@ func runE5(c *Context) (string, error) {
 }
 
 func runE6(c *Context) (string, error) {
+	ws := c.Workloads()
+	rows, err := defaultRows(c, ws)
+	if err != nil {
+		return "", err
+	}
 	t := stats.NewTable("E6: task outcome breakdown",
 		"workload", "committed", "livein-miss", "overflow", "fault", "squashed-young", "commit rate")
-	for _, w := range c.Workloads() {
-		res, _, err := c.RunDefault(w)
-		if err != nil {
-			return "", err
-		}
-		m := res.Metrics
-		t.Row(w.Name, m.TasksCommitted, m.TasksMisspec, m.TasksOverflowed,
+	for i, row := range rows {
+		m := row.res.Metrics
+		t.Row(ws[i].Name, m.TasksCommitted, m.TasksMisspec, m.TasksOverflowed,
 			m.TasksFaulted, m.TasksSquashedDown, m.CommitRate())
 	}
 	return t.String(), nil
 }
 
 func runE7(c *Context) (string, error) {
-	f := stats.NewFigure("E7: distiller aggressiveness", "bias threshold", "geomean value")
 	thresholds := []float64{0.90, 0.95, 0.99, 0.995, 1.0}
 	ws := c.SweepWorkloads()
+	type pt struct{ s, r, ms float64 }
+	pts, err := fanOut(c, len(thresholds)*len(ws), func(k int) (pt, error) {
+		th := thresholds[k/len(ws)]
+		w := ws[k%len(ws)]
+		d, err := c.Distill(w, c.Stride, th)
+		if err != nil {
+			return pt{}, err
+		}
+		res, err := c.RunMSSP(w, d, c.MSSPConfig())
+		if err != nil {
+			return pt{}, err
+		}
+		b, err := c.Baseline(w)
+		if err != nil {
+			return pt{}, err
+		}
+		return pt{
+			s:  b.Cycles / res.Cycles,
+			r:  res.Metrics.DynamicDistillationRatio(),
+			ms: res.Metrics.MisspecRate() * 1000,
+		}, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	f := stats.NewFigure("E7: distiller aggressiveness", "bias threshold", "geomean value")
 	sp := f.Add("speedup")
 	ratio := f.Add("dyn distill ratio")
 	miss := f.Add("misspecs/1k tasks")
-	for _, th := range thresholds {
+	for i, th := range thresholds {
 		var s, r, ms []float64
-		for _, w := range ws {
-			d, err := c.Distill(w, c.Stride, th)
-			if err != nil {
-				return "", err
-			}
-			res, err := c.RunMSSP(w, d, c.MSSPConfig())
-			if err != nil {
-				return "", err
-			}
-			b, err := c.Baseline(w)
-			if err != nil {
-				return "", err
-			}
-			s = append(s, b.Cycles/res.Cycles)
-			r = append(r, res.Metrics.DynamicDistillationRatio())
-			ms = append(ms, res.Metrics.MisspecRate()*1000)
+		for j := range ws {
+			p := pts[i*len(ws)+j]
+			s = append(s, p.s)
+			r = append(r, p.r)
+			ms = append(ms, p.ms)
 		}
 		sp.Point(th, stats.Geomean(s))
 		ratio.Point(th, stats.Geomean(r))
@@ -249,28 +314,36 @@ func runE7(c *Context) (string, error) {
 }
 
 func runE8(c *Context) (string, error) {
-	f := stats.NewFigure("E8: spawn-latency sensitivity", "spawn latency (cycles)", "geomean speedup")
 	lats := []float64{0, 10, 30, 100, 300, 1000}
 	ws := c.SweepWorkloads()
+	sps, err := fanOut(c, len(lats)*len(ws), func(k int) (float64, error) {
+		lat := lats[k/len(ws)]
+		w := ws[k%len(ws)]
+		d, err := c.Distill(w, c.Stride, 0.99)
+		if err != nil {
+			return 0, err
+		}
+		cfg := c.MSSPConfig()
+		cfg.SpawnLatency = lat
+		res, err := c.RunMSSP(w, d, cfg)
+		if err != nil {
+			return 0, err
+		}
+		b, err := c.Baseline(w)
+		if err != nil {
+			return 0, err
+		}
+		return b.Cycles / res.Cycles, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	f := stats.NewFigure("E8: spawn-latency sensitivity", "spawn latency (cycles)", "geomean speedup")
 	s := f.Add("geomean speedup")
-	for _, lat := range lats {
+	for i, lat := range lats {
 		var sp []float64
-		for _, w := range ws {
-			d, err := c.Distill(w, c.Stride, 0.99)
-			if err != nil {
-				return "", err
-			}
-			cfg := c.MSSPConfig()
-			cfg.SpawnLatency = lat
-			res, err := c.RunMSSP(w, d, cfg)
-			if err != nil {
-				return "", err
-			}
-			b, err := c.Baseline(w)
-			if err != nil {
-				return "", err
-			}
-			sp = append(sp, b.Cycles/res.Cycles)
+		for j := range ws {
+			sp = append(sp, sps[i*len(ws)+j])
 		}
 		s.Point(lat, stats.Geomean(sp))
 	}
@@ -278,19 +351,20 @@ func runE8(c *Context) (string, error) {
 }
 
 func runE9(c *Context) (string, error) {
+	ws := c.Workloads()
+	rows, err := defaultRows(c, ws)
+	if err != nil {
+		return "", err
+	}
 	t := stats.NewTable("E9: execution-time breakdown (fraction of cycles)",
 		"workload", "master-bound", "slave-bound", "commit-bound", "recovery")
-	for _, w := range c.Workloads() {
-		res, _, err := c.RunDefault(w)
-		if err != nil {
-			return "", err
-		}
-		m := res.Metrics
+	for i, row := range rows {
+		m := row.res.Metrics
 		total := m.MasterBoundCycles + m.SlaveBoundCycles + m.CommitBoundCycles + m.RecoveryCycles
 		if total <= 0 {
 			total = 1
 		}
-		t.Row(w.Name,
+		t.Row(ws[i].Name,
 			m.MasterBoundCycles/total, m.SlaveBoundCycles/total,
 			m.CommitBoundCycles/total, m.RecoveryCycles/total)
 	}
@@ -298,47 +372,61 @@ func runE9(c *Context) (string, error) {
 }
 
 func runE10(c *Context) (string, error) {
-	t := stats.NewTable("E10: jumping-refinement and task-safety audit",
-		"workload", "refinement", "commits audited", "ref insts", "violations")
-	for _, w := range c.Workloads() {
+	ws := c.Workloads()
+	reps, err := fanOut(c, len(ws), func(i int) (*refine.Report, error) {
+		w := ws[i]
 		d, err := c.Distill(w, c.Stride, 0.99)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		rep, err := refine.Check(c.Prog(w, c.Scale), d, c.MSSPConfig(), refine.DefaultOptions())
-		if err != nil {
-			return "", err
-		}
+		return refine.Check(c.Prog(w, c.Scale), d, c.MSSPConfig(), refine.DefaultOptions())
+	})
+	if err != nil {
+		return "", err
+	}
+	t := stats.NewTable("E10: jumping-refinement and task-safety audit",
+		"workload", "refinement", "commits audited", "ref insts", "violations")
+	for i, rep := range reps {
 		verdict := "OK"
 		if !rep.OK {
 			verdict = "VIOLATED"
 		}
-		t.Row(w.Name, verdict, rep.Commits, rep.RefSteps, len(rep.Violations))
+		t.Row(ws[i].Name, verdict, rep.Commits, rep.RefSteps, len(rep.Violations))
 	}
 	return t.String(), nil
 }
 
 func runE11(c *Context) (string, error) {
+	ws := c.SweepWorkloads()
+	type pt struct{ ra, ut float64 }
+	pts, err := fanOut(c, len(cpuSweep)*len(ws), func(k int) (pt, error) {
+		cpus := cpuSweep[k/len(ws)]
+		w := ws[k%len(ws)]
+		d, err := c.Distill(w, c.Stride, 0.99)
+		if err != nil {
+			return pt{}, err
+		}
+		cfg := c.MSSPConfig()
+		cfg.Slaves = cpus - 1
+		res, err := c.RunMSSP(w, d, cfg)
+		if err != nil {
+			return pt{}, err
+		}
+		return pt{ra: res.Metrics.MeanRunahead(), ut: res.Metrics.SlaveUtilization(cfg.Slaves)}, nil
+	})
+	if err != nil {
+		return "", err
+	}
 	f := stats.NewFigure("E11: run-ahead and slave utilization vs processor count",
 		"cpus", "tasks in flight / utilization")
-	ws := c.SweepWorkloads()
 	run := f.Add("mean run-ahead (tasks)")
 	util := f.Add("slave utilization")
-	for _, cpus := range cpuSweep {
+	for i, cpus := range cpuSweep {
 		var ra, ut []float64
-		for _, w := range ws {
-			d, err := c.Distill(w, c.Stride, 0.99)
-			if err != nil {
-				return "", err
-			}
-			cfg := c.MSSPConfig()
-			cfg.Slaves = cpus - 1
-			res, err := c.RunMSSP(w, d, cfg)
-			if err != nil {
-				return "", err
-			}
-			ra = append(ra, res.Metrics.MeanRunahead())
-			ut = append(ut, res.Metrics.SlaveUtilization(cfg.Slaves))
+		for j := range ws {
+			p := pts[i*len(ws)+j]
+			ra = append(ra, p.ra)
+			ut = append(ut, p.ut)
 		}
 		run.Point(float64(cpus), stats.Mean(ra))
 		util.Point(float64(cpus), stats.Mean(ut))
@@ -347,15 +435,16 @@ func runE11(c *Context) (string, error) {
 }
 
 func runE12(c *Context) (string, error) {
+	ws := c.Workloads()
+	rows, err := defaultRows(c, ws)
+	if err != nil {
+		return "", err
+	}
 	t := stats.NewTable("E12: checkpoint and verification traffic (words/task)",
 		"workload", "checkpoint diff", "live-in", "live-out", "mean task len")
-	for _, w := range c.Workloads() {
-		res, _, err := c.RunDefault(w)
-		if err != nil {
-			return "", err
-		}
-		m := res.Metrics
-		t.Row(w.Name, m.CheckpointWordsPerTask(), m.LiveInWordsPerTask(),
+	for i, row := range rows {
+		m := row.res.Metrics
+		t.Row(ws[i].Name, m.CheckpointWordsPerTask(), m.LiveInWordsPerTask(),
 			m.LiveOutWordsPerTask(), m.MeanTaskLen())
 	}
 	return t.String(), nil
@@ -370,6 +459,9 @@ func sweepNote(ws []*workloads.Workload) string {
 }
 
 // RunAll executes every experiment and concatenates the rendered outputs.
+// Experiments run one after another — parallelism lives inside each
+// experiment's sweep fan-out — so output order and content match the
+// serial harness exactly.
 func RunAll(c *Context) (string, error) {
 	var b strings.Builder
 	for _, e := range All() {

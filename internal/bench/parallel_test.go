@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"testing"
+
+	"mssp/internal/workloads"
+)
+
+// TestParallelMatchesSerial is the equivalence guarantee of the concurrent
+// harness: for the experiments the acceptance criteria name (E3 table, E4
+// processor-count sweep, E5 task-size sweep), a parallel run must render
+// byte-identical output to the serial run, because fanOut merges results
+// in submission order regardless of completion order.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := quickCtx()
+	parallel := quickCtx()
+	parallel.Parallel = true
+	parallel.Workers = 4
+	defer parallel.Close()
+
+	for _, id := range []string{"E3", "E4", "E5"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(id, func(t *testing.T) {
+			want, err := e.Run(serial)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			got, err := e.Run(parallel)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if got != want {
+				t.Errorf("parallel output differs from serial.\nserial:\n%s\nparallel:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestParallelSingleFlight checks that a parallel sweep computes each
+// shared artifact once: after E4 (whose 8 grid cells over 2 workloads all
+// need the same 2 distillations), the distillation cache must show misses
+// equal to distinct artifacts, with everything else hits or single-flight
+// waits.
+func TestParallelSingleFlight(t *testing.T) {
+	c := quickCtx()
+	c.Parallel = true
+	c.Workers = 8
+	defer c.Close()
+
+	e, err := ByID("E4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	m := c.CacheMetrics()
+	if got := m["distillations"].Misses; got != 2 {
+		t.Errorf("distillation computes = %d, want 2 (one per workload)", got)
+	}
+	if got := m["baselines"].Misses; got != 2 {
+		t.Errorf("baseline computes = %d, want 2", got)
+	}
+	if reused := m["distillations"].Hits + m["distillations"].Shared; reused != 6 {
+		t.Errorf("distillation reuse (hits+shared) = %d, want 6 of 8 grid points", reused)
+	}
+	sm := c.SchedulerMetrics()
+	if sm.Submitted != 8 || sm.Completed != 8 {
+		t.Errorf("scheduler metrics = %+v, want 8 submitted+completed", sm)
+	}
+}
+
+// TestContextClose: Close drains the pool, and the context can run again
+// afterwards (a fresh pool is started lazily).
+func TestContextClose(t *testing.T) {
+	c := quickCtx()
+	c.Parallel = true
+	c.Close() // no pool started yet: must be a no-op
+	e, err := ByID("E3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := e.Run(c); err != nil {
+		t.Fatalf("context unusable after Close: %v", err)
+	}
+	c.Close()
+}
+
+// benchHarness runs the E3+E4+E5 slice of the harness from a cold context,
+// which is the wall-clock shape cmd/experiments has: many independent
+// (workload × config) simulation jobs with heavy shared-artifact reuse.
+func benchHarness(b *testing.B, parallel bool) {
+	names := []string{"bitops", "compress", "graphwalk", "mtf"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := NewContext(workloads.Train)
+		c.Names = names
+		c.Parallel = parallel
+		for _, id := range []string{"E3", "E4", "E5"} {
+			e, err := ByID(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Run(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if i == b.N-1 {
+			var agg, total uint64
+			for _, m := range c.CacheMetrics() {
+				agg += m.Hits
+				total += m.Hits + m.Misses
+			}
+			if total > 0 {
+				b.ReportMetric(float64(agg)/float64(total), "cache-hit-rate")
+			}
+		}
+		c.Close()
+	}
+}
+
+func BenchmarkHarnessSerial(b *testing.B)   { benchHarness(b, false) }
+func BenchmarkHarnessParallel(b *testing.B) { benchHarness(b, true) }

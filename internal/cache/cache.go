@@ -1,0 +1,216 @@
+// Package cache provides content-keyed memoization of expensive pipeline
+// artifacts (assembled programs, profiles, distilled programs, baseline
+// runs). A Cache is an LRU-bounded map with hit/miss/eviction counters and
+// single-flight semantics: concurrent callers that need the same artifact
+// compute it exactly once and all receive the same value — for pointer
+// types, the identical pointer — so a parallel sweep never duplicates a
+// distillation the way independent goroutines otherwise would.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+)
+
+// Metrics is a point-in-time snapshot of a cache's activity counters.
+type Metrics struct {
+	// Hits counts lookups served from a resident entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that had to run their compute function.
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped to keep the cache within capacity.
+	Evictions uint64 `json:"evictions"`
+	// Shared counts callers that waited on another goroutine's in-flight
+	// compute instead of starting their own (single-flight coalescing).
+	Shared uint64 `json:"shared"`
+	// Size is the current number of resident entries.
+	Size int `json:"size"`
+	// Capacity is the LRU bound.
+	Capacity int `json:"capacity"`
+}
+
+// HitRate returns hits over total lookups (0 when the cache is unused).
+func (m Metrics) HitRate() float64 {
+	total := m.Hits + m.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(total)
+}
+
+// Add returns the field-wise sum of two snapshots (capacity is summed too;
+// use it only for aggregate reporting).
+func (m Metrics) Add(o Metrics) Metrics {
+	return Metrics{
+		Hits:      m.Hits + o.Hits,
+		Misses:    m.Misses + o.Misses,
+		Evictions: m.Evictions + o.Evictions,
+		Shared:    m.Shared + o.Shared,
+		Size:      m.Size + o.Size,
+		Capacity:  m.Capacity + o.Capacity,
+	}
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// flight is one in-progress compute; waiters block on done and then read
+// val/err, which are written exactly once before done is closed.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Cache is a concurrency-safe, LRU-bounded, single-flight memoization map.
+// The zero value is not usable; construct with New.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[K]*list.Element // values are *entry[K, V]
+	order    *list.List          // front = most recently used
+	inflight map[K]*flight[V]
+
+	hits, misses, evictions, shared uint64
+}
+
+// New returns a cache holding at most capacity entries (minimum 1).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*list.Element),
+		order:    list.New(),
+		inflight: make(map[K]*flight[V]),
+	}
+}
+
+// GetOrCompute returns the value for key, running compute on a miss.
+// Concurrent calls for the same key share one compute call: the first
+// caller computes while the rest wait and receive the same value. Errors
+// are not cached — a failed compute leaves the key absent and the next
+// caller retries. compute runs without the cache lock held, so it may
+// itself use this or other caches.
+func (c *Cache[K, V]) GetOrCompute(key K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	for {
+		if el, ok := c.entries[key]; ok {
+			c.hits++
+			c.order.MoveToFront(el)
+			v := el.Value.(*entry[K, V]).val
+			c.mu.Unlock()
+			return v, nil
+		}
+		fl, ok := c.inflight[key]
+		if !ok {
+			break
+		}
+		c.shared++
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err == nil {
+			return fl.val, nil
+		}
+		// The flight we joined failed; retry — we may become the computer.
+		c.mu.Lock()
+	}
+	fl := &flight[V]{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	v, err := compute()
+	fl.val, fl.err = v, err
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.put(key, v)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return v, err
+}
+
+// Get returns the resident value for key, if any, marking it recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for key.
+func (c *Cache[K, V]) Put(key K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, v)
+}
+
+// put inserts with the lock held, evicting from the LRU tail as needed.
+func (c *Cache[K, V]) put(key K, v V) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry[K, V]).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&entry[K, V]{key: key, val: v})
+	for len(c.entries) > c.capacity {
+		back := c.order.Back()
+		victim := back.Value.(*entry[K, V])
+		c.order.Remove(back)
+		delete(c.entries, victim.key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Metrics returns a snapshot of the counters.
+func (c *Cache[K, V]) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Metrics{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Shared:    c.shared,
+		Size:      len(c.entries),
+		Capacity:  c.capacity,
+	}
+}
+
+// KeyOf builds a content key from the printed representation of its parts
+// (workload name, input class, distiller options, ...), prefixed with an
+// FNV-1a hash of the same bytes. Keeping the full rendering in the key
+// makes distinct inputs collide only if they print identically, while the
+// hash prefix keeps map comparisons cheap for long keys.
+func KeyOf(parts ...any) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte(0x1f) // unit separator: "ab","c" ≠ "a","bc"
+		}
+		fmt.Fprintf(&b, "%v", p)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(b.String()))
+	return fmt.Sprintf("%016x\x1e%s", h.Sum64(), b.String())
+}

@@ -1,0 +1,348 @@
+// Package sched implements the concurrent simulation scheduler: a bounded
+// worker pool that runs independent simulation jobs across GOMAXPROCS
+// goroutines with context-based cancellation, per-job timeouts, panic
+// isolation (a crashing simulation fails its job, not the process), and
+// bounded queueing with backpressure.
+//
+// The design deliberately mirrors the paradigm it simulates: like MSSP's
+// master, callers fan work out without waiting for it; like MSSP's commit
+// unit, Map assembles results strictly in submission order, so concurrent
+// execution produces output byte-identical to a serial loop regardless of
+// completion order.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by Submit after Close has been called.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// PanicError wraps a panic recovered from a job's Run function.
+type PanicError struct {
+	// Label identifies the job that panicked.
+	Label string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: job %q panicked: %v", e.Label, e.Value)
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers is the pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the submission queue; Submit blocks (backpressure)
+	// once this many jobs are queued unstarted (0 = 2×Workers).
+	QueueDepth int
+	// JobTimeout is the default per-job deadline (0 = none). A job's own
+	// Timeout overrides it.
+	JobTimeout time.Duration
+}
+
+// Job is one unit of work.
+type Job struct {
+	// Label names the job in errors and metrics (optional).
+	Label string
+	// Timeout overrides the scheduler's default job deadline (0 = default).
+	Timeout time.Duration
+	// Run does the work. It should honor ctx where it can; jobs that
+	// cannot are abandoned on timeout (see Handle.Result).
+	Run func(ctx context.Context) (any, error)
+}
+
+// Handle tracks one submitted job.
+type Handle struct {
+	job  Job
+	ctx  context.Context
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Done is closed when the job has finished (in any state).
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Result blocks until the job finishes and returns its value and error.
+func (h *Handle) Result() (any, error) {
+	<-h.done
+	return h.val, h.err
+}
+
+func (h *Handle) finish(v any, err error) {
+	h.val, h.err = v, err
+	close(h.done)
+}
+
+// Metrics is a snapshot of scheduler activity.
+type Metrics struct {
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// QueueDepth is the submission-queue bound.
+	QueueDepth int `json:"queue_depth"`
+	// Submitted counts jobs accepted by Submit.
+	Submitted uint64 `json:"submitted"`
+	// Completed counts jobs that returned without error.
+	Completed uint64 `json:"completed"`
+	// Failed counts jobs that returned an error (including panics and
+	// timeouts).
+	Failed uint64 `json:"failed"`
+	// Panicked counts jobs that panicked (subset of Failed).
+	Panicked uint64 `json:"panicked"`
+	// TimedOut counts jobs abandoned at their deadline (subset of Failed).
+	TimedOut uint64 `json:"timed_out"`
+	// Canceled counts jobs whose context was done before they started
+	// (subset of Failed).
+	Canceled uint64 `json:"canceled"`
+	// Running is the number of jobs currently executing.
+	Running int64 `json:"running"`
+	// Queued is the number of jobs accepted but not yet started.
+	Queued int `json:"queued"`
+}
+
+// Scheduler is a bounded worker pool. Construct with New; Close drains it.
+type Scheduler struct {
+	opts  Options
+	queue chan *Handle
+
+	mu     sync.Mutex // guards closed
+	closed bool
+	jobs   sync.WaitGroup // one count per accepted, unfinished job
+	wg     sync.WaitGroup // one count per worker
+
+	submitted, completed, failed atomic.Uint64
+	panicked, timedOut, canceled atomic.Uint64
+	running                      atomic.Int64
+}
+
+// New starts a scheduler with opts. The zero Options gives a pool of
+// GOMAXPROCS workers with a 2×Workers submission queue and no job timeout.
+func New(opts Options) *Scheduler {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 2 * opts.Workers
+	}
+	s := &Scheduler{
+		opts:  opts,
+		queue: make(chan *Handle, opts.QueueDepth),
+	}
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues a job, blocking while the queue is full (backpressure).
+// It returns ErrClosed after Close and ctx.Err() if ctx ends first. The
+// context also governs the job itself: if it is done before the job starts,
+// the job fails with ctx.Err() without running.
+func (s *Scheduler) Submit(ctx context.Context, job Job) (*Handle, error) {
+	if job.Run == nil {
+		return nil, errors.New("sched: job has no Run function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Count the job before releasing the lock so Close waits for it even
+	// if we block on the queue below.
+	s.jobs.Add(1)
+	s.mu.Unlock()
+
+	h := &Handle{job: job, ctx: ctx, done: make(chan struct{})}
+	select {
+	case s.queue <- h:
+		s.submitted.Add(1)
+		return h, nil
+	case <-ctx.Done():
+		s.jobs.Done()
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops accepting jobs, waits for accepted jobs to finish, and stops
+// the workers. It is idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.jobs.Wait()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.jobs.Wait()  // every accepted job has finished; no sender remains
+	close(s.queue) // workers drain (queue already empty) and exit
+	s.wg.Wait()
+}
+
+// Metrics returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Metrics() Metrics {
+	return Metrics{
+		Workers:    s.opts.Workers,
+		QueueDepth: s.opts.QueueDepth,
+		Submitted:  s.submitted.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Panicked:   s.panicked.Load(),
+		TimedOut:   s.timedOut.Load(),
+		Canceled:   s.canceled.Load(),
+		Running:    s.running.Load(),
+		Queued:     len(s.queue),
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for h := range s.queue {
+		s.runJob(h)
+		s.jobs.Done()
+	}
+}
+
+// runJob executes one job with cancellation, deadline and panic handling.
+func (s *Scheduler) runJob(h *Handle) {
+	if err := h.ctx.Err(); err != nil {
+		s.canceled.Add(1)
+		s.failed.Add(1)
+		h.finish(nil, err)
+		return
+	}
+	timeout := h.job.Timeout
+	if timeout == 0 {
+		timeout = s.opts.JobTimeout
+	}
+	ctx := h.ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	if timeout <= 0 {
+		v, err := s.invoke(ctx, h.job)
+		s.count(err)
+		h.finish(v, err)
+		return
+	}
+	// With a deadline, run the job in a child goroutine so a simulation
+	// that ignores ctx cannot wedge the worker past its deadline; the
+	// abandoned goroutine's eventual result is discarded.
+	type outcome struct {
+		v   any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := s.invoke(ctx, h.job)
+		ch <- outcome{v, err}
+	}()
+	select {
+	case o := <-ch:
+		s.count(o.err)
+		h.finish(o.v, o.err)
+	case <-ctx.Done():
+		s.timedOut.Add(1)
+		s.failed.Add(1)
+		h.finish(nil, fmt.Errorf("sched: job %q: %w", h.job.Label, ctx.Err()))
+	}
+}
+
+// invoke calls the job function, converting a panic into a PanicError.
+func (s *Scheduler) invoke(ctx context.Context, j Job) (v any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panicked.Add(1)
+			err = &PanicError{Label: j.Label, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return j.Run(ctx)
+}
+
+func (s *Scheduler) count(err error) {
+	if err != nil {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+}
+
+// Map runs fn for every index in [0,n) through s and assembles the results
+// in index order — the commit-unit discipline: concurrent completion order
+// never affects output order. On the first failure the remaining jobs are
+// cancelled; the returned error is the lowest-index non-cancellation error
+// (falling back to the lowest-index error when every failure is a
+// cancellation, e.g. when ctx itself ended).
+func Map[T any](ctx context.Context, s *Scheduler, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	handles := make([]*Handle, n)
+	errs := make([]error, n)
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		i := i
+		h, err := s.Submit(ctx, Job{
+			Label: fmt.Sprintf("map[%d/%d]", i, n),
+			Run:   func(ctx context.Context) (any, error) { return fn(ctx, i) },
+		})
+		if err != nil {
+			errs[i] = err
+			cancel() // a rejected submission fails the whole map
+			break
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		if h == nil {
+			continue
+		}
+		v, err := h.Result()
+		if err != nil {
+			errs[i] = err
+			cancel()
+			continue
+		}
+		out[i] = v.(T)
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return out, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach is Map for jobs with no result value.
+func ForEach(ctx context.Context, s *Scheduler, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, s, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

@@ -1,0 +1,376 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTest(t *testing.T, opts Options) *Scheduler {
+	t.Helper()
+	s := New(opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestSubmitAndResult(t *testing.T) {
+	s := newTest(t, Options{Workers: 2})
+	h, err := s.Submit(context.Background(), Job{
+		Label: "answer",
+		Run:   func(context.Context) (any, error) { return 42, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.Result()
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+	m := s.Metrics()
+	if m.Submitted != 1 || m.Completed != 1 || m.Failed != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTest(t, Options{Workers: 1})
+	if _, err := s.Submit(context.Background(), Job{}); err == nil {
+		t.Error("nil Run accepted")
+	}
+}
+
+// TestMapOrderedAssembly is the commit-unit property: jobs that finish in
+// scrambled order must still assemble results in submission order.
+func TestMapOrderedAssembly(t *testing.T) {
+	s := newTest(t, Options{Workers: 4})
+	const n = 32
+	out, err := Map(context.Background(), s, n, func(_ context.Context, i int) (string, error) {
+		// Earlier indices sleep longer, so completion order is roughly
+		// reversed from submission order.
+		time.Sleep(time.Duration(n-i) * time.Millisecond)
+		return fmt.Sprintf("job-%02d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if want := fmt.Sprintf("job-%02d", i); v != want {
+			t.Fatalf("out[%d] = %q, want %q", i, v, want)
+		}
+	}
+}
+
+// TestPanicIsolation: a crashing job must fail with a PanicError carrying
+// the job label and stack, without taking down the process or the pool.
+func TestPanicIsolation(t *testing.T) {
+	s := newTest(t, Options{Workers: 2})
+	h, err := s.Submit(context.Background(), Job{
+		Label: "crasher",
+		Run:   func(context.Context) (any, error) { panic("simulated machine exploded") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, jerr := h.Result()
+	var pe *PanicError
+	if !errors.As(jerr, &pe) {
+		t.Fatalf("err = %v, want PanicError", jerr)
+	}
+	if pe.Label != "crasher" || pe.Value != "simulated machine exploded" || len(pe.Stack) == 0 {
+		t.Errorf("panic error incomplete: %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "crasher") {
+		t.Errorf("message = %q", pe.Error())
+	}
+	// The pool must still work.
+	h2, err := s.Submit(context.Background(), Job{Run: func(context.Context) (any, error) { return "ok", nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := h2.Result(); err != nil || v.(string) != "ok" {
+		t.Fatalf("pool dead after panic: %v, %v", v, err)
+	}
+	m := s.Metrics()
+	if m.Panicked != 1 || m.Failed != 1 || m.Completed != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+// TestMapPanicBecomesError: inside Map, a panicking index fails the map
+// but the caller still gets a regular error.
+func TestMapPanicBecomesError(t *testing.T) {
+	s := newTest(t, Options{Workers: 2})
+	_, err := Map(context.Background(), s, 8, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+}
+
+// TestCancellationMidSweep cancels a sweep while most of its jobs are
+// still queued: queued jobs must fail fast with the context error instead
+// of running.
+func TestCancellationMidSweep(t *testing.T) {
+	s := newTest(t, Options{Workers: 1, QueueDepth: 64})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var ran atomic.Int64
+
+	var handles []*Handle
+	for i := 0; i < 16; i++ {
+		i := i
+		h, err := s.Submit(ctx, Job{Run: func(ctx context.Context) (any, error) {
+			ran.Add(1)
+			if i == 0 {
+				close(started)
+				<-ctx.Done() // a cooperative job observes cancellation
+				return nil, ctx.Err()
+			}
+			return i, nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	<-started
+	cancel()
+
+	var canceled int
+	for _, h := range handles {
+		if _, err := h.Result(); errors.Is(err, context.Canceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Error("no job observed cancellation")
+	}
+	if got := ran.Load(); got == 16 {
+		t.Error("every job ran despite cancellation of a 1-worker sweep")
+	}
+	if m := s.Metrics(); m.Canceled == 0 {
+		t.Errorf("metrics = %+v, want Canceled > 0", m)
+	}
+}
+
+// TestMapFirstErrorWins: the reported error is the lowest-index real
+// failure, not a cancellation ripple from it.
+func TestMapFirstErrorWins(t *testing.T) {
+	s := newTest(t, Options{Workers: 2})
+	errA := errors.New("failure A")
+	errB := errors.New("failure B")
+	_, err := Map(context.Background(), s, 12, func(ctx context.Context, i int) (int, error) {
+		switch i {
+		case 5:
+			return 0, errA
+		case 9:
+			time.Sleep(5 * time.Millisecond)
+			return 0, errB
+		default:
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			return i, nil
+		}
+	})
+	if !errors.Is(err, errA) && !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want a real job failure", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, cancellation ripple reported instead of the cause", err)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	s := newTest(t, Options{Workers: 1, JobTimeout: 10 * time.Millisecond})
+	h, err := s.Submit(context.Background(), Job{
+		Label: "sleeper",
+		Run: func(ctx context.Context) (any, error) {
+			select {
+			case <-time.After(5 * time.Second):
+				return "too late", nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Result(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if m := s.Metrics(); m.TimedOut != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	// A per-job timeout overrides the default.
+	h2, err := s.Submit(context.Background(), Job{
+		Timeout: time.Minute,
+		Run: func(context.Context) (any, error) {
+			time.Sleep(30 * time.Millisecond) // longer than the default timeout
+			return "fine", nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := h2.Result(); err != nil || v.(string) != "fine" {
+		t.Fatalf("override failed: %v, %v", v, err)
+	}
+}
+
+// TestTimeoutAbandonsUncooperativeJob: a job that ignores ctx still fails
+// at its deadline (the worker moves on; the runaway goroutine is orphaned).
+func TestTimeoutAbandonsUncooperativeJob(t *testing.T) {
+	s := newTest(t, Options{Workers: 1})
+	release := make(chan struct{})
+	defer close(release)
+	h, err := s.Submit(context.Background(), Job{
+		Timeout: 10 * time.Millisecond,
+		Run: func(context.Context) (any, error) {
+			<-release // never checks ctx
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { _, err := h.Result(); done <- err }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline did not fire; worker wedged by uncooperative job")
+	}
+}
+
+// TestBackpressure: with a full bounded queue, Submit must block until a
+// worker frees a slot rather than queueing unboundedly.
+func TestBackpressure(t *testing.T) {
+	s := newTest(t, Options{Workers: 1, QueueDepth: 1})
+	gate := make(chan struct{})
+	// Occupy the worker and fill the 1-slot queue.
+	block := func(context.Context) (any, error) { <-gate; return nil, nil }
+	h1, err := s.Submit(context.Background(), Job{Run: block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first job is actually running so the next Submit
+	// lands in the queue, not the worker.
+	for s.Metrics().Running == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	h2, err := s.Submit(context.Background(), Job{Run: block})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	submitted := make(chan *Handle)
+	go func() {
+		h3, err := s.Submit(context.Background(), Job{Run: block})
+		if err != nil {
+			t.Error(err)
+		}
+		submitted <- h3
+	}()
+	select {
+	case <-submitted:
+		t.Fatal("Submit did not block on a full queue")
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(gate)
+	h3 := <-submitted
+	for _, h := range []*Handle{h1, h2, h3} {
+		if _, err := h.Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A blocked Submit must also give up when its context ends.
+	gate2 := make(chan struct{})
+	defer close(gate2)
+	s2 := newTest(t, Options{Workers: 1, QueueDepth: 1})
+	s2.Submit(context.Background(), Job{Run: func(context.Context) (any, error) { <-gate2; return nil, nil }})
+	for s2.Metrics().Running == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	s2.Submit(context.Background(), Job{Run: func(context.Context) (any, error) { return nil, nil }})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s2.Submit(ctx, Job{Run: func(context.Context) (any, error) { return nil, nil }}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked Submit returned %v, want deadline exceeded", err)
+	}
+}
+
+func TestCloseRejectsAndDrains(t *testing.T) {
+	s := New(Options{Workers: 2})
+	var done atomic.Int64
+	var handles []*Handle
+	for i := 0; i < 8; i++ {
+		h, err := s.Submit(context.Background(), Job{Run: func(context.Context) (any, error) {
+			time.Sleep(2 * time.Millisecond)
+			done.Add(1)
+			return nil, nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	s.Close()
+	if got := done.Load(); got != 8 {
+		t.Errorf("Close returned with %d/8 jobs finished", got)
+	}
+	if _, err := s.Submit(context.Background(), Job{Run: func(context.Context) (any, error) { return nil, nil }}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+	for _, h := range handles {
+		if _, err := h.Result(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	s := newTest(t, Options{Workers: 4})
+	var sum atomic.Int64
+	if err := ForEach(context.Background(), s, 100, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Errorf("sum = %d", sum.Load())
+	}
+	werr := errors.New("nope")
+	if err := ForEach(context.Background(), s, 10, func(_ context.Context, i int) error {
+		if i == 7 {
+			return werr
+		}
+		return nil
+	}); !errors.Is(err, werr) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	m := s.Metrics()
+	if m.Workers < 1 || m.QueueDepth < 2 {
+		t.Errorf("defaults = %+v", m)
+	}
+}

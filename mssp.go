@@ -6,7 +6,9 @@
 // unit) with a deterministic event-timing model, a jumping-refinement
 // auditor derived from the companion formal model, a SPECint2000-shaped
 // workload suite, and an experiment harness reproducing the paper's tables
-// and figures.
+// and figures. Independent simulations can be fanned out across a worker
+// pool with RunPipelines (or a Scheduler directly); results always come
+// back in submission order, the way MSSP's commit unit retires tasks.
 //
 // # Quick start
 //
@@ -20,15 +22,18 @@
 package mssp
 
 import (
+	"context"
 	"fmt"
 
 	"mssp/internal/asm"
 	"mssp/internal/baseline"
+	"mssp/internal/cache"
 	"mssp/internal/core"
 	"mssp/internal/distill"
 	"mssp/internal/isa"
 	"mssp/internal/profile"
 	"mssp/internal/refine"
+	"mssp/internal/sched"
 )
 
 // Program is a linked MIR program image.
@@ -156,4 +161,38 @@ func (p *Pipeline) Run() (*RunResult, error) {
 // checker attached, verifying every commit against the sequential model.
 func (p *Pipeline) Audit() (*RefinementReport, error) {
 	return refine.Check(p.Prog, p.Distilled, p.Opts.Machine, refine.DefaultOptions())
+}
+
+// Scheduler is the concurrent simulation scheduler: a bounded worker pool
+// with cancellation, per-job timeouts, panic isolation and in-order result
+// assembly (see internal/sched). It backs the parallel experiment harness
+// and the msspd job service.
+type Scheduler = sched.Scheduler
+
+// SchedulerOptions configures NewScheduler.
+type SchedulerOptions = sched.Options
+
+// SchedulerJob is one unit of work for a Scheduler.
+type SchedulerJob = sched.Job
+
+// SchedulerMetrics is a snapshot of a scheduler's counters.
+type SchedulerMetrics = sched.Metrics
+
+// CacheMetrics is a snapshot of an artifact cache's counters.
+type CacheMetrics = cache.Metrics
+
+// NewScheduler starts a worker-pool scheduler. Close it to drain.
+func NewScheduler(opts SchedulerOptions) *Scheduler { return sched.New(opts) }
+
+// RunPipelines executes prepared pipelines concurrently across a worker
+// pool (workers = 0 means GOMAXPROCS) and returns their results in input
+// order — completion order never affects the output, mirroring MSSP's own
+// in-order commit unit. On the first failure, pipelines not yet started
+// are cancelled and the lowest-index failure is returned.
+func RunPipelines(ctx context.Context, workers int, pls ...*Pipeline) ([]*RunResult, error) {
+	s := sched.New(sched.Options{Workers: workers})
+	defer s.Close()
+	return sched.Map(ctx, s, len(pls), func(_ context.Context, i int) (*RunResult, error) {
+		return pls[i].Run()
+	})
 }
