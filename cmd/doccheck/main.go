@@ -1,0 +1,206 @@
+// Command doccheck is the documentation linter run by CI's docs job. It
+// enforces two invariants that markdown and godoc rot silently break:
+//
+//  1. Every relative link in the repository's *.md files resolves to an
+//     existing file (anchors and external URLs are not checked).
+//  2. Every exported identifier in the packages listed in checkedPackages
+//     carries a doc comment — the observability surface is documentation
+//     first, so an undocumented export is a build failure, not a nit.
+//
+// Usage:
+//
+//	doccheck [-root DIR]
+//
+// It prints one line per violation and exits non-zero if any were found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// checkedPackages are the directories whose exported identifiers must all
+// be documented. internal/obs is the PR-2 observability layer; extend this
+// list as packages graduate to "documentation-complete".
+var checkedPackages = []string{
+	"internal/obs",
+}
+
+// mdLink matches inline markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	var problems []string
+	problems = append(problems, checkLinks(*root)...)
+	for _, pkg := range checkedPackages {
+		problems = append(problems, checkDocs(*root, pkg)...)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkLinks verifies that every relative markdown link under root points
+// at an existing file or directory.
+func checkLinks(root string) []string {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".md") {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(b), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skipLink(target) {
+					continue
+				}
+				target = strings.SplitN(target, "#", 2)[0]
+				if target == "" {
+					continue // pure in-page anchor
+				}
+				resolved := filepath.Join(filepath.Dir(path), target)
+				if _, err := os.Stat(resolved); err != nil {
+					rel, _ := filepath.Rel(root, path)
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: broken link %q (%s does not exist)", rel, i+1, m[1], resolved))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("doccheck: walking %s: %v", root, err))
+	}
+	return problems
+}
+
+// skipLink reports whether a link target is outside doccheck's remit:
+// absolute URLs, mail links, and intra-page anchors.
+func skipLink(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
+
+// checkDocs parses every non-test Go file in pkg and reports exported
+// declarations without a doc comment.
+func checkDocs(root, pkg string) []string {
+	dir := filepath.Join(root, pkg)
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("doccheck: parsing %s: %v", dir, err)}
+	}
+	var problems []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		rel, _ := filepath.Rel(root, p.Filename)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", rel, p.Line, what, name))
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && exportedRecv(d) && d.Doc == nil {
+						report(d.Pos(), "function", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					problems = append(problems, checkGenDecl(fset, root, d)...)
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedRecv reports whether a method's receiver type is exported (or the
+// decl is a plain function). Methods on unexported types need no doc.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// checkGenDecl reports undocumented exported types, consts and vars. A doc
+// comment on the grouped declaration covers its specs; otherwise each
+// exported spec needs its own.
+func checkGenDecl(fset *token.FileSet, root string, d *ast.GenDecl) []string {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return nil
+	}
+	var problems []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		rel, _ := filepath.Rel(root, p.Filename)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", rel, p.Line, what, name))
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				for _, field := range st.Fields.List {
+					for _, n := range field.Names {
+						if n.IsExported() && field.Doc == nil && field.Comment == nil {
+							report(n.Pos(), "field", s.Name.Name+"."+n.Name)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(n.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+				}
+			}
+		}
+	}
+	return problems
+}

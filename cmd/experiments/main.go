@@ -25,6 +25,8 @@ import (
 	"strings"
 
 	"mssp/internal/bench"
+	"mssp/internal/core"
+	"mssp/internal/obs"
 	"mssp/internal/workloads"
 )
 
@@ -36,6 +38,7 @@ func main() {
 		parallel = flag.Bool("parallel", true, "fan sweep points out across a worker pool")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("stats", false, "print scheduler and cache counters to stderr at exit")
+		traceOut = flag.String("trace", "", "write every simulation's task-lifecycle events to this JSONL file (lines labeled by workload)")
 	)
 	flag.Parse()
 
@@ -49,6 +52,20 @@ func main() {
 	defer ctx.Close()
 	if *names != "" {
 		ctx.Names = strings.Split(*names, ",")
+	}
+	var sink *obs.JSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		sink = obs.NewJSONL(f)
+		defer closeSink(sink, *traceOut)
+		// With -parallel the streams of concurrent sweep points interleave;
+		// the job label tells them apart and each line stays atomic.
+		ctx.Instrument = func(label string, cfg *core.Config) {
+			obs.Attach(cfg, obs.WithJob(sink, label))
+		}
 	}
 
 	exps := bench.All()
@@ -83,7 +100,19 @@ func main() {
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiment(s) failed: %s\n",
 			len(failed), len(exps), strings.Join(failed, ", "))
+		closeSink(sink, *traceOut) // os.Exit skips the deferred close
 		os.Exit(1)
+	}
+}
+
+// closeSink flushes the JSONL trace, reporting (not failing on) errors; it
+// is safe to call twice and with a nil sink.
+func closeSink(sink *obs.JSONL, path string) {
+	if sink == nil {
+		return
+	}
+	if err := sink.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: trace %s: %v\n", path, err)
 	}
 }
 

@@ -1,19 +1,25 @@
 // Command msspd is the MSSP simulation daemon: a long-running job service
 // that runs workload simulations concurrently through the internal/sched
 // worker pool, memoizes pipeline artifacts in internal/cache, and serves
-// an HTTP JSON API:
+// an HTTP API (see README.md "msspd HTTP API" for request/response shapes):
 //
-//	POST /jobs        submit {"workload": "compress", "scale": "train",
-//	                  "stride": 100, "threshold": 0.99, "slaves": 7};
-//	                  returns {"id": "job-1"} with 202
-//	GET  /jobs/{id}   poll status; terminal states carry result or error
-//	GET  /metrics     scheduler, cache and job-state counters
-//	GET  /healthz     liveness
+//	POST /jobs           submit {"workload": "compress", "scale": "train",
+//	                     "stride": 100, "threshold": 0.99, "slaves": 7};
+//	                     returns {"id": "job-1"} with 202
+//	GET  /jobs/{id}      poll status; terminal states carry result or error
+//	GET  /metrics        Prometheus text-format exposition (jobs by state,
+//	                     scheduler queue/workers, cache hit/miss/evict per
+//	                     artifact kind, job-latency histogram)
+//	GET  /metrics.json   the same counters as a JSON snapshot
+//	GET  /trace          recent task-lifecycle events across jobs (?n=K)
+//	GET  /healthz        liveness
+//	GET  /debug/pprof/   profiling endpoints (only with -pprof)
 //
 // Usage:
 //
 //	msspd                          # listen on :8350
 //	msspd -addr :9000 -workers 8 -queue 64 -job-timeout 5m
+//	msspd -pprof -trace-depth 65536
 package main
 
 import (
@@ -34,13 +40,17 @@ func main() {
 		workers    = flag.Int("workers", 0, "scheduler workers (0 = GOMAXPROCS)")
 		queue      = flag.Int("queue", 0, "scheduler queue depth (0 = 2x workers)")
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job deadline (0 = none)")
+		traceDepth = flag.Int("trace-depth", 0, "lifecycle events retained for GET /trace (0 = 4096)")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	srv := NewServer(ServerOptions{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		JobTimeout:  *jobTimeout,
+		TraceDepth:  *traceDepth,
+		EnablePprof: *pprofOn,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

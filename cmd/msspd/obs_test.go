@@ -1,0 +1,325 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mssp/internal/obs"
+)
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	typeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+)
+
+// parseExposition validates the Prometheus text format line by line and
+// returns sample values keyed by full sample line prefix (name{labels}).
+func parseExposition(t *testing.T, r io.Reader) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		switch {
+		case text == "":
+			t.Errorf("line %d: blank line in exposition", line)
+		case strings.HasPrefix(text, "# HELP "):
+			if !helpRe.MatchString(text) {
+				t.Errorf("line %d: malformed HELP: %q", line, text)
+			}
+		case strings.HasPrefix(text, "# TYPE "):
+			if !typeRe.MatchString(text) {
+				t.Errorf("line %d: malformed TYPE: %q", line, text)
+			}
+			typed[strings.Fields(text)[2]] = true
+		default:
+			mm := sampleRe.FindStringSubmatch(text)
+			if mm == nil {
+				t.Errorf("line %d: malformed sample: %q", line, text)
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimPrefix(mm[3], "+"), 64)
+			if err != nil && mm[3] != "+Inf" && mm[3] != "-Inf" && mm[3] != "NaN" {
+				t.Errorf("line %d: bad value %q", line, mm[3])
+			}
+			// A sample must belong to a declared family (histogram series
+			// carry _bucket/_sum/_count suffixes).
+			base := mm[1]
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if typed[base] {
+					break
+				}
+				base = strings.TrimSuffix(mm[1], suf)
+			}
+			if !typed[base] && !typed[mm[1]] {
+				t.Errorf("line %d: sample %q has no TYPE declaration", line, mm[1])
+			}
+			samples[mm[1]+mm[2]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// TestPrometheusExposition: after a completed job, GET /metrics is valid
+// text format and carries the advertised families, including a consistent
+// job-latency histogram.
+func TestPrometheusExposition(t *testing.T) {
+	_, ts := newTestServer(t)
+	id := submit(t, ts, JobRequest{Workload: "bitops"})
+	if st := poll(t, ts, id, 2*time.Minute); st.State != "done" {
+		t.Fatalf("job state %q (%s)", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ExpoContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.ExpoContentType)
+	}
+	samples := parseExposition(t, resp.Body)
+
+	if v := samples[`msspd_jobs{state="done"}`]; v != 1 {
+		t.Errorf(`msspd_jobs{state="done"} = %v, want 1`, v)
+	}
+	if v := samples["msspd_jobs_submitted_total"]; v != 1 {
+		t.Errorf("msspd_jobs_submitted_total = %v, want 1", v)
+	}
+	if v := samples[`msspd_scheduler_jobs_total{outcome="completed"}`]; v != 1 {
+		t.Errorf("scheduler completed = %v, want 1", v)
+	}
+	for _, name := range []string{
+		"msspd_uptime_seconds",
+		"msspd_scheduler_workers",
+		"msspd_scheduler_workers_busy",
+		"msspd_scheduler_queue_capacity",
+		"msspd_scheduler_queue_length",
+		"msspd_trace_events_total",
+	} {
+		if _, ok := samples[name]; !ok {
+			t.Errorf("missing sample %s", name)
+		}
+	}
+	if _, ok := samples[`msspd_cache_misses_total{scale="train",kind="distillations"}`]; !ok {
+		t.Error("missing per-kind cache counters")
+	}
+	if samples["msspd_trace_events_total"] == 0 {
+		t.Error("trace ring saw no lifecycle events")
+	}
+
+	// Histogram sanity: cumulative buckets, +Inf equals _count, one job.
+	count := samples["msspd_job_duration_seconds_count"]
+	if count != 1 {
+		t.Errorf("job duration count = %v, want 1", count)
+	}
+	if v := samples[`msspd_job_duration_seconds_bucket{le="+Inf"}`]; v != count {
+		t.Errorf("+Inf bucket = %v, count = %v", v, count)
+	}
+	prev := 0.0
+	for k, v := range samples {
+		if strings.HasPrefix(k, "msspd_job_duration_seconds_bucket") && v < prev {
+			// Map iteration is unordered; just check non-negativity here,
+			// cumulativeness is covered by the +Inf check and obs tests.
+			t.Errorf("negative bucket %s = %v", k, v)
+		}
+	}
+}
+
+// TestTraceEndpoint: lifecycle events of finished jobs are served from the
+// ring, labeled by job id, with the kinds of the lifecycle taxonomy.
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	id := submit(t, ts, JobRequest{Workload: "bitops"})
+	if st := poll(t, ts, id, 2*time.Minute); st.State != "done" {
+		t.Fatalf("job state %q (%s)", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload TracePayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Events) == 0 || payload.Total == 0 {
+		t.Fatalf("empty trace: %+v", payload)
+	}
+	valid := map[obs.Kind]bool{
+		obs.KindFork: true, obs.KindDispatch: true, obs.KindVerify: true,
+		obs.KindCommit: true, obs.KindSquash: true,
+		obs.KindFallbackEnter: true, obs.KindFallbackExit: true,
+	}
+	commits := 0
+	for _, ev := range payload.Events {
+		if !valid[ev.Kind] {
+			t.Fatalf("unknown event kind %q", ev.Kind)
+		}
+		if ev.Job != id {
+			t.Fatalf("event labeled %q, want %q", ev.Job, id)
+		}
+		if ev.Kind == obs.KindCommit {
+			commits++
+		}
+	}
+	if commits == 0 {
+		t.Error("no commit events in trace")
+	}
+
+	// ?n= bounds the response.
+	resp, err = http.Get(ts.URL + "/trace?n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var limited TracePayload
+	if err := json.NewDecoder(resp.Body).Decode(&limited); err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Events) != 3 {
+		t.Errorf("n=3 returned %d events", len(limited.Events))
+	}
+	want := payload.Events[len(payload.Events)-1]
+	got := limited.Events[len(limited.Events)-1]
+	if got != want {
+		t.Errorf("n=3 did not keep the newest events: %+v vs %+v", got, want)
+	}
+}
+
+// TestMetricsRace hammers every read endpoint while jobs run; under
+// -race this proves the observability layer's scrape paths are safe
+// against concurrent simulations.
+func TestMetricsRace(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	ids := make([]string, 6)
+	for i := range ids {
+		ids[i] = submit(t, ts, JobRequest{Workload: []string{"bitops", "mtf"}[i%2]})
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/metrics", "/metrics.json", "/trace", "/healthz"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s = %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+	for _, id := range ids {
+		if st := poll(t, ts, id, 2*time.Minute); st.State != "done" {
+			t.Errorf("job %s: %q (%s)", id, st.State, st.Error)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	samples := parseExposition(t, resp.Body)
+	if v := samples["msspd_job_duration_seconds_count"]; v != 6 {
+		t.Errorf("job duration count = %v, want 6", v)
+	}
+}
+
+// TestPprofGate: the profiling endpoints exist only when opted in.
+func TestPprofGate(t *testing.T) {
+	srv := NewServer(ServerOptions{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("pprof served without opt-in: %d", resp.StatusCode)
+	}
+
+	on := NewServer(ServerOptions{Workers: 1, EnablePprof: true})
+	tson := httptest.NewServer(on.Handler())
+	defer func() { tson.Close(); on.Close() }()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get(tson.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d with pprof enabled", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestTraceRingBound: a tiny ring drops oldest events but keeps serving.
+func TestTraceRingBound(t *testing.T) {
+	srv := NewServer(ServerOptions{Workers: 2, TraceDepth: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	id := submit(t, ts, JobRequest{Workload: "bitops"})
+	if st := poll(t, ts, id, 2*time.Minute); st.State != "done" {
+		t.Fatalf("job state %q (%s)", st.State, st.Error)
+	}
+	resp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload TracePayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Events) > 8 {
+		t.Errorf("ring bound exceeded: %d events", len(payload.Events))
+	}
+	if payload.Total <= 8 {
+		t.Skipf("run emitted only %d events; bound untested", payload.Total)
+	}
+	if payload.Dropped != payload.Total-8 {
+		t.Errorf("dropped = %d, want total-8 = %d", payload.Dropped, payload.Total-8)
+	}
+	if got := fmt.Sprint(len(payload.Events)); got != "8" {
+		t.Errorf("retained %s events, want 8", got)
+	}
+}

@@ -5,12 +5,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"mssp/internal/bench"
 	"mssp/internal/cache"
 	"mssp/internal/core"
+	"mssp/internal/obs"
 	"mssp/internal/sched"
 	"mssp/internal/workloads"
 )
@@ -26,6 +30,12 @@ type ServerOptions struct {
 	// MaxJobs bounds the retained job records (oldest finished records are
 	// evicted past this; 0 = 4096).
 	MaxJobs int
+	// TraceDepth bounds the in-memory task-lifecycle event ring served by
+	// GET /trace (0 = 4096).
+	TraceDepth int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (opt-in: the
+	// profiling endpoints expose internals and cost cycles when scraped).
+	EnablePprof bool
 }
 
 // Server is the msspd HTTP job service: simulation jobs are submitted to
@@ -35,6 +45,8 @@ type Server struct {
 	opts    ServerOptions
 	sched   *sched.Scheduler
 	started time.Time
+	ring    *obs.Ring      // recent lifecycle events across all jobs
+	jobDur  *obs.Histogram // per-job wall-clock latency, seconds
 
 	mu    sync.Mutex
 	seq   int
@@ -93,6 +105,9 @@ func NewServer(opts ServerOptions) *Server {
 	if opts.MaxJobs <= 0 {
 		opts.MaxJobs = 4096
 	}
+	if opts.TraceDepth <= 0 {
+		opts.TraceDepth = 4096
+	}
 	return &Server{
 		opts: opts,
 		sched: sched.New(sched.Options{
@@ -101,6 +116,8 @@ func NewServer(opts ServerOptions) *Server {
 			JobTimeout: opts.JobTimeout,
 		}),
 		started: time.Now(),
+		ring:    obs.NewRing(opts.TraceDepth),
+		jobDur:  obs.NewHistogram(obs.DefaultLatencyBuckets()...),
 		jobs:    make(map[string]*jobRecord),
 		ctxs:    make(map[workloads.Scale]*bench.Context),
 	}
@@ -111,18 +128,30 @@ func (s *Server) Close() { s.sched.Close() }
 
 // Handler returns the HTTP API:
 //
-//	POST /jobs        submit a simulation, returns {"id": ...} with 202
-//	GET  /jobs/{id}   job status/result
-//	GET  /metrics     scheduler, cache and job-state counters
-//	GET  /healthz     liveness
+//	POST /jobs           submit a simulation, returns {"id": ...} with 202
+//	GET  /jobs/{id}      job status/result
+//	GET  /metrics        Prometheus text-format exposition
+//	GET  /metrics.json   the same counters as a JSON snapshot
+//	GET  /trace          recent task-lifecycle events (bounded ring)
+//	GET  /healthz        liveness
+//	GET  /debug/pprof/   profiling (only with ServerOptions.EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -225,12 +254,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // inside the pipeline are still caught here so the record never stays
 // "running" forever.
 func (s *Server) runJob(rec *jobRecord, req JobRequest, scale workloads.Scale) {
+	start := time.Now()
+	id := rec.snapshot().ID
 	rec.transition(func(st *JobStatus) {
-		now := time.Now().UTC()
+		now := start.UTC()
 		st.State = "running"
 		st.StartedAt = &now
 	})
-	res, err := s.simulate(req, scale)
+	res, err := s.simulate(id, req, scale)
+	s.jobDur.Observe(time.Since(start).Seconds())
 	rec.transition(func(st *JobStatus) {
 		now := time.Now().UTC()
 		st.FinishedAt = &now
@@ -246,8 +278,9 @@ func (s *Server) runJob(rec *jobRecord, req JobRequest, scale workloads.Scale) {
 }
 
 // simulate runs the full pipeline for one request through the shared
-// artifact caches.
-func (s *Server) simulate(req JobRequest, scale workloads.Scale) (_ *JobResult, err error) {
+// artifact caches, streaming the machine's lifecycle events into the
+// daemon's trace ring labeled with the job id.
+func (s *Server) simulate(id string, req JobRequest, scale workloads.Scale) (_ *JobResult, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("simulation panicked: %v", p)
@@ -267,6 +300,7 @@ func (s *Server) simulate(req JobRequest, scale workloads.Scale) (_ *JobResult, 
 	if req.Slaves > 0 {
 		cfg.Slaves = req.Slaves
 	}
+	obs.Attach(&cfg, obs.WithJob(s.ring, id))
 	res, err := c.RunMSSP(w, d, cfg)
 	if err != nil {
 		return nil, err
@@ -338,22 +372,40 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rec.snapshot())
 }
 
-// MetricsSnapshot is the /metrics payload.
+// MetricsSnapshot is the /metrics.json payload; /metrics renders the same
+// counters in Prometheus text format.
 type MetricsSnapshot struct {
 	UptimeSec float64                             `json:"uptime_sec"`
+	Submitted int                                 `json:"submitted"`
 	Scheduler sched.Metrics                       `json:"scheduler"`
 	Caches    map[string]map[string]cache.Metrics `json:"caches"` // scale -> artifact kind -> counters
 	Jobs      map[string]int                      `json:"jobs"`   // state -> count
+	Trace     TraceStats                          `json:"trace"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// TraceStats summarizes the daemon's lifecycle-event ring.
+type TraceStats struct {
+	Events  uint64 `json:"events"`  // events ever emitted
+	Dropped uint64 `json:"dropped"` // events overwritten by the bound
+	Depth   int    `json:"depth"`   // ring capacity
+}
+
+// snapshotMetrics collects one consistent view of every counter the two
+// metrics endpoints expose.
+func (s *Server) snapshotMetrics() MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeSec: time.Since(s.started).Seconds(),
 		Scheduler: s.sched.Metrics(),
 		Caches:    map[string]map[string]cache.Metrics{},
 		Jobs:      map[string]int{},
+		Trace: TraceStats{
+			Events:  s.ring.Total(),
+			Dropped: s.ring.Dropped(),
+			Depth:   s.opts.TraceDepth,
+		},
 	}
 	s.mu.Lock()
+	snap.Submitted = s.seq
 	recs := make([]*jobRecord, 0, len(s.jobs))
 	for _, rec := range s.jobs {
 		recs = append(recs, rec)
@@ -365,7 +417,140 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, rec := range recs {
 		snap.Jobs[rec.snapshot().State]++
 	}
-	writeJSON(w, http.StatusOK, snap)
+	return snap
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshotMetrics())
+}
+
+// jobStates is the fixed exposition order of job lifecycle states.
+var jobStates = []string{"queued", "running", "done", "failed"}
+
+// handlePrometheus renders every daemon counter in the Prometheus text
+// exposition format. Collection happens at scrape time from the same
+// snapshots the JSON endpoint serves, so the two views always agree; label
+// sets are emitted in sorted order, making the output deterministic for a
+// fixed state.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshotMetrics()
+	w.Header().Set("Content-Type", obs.ExpoContentType)
+
+	e := obs.NewExpoWriter(w)
+	e.Header("msspd_uptime_seconds", "Seconds since the daemon started.", "gauge")
+	e.Sample("msspd_uptime_seconds", nil, snap.UptimeSec)
+
+	e.Header("msspd_jobs_submitted_total", "Jobs ever accepted by POST /jobs.", "counter")
+	e.Sample("msspd_jobs_submitted_total", nil, float64(snap.Submitted))
+	e.Header("msspd_jobs", "Retained job records by lifecycle state.", "gauge")
+	for _, st := range jobStates {
+		e.Sample("msspd_jobs", []obs.Label{{Name: "state", Value: st}}, float64(snap.Jobs[st]))
+	}
+
+	sm := snap.Scheduler
+	e.Header("msspd_scheduler_workers", "Scheduler worker-pool size.", "gauge")
+	e.Sample("msspd_scheduler_workers", nil, float64(sm.Workers))
+	e.Header("msspd_scheduler_workers_busy", "Scheduler jobs currently executing.", "gauge")
+	e.Sample("msspd_scheduler_workers_busy", nil, float64(sm.Running))
+	e.Header("msspd_scheduler_queue_capacity", "Scheduler submission-queue bound.", "gauge")
+	e.Sample("msspd_scheduler_queue_capacity", nil, float64(sm.QueueDepth))
+	e.Header("msspd_scheduler_queue_length", "Scheduler jobs accepted but not yet started.", "gauge")
+	e.Sample("msspd_scheduler_queue_length", nil, float64(sm.Queued))
+	e.Header("msspd_scheduler_submitted_total", "Jobs accepted by the scheduler.", "counter")
+	e.Sample("msspd_scheduler_submitted_total", nil, float64(sm.Submitted))
+	e.Header("msspd_scheduler_jobs_total", "Finished scheduler jobs by outcome; panicked, timed_out and canceled are subsets of failed.", "counter")
+	for _, o := range []struct {
+		outcome string
+		n       uint64
+	}{
+		{"completed", sm.Completed},
+		{"failed", sm.Failed},
+		{"panicked", sm.Panicked},
+		{"timed_out", sm.TimedOut},
+		{"canceled", sm.Canceled},
+	} {
+		e.Sample("msspd_scheduler_jobs_total", []obs.Label{{Name: "outcome", Value: o.outcome}}, float64(o.n))
+	}
+
+	writeCacheMetrics(e, snap.Caches)
+
+	e.Header("msspd_trace_events_total", "Task-lifecycle events emitted into the trace ring.", "counter")
+	e.Sample("msspd_trace_events_total", nil, float64(snap.Trace.Events))
+	e.Header("msspd_trace_events_dropped_total", "Trace events overwritten by the ring bound.", "counter")
+	e.Sample("msspd_trace_events_dropped_total", nil, float64(snap.Trace.Dropped))
+
+	e.Histogram("msspd_job_duration_seconds",
+		"Per-job wall-clock latency from start of execution to terminal state.",
+		nil, s.jobDur.Snapshot())
+}
+
+// writeCacheMetrics renders the per-scale, per-artifact-kind cache counters
+// with sorted label sets.
+func writeCacheMetrics(e *obs.ExpoWriter, caches map[string]map[string]cache.Metrics) {
+	scales := make([]string, 0, len(caches))
+	for sc := range caches {
+		scales = append(scales, sc)
+	}
+	sort.Strings(scales)
+	type sample struct {
+		name, help, typ string
+		value           func(cache.Metrics) float64
+	}
+	families := []sample{
+		{"msspd_cache_hits_total", "Artifact-cache lookups served from a resident entry.", "counter",
+			func(m cache.Metrics) float64 { return float64(m.Hits) }},
+		{"msspd_cache_misses_total", "Artifact-cache lookups that computed the artifact.", "counter",
+			func(m cache.Metrics) float64 { return float64(m.Misses) }},
+		{"msspd_cache_evictions_total", "Artifact-cache entries dropped by the LRU bound.", "counter",
+			func(m cache.Metrics) float64 { return float64(m.Evictions) }},
+		{"msspd_cache_shared_total", "Artifact-cache callers that joined another caller's in-flight compute.", "counter",
+			func(m cache.Metrics) float64 { return float64(m.Shared) }},
+		{"msspd_cache_entries", "Resident artifact-cache entries.", "gauge",
+			func(m cache.Metrics) float64 { return float64(m.Size) }},
+		{"msspd_cache_capacity", "Artifact-cache LRU bound.", "gauge",
+			func(m cache.Metrics) float64 { return float64(m.Capacity) }},
+	}
+	for _, f := range families {
+		e.Header(f.name, f.help, f.typ)
+		for _, sc := range scales {
+			kinds := make([]string, 0, len(caches[sc]))
+			for k := range caches[sc] {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			for _, k := range kinds {
+				e.Sample(f.name, []obs.Label{{Name: "scale", Value: sc}, {Name: "kind", Value: k}}, f.value(caches[sc][k]))
+			}
+		}
+	}
+}
+
+// TracePayload is the GET /trace response.
+type TracePayload struct {
+	Total   uint64      `json:"total"`   // events ever emitted
+	Dropped uint64      `json:"dropped"` // events lost to the ring bound
+	Events  []obs.Event `json:"events"`  // retained events, oldest first
+}
+
+// handleTrace serves the retained lifecycle events, oldest first; ?n=K
+// keeps only the newest K.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	events := s.ring.Events()
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", q))
+			return
+		}
+		if n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	writeJSON(w, http.StatusOK, TracePayload{
+		Total:   s.ring.Total(),
+		Dropped: s.ring.Dropped(),
+		Events:  events,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

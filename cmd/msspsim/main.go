@@ -5,6 +5,9 @@
 //
 //	msspsim -workload compress -scale ref
 //	msspsim -file prog.s -slaves 15 -stride 200 -audit
+//	msspsim -workload mtf -trace run.jsonl     # JSONL lifecycle event stream
+//	msspsim -workload mtf -timeline 20         # last 20 commit/squash events
+//	msspsim -replay run.jsonl                  # rebuild the timeline offline
 package main
 
 import (
@@ -13,6 +16,8 @@ import (
 	"os"
 
 	"mssp"
+	"mssp/internal/bench"
+	"mssp/internal/obs"
 	"mssp/internal/trace"
 	"mssp/internal/workloads"
 )
@@ -26,7 +31,9 @@ func main() {
 		stride    = flag.Uint64("stride", 100, "task-size target in instructions")
 		threshold = flag.Float64("threshold", 0.99, "distiller bias threshold (1.0 disables pruning)")
 		audit     = flag.Bool("audit", false, "run the jumping-refinement auditor alongside")
-		traceN    = flag.Int("trace", 0, "print the last N commit/squash timeline events")
+		traceOut  = flag.String("trace", "", "write the task-lifecycle event stream to this JSONL file")
+		timeline  = flag.Int("timeline", 0, "print the last N commit/squash timeline events")
+		replay    = flag.String("replay", "", "render the ASCII timeline from a JSONL trace file and exit")
 		list      = flag.Bool("list", false, "list built-in workloads and exit")
 	)
 	flag.Parse()
@@ -34,6 +41,13 @@ func main() {
 	if *list {
 		for _, w := range workloads.All() {
 			fmt.Printf("%-10s models %-12s %s\n", w.Name, w.Models, w.Description)
+		}
+		return
+	}
+
+	if *replay != "" {
+		if err := replayTrace(*replay); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -51,9 +65,18 @@ func main() {
 	opts.Machine.MinTaskSpacing = *stride
 
 	var rec trace.Recorder
-	if *traceN > 0 {
-		rec.Cap = *traceN
+	if *timeline > 0 {
+		rec.Cap = *timeline
 		rec.Attach(&opts.Machine)
+	}
+	var sink *obs.JSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		sink = obs.NewJSONL(f)
+		obs.Attach(&opts.Machine, sink)
 	}
 
 	pl, err := mssp.Prepare(prog, opts)
@@ -65,6 +88,13 @@ func main() {
 		pl.Distilled.Stats.StaticCodeRatio, len(pl.Distilled.Anchors))
 
 	res, err := pl.Run()
+	if sink != nil {
+		// The stream is complete once the machine has run; close before any
+		// later exit path can truncate it.
+		if cerr := sink.Close(); cerr != nil {
+			fatal(fmt.Errorf("trace %s: %w", *traceOut, cerr))
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -73,9 +103,10 @@ func main() {
 	fmt.Printf("baseline: %.0f cycles (%d instructions)\n", res.Baseline.Cycles, res.Baseline.Steps)
 	fmt.Printf("speedup:  %.3f  (dynamic distillation ratio %.3f, mean task %.1f insts)\n",
 		res.Speedup(), m.DynamicDistillationRatio(), m.MeanTaskLen())
+	fmt.Printf("cycles:   %s\n", bench.Attribute(m))
 
-	if *traceN > 0 {
-		fmt.Printf("\ntimeline (last %d events):\n%s", *traceN, rec.String())
+	if *timeline > 0 {
+		fmt.Printf("\ntimeline (last %d events):\n%s", *timeline, rec.String())
 	}
 
 	if *audit {
@@ -91,6 +122,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// replayTrace renders the ASCII timeline from a recorded JSONL stream, the
+// offline equivalent of -timeline on a live run.
+func replayTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ParseJSONL(f)
+	if err != nil {
+		return err
+	}
+	rec := trace.FromEvents(events)
+	commits, fallbacks, squashes, insts := rec.Summary()
+	fmt.Printf("%d events: %d commits, %d fallbacks, %d squashes, %d instructions\n",
+		len(events), commits, fallbacks, squashes, insts)
+	fmt.Print(rec.String())
+	return nil
 }
 
 // loadProgram resolves the measured program and (for workloads) the train

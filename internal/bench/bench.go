@@ -52,6 +52,13 @@ type Context struct {
 	Parallel bool
 	// Workers bounds the pool when Parallel is set (0 = GOMAXPROCS).
 	Workers int
+	// Instrument, when non-nil, is called with each MSSP machine's
+	// configuration just before it runs (label is the workload name), so
+	// callers can attach observers — e.g. cmd/experiments -trace wires a
+	// shared JSONL sink here via obs.Attach. Runs may be concurrent when
+	// Parallel is set, so attached sinks must be safe for concurrent use;
+	// rendered experiment output is unaffected either way.
+	Instrument func(label string, cfg *core.Config)
 
 	progs     *cache.Cache[string, *isa.Program]
 	profiles  *cache.Cache[string, *profile.Profile]
@@ -236,6 +243,9 @@ func (c *Context) MSSPConfig() core.Config {
 // RunMSSP executes one workload under MSSP at the context scale.
 func (c *Context) RunMSSP(w *workloads.Workload, d *distill.Result, cfg core.Config) (*core.Result, error) {
 	p := c.Prog(w, c.Scale)
+	if c.Instrument != nil {
+		c.Instrument(w.Name, &cfg)
+	}
 	m, err := core.New(p, d, cfg)
 	if err != nil {
 		return nil, err
@@ -263,6 +273,56 @@ func (c *Context) RunDefault(w *workloads.Workload) (*core.Result, *baseline.Res
 		return nil, nil, err
 	}
 	return res, b, nil
+}
+
+// Attribution splits a run's cycles among the machine's four limiters: the
+// master naming the next task too slowly, slave computation, commit-unit
+// serialization, and misspeculation recovery (squash penalties plus
+// sequential fallback). It is the per-experiment cycle-attribution summary
+// behind E9's execution-time breakdown; parallel-simulator evaluations live
+// or die by this attribution, so it is exported for every caller
+// (cmd/msspsim prints it per run).
+type Attribution struct {
+	// Master is commit-to-commit gap time limited by the master.
+	Master float64
+	// Slave is gap time limited by slave computation.
+	Slave float64
+	// Commit is gap time limited by verify/commit serialization.
+	Commit float64
+	// Recovery is squash penalties plus fallback execution time.
+	Recovery float64
+}
+
+// Attribute extracts the cycle attribution from a run's metrics.
+func Attribute(m core.Metrics) Attribution {
+	return Attribution{
+		Master:   m.MasterBoundCycles,
+		Slave:    m.SlaveBoundCycles,
+		Commit:   m.CommitBoundCycles,
+		Recovery: m.RecoveryCycles,
+	}
+}
+
+// Total returns the attributed cycle sum.
+func (a Attribution) Total() float64 {
+	return a.Master + a.Slave + a.Commit + a.Recovery
+}
+
+// Fractions returns each component as a fraction of the attributed total.
+// A non-positive total yields all-zero fractions.
+func (a Attribution) Fractions() (master, slave, commit, recovery float64) {
+	total := a.Total()
+	if total <= 0 {
+		total = 1
+	}
+	return a.Master / total, a.Slave / total, a.Commit / total, a.Recovery / total
+}
+
+// String renders the attribution as percentage shares for log lines.
+func (a Attribution) String() string {
+	fm, fs, fc, fr := a.Fractions()
+	return fmt.Sprintf("master-bound %.1f%%  slave-bound %.1f%%  commit-bound %.1f%%  recovery %.1f%%",
+		100*fm, 100*fs, 100*fc, 100*fr)
 }
 
 // Experiment is one table or figure reproduction.

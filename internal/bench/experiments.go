@@ -359,14 +359,8 @@ func runE9(c *Context) (string, error) {
 	t := stats.NewTable("E9: execution-time breakdown (fraction of cycles)",
 		"workload", "master-bound", "slave-bound", "commit-bound", "recovery")
 	for i, row := range rows {
-		m := row.res.Metrics
-		total := m.MasterBoundCycles + m.SlaveBoundCycles + m.CommitBoundCycles + m.RecoveryCycles
-		if total <= 0 {
-			total = 1
-		}
-		t.Row(ws[i].Name,
-			m.MasterBoundCycles/total, m.SlaveBoundCycles/total,
-			m.CommitBoundCycles/total, m.RecoveryCycles/total)
+		fm, fs, fc, fr := Attribute(row.res.Metrics).Fractions()
+		t.Row(ws[i].Name, fm, fs, fc, fr)
 	}
 	return t.String(), nil
 }

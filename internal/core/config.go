@@ -106,6 +106,16 @@ type Config struct {
 	// OnSquash, when non-nil, observes every squash with its cause.
 	OnSquash func(SquashEvent)
 
+	// OnLifecycle, when non-nil, observes every task-lifecycle transition
+	// (fork, dispatch, verify, commit, squash, fallback-enter/-exit) with
+	// its model-time cycle stamp. Events are delivered from the machine's
+	// single simulation goroutine in processing order; Cycle values within
+	// one task are monotone, but across tasks the model time of a dispatch
+	// may precede an already-delivered commit (the machine discovers slave
+	// timing lazily, at verification). internal/obs consumes this hook;
+	// attach additional observers with obs.Attach, which chains.
+	OnLifecycle func(LifecycleEvent)
+
 	// MasterSuppliesAllData makes checkpoints carry the master's entire
 	// memory image, so slave data reads never consult architected state —
 	// the design alternative the paper rejects as demanding too much
@@ -156,6 +166,70 @@ func (c *Config) validate() error {
 		return fmt.Errorf("core: MasterRunaheadCap must be positive")
 	}
 	return nil
+}
+
+// Lifecycle kinds, the values LifecycleEvent.Kind takes. Together they are
+// the task-lifecycle state machine: a task is forked by the master,
+// dispatched to a slave, verified by the commit unit, and then either
+// committed or squashed; when the machine abandons speculation entirely it
+// brackets the sequential mode with fallback-enter/-exit.
+const (
+	// LifecycleFork marks the master retiring a taken FORK: a new task
+	// exists, carrying a checkpoint and an architected-state snapshot.
+	LifecycleFork = "fork"
+	// LifecycleDispatch marks a slave beginning to execute the task
+	// (checkpoint transfer complete). Cycle is the slave's start time.
+	LifecycleDispatch = "dispatch"
+	// LifecycleVerify marks the commit unit beginning to compare the
+	// task's recorded live-ins against architected state.
+	LifecycleVerify = "verify"
+	// LifecycleCommit marks a task whose live-ins matched: its live-outs
+	// are superimposed and architected state jumps Steps instructions.
+	LifecycleCommit = "commit"
+	// LifecycleSquash marks a failed verification; Reason carries the
+	// squash taxonomy ("livein", "overflow", "fault", "nonspec",
+	// "start-mismatch") and Discarded the younger tasks thrown away.
+	// Discarded tasks emit no further events — their fork is their last.
+	LifecycleSquash = "squash"
+	// LifecycleFallbackEnter marks the machine entering bounded
+	// non-speculative sequential execution (dual-mode operation).
+	LifecycleFallbackEnter = "fallback-enter"
+	// LifecycleFallbackExit marks the machine leaving sequential mode,
+	// with Steps instructions committed architecturally.
+	LifecycleFallbackExit = "fallback-exit"
+)
+
+// LifecycleEvent is one task-lifecycle transition, delivered to
+// Config.OnLifecycle. Field meaning varies by Kind; unused fields are zero.
+type LifecycleEvent struct {
+	// Kind is one of the Lifecycle* constants.
+	Kind string
+	// Cycle is the event's model time: the master clock for forks, the
+	// slave start time for dispatches, the commit unit's times otherwise.
+	Cycle float64
+	// TaskID is the task's fork sequence number. It is meaningless for
+	// fallback-enter/-exit, which concern no task.
+	TaskID uint64
+	// Start is the task's predicted original-program start PC (for
+	// fallback-enter, the architected PC sequential execution resumes at).
+	Start uint64
+	// Steps is the number of original-program instructions committed
+	// (commit and fallback-exit only).
+	Steps uint64
+	// Reason is the squash taxonomy value (squash only).
+	Reason string
+	// Halted reports that the advance ended at a HALT (commit and
+	// fallback-exit only).
+	Halted bool
+	// Discarded is the number of younger in-flight tasks thrown away with
+	// this one (squash only).
+	Discarded int
+	// Slave is the index of the slave processor the task ran on
+	// (dispatch only).
+	Slave int
+	// Queue is the number of in-flight tasks after this fork, the
+	// master's run-ahead depth (fork only).
+	Queue int
 }
 
 // SquashEvent describes one pipeline squash.

@@ -171,6 +171,20 @@ func (m *Machine) spawn(anchor uint64) {
 	m.metrics.CheckpointNew += uint64(ck.NewDiffWords)
 	m.metrics.RunaheadSum += uint64(len(m.queue))
 	m.queue = append(m.queue, p)
+	m.emit(LifecycleEvent{
+		Kind:   LifecycleFork,
+		Cycle:  m.master.clock,
+		TaskID: p.t.ID,
+		Start:  anchor,
+		Queue:  len(m.queue),
+	})
+}
+
+// emit delivers a lifecycle event to the configured observer, if any.
+func (m *Machine) emit(ev LifecycleEvent) {
+	if m.cfg.OnLifecycle != nil {
+		m.cfg.OnLifecycle(ev)
+	}
 }
 
 // processDue verifies closed head tasks whose commit completes by time now.
@@ -270,8 +284,24 @@ func (m *Machine) verifyHead() (squashed bool) {
 	words := float64(h.ex.LiveIn.Len() + h.ex.LiveOut.Len())
 	vt := maxf(ct, m.commitFree) + m.cfg.CommitLatency + m.cfg.CommitPerWord*words
 
-	// Functional verification.
-	fail := func(reason string, inc *state.Inconsistency) {
+	m.emit(LifecycleEvent{
+		Kind:   LifecycleDispatch,
+		Cycle:  st,
+		TaskID: h.t.ID,
+		Start:  h.t.Start,
+		Slave:  sl,
+	})
+	m.emit(LifecycleEvent{
+		Kind:   LifecycleVerify,
+		Cycle:  maxf(ct, m.commitFree),
+		TaskID: h.t.ID,
+		Start:  h.t.Start,
+	})
+
+	// Functional verification. forceFallback marks squashes whose recovery
+	// must run sequential mode before re-engaging the master (non-idempotent
+	// accesses have to execute architecturally, exactly once).
+	fail := func(reason string, inc *state.Inconsistency, forceFallback bool) {
 		if m.cfg.OnSquash != nil {
 			m.cfg.OnSquash(SquashEvent{
 				TaskID:        h.t.ID,
@@ -281,38 +311,37 @@ func (m *Machine) verifyHead() (squashed bool) {
 				Discarded:     len(m.queue) - 1,
 			})
 		}
-		m.squashAndRecover(vt, false)
+		m.emit(LifecycleEvent{
+			Kind:      LifecycleSquash,
+			Cycle:     vt,
+			TaskID:    h.t.ID,
+			Start:     h.t.Start,
+			Reason:    reason,
+			Discarded: len(m.queue) - 1,
+		})
+		m.squashAndRecover(vt, forceFallback)
 	}
 	switch {
 	case h.t.Start != m.arch.PC:
 		m.metrics.TasksStartMismatch++
-		fail("start-mismatch", nil)
+		fail("start-mismatch", nil, false)
 		return true
 	case h.ex.Outcome == task.OutcomeOverflow:
 		m.metrics.TasksOverflowed++
-		fail("overflow", nil)
+		fail("overflow", nil, false)
 		return true
 	case h.ex.Outcome == task.OutcomeFault:
 		m.metrics.TasksFaulted++
-		fail("fault", nil)
+		fail("fault", nil, false)
 		return true
 	case h.ex.Outcome == task.OutcomeNonSpec:
 		m.metrics.TasksNonSpec++
-		if m.cfg.OnSquash != nil {
-			m.cfg.OnSquash(SquashEvent{
-				TaskID: h.t.ID, Start: h.t.Start,
-				Reason: "nonspec", Discarded: len(m.queue) - 1,
-			})
-		}
-		// The non-idempotent access must happen architecturally, exactly
-		// once: discard all speculation and run forward sequentially
-		// before re-engaging the master.
-		m.squashAndRecover(vt, true)
+		fail("nonspec", nil, true)
 		return true
 	}
 	if inc := m.arch.FirstInconsistency(h.ex.LiveIn); inc != nil {
 		m.metrics.TasksMisspec++
-		fail("livein", inc)
+		fail("livein", inc, false)
 		return true
 	}
 
@@ -355,6 +384,14 @@ func (m *Machine) verifyHead() (squashed bool) {
 			Arch:    m.arch,
 		})
 	}
+	m.emit(LifecycleEvent{
+		Kind:   LifecycleCommit,
+		Cycle:  vt,
+		TaskID: h.t.ID,
+		Start:  h.t.Start,
+		Steps:  h.ex.Steps,
+		Halted: h.ex.Outcome == task.OutcomeHalted,
+	})
 
 	if h.ex.Outcome == task.OutcomeHalted {
 		m.done = true
@@ -399,6 +436,11 @@ func (m *Machine) seqFallback() {
 	var steps uint64
 	bound := 4 * m.cfg.MaxTaskLen
 	halted := false
+	m.emit(LifecycleEvent{
+		Kind:  LifecycleFallbackEnter,
+		Cycle: maxf(m.lastCommitEnd, m.master.clock),
+		Start: m.arch.PC,
+	})
 	for steps < bound {
 		in, err := cpu.Step(env)
 		if err != nil {
@@ -434,6 +476,12 @@ func (m *Machine) seqFallback() {
 			Arch:   m.arch,
 		})
 	}
+	m.emit(LifecycleEvent{
+		Kind:   LifecycleFallbackExit,
+		Cycle:  now,
+		Steps:  steps,
+		Halted: halted,
+	})
 }
 
 func maxf(a, b float64) float64 {

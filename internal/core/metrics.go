@@ -5,46 +5,120 @@ import "fmt"
 // Metrics aggregates everything the experiments report. All cycle values
 // come from the event-timing model; all instruction counts come from the
 // functional execution and are exact.
+//
+// # Squash-reason taxonomy
+//
+// A task reaching the verify/commit unit meets exactly one of six fates,
+// counted by the Tasks* fields below and named in SquashEvent.Reason and
+// LifecycleEvent.Reason. In the paper's terms:
+//
+//   - committed ("commit"): the recorded live-ins were consistent with
+//     architected state (the formal model's task-safety condition), so the
+//     live-outs were superimposed and execution jumped #t steps.
+//   - livein: a live-in mismatch — the master's distilled program predicted
+//     a value the original program disagrees with. This is the paradigm's
+//     ordinary misspeculation: the distilled program is unverified by
+//     construction, and live-in verification is what contains it.
+//   - overflow: the task exceeded MaxTaskLen without reaching its end PC —
+//     finite speculative buffering, treated as a misspeculation.
+//   - fault: the task faulted during speculative execution (the fault may
+//     itself be a consequence of a wrong prediction, so the task is
+//     squashed and the original program re-executes non-speculatively).
+//   - start-mismatch: the task's predicted start PC disagreed with the
+//     architected PC at verify time — the master forked from a point
+//     execution never reached.
+//   - nonspec: the task touched a non-speculative region (memory-mapped
+//     I/O, non-idempotent state); it is squashed and the access replayed
+//     architecturally in sequential mode, exactly once.
+//
+// docs/OBSERVABILITY.md carries the same taxonomy with the event schema;
+// EXPERIMENTS.md's tables (E5, E9) report these counters per workload.
 type Metrics struct {
-	// Committed original-program instructions (task commits + fallback).
+	// CommittedInsts counts original-program instructions retired into
+	// architected state, by task commits and sequential fallback alike.
+	// It equals the sequential execution's instruction count: MSSP commits
+	// the original program's work, whatever the distilled program did.
 	CommittedInsts uint64
-	// Distilled instructions the master executed, including work thrown
-	// away by squashes.
+	// MasterInsts counts distilled-program instructions the master
+	// executed, including run-ahead work thrown away by squashes. The
+	// ratio MasterInsts/CommittedInsts is the dynamic distillation ratio.
 	MasterInsts uint64
-	// Instructions executed in non-speculative sequential fallback.
+	// SeqFallbackInsts counts instructions executed in non-speculative
+	// sequential mode (the dual-mode fallback), a subset of
+	// CommittedInsts.
 	SeqFallbackInsts uint64
 
-	// Task outcome taxonomy.
-	TasksCommitted     uint64
-	TasksMisspec       uint64 // live-in mismatch at verify
-	TasksOverflowed    uint64
-	TasksFaulted       uint64
-	TasksStartMismatch uint64 // predicted start PC disagreed with architected PC
-	TasksNonSpec       uint64 // touched a non-speculative (I/O) region
-	TasksSquashedDown  uint64 // younger tasks discarded by an older failure
-	Squashes           uint64
+	// TasksCommitted counts tasks whose live-ins verified and whose
+	// live-outs were admitted into architected state.
+	TasksCommitted uint64
+	// TasksMisspec counts tasks squashed for a live-in mismatch at verify
+	// (Reason "livein"): the master's prediction was wrong.
+	TasksMisspec uint64
+	// TasksOverflowed counts tasks squashed for exceeding MaxTaskLen
+	// (Reason "overflow"): finite speculative buffering.
+	TasksOverflowed uint64
+	// TasksFaulted counts tasks squashed for faulting speculatively
+	// (Reason "fault").
+	TasksFaulted uint64
+	// TasksStartMismatch counts tasks whose predicted start PC disagreed
+	// with the architected PC at verify (Reason "start-mismatch").
+	TasksStartMismatch uint64
+	// TasksNonSpec counts tasks squashed for touching a non-speculative
+	// (I/O) region (Reason "nonspec"); the access then executes
+	// architecturally in sequential mode.
+	TasksNonSpec uint64
+	// TasksSquashedDown counts younger in-flight tasks discarded when an
+	// older task failed — collateral squashes, not charged to the
+	// taxonomy above.
+	TasksSquashedDown uint64
+	// Squashes counts pipeline squashes: one per failed verification,
+	// regardless of how many younger tasks went down with it.
+	Squashes uint64
 
-	// Fork statistics.
-	Forks        uint64 // taken forks (spawned tasks)
-	ForksSkipped uint64 // forks thinned by MinTaskSpacing
-	MasterLost   uint64 // times the master lost its way (fault/unmapped/runaway)
-	MasterHalts  uint64
+	// Forks counts taken FORKs — spawned tasks.
+	Forks uint64
+	// ForksSkipped counts forks thinned by MinTaskSpacing (dynamic
+	// task-boundary thinning).
+	ForksSkipped uint64
+	// MasterLost counts times the master lost its way: a fault in
+	// distilled code, an untranslatable indirect-jump target, or the
+	// run-ahead cap. Recovery reseeds it from architected state.
+	MasterLost uint64
+	// MasterHalts counts the master retiring HALT (normally once).
+	MasterHalts uint64
 
-	// Traffic, in words.
-	LiveInWords   uint64
-	LiveOutWords  uint64
-	CheckpointNew uint64 // new checkpoint-diff words transferred per fork
+	// LiveInWords counts recorded live-in words across committed tasks —
+	// the verify unit's read-set traffic.
+	LiveInWords uint64
+	// LiveOutWords counts live-out words superimposed by committed tasks —
+	// the commit traffic.
+	LiveOutWords uint64
+	// CheckpointNew counts new checkpoint-diff words transferred at forks —
+	// the master-to-slave bandwidth the paper budgets per task start.
+	CheckpointNew uint64
 
-	// Run-ahead: queue depth observed at each spawn.
+	// RunaheadSum accumulates the in-flight queue depth observed at each
+	// spawn; RunaheadSum/Forks is how far the master runs ahead of the
+	// commit point on average.
 	RunaheadSum uint64
 
-	// Timing.
-	Cycles            float64 // end-to-end execution time
-	MasterBoundCycles float64 // commit-to-commit gaps limited by the master
-	SlaveBoundCycles  float64 // ... limited by slave computation
-	CommitBoundCycles float64 // ... limited by commit-unit serialization
-	RecoveryCycles    float64 // squash penalties + fallback execution
-	SlaveBusyCycles   float64 // total slave compute time (committed tasks)
+	// Cycles is the modeled end-to-end execution time.
+	Cycles float64
+	// MasterBoundCycles accumulates commit-to-commit gaps limited by the
+	// master naming the next task (distillation too slow or too long).
+	MasterBoundCycles float64
+	// SlaveBoundCycles accumulates commit-to-commit gaps limited by slave
+	// computation (tasks longer than the spawn cadence).
+	SlaveBoundCycles float64
+	// CommitBoundCycles accumulates commit-to-commit gaps limited by
+	// commit-unit serialization (per-task and per-word verify cost).
+	CommitBoundCycles float64
+	// RecoveryCycles accumulates squash penalties plus sequential-fallback
+	// execution time — the price of misspeculation.
+	RecoveryCycles float64
+	// SlaveBusyCycles accumulates slave compute time for committed tasks,
+	// the numerator of SlaveUtilization.
+	SlaveBusyCycles float64
 }
 
 // CommitRate returns the fraction of executed tasks that committed.

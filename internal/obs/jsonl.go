@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONL streams events as JSON Lines: one JSON-encoded Event per line, in
+// emission order. Writes are buffered; call Close (or Flush) before reading
+// the output. A JSONL sink is safe for concurrent use — each line is
+// written atomically, so interleaved streams from parallel simulations stay
+// parseable. The first write error is retained and reported by Err and
+// Close; later emits become no-ops.
+type JSONL struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer
+	err    error
+	closed bool
+}
+
+// NewJSONL returns a sink writing to w. If w is an io.Closer (a file),
+// Close closes it after flushing.
+func NewJSONL(w io.Writer) *JSONL {
+	s := &JSONL{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit writes ev as one JSON line.
+func (s *JSONL) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		s.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write or encoding error, if any.
+func (s *JSONL) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Flush forces buffered lines out to the underlying writer.
+func (s *JSONL) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = s.w.Flush()
+	}
+	return s.err
+}
+
+// Close flushes and, when the underlying writer is a Closer, closes it. It
+// is idempotent and returns the first error seen over the sink's lifetime.
+func (s *JSONL) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// ParseJSONL reads a JSONL event stream back into events, in file order.
+// Blank lines are skipped; a malformed line fails with its line number.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	return out, nil
+}

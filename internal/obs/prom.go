@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ExpoContentType is the Content-Type of the Prometheus text exposition
+// format this package writes.
+const ExpoContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	// Name is the label name ([a-zA-Z_][a-zA-Z0-9_]*).
+	Name string
+	// Value is the label value; it is escaped on output.
+	Value string
+}
+
+// ExpoWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4): callers declare each metric family with Header and then
+// write its samples with Sample (or Histogram for histogram families).
+// The repository has no Prometheus client dependency — the daemon collects
+// its counters from existing snapshot structs at scrape time and renders
+// them through this writer. The first write error is retained; check Err.
+type ExpoWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewExpoWriter returns a writer rendering to w.
+func NewExpoWriter(w io.Writer) *ExpoWriter {
+	return &ExpoWriter{w: w}
+}
+
+// Err returns the first underlying write error, if any.
+func (e *ExpoWriter) Err() error { return e.err }
+
+func (e *ExpoWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Header declares a metric family: its HELP and TYPE lines. typ is one of
+// "counter", "gauge", "histogram", "summary" or "untyped".
+func (e *ExpoWriter) Header(name, help, typ string) {
+	e.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample writes one sample line: name{labels} value.
+func (e *ExpoWriter) Sample(name string, labels []Label, v float64) {
+	e.printf("%s%s %s\n", name, renderLabels(labels), FormatSampleValue(v))
+}
+
+// Histogram writes a complete histogram family: Header, the cumulative
+// _bucket series (including le="+Inf"), _sum and _count. extra labels are
+// applied to every line.
+func (e *ExpoWriter) Histogram(name, help string, extra []Label, snap HistogramSnapshot) {
+	e.Header(name, help, "histogram")
+	cum := uint64(0)
+	for i, ub := range snap.Bounds {
+		cum += snap.Counts[i]
+		labels := append(append([]Label{}, extra...), Label{"le", FormatSampleValue(ub)})
+		e.Sample(name+"_bucket", labels, float64(cum))
+	}
+	inf := append(append([]Label{}, extra...), Label{"le", "+Inf"})
+	e.Sample(name+"_bucket", inf, float64(snap.Count))
+	e.Sample(name+"_sum", extra, snap.Sum)
+	e.Sample(name+"_count", extra, float64(snap.Count))
+}
+
+// FormatSampleValue renders v the way the exposition format expects:
+// shortest round-tripping decimal, with infinities as +Inf/-Inf.
+func FormatSampleValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders {a="x",b="y"}, or "" when labels is empty.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline, per the
+// exposition format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Histogram accumulates observations into fixed buckets for Prometheus
+// exposition. It is safe for concurrent use. The zero Histogram is not
+// usable; construct with NewHistogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds, +Inf excluded
+	counts []uint64  // len(bounds)+1; last is the overflow (+Inf) bucket
+	sum    float64
+	count  uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state. Counts
+// are per-bucket (non-cumulative); ExpoWriter.Histogram accumulates them
+// for the wire format.
+type HistogramSnapshot struct {
+	// Bounds are the ascending bucket upper bounds, +Inf excluded.
+	Bounds []float64
+	// Counts[i] holds observations v with v <= Bounds[i] (and greater than
+	// the previous bound); len(Counts) == len(Bounds). Overflow
+	// observations appear only in Count.
+	Counts []uint64
+	// Sum is the sum of all observed values.
+	Sum float64
+	// Count is the total number of observations, overflow included.
+	Count uint64
+}
+
+// NewHistogram returns a histogram with the given ascending bucket upper
+// bounds (deduplicated and sorted; +Inf is implicit).
+func NewHistogram(bounds ...float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	uniq := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{bounds: uniq, counts: make([]uint64, len(uniq)+1)}
+}
+
+// DefaultLatencyBuckets returns bucket bounds in seconds suited to
+// simulation jobs, which range from milliseconds to minutes.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Snapshot returns a consistent copy of the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts[:len(h.bounds)]...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}

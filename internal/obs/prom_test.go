@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExpoWriterFormat(t *testing.T) {
+	var b strings.Builder
+	w := NewExpoWriter(&b)
+	w.Header("jobs_total", "Jobs seen.", "counter")
+	w.Sample("jobs_total", nil, 42)
+	w.Header("queue_len", `Depth with "quotes" and \slash`, "gauge")
+	w.Sample("queue_len", []Label{{"pool", `a"b\c` + "\n"}}, 3.5)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP jobs_total Jobs seen.\n" +
+		"# TYPE jobs_total counter\n" +
+		"jobs_total 42\n" +
+		"# HELP queue_len Depth with \"quotes\" and \\\\slash\n" +
+		"# TYPE queue_len gauge\n" +
+		"queue_len{pool=\"a\\\"b\\\\c\\n\"} 3.5\n"
+	if b.String() != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestFormatSampleValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1, "1"},
+		{0.25, "0.25"},
+		{-3, "-3"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{math.NaN(), "NaN"},
+		{1e21, "1e+21"},
+	}
+	for _, tc := range cases {
+		if got := FormatSampleValue(tc.v); got != tc.want {
+			t.Errorf("FormatSampleValue(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := NewHistogram(1, 0.1, 1, 10) // unsorted + duplicate on purpose
+	for _, v := range []float64{0.05, 0.5, 1, 5, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if want := []float64{0.1, 1, 10}; len(s.Bounds) != 3 || s.Bounds[0] != want[0] || s.Bounds[1] != want[1] || s.Bounds[2] != want[2] {
+		t.Fatalf("bounds = %v, want %v", s.Bounds, want)
+	}
+	// Per-bucket (non-cumulative): 0.05→le=0.1; 0.5,1→le=1; 5→le=10; 50→overflow.
+	if s.Counts[0] != 1 || s.Counts[1] != 2 || s.Counts[2] != 1 {
+		t.Errorf("counts = %v, want [1 2 1]", s.Counts)
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5 (overflow included)", s.Count)
+	}
+	if math.Abs(s.Sum-56.55) > 1e-9 {
+		t.Errorf("sum = %v, want 56.55", s.Sum)
+	}
+}
+
+func TestExpoWriterHistogram(t *testing.T) {
+	h := NewHistogram(1, 10)
+	for _, v := range []float64{0.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	w := NewExpoWriter(&b)
+	w.Histogram("latency_seconds", "Job latency.", []Label{{"scale", "ref"}}, h.Snapshot())
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP latency_seconds Job latency.\n" +
+		"# TYPE latency_seconds histogram\n" +
+		"latency_seconds_bucket{scale=\"ref\",le=\"1\"} 1\n" +
+		"latency_seconds_bucket{scale=\"ref\",le=\"10\"} 3\n" +
+		"latency_seconds_bucket{scale=\"ref\",le=\"+Inf\"} 4\n" +
+		"latency_seconds_sum{scale=\"ref\"} 105.5\n" +
+		"latency_seconds_count{scale=\"ref\"} 4\n"
+	if b.String() != want {
+		t.Errorf("histogram exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets()...)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.01)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if s := h.Snapshot(); s.Count != 4000 {
+		t.Errorf("count = %d, want 4000", s.Count)
+	}
+}

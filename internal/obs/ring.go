@@ -1,0 +1,75 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded in-memory sink retaining the most recent events; older
+// events are overwritten once the ring is full. It is safe for concurrent
+// use, so one Ring can absorb the interleaved streams of many simultaneous
+// simulations (cmd/msspd attaches one per daemon). The zero Ring is not
+// usable; construct with NewRing.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // index overwritten by the next Emit
+	full    bool
+	dropped uint64
+	total   uint64
+}
+
+// NewRing returns a ring retaining at most capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Emit records ev, overwriting the oldest retained event when full.
+func (r *Ring) Emit(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	r.full = true
+	r.dropped++
+}
+
+// Events returns the retained events, oldest first. The slice is a copy.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dropped returns the number of events overwritten since construction.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Total returns the number of events ever emitted into the ring.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

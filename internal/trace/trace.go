@@ -1,7 +1,12 @@
-// Package trace records the observable events of an MSSP run — commits and
-// squashes, in order — and renders them as a compact textual timeline.
-// It exists for debugging and for tests that assert on event sequences;
-// attach a Recorder to a machine through core.Config's hooks.
+// Package trace renders the observable events of an MSSP run — commits and
+// squashes, in order — as a compact textual timeline. It exists for
+// debugging and for tests that assert on event sequences.
+//
+// Recorder is a consumer of the structured event stream in internal/obs:
+// Attach subscribes it to a machine's lifecycle hook through obs.Attach,
+// and FromEvents rebuilds the same timeline from a replayed stream (for
+// example one parsed back from a JSONL trace file with obs.ParseJSONL), so
+// a live run and its recorded trace render identically.
 package trace
 
 import (
@@ -9,6 +14,7 @@ import (
 	"strings"
 
 	"mssp/internal/core"
+	"mssp/internal/obs"
 )
 
 // Kind classifies a recorded event.
@@ -45,9 +51,10 @@ type Event struct {
 	Halted bool
 }
 
-// Recorder accumulates events. Attach with Attach; a zero Recorder is
-// ready to use. Recorder is not safe for concurrent use, matching the
-// machine's single-threaded hook contract.
+// Recorder accumulates the commit/fallback/squash subset of the lifecycle
+// stream. Attach with Attach (or feed it events as an obs.Sink); a zero
+// Recorder is ready to use. Recorder is not safe for concurrent use,
+// matching the machine's single-threaded hook contract.
 type Recorder struct {
 	Events []Event
 	// Cap bounds the number of retained events (0 = unbounded). When
@@ -56,38 +63,53 @@ type Recorder struct {
 	Dropped uint64
 }
 
-// Attach hooks the recorder into a machine configuration, chaining any
-// hooks already present.
+// Attach subscribes the recorder to a machine configuration's lifecycle
+// stream, chaining any observers already present.
 func (r *Recorder) Attach(cfg *core.Config) {
-	prevCommit := cfg.OnCommit
-	cfg.OnCommit = func(ev core.CommitEvent) {
-		if prevCommit != nil {
-			prevCommit(ev)
-		}
-		kind := KindCommit
-		if ev.Kind == "fallback" {
-			kind = KindFallback
-		}
+	obs.Attach(cfg, r)
+}
+
+// Emit consumes one lifecycle event, retaining the timeline-relevant kinds
+// (commit, squash, and fallback chunks that made progress) and ignoring the
+// rest. It makes Recorder an obs.Sink.
+func (r *Recorder) Emit(ev obs.Event) {
+	switch ev.Kind {
+	case obs.KindCommit:
 		r.add(Event{
-			Kind:   kind,
-			TaskID: ev.TaskID,
+			Kind:   KindCommit,
+			TaskID: uint64(ev.Task),
 			Start:  ev.Start,
 			Steps:  ev.Steps,
 			Halted: ev.Halted,
 		})
-	}
-	prevSquash := cfg.OnSquash
-	cfg.OnSquash = func(ev core.SquashEvent) {
-		if prevSquash != nil {
-			prevSquash(ev)
+	case obs.KindFallbackExit:
+		if ev.Steps == 0 {
+			return // an empty fallback chunk advances nothing
 		}
 		r.add(Event{
+			Kind:   KindFallback,
+			Steps:  ev.Steps,
+			Halted: ev.Halted,
+		})
+	case obs.KindSquash:
+		r.add(Event{
 			Kind:   KindSquash,
-			TaskID: ev.TaskID,
+			TaskID: uint64(ev.Task),
 			Start:  ev.Start,
 			Reason: ev.Reason,
 		})
 	}
+}
+
+// FromEvents rebuilds a recorder from a replayed event stream (for example
+// a JSONL trace parsed with obs.ParseJSONL). The resulting timeline is
+// identical to what a live Recorder attached to the same run would render.
+func FromEvents(events []obs.Event) *Recorder {
+	r := &Recorder{}
+	for _, ev := range events {
+		r.Emit(ev)
+	}
+	return r
 }
 
 func (r *Recorder) add(ev Event) {

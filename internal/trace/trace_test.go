@@ -1,12 +1,14 @@
 package trace
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"mssp/internal/asm"
 	"mssp/internal/core"
 	"mssp/internal/distill"
+	"mssp/internal/obs"
 	"mssp/internal/profile"
 )
 
@@ -131,6 +133,50 @@ func TestAttachChainsHooks(t *testing.T) {
 	}
 	if res.Metrics.Squashes > 0 && userSquashes == 0 {
 		t.Error("user squash hook lost")
+	}
+}
+
+// TestTimelineParityWithJSONL is the contract between the JSONL trace and
+// the ASCII timeline: streaming a run through a JSONL sink, parsing the
+// file back and rebuilding a Recorder with FromEvents renders the same
+// commit/squash/fallback timeline, byte for byte, as a Recorder attached
+// to the live run.
+func TestTimelineParityWithJSONL(t *testing.T) {
+	p := asm.MustAssemble(src)
+	prof, err := profile.Collect(p, profile.Options{Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := distill.Distill(p, prof, distill.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	var live Recorder
+	live.Attach(&cfg)
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	obs.Attach(&cfg, sink)
+	m, err := core.New(p, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := FromEvents(events)
+	if got, want := replayed.String(), live.String(); got != want {
+		t.Errorf("replayed timeline diverges from the live one:\n--- replayed ---\n%s--- live ---\n%s", got, want)
+	}
+	if len(replayed.Events) == 0 {
+		t.Fatal("replayed timeline is empty")
 	}
 }
 

@@ -24,6 +24,7 @@ package mssp
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"mssp/internal/asm"
 	"mssp/internal/baseline"
@@ -31,6 +32,7 @@ import (
 	"mssp/internal/core"
 	"mssp/internal/distill"
 	"mssp/internal/isa"
+	"mssp/internal/obs"
 	"mssp/internal/profile"
 	"mssp/internal/refine"
 	"mssp/internal/sched"
@@ -183,6 +185,36 @@ type CacheMetrics = cache.Metrics
 
 // NewScheduler starts a worker-pool scheduler. Close it to drain.
 func NewScheduler(opts SchedulerOptions) *Scheduler { return sched.New(opts) }
+
+// TraceEvent is one task-lifecycle transition (fork, dispatch, verify,
+// commit, squash, fallback-enter/-exit) with its model-time cycle stamp;
+// see internal/obs and docs/OBSERVABILITY.md for the schema.
+type TraceEvent = obs.Event
+
+// TraceKind classifies a TraceEvent.
+type TraceKind = obs.Kind
+
+// TraceSink consumes a lifecycle event stream.
+type TraceSink = obs.Sink
+
+// TraceRing is a bounded in-memory sink retaining the newest events.
+type TraceRing = obs.Ring
+
+// JSONLTrace streams events as one JSON object per line.
+type JSONLTrace = obs.JSONL
+
+// AttachTrace subscribes a sink to a machine configuration's lifecycle
+// stream, chaining any observers already attached.
+func AttachTrace(cfg *MachineConfig, sink TraceSink) { obs.Attach(cfg, sink) }
+
+// NewTraceRing returns a ring sink retaining at most capacity events.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRing(capacity) }
+
+// NewJSONLTrace returns a JSONL sink writing to w; Close it to flush.
+func NewJSONLTrace(w io.Writer) *JSONLTrace { return obs.NewJSONL(w) }
+
+// ParseTrace reads a JSONL event stream back into events.
+func ParseTrace(r io.Reader) ([]TraceEvent, error) { return obs.ParseJSONL(r) }
 
 // RunPipelines executes prepared pipelines concurrently across a worker
 // pool (workers = 0 means GOMAXPROCS) and returns their results in input
