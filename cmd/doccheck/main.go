@@ -1,11 +1,16 @@
 // Command doccheck is the documentation linter run by CI's docs job. It
-// enforces two invariants that markdown and godoc rot silently break:
+// enforces three invariants that markdown and godoc rot silently break:
 //
 //  1. Every relative link in the repository's *.md files resolves to an
 //     existing file (anchors and external URLs are not checked).
 //  2. Every exported identifier in the packages listed in checkedPackages
 //     carries a doc comment — the observability surface is documentation
 //     first, so an undocumented export is a build failure, not a nit.
+//  3. The taxonomy docs stay complete: docs/TESTING.md and
+//     docs/OBSERVABILITY.md must mention every lifecycle event kind and
+//     every squash reason the machine can emit, taken from the canonical
+//     lists in internal/core and internal/obs — adding a reason without
+//     documenting it is a build failure.
 //
 // Usage:
 //
@@ -25,13 +30,33 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"mssp/internal/core"
+	"mssp/internal/obs"
 )
 
 // checkedPackages are the directories whose exported identifiers must all
-// be documented. internal/obs is the PR-2 observability layer; extend this
-// list as packages graduate to "documentation-complete".
+// be documented. internal/obs is the PR-2 observability layer and
+// internal/chaos the PR-3 fuzzing harness; extend this list as packages
+// graduate to "documentation-complete".
 var checkedPackages = []string{
 	"internal/obs",
+	"internal/chaos",
+}
+
+// taxonomyDocs are the markdown files that must each mention every
+// lifecycle event kind and every squash reason.
+var taxonomyDocs = []string{
+	"docs/TESTING.md",
+	"docs/OBSERVABILITY.md",
+}
+
+// lifecycleKinds is the canonical event-kind vocabulary the taxonomy docs
+// must cover.
+var lifecycleKinds = []string{
+	string(obs.KindFork), string(obs.KindDispatch), string(obs.KindVerify),
+	string(obs.KindCommit), string(obs.KindSquash),
+	string(obs.KindFallbackEnter), string(obs.KindFallbackExit),
 }
 
 // mdLink matches inline markdown links and images: [text](target).
@@ -45,6 +70,9 @@ func main() {
 	problems = append(problems, checkLinks(*root)...)
 	for _, pkg := range checkedPackages {
 		problems = append(problems, checkDocs(*root, pkg)...)
+	}
+	for _, doc := range taxonomyDocs {
+		problems = append(problems, checkTaxonomy(*root, doc)...)
 	}
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, p)
@@ -100,6 +128,30 @@ func checkLinks(root string) []string {
 	if err != nil {
 		problems = append(problems, fmt.Sprintf("doccheck: walking %s: %v", root, err))
 	}
+	return problems
+}
+
+// checkTaxonomy verifies that doc mentions every lifecycle event kind and
+// every squash reason, as backtick-quoted terms (`livein`), so a taxonomy
+// extension cannot land without its documentation.
+func checkTaxonomy(root, doc string) []string {
+	path := filepath.Join(root, doc)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("doccheck: taxonomy doc %s: %v", doc, err)}
+	}
+	text := string(b)
+	var problems []string
+	check := func(what string, terms []string) {
+		for _, term := range terms {
+			if !strings.Contains(text, "`"+term+"`") {
+				problems = append(problems,
+					fmt.Sprintf("%s: %s `%s` is never mentioned", doc, what, term))
+			}
+		}
+	}
+	check("lifecycle event kind", lifecycleKinds)
+	check("squash reason", core.AllSquashReasons())
 	return problems
 }
 

@@ -85,7 +85,10 @@ func main() {
 		out, err := e.Run(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
-			failed = append(failed, e.ID)
+			// Keep the cause next to the ID in the exit summary: the per-
+			// experiment line above can be far away by the time the summary
+			// prints, and E10's error carries the first refine mismatch.
+			failed = append(failed, fmt.Sprintf("%s (%v)", e.ID, firstLine(err)))
 			continue
 		}
 		fmt.Printf("== %s: %s ==\n%s\n", e.ID, e.Title, out)
@@ -114,6 +117,16 @@ func closeSink(sink *obs.JSONL, path string) {
 	if err := sink.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: trace %s: %v\n", path, err)
 	}
+}
+
+// firstLine truncates a multi-line error (E10 appends its table) to the
+// line that names the failure.
+func firstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
 }
 
 func fatal(err error) {

@@ -1,0 +1,147 @@
+// Command msspfuzz drives the deterministic differential fuzzing harness in
+// internal/chaos outside the go-test machinery: seeded soaks for CI, exact
+// replay of recorded failures, and one-seed reproduction for triage.
+//
+// Usage:
+//
+//	msspfuzz -count 500 -faults 1 -require-coverage   # CI soak
+//	msspfuzz -seed 42 -faults 1 -v                    # reproduce one seed
+//	msspfuzz -count 1000 -out failures.jsonl          # record failures
+//	msspfuzz -replay failures.jsonl                   # re-run recorded failures
+//
+// Every run is a pure function of (seed, fault intensity): a soak over
+// -count seeds starting at -seed finds exactly the same failures every
+// time, and -replay re-derives them from the JSONL artifacts alone. The
+// exit status is 0 only if every run was a clean three-way differential
+// and, under -require-coverage, the soak provoked every lifecycle event
+// kind and every squash reason (docs/TESTING.md documents the taxonomy).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mssp/internal/chaos"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 0, "first (or only) seed")
+		count    = flag.Int("count", 1, "number of consecutive seeds to run")
+		faults   = flag.Float64("faults", 1, "fault-injection intensity in [0,1]; 0 skips the faulted leg")
+		out      = flag.String("out", "", "append failure artifacts to this JSONL file")
+		replay   = flag.String("replay", "", "re-run the failures recorded in this JSONL file and exit")
+		requireC = flag.Bool("require-coverage", false, "fail unless the soak provoked every event kind and squash reason")
+		verbose  = flag.Bool("v", false, "print the full JSON report of every run")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayArtifacts(*replay, *verbose))
+	}
+	os.Exit(soak(*seed, *count, *faults, *out, *requireC, *verbose))
+}
+
+// soak runs count consecutive seeds and reports aggregate coverage.
+func soak(seed uint64, count int, faults float64, out string, requireC, verbose bool) int {
+	var sink *os.File
+	if out != "" {
+		f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msspfuzz:", err)
+			return 2
+		}
+		defer f.Close()
+		sink = f
+	}
+
+	cov := chaos.NewCoverage()
+	failed := 0
+	for i := 0; i < count; i++ {
+		s := seed + uint64(i)
+		rep := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults})
+		if verbose {
+			b, _ := json.MarshalIndent(rep, "", "  ")
+			fmt.Println(string(b))
+		}
+		cov.Merge(legCoverage(rep.Clean))
+		cov.Merge(legCoverage(rep.Fault))
+		if rep.OK {
+			continue
+		}
+		failed++
+		fmt.Fprintf(os.Stderr, "FAIL seed %d (replay: msspfuzz -seed %d -faults %g):\n  %s\n",
+			s, s, faults, strings.Join(rep.Failures, "\n  "))
+		if sink != nil {
+			if err := chaos.NewArtifact(rep).WriteJSONL(sink); err != nil {
+				fmt.Fprintln(os.Stderr, "msspfuzz: writing artifact:", err)
+				return 2
+			}
+		}
+	}
+
+	missK := cov.MissingKinds()
+	missR := cov.MissingReasons(faults > 0)
+	fmt.Printf("msspfuzz: %d/%d seeds clean (faults=%g); coverage: %d kinds missing %v, reasons missing %v\n",
+		count-failed, count, faults, len(missK), missK, missR)
+	if failed > 0 {
+		return 1
+	}
+	if requireC && (len(missK) > 0 || len(missR) > 0) {
+		fmt.Fprintln(os.Stderr, "msspfuzz: -require-coverage: taxonomy not fully provoked")
+		return 1
+	}
+	return 0
+}
+
+// replayArtifacts re-runs each recorded failure from its seed alone. A
+// record that still fails identically is "reproduced"; one that now passes
+// (after a fix) is reported as such.
+func replayArtifacts(path string, verbose bool) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msspfuzz:", err)
+		return 2
+	}
+	defer f.Close()
+	arts, err := chaos.ReadArtifacts(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msspfuzz:", err)
+		return 2
+	}
+	if len(arts) == 0 {
+		fmt.Println("msspfuzz: no artifacts to replay")
+		return 0
+	}
+	reproduced := 0
+	for _, a := range arts {
+		rep := chaos.Run(chaos.Options{Seed: a.Seed, FaultIntensity: a.FaultIntensity})
+		if verbose {
+			b, _ := json.MarshalIndent(rep, "", "  ")
+			fmt.Println(string(b))
+		}
+		if rep.OK {
+			fmt.Printf("seed %d faults=%g: now PASSES (recorded: %s)\n",
+				a.Seed, a.FaultIntensity, strings.Join(a.Failures, "; "))
+			continue
+		}
+		reproduced++
+		fmt.Printf("seed %d faults=%g: reproduced\n  %s\n",
+			a.Seed, a.FaultIntensity, strings.Join(rep.Failures, "\n  "))
+	}
+	fmt.Printf("msspfuzz: replayed %d artifacts, %d still failing\n", len(arts), reproduced)
+	if reproduced > 0 {
+		return 1
+	}
+	return 0
+}
+
+func legCoverage(lr *chaos.LegReport) *chaos.Coverage {
+	if lr == nil {
+		return nil
+	}
+	return lr.Coverage
+}

@@ -380,12 +380,22 @@ func runE10(c *Context) (string, error) {
 	}
 	t := stats.NewTable("E10: jumping-refinement and task-safety audit",
 		"workload", "refinement", "commits audited", "ref insts", "violations")
+	var violated []string
 	for i, rep := range reps {
 		verdict := "OK"
 		if !rep.OK {
 			verdict = "VIOLATED"
+			// Surface the first mismatch itself, not just the count: the
+			// violation names the commit index and the check that failed,
+			// which is what a triage actually starts from.
+			violated = append(violated,
+				fmt.Sprintf("%s: %v", ws[i].Name, rep.FirstViolation()))
 		}
 		t.Row(ws[i].Name, verdict, rep.Commits, rep.RefSteps, len(rep.Violations))
+	}
+	if len(violated) > 0 {
+		return "", fmt.Errorf("refinement violated on %d workload(s), first mismatch %s\n  %s\n%s",
+			len(violated), violated[0], strings.Join(violated, "\n  "), t.String())
 	}
 	return t.String(), nil
 }

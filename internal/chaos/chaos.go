@@ -1,0 +1,323 @@
+// Package chaos is the deterministic fault-injection and differential
+// fuzzing harness for the MSSP machine. It hunts for divergence between the
+// speculative machine (internal/core) and the sequential reference by
+// generating seeded random MIR programs and running each one three ways:
+//
+//  1. sequential baseline (cpu.Seq to halt);
+//  2. MSSP clean, audited by the internal/refine jumping-refinement checker
+//     and by an internal/model task-safety shadow;
+//  3. MSSP with injected faults (core.Config.Fault driven by a FaultPlan),
+//     audited the same way.
+//
+// The contract: all three executions must end in byte-identical committed
+// architected state, every commit must be a safe jump of the sequential
+// model, and no injected fault may ever corrupt architected state — faults
+// corrupt predictions and perturb timing only, and the verify/commit unit
+// must contain them. Each run also records which lifecycle event kinds and
+// squash reasons it provoked, so taxonomy coverage is measurable and a soak
+// can enforce it.
+//
+// Everything is keyed by a single uint64 seed: the generated program, the
+// machine configuration, the distillation options and the fault plan all
+// derive from it, so any failure replays exactly (cmd/msspfuzz -replay).
+// docs/TESTING.md describes the contract, the fault taxonomy and the
+// reproduction workflow.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mssp/internal/core"
+	"mssp/internal/cpu"
+	"mssp/internal/distill"
+	"mssp/internal/model"
+	"mssp/internal/obs"
+	"mssp/internal/profile"
+	"mssp/internal/refine"
+	"mssp/internal/state"
+	"mssp/internal/task"
+)
+
+// Options configures one differential run.
+type Options struct {
+	// Seed keys everything: program, machine config, distillation, fault
+	// plan.
+	Seed uint64
+	// FaultIntensity in [0, 1] scales fault-injection probability for the
+	// faulted leg; zero skips the faulted leg entirely.
+	FaultIntensity float64
+	// MaxSeqSteps bounds the sequential baseline (and transitively the
+	// generated program's dynamic length). Zero means a generous default;
+	// a generated program that fails to halt inside the bound is reported
+	// as a failure, so the fuzzer also polices the generator itself.
+	MaxSeqSteps uint64
+	// ModelCheckCap bounds how many commits the internal/model task-safety
+	// shadow re-derives per leg (full-state sequential re-execution is the
+	// most expensive audit). Zero means 256.
+	ModelCheckCap int
+	// Observe, when non-nil, is attached to both MSSP legs' lifecycle
+	// streams (obs.Attach semantics), in addition to the harness's own
+	// coverage sink. Used by the JSONL hammer tests and cmd/msspfuzz -trace.
+	Observe func(leg string, cfg *core.Config)
+}
+
+// defaultMaxSeqSteps bounds generated programs' dynamic length. Generated
+// loop nests stay well under this; hitting it means the generator broke its
+// own termination invariant.
+const defaultMaxSeqSteps = 2_000_000
+
+// LegReport describes one MSSP execution (clean or faulted) of the
+// generated program.
+type LegReport struct {
+	// RefineOK reports whether the jumping-refinement audit passed.
+	RefineOK bool `json:"refineOK"`
+	// Violations carries the refinement checker's failures, rendered.
+	Violations []string `json:"violations,omitempty"`
+	// ModelViolations carries task-safety failures found by the
+	// internal/model shadow, rendered.
+	ModelViolations []string `json:"modelViolations,omitempty"`
+	// ModelChecked is the number of commits the model shadow audited.
+	ModelChecked int `json:"modelChecked"`
+	// Commits is the number of architected-state advances observed.
+	Commits int `json:"commits"`
+	// FinalMatchesSeq reports whether the leg's final architected state is
+	// byte-identical to the sequential baseline's.
+	FinalMatchesSeq bool `json:"finalMatchesSeq"`
+	// Metrics is the machine's one-line metrics summary.
+	Metrics string `json:"metrics"`
+	// Coverage records the lifecycle kinds and squash reasons provoked.
+	Coverage *Coverage `json:"coverage"`
+}
+
+// Report is the outcome of one three-way differential run.
+type Report struct {
+	// Seed is the run's seed.
+	Seed uint64 `json:"seed"`
+	// FaultIntensity is the faulted leg's intensity (zero: leg skipped).
+	FaultIntensity float64 `json:"faultIntensity"`
+	// Gen summarizes the generated program.
+	Gen GenConfig `json:"gen"`
+	// Knobs summarizes the derived machine configuration.
+	Knobs Knobs `json:"knobs"`
+	// SeqSteps is the sequential baseline's instruction count.
+	SeqSteps uint64 `json:"seqSteps"`
+	// Clean is the fault-free MSSP leg.
+	Clean *LegReport `json:"clean,omitempty"`
+	// Fault is the fault-injected MSSP leg (nil when skipped).
+	Fault *LegReport `json:"fault,omitempty"`
+	// Failures lists every divergence or harness error, rendered. Empty
+	// iff OK.
+	Failures []string `json:"failures,omitempty"`
+	// OK reports a fully clean differential: both legs refine SEQ, all
+	// audits passed, all final states byte-identical.
+	OK bool `json:"ok"`
+}
+
+// Knobs is the machine/distillation configuration derived from the seed.
+// Varying these per seed is what walks the harness through the machine's
+// whole behavior space — small task caps provoke overflow, non-speculative
+// regions provoke nonspec squashes, aggressive bias thresholds provoke
+// live-in misspeculation.
+type Knobs struct {
+	// Slaves is the slave-processor count.
+	Slaves int `json:"slaves"`
+	// MaxTaskLen is the speculative buffering cap.
+	MaxTaskLen uint64 `json:"maxTaskLen"`
+	// MinTaskSpacing is the fork-thinning distance.
+	MinTaskSpacing uint64 `json:"minTaskSpacing"`
+	// Stride is the profiling anchor stride.
+	Stride uint64 `json:"stride"`
+	// BiasThreshold is the distiller's pruning threshold.
+	BiasThreshold float64 `json:"biasThreshold"`
+	// NonSpec reports whether a non-speculative region covers part of the
+	// data array.
+	NonSpec bool `json:"nonSpec"`
+}
+
+// deriveKnobs expands the seed into a machine configuration. The draws use
+// an independent rand stream (seed XOR a constant) so knob choices do not
+// perturb program generation.
+func deriveKnobs(seed uint64) Knobs {
+	r := rand.New(rand.NewSource(int64(seed ^ 0xdecaf)))
+	lens := []uint64{80, 200, 1000, 100_000}
+	strides := []uint64{25, 50, 100}
+	biases := []float64{0.80, 0.90, 0.97}
+	spacings := []uint64{0, 0, 20, 60}
+	return Knobs{
+		Slaves:         1 + r.Intn(8),
+		MaxTaskLen:     lens[r.Intn(len(lens))],
+		MinTaskSpacing: spacings[r.Intn(len(spacings))],
+		Stride:         strides[r.Intn(len(strides))],
+		BiasThreshold:  biases[r.Intn(len(biases))],
+		NonSpec:        r.Intn(4) == 0,
+	}
+}
+
+// Config renders the knobs as a machine configuration.
+func (k Knobs) Config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Slaves = k.Slaves
+	cfg.MaxTaskLen = k.MaxTaskLen
+	cfg.MinTaskSpacing = k.MinTaskSpacing
+	cfg.SquashPenalty = 50
+	if k.NonSpec {
+		// A small window of the shared array becomes "I/O": generated
+		// accesses that land in it squash as nonspec and replay in
+		// sequential mode.
+		cfg.NonSpecRegions = []task.AddrRange{{Lo: genDataBase + 60, Hi: genDataBase + ArrWords}}
+	}
+	return cfg
+}
+
+// Run performs the three-way differential for one seed and returns the
+// report. It never returns an error: every way the run can go wrong is a
+// finding, recorded in Report.Failures.
+func Run(opts Options) *Report {
+	rep := &Report{Seed: opts.Seed, FaultIntensity: opts.FaultIntensity}
+	failf := func(format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+	maxSteps := opts.MaxSeqSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSeqSteps
+	}
+	if opts.ModelCheckCap == 0 {
+		opts.ModelCheckCap = 256
+	}
+
+	g := Generate(opts.Seed)
+	rep.Gen = g.Config
+	rep.Knobs = deriveKnobs(opts.Seed)
+
+	// Leg 1: sequential baseline. The generator guarantees termination;
+	// trust but verify.
+	baseline := state.NewFromProgram(g.Prog, core.DefaultConfig().SP)
+	n, err := cpu.Seq(baseline, maxSteps)
+	rep.SeqSteps = n
+	if err != nil {
+		failf("generator: sequential baseline faulted after %d steps: %v", n, err)
+		return rep
+	}
+	if n >= maxSteps {
+		failf("generator: program did not halt within %d steps", maxSteps)
+		return rep
+	}
+
+	// Distill from a profile of the same program. Profiling reruns the
+	// sequential execution, so its cost is bounded by the baseline's.
+	prof, err := profile.Collect(g.Prog, profile.Options{Stride: rep.Knobs.Stride, MaxSteps: maxSteps + 1})
+	if err != nil {
+		failf("profile: %v", err)
+		return rep
+	}
+	dist, err := distill.Distill(g.Prog, prof, distill.Options{
+		BiasThreshold:  rep.Knobs.BiasThreshold,
+		MinBranchCount: 4,
+	})
+	if err != nil {
+		failf("distill: %v", err)
+		return rep
+	}
+
+	// Legs 2 and 3: MSSP clean, then MSSP faulted.
+	rep.Clean = runLeg(g, dist, rep.Knobs, nil, baseline, opts, "clean", failf)
+	if opts.FaultIntensity > 0 {
+		plan := &FaultPlan{Seed: opts.Seed, Intensity: opts.FaultIntensity}
+		rep.Fault = runLeg(g, dist, rep.Knobs, plan, baseline, opts, "fault", failf)
+	}
+	rep.OK = len(rep.Failures) == 0
+	return rep
+}
+
+// runLeg executes one MSSP leg under the refinement checker, the model
+// shadow and the coverage sink, appending any divergence through failf.
+func runLeg(g *Generated, dist *distill.Result, knobs Knobs, plan *FaultPlan,
+	baseline *state.State, opts Options, leg string, failf func(string, ...any)) *LegReport {
+
+	lr := &LegReport{Coverage: NewCoverage()}
+	cfg := knobs.Config()
+	if plan != nil {
+		cfg.Fault = plan.Injection()
+	}
+	obs.Attach(&cfg, lr.Coverage)
+	if opts.Observe != nil {
+		opts.Observe(leg, &cfg)
+	}
+
+	// The model shadow: an independently advanced sequential state. For
+	// every committed task it re-derives the task tuple from the formal
+	// model (seq over a full live-in state) and checks the simulator's
+	// sparse live-out superimposition against it — Definition 6 checked
+	// with internal/model semantics rather than internal/refine's.
+	shadow := newModelAudit(baselineStart(g), opts.ModelCheckCap)
+	cfg.OnCommit = shadow.onCommit
+
+	rrep, err := refine.Check(g.Prog, dist, cfg, refine.Options{FullCheckEvery: 16, CheckTaskSafety: true})
+	if err != nil {
+		failf("%s: machine error: %v", leg, err)
+		return lr
+	}
+	lr.Commits = rrep.Commits
+	lr.RefineOK = rrep.OK
+	lr.Metrics = rrep.Result.Metrics.String()
+	for _, v := range rrep.Violations {
+		lr.Violations = append(lr.Violations, v.Error())
+		failf("%s: refine: %v", leg, v)
+	}
+	lr.ModelChecked = shadow.checked
+	for _, v := range shadow.violations {
+		lr.ModelViolations = append(lr.ModelViolations, v)
+		failf("%s: model: %s", leg, v)
+	}
+	lr.FinalMatchesSeq = rrep.Result.Final.Equal(baseline)
+	if !lr.FinalMatchesSeq {
+		failf("%s: final architected state differs from sequential baseline", leg)
+	}
+	return lr
+}
+
+// baselineStart returns a fresh initial state for the generated program.
+func baselineStart(g *Generated) *state.State {
+	return state.NewFromProgram(g.Prog, core.DefaultConfig().SP)
+}
+
+// modelAudit is the internal/model task-safety shadow: it tracks its own
+// sequential state and, for each committed task, checks that superimposing
+// the simulator's live-out delta equals completing the formal model's task
+// tuple — two independently computed post-states that must agree.
+type modelAudit struct {
+	ref        *state.State
+	cap        int
+	checked    int
+	violations []string
+}
+
+func newModelAudit(start *state.State, cap int) *modelAudit {
+	return &modelAudit{ref: start, cap: cap}
+}
+
+func (a *modelAudit) onCommit(ev core.CommitEvent) {
+	if ev.Kind != "task" || a.checked >= a.cap {
+		// Fallback chunks (and commits past the cap) just advance the
+		// shadow; the refinement checker still audits them.
+		if _, err := cpu.Seq(a.ref, ev.Steps); err != nil {
+			a.violations = append(a.violations, fmt.Sprintf("shadow advance faulted: %v", err))
+		}
+		return
+	}
+	a.checked++
+	t := model.NewTask(a.ref.Clone(), ev.Steps)
+	if err := t.Complete(); err != nil {
+		a.violations = append(a.violations, fmt.Sprintf("commit %d: model task evolution: %v", a.checked, err))
+		return
+	}
+	applied := a.ref.Clone()
+	applied.Apply(ev.LiveOut)
+	if !applied.Equal(t.Out) {
+		a.violations = append(a.violations,
+			fmt.Sprintf("commit %d (task %d, %d steps): S ← live_out(t) differs from seq(S, #t)",
+				a.checked, ev.TaskID, ev.Steps))
+	}
+	a.ref = t.Out
+}

@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mssp/internal/core"
+	"mssp/internal/cpu"
+	"mssp/internal/state"
+)
+
+// TestGenerateDeterministic: the generator is a pure function of the seed.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if len(a.Prog.Code.Words) != len(b.Prog.Code.Words) {
+			t.Fatalf("seed %d: lengths differ: %d vs %d", seed, len(a.Prog.Code.Words), len(b.Prog.Code.Words))
+		}
+		for i := range a.Prog.Code.Words {
+			if a.Prog.Code.Words[i] != b.Prog.Code.Words[i] {
+				t.Fatalf("seed %d: code differs at word %d", seed, i)
+			}
+		}
+		if a.Config != b.Config {
+			t.Fatalf("seed %d: configs differ: %+v vs %+v", seed, a.Config, b.Config)
+		}
+	}
+	// And different seeds actually generate different programs.
+	a, b := Generate(1), Generate(2)
+	same := len(a.Prog.Code.Words) == len(b.Prog.Code.Words)
+	if same {
+		for i := range a.Prog.Code.Words {
+			if a.Prog.Code.Words[i] != b.Prog.Code.Words[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 generated identical programs")
+	}
+}
+
+// TestGeneratedProgramsHalt: the register discipline guarantees every
+// generated program halts sequentially within the step bound.
+func TestGeneratedProgramsHalt(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		g := Generate(seed)
+		s := state.NewFromProgram(g.Prog, core.DefaultConfig().SP)
+		n, err := cpu.Seq(s, defaultMaxSeqSteps)
+		if err != nil {
+			t.Fatalf("seed %d: baseline faulted after %d steps: %v", seed, n, err)
+		}
+		if n >= defaultMaxSeqSteps {
+			t.Fatalf("seed %d: did not halt within %d steps", seed, defaultMaxSeqSteps)
+		}
+		if n == 0 {
+			t.Fatalf("seed %d: degenerate empty program", seed)
+		}
+	}
+}
+
+// TestRunCleanDifferential: without fault injection, every seed must be a
+// clean three-way differential.
+func TestRunCleanDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		rep := Run(Options{Seed: seed})
+		if !rep.OK {
+			t.Errorf("seed %d: %s", seed, strings.Join(rep.Failures, "; "))
+		}
+		if rep.Clean == nil || rep.Clean.Commits == 0 {
+			t.Errorf("seed %d: clean leg made no commits", seed)
+		}
+	}
+}
+
+// TestRunFaultedDifferential: with injection at full intensity, refinement
+// must still hold — faults corrupt predictions and timing, never architected
+// state, and the verify/commit unit must contain them.
+func TestRunFaultedDifferential(t *testing.T) {
+	cov := NewCoverage()
+	for seed := uint64(0); seed < 15; seed++ {
+		rep := Run(Options{Seed: seed, FaultIntensity: 1})
+		if !rep.OK {
+			t.Errorf("seed %d: %s", seed, strings.Join(rep.Failures, "; "))
+			continue
+		}
+		cov.Merge(rep.Clean.Coverage)
+		cov.Merge(rep.Fault.Coverage)
+	}
+	// 15 full-intensity seeds are enough to provoke the injected reasons.
+	for _, r := range []string{core.SquashDropped, core.SquashForced} {
+		if cov.Reasons[r] == 0 {
+			t.Errorf("no %q squash provoked across faulted seeds; reasons=%v", r, cov.Reasons)
+		}
+	}
+}
+
+// TestRunDeterministicReplay: the whole report is a pure function of
+// (seed, intensity) — the property cmd/msspfuzz -replay relies on.
+func TestRunDeterministicReplay(t *testing.T) {
+	opts := Options{Seed: 7, FaultIntensity: 0.8}
+	a, _ := json.Marshal(Run(opts))
+	b, _ := json.Marshal(Run(opts))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same options, different reports:\n%s\n%s", a, b)
+	}
+}
+
+// TestSoakCoversTaxonomy: a bounded soak over seeds provokes every
+// lifecycle event kind and every squash reason — organic and injected —
+// with zero refinement divergences. This is the coverage criterion the CI
+// fuzz-smoke job re-checks via cmd/msspfuzz -require-coverage.
+func TestSoakCoversTaxonomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	cov := NewCoverage()
+	const seeds = 60
+	for seed := uint64(0); seed < seeds; seed++ {
+		rep := Run(Options{Seed: seed, FaultIntensity: 1})
+		if !rep.OK {
+			t.Fatalf("seed %d: %s", seed, strings.Join(rep.Failures, "; "))
+		}
+		cov.Merge(rep.Clean.Coverage)
+		cov.Merge(rep.Fault.Coverage)
+	}
+	if miss := cov.MissingKinds(); len(miss) > 0 {
+		t.Errorf("lifecycle kinds never provoked in %d seeds: %v", seeds, miss)
+	}
+	if miss := cov.MissingReasons(true); len(miss) > 0 {
+		t.Errorf("squash reasons never provoked in %d seeds: %v (got %v)", seeds, miss, cov.Reasons)
+	}
+}
+
+// TestArtifactRoundTrip: failure artifacts survive the JSONL round trip
+// that connects msspfuzz -out to msspfuzz -replay.
+func TestArtifactRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := []*Artifact{
+		{Seed: 3, FaultIntensity: 0.5, Failures: []string{"clean: refine: x"}},
+		{Seed: 99, FaultIntensity: 1, Failures: []string{"a", "b"}},
+	}
+	for _, a := range want {
+		if err := a.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadArtifacts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost records: %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		aj, _ := json.Marshal(want[i])
+		bj, _ := json.Marshal(got[i])
+		if !bytes.Equal(aj, bj) {
+			t.Errorf("record %d: %s != %s", i, aj, bj)
+		}
+	}
+	if _, err := ReadArtifacts(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+// TestFaultPlanOrderIndependence: injection decisions are pure functions of
+// (seed, taskID, site) — consulting them in any order or any number of
+// times yields identical answers.
+func TestFaultPlanOrderIndependence(t *testing.T) {
+	p := &FaultPlan{Seed: 42, Intensity: 1}
+	inj := p.Injection()
+	for task := uint64(0); task < 100; task++ {
+		a, b := inj.CorruptStart(task, 1000), inj.CorruptStart(task, 1000)
+		if a != b {
+			t.Fatalf("task %d: CorruptStart not deterministic: %d vs %d", task, a, b)
+		}
+		if inj.DropCompletion(task) != inj.DropCompletion(task) {
+			t.Fatalf("task %d: DropCompletion not deterministic", task)
+		}
+	}
+	if (&FaultPlan{Seed: 42, Intensity: 0}).Injection() != nil {
+		t.Error("zero-intensity plan must yield nil injection")
+	}
+}
+
+// TestKnobsDeterministic: the machine configuration derives purely from the
+// seed.
+func TestKnobsDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		if deriveKnobs(seed) != deriveKnobs(seed) {
+			t.Fatalf("seed %d: knobs differ between derivations", seed)
+		}
+	}
+}
+
+// TestCoverageMissing: the missing-set helpers honor the organic/injected
+// split of the taxonomy.
+func TestCoverageMissing(t *testing.T) {
+	cov := NewCoverage()
+	if got := len(cov.MissingKinds()); got != 7 {
+		t.Errorf("empty coverage missing %d kinds, want 7", got)
+	}
+	for _, r := range core.OrganicSquashReasons {
+		cov.Reasons[r] = 1
+	}
+	if miss := cov.MissingReasons(false); len(miss) != 0 {
+		t.Errorf("organic-only coverage should satisfy faults=false: missing %v", miss)
+	}
+	miss := cov.MissingReasons(true)
+	if fmt.Sprint(miss) != fmt.Sprint([]string{core.SquashDropped, core.SquashForced}) {
+		t.Errorf("faults=true should demand injected reasons, got %v", miss)
+	}
+}

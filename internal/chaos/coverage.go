@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+
+	"mssp/internal/core"
+	"mssp/internal/obs"
+)
+
+// Coverage tallies which lifecycle event kinds and squash-taxonomy reasons a
+// run (or a whole soak) provoked. It is an obs.Sink, safe for concurrent
+// use, so one Coverage can be attached to many machines at once and merged
+// across seeds; the soak's exit criterion is MissingKinds and MissingReasons
+// both empty.
+type Coverage struct {
+	mu sync.Mutex
+	// Kinds counts events per lifecycle kind.
+	Kinds map[string]uint64 `json:"kinds"`
+	// Reasons counts squash events per taxonomy reason.
+	Reasons map[string]uint64 `json:"reasons"`
+}
+
+// NewCoverage returns an empty tally.
+func NewCoverage() *Coverage {
+	return &Coverage{Kinds: map[string]uint64{}, Reasons: map[string]uint64{}}
+}
+
+// Emit implements obs.Sink.
+func (c *Coverage) Emit(ev obs.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Kinds[string(ev.Kind)]++
+	if ev.Kind == obs.KindSquash && ev.Reason != "" {
+		c.Reasons[ev.Reason]++
+	}
+}
+
+// Merge folds o's tallies into c.
+func (c *Coverage) Merge(o *Coverage) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	kinds, reasons := cloneCounts(o.Kinds), cloneCounts(o.Reasons)
+	o.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, n := range kinds {
+		c.Kinds[k] += n
+	}
+	for r, n := range reasons {
+		c.Reasons[r] += n
+	}
+}
+
+// allKinds is the full lifecycle vocabulary a soak must provoke.
+var allKinds = []string{
+	string(obs.KindFork), string(obs.KindDispatch), string(obs.KindVerify),
+	string(obs.KindCommit), string(obs.KindSquash),
+	string(obs.KindFallbackEnter), string(obs.KindFallbackExit),
+}
+
+// MissingKinds returns the lifecycle kinds never observed, sorted.
+func (c *Coverage) MissingKinds() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return missing(allKinds, c.Kinds)
+}
+
+// MissingReasons returns the squash reasons never observed, sorted. With
+// faults true the full taxonomy (core.AllSquashReasons) is required;
+// otherwise only the organic reasons, since "dropped" and "forced" cannot
+// occur without injection.
+func (c *Coverage) MissingReasons(faults bool) []string {
+	want := core.OrganicSquashReasons
+	if faults {
+		want = core.AllSquashReasons()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return missing(want, c.Reasons)
+}
+
+// MarshalJSON locks around the map reads so a soak can snapshot coverage
+// while machines are still emitting.
+func (c *Coverage) MarshalJSON() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return json.Marshal(struct {
+		Kinds   map[string]uint64 `json:"kinds"`
+		Reasons map[string]uint64 `json:"reasons"`
+	}{c.Kinds, c.Reasons})
+}
+
+func missing(want []string, have map[string]uint64) []string {
+	var out []string
+	for _, w := range want {
+		if have[w] == 0 {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func cloneCounts(m map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzMSSPDifferential is the native-fuzzing entry point: each input seed
+// drives one full three-way differential (sequential baseline, MSSP clean,
+// MSSP fault-injected at full intensity). Any refinement violation, model
+// task-safety failure or final-state divergence fails the target, and the
+// failing seed reproduces exactly via
+//
+//	go run ./cmd/msspfuzz -seed <S> -faults 1
+//
+// The checked-in corpus (testdata/fuzz/FuzzMSSPDifferential) seeds the
+// mutator with values chosen to exercise each knob bucket in deriveKnobs;
+// CI runs this target briefly on every push (the fuzz-smoke job).
+func FuzzMSSPDifferential(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 7, 13, 42, 100, 1 << 20, 1<<40 + 9, 0xdeadbeef} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		rep := Run(Options{Seed: seed, FaultIntensity: 1, ModelCheckCap: 64})
+		if !rep.OK {
+			t.Fatalf("seed %d (replay: go run ./cmd/msspfuzz -seed %d -faults 1):\n%s",
+				seed, seed, strings.Join(rep.Failures, "\n"))
+		}
+	})
+}

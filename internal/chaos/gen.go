@@ -1,0 +1,335 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mssp/internal/isa"
+)
+
+// Address-space layout of generated programs. It mirrors the convention the
+// assembler uses (code at zero, data far above it): the poison segment sits
+// in its own region so any stray control transfer into it faults
+// immediately — its words deliberately decode as invalid instructions.
+const (
+	genCodeBase   = 0
+	genDataBase   = 1 << 20
+	genPtrBase    = genDataBase + 1024
+	genPoisonBase = 1 << 21
+
+	// ArrWords is the size of the generated program's shared data array.
+	// All generated loads and stores land inside it (modulo masking), so
+	// aliasing between program regions is frequent by construction.
+	ArrWords = 64
+
+	// poisonWords is the size of the poison segment.
+	poisonWords = 16
+)
+
+// Register discipline of generated programs. Loop counters get reserved
+// registers per nesting depth so no generated body instruction can clobber
+// an enclosing loop's counter — which is what guarantees termination.
+const (
+	regArrBase = 16 // base address of the data array
+	regPtrBase = 17 // base address of the function-pointer table
+	regIdx     = 14 // scratch for computed addresses
+	regAddr    = 15 // scratch for computed addresses
+	regLoop0   = 20 // main-body loop counters, one per nesting depth
+	maxDepth   = 3  // regLoop0..regLoop0+maxDepth-1
+	regFnLoop  = 24 // function-body loop counter (functions run inside
+	// main loops, so their counters must not overlap the main set)
+	scratchLo = 6 // scratch registers [scratchLo, scratchHi]
+	scratchHi = 13
+)
+
+// GenConfig summarizes the knobs one seed expanded to, for failure
+// artifacts and logs.
+type GenConfig struct {
+	// Seed is the generator seed the program was derived from.
+	Seed uint64 `json:"seed"`
+	// Funcs is the number of generated callable functions.
+	Funcs int `json:"funcs"`
+	// OuterTrips is the outer loop's trip count.
+	OuterTrips int `json:"outerTrips"`
+	// Segments is the number of top-level body segments.
+	Segments int `json:"segments"`
+	// CodeWords is the generated code segment's length.
+	CodeWords int `json:"codeWords"`
+}
+
+// Generated is a seeded random program plus the layout facts the
+// differential harness needs.
+type Generated struct {
+	// Prog is the generated program; it is sequentially valid and always
+	// halts (all loops are counted, all other branches jump forward).
+	Prog *isa.Program
+	// Config summarizes the expanded generation knobs.
+	Config GenConfig
+	// FuncAddrs lists the entry addresses of generated functions.
+	FuncAddrs []uint64
+}
+
+// gen is the in-progress generator state.
+type gen struct {
+	r     *rand.Rand
+	code  []isa.Inst
+	funcs []uint64
+	depth int
+	calls bool // emitting inside a function body (no nested calls)
+}
+
+func (g *gen) addr() uint64 { return genCodeBase + uint64(len(g.code)) }
+
+func (g *gen) emit(in isa.Inst) { g.code = append(g.code, in) }
+
+func (g *gen) scratch() uint8 {
+	return uint8(scratchLo + g.r.Intn(scratchHi-scratchLo+1))
+}
+
+// Generate derives a deterministic random program from the seed: an init
+// prologue, a counted outer loop over a random mix of body segments
+// (straight-line ALU bursts, aliasing loads and stores, rare-path branch
+// diamonds, nested counted loops, direct and indirect calls into generated
+// functions), and a halt. The same seed always yields the identical
+// program.
+func Generate(seed uint64) *Generated {
+	g := &gen{r: rand.New(rand.NewSource(int64(seed)))}
+
+	// Functions first, so calls in the main body have known targets.
+	nFuncs := g.r.Intn(4)
+	for i := 0; i < nFuncs; i++ {
+		g.funcs = append(g.funcs, g.addr())
+		g.fnBody()
+	}
+
+	entry := g.addr()
+	// Prologue: materialize the data-region base registers and seed the
+	// scratch registers with distinct values.
+	g.emit(isa.Inst{Op: isa.OpLdi, Rd: regArrBase, Imm: genDataBase})
+	g.emit(isa.Inst{Op: isa.OpLdi, Rd: regPtrBase, Imm: genPtrBase})
+	for r := uint8(scratchLo); r <= scratchHi; r++ {
+		g.emit(isa.Inst{Op: isa.OpLdi, Rd: r, Imm: int64(g.r.Intn(1 << 16))})
+	}
+
+	outer := 3 + g.r.Intn(24)
+	segs := 2 + g.r.Intn(6)
+	g.loop(outer, func() {
+		for i := 0; i < segs; i++ {
+			g.segment()
+		}
+	})
+	g.emit(isa.Inst{Op: isa.OpHalt})
+
+	prog := &isa.Program{
+		Entry: entry,
+		Code:  isa.Segment{Base: genCodeBase, Words: encodeAll(g.code)},
+		Data:  g.dataSegments(),
+		Symbols: map[string]uint64{
+			"arr":    genDataBase,
+			"ptrs":   genPtrBase,
+			"poison": genPoisonBase,
+		},
+	}
+	if err := prog.Validate(); err != nil {
+		// The generator's structural invariants make this unreachable; a
+		// panic here is a generator bug the fuzzer should surface loudly.
+		panic(fmt.Sprintf("chaos: generated invalid program (seed %d): %v", seed, err))
+	}
+	return &Generated{
+		Prog: prog,
+		Config: GenConfig{
+			Seed:       seed,
+			Funcs:      nFuncs,
+			OuterTrips: outer,
+			Segments:   segs,
+			CodeWords:  len(prog.Code.Words),
+		},
+		FuncAddrs: append([]uint64(nil), g.funcs...),
+	}
+}
+
+// dataSegments builds the array, the function-pointer table, and the poison
+// segment. Array values double as indices (they are masked before use) and
+// as data; the poison words decode as invalid instructions so a stray jump
+// into them faults rather than nop-sliding.
+func (g *gen) dataSegments() []isa.Segment {
+	arr := make([]uint64, ArrWords)
+	for i := range arr {
+		arr[i] = uint64(g.r.Intn(1 << 20))
+	}
+	segs := []isa.Segment{{Base: genDataBase, Words: arr}}
+
+	if len(g.funcs) > 0 {
+		ptrs := make([]uint64, 4)
+		for i := range ptrs {
+			ptrs[i] = g.funcs[g.r.Intn(len(g.funcs))]
+		}
+		segs = append(segs, isa.Segment{Base: genPtrBase, Words: ptrs})
+	}
+
+	poison := make([]uint64, poisonWords)
+	for i := range poison {
+		poison[i] = 0xff<<56 | uint64(i) // opcode 0xff: always invalid
+	}
+	segs = append(segs, isa.Segment{Base: genPoisonBase, Words: poison})
+	return segs
+}
+
+// fnBody emits one callable function: a short straight-line or looped body
+// that ends in a return through the link register.
+func (g *gen) fnBody() {
+	g.calls = true
+	n := 1 + g.r.Intn(3)
+	for i := 0; i < n; i++ {
+		switch g.r.Intn(3) {
+		case 0:
+			g.aluBurst()
+		case 1:
+			g.memOp()
+		default:
+			g.loop(1+g.r.Intn(4), func() { g.aluBurst() })
+		}
+	}
+	g.emit(isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA})
+	g.calls = false
+}
+
+// segment emits one top-level body segment.
+func (g *gen) segment() {
+	max := 6
+	if g.depth >= maxDepth-1 {
+		max = 4 // no deeper loops
+	}
+	switch g.r.Intn(max) {
+	case 0:
+		g.aluBurst()
+	case 1:
+		g.memOp()
+	case 2:
+		g.rareDiamond()
+	case 3:
+		g.callSite()
+	case 4:
+		g.loop(1+g.r.Intn(8), func() {
+			n := 1 + g.r.Intn(3)
+			for i := 0; i < n; i++ {
+				g.segment()
+			}
+		})
+	default:
+		g.rareDiamond()
+	}
+}
+
+// loop emits a counted down-loop around body. The counter register is
+// reserved for this nesting depth (with a separate register for function
+// bodies, which execute inside main-body loops) and no body construct
+// writes it, so the loop always terminates after exactly trips iterations.
+func (g *gen) loop(trips int, body func()) {
+	if g.depth >= maxDepth {
+		body()
+		return
+	}
+	cr := uint8(regLoop0 + g.depth)
+	if g.calls {
+		cr = regFnLoop
+	}
+	g.depth++
+	g.emit(isa.Inst{Op: isa.OpLdi, Rd: cr, Imm: int64(trips)})
+	top := g.addr()
+	body()
+	g.emit(isa.Inst{Op: isa.OpAddi, Rd: cr, Rs1: cr, Imm: -1})
+	g.emit(isa.Inst{Op: isa.OpBne, Rs1: cr, Rs2: isa.RegZero, Imm: int64(top)})
+	g.depth--
+}
+
+// aluBurst emits a short run of ALU operations over scratch registers.
+func (g *gen) aluBurst() {
+	n := 1 + g.r.Intn(6)
+	ops := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpXor, isa.OpAnd, isa.OpOr, isa.OpSlt}
+	for i := 0; i < n; i++ {
+		if g.r.Intn(3) == 0 {
+			g.emit(isa.Inst{Op: isa.OpAddi, Rd: g.scratch(), Rs1: g.scratch(), Imm: int64(g.r.Intn(64) - 32)})
+			continue
+		}
+		g.emit(isa.Inst{Op: ops[g.r.Intn(len(ops))], Rd: g.scratch(), Rs1: g.scratch(), Rs2: g.scratch()})
+	}
+}
+
+// memOp emits an aliasing load or store: the word address is a scratch
+// value masked into the shared array, so distinct program regions contend
+// for the same cells.
+func (g *gen) memOp() {
+	g.emit(isa.Inst{Op: isa.OpAndi, Rd: regIdx, Rs1: g.scratch(), Imm: ArrWords - 1})
+	g.emit(isa.Inst{Op: isa.OpAdd, Rd: regAddr, Rs1: regArrBase, Rs2: regIdx})
+	if g.r.Intn(2) == 0 {
+		g.emit(isa.Inst{Op: isa.OpLd, Rd: g.scratch(), Rs1: regAddr})
+	} else {
+		g.emit(isa.Inst{Op: isa.OpSt, Rs1: regAddr, Rs2: g.scratch()})
+	}
+}
+
+// rareDiamond emits a biased branch diamond: the rare side executes with
+// probability about 2^-k on uniformly distributed scratch values, so the
+// profile sees a heavily biased branch, the distiller prunes it, and the
+// rare iterations become live-in misspeculations. The rare side mutates
+// scratch state and stores through an aliasing address — never a loop
+// counter — so divergence is visible but termination is unaffected.
+func (g *gen) rareDiamond() {
+	k := 3 + g.r.Intn(4) // rare probability 1/8 .. 1/64
+	src := g.scratch()
+	g.emit(isa.Inst{Op: isa.OpAndi, Rd: regIdx, Rs1: src, Imm: int64(1<<k - 1)})
+	// beq regIdx, zero -> rare block; common path jumps over it.
+	bIdx := len(g.code)
+	g.emit(isa.Inst{Op: isa.OpBeq, Rs1: regIdx, Rs2: isa.RegZero}) // target patched below
+	jIdx := len(g.code)
+	g.emit(isa.Inst{Op: isa.OpJal, Rd: isa.RegZero}) // over the rare block; patched below
+	rare := g.addr()
+	n := 1 + g.r.Intn(3)
+	for i := 0; i < n; i++ {
+		if g.r.Intn(2) == 0 {
+			g.aluBurst()
+		} else {
+			g.memOp()
+		}
+	}
+	end := g.addr()
+	g.code[bIdx].Imm = int64(rare)
+	g.code[jIdx].Imm = int64(end)
+	// Keep the branch source evolving so the rare side actually recurs.
+	g.emit(isa.Inst{Op: isa.OpAddi, Rd: src, Rs1: src, Imm: int64(1 + g.r.Intn(7))})
+}
+
+// callSite emits a direct call, or an indirect call through the function-
+// pointer table, into a generated function. Function bodies never call, so
+// the call depth is one and the link register discipline is trivial.
+func (g *gen) callSite() {
+	if len(g.funcs) == 0 || g.calls {
+		g.aluBurst()
+		return
+	}
+	if g.r.Intn(3) > 0 { // direct call
+		f := g.funcs[g.r.Intn(len(g.funcs))]
+		g.emit(isa.Inst{Op: isa.OpJal, Rd: isa.RegRA, Imm: int64(f)})
+		return
+	}
+	// Indirect: load a pointer-table entry selected by a scratch value.
+	g.emit(isa.Inst{Op: isa.OpAndi, Rd: regIdx, Rs1: g.scratch(), Imm: 3})
+	g.emit(isa.Inst{Op: isa.OpAdd, Rd: regAddr, Rs1: regPtrBase, Rs2: regIdx})
+	g.emit(isa.Inst{Op: isa.OpLd, Rd: regAddr, Rs1: regAddr})
+	g.emit(isa.Inst{Op: isa.OpJalr, Rd: isa.RegRA, Rs1: regAddr})
+}
+
+// encodeAll encodes the instruction list, panicking on any field the
+// encoding cannot hold (a generator bug, not an input condition).
+func encodeAll(ins []isa.Inst) []uint64 {
+	words := make([]uint64, len(ins))
+	for i, in := range ins {
+		w, err := isa.EncodeChecked(in)
+		if err != nil {
+			panic(fmt.Sprintf("chaos: %v", err))
+		}
+		words[i] = w
+	}
+	return words
+}

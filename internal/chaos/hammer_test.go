@@ -1,0 +1,189 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mssp/internal/core"
+	"mssp/internal/obs"
+)
+
+// TestHammerLifecycleUnderFaults runs many faulted differentials
+// concurrently with one shared obs JSONL sink attached (each run labeled
+// via WithJob), then replays the file and checks per-task lifecycle
+// ordering invariants inside every job's stream. Fault injection makes
+// this a squash storm — drops, forced fallbacks, corrupted checkpoints —
+// which is exactly when lifecycle ordering is most likely to break, and
+// running it under -race doubles as a concurrency audit of the obs layer.
+func TestHammerLifecycleUnderFaults(t *testing.T) {
+	const runs = 24
+	path := filepath.Join(t.TempDir(), "hammer.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONL(f)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			job := fmt.Sprintf("seed-%d", seed)
+			rep := Run(Options{
+				Seed:           seed,
+				FaultIntensity: 1,
+				ModelCheckCap:  16,
+				Observe: func(leg string, cfg *core.Config) {
+					obs.Attach(cfg, obs.WithJob(sink, job+"/"+leg))
+				},
+			})
+			if !rep.OK {
+				errs <- fmt.Sprintf("seed %d: %s", seed, strings.Join(rep.Failures, "; "))
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	events, err := obs.ParseJSONL(rf)
+	if err != nil {
+		t.Fatalf("interleaved JSONL did not round-trip: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("hammer produced no lifecycle events")
+	}
+
+	byJob := map[string][]obs.Event{}
+	for _, ev := range events {
+		if ev.Job == "" {
+			t.Fatalf("event without job label: %+v", ev)
+		}
+		byJob[ev.Job] = append(byJob[ev.Job], ev)
+	}
+	if len(byJob) < runs {
+		t.Errorf("only %d job streams present, want at least %d", len(byJob), runs)
+	}
+	for job, evs := range byJob {
+		checkLifecycleOrdering(t, job, evs)
+	}
+}
+
+// checkLifecycleOrdering asserts the per-stream invariants of the task
+// state machine fork → dispatch → verify → commit|squash:
+//
+//   - Seq is dense from 0 (no event lost or reordered within a stream);
+//   - every non-fork task event refers to a previously forked task;
+//   - per task, dispatch count ≤ fork count + squash count (re-dispatch only
+//     after a squash) and at most one commit;
+//   - nothing happens to a task after it commits;
+//   - every squash event carries a reason from the known taxonomy;
+//   - fallback-enter and fallback-exit alternate, starting with enter, and
+//     each exit is no earlier in model time than its enter;
+//   - per task, cycle timestamps are non-decreasing along the task's own
+//     fork → dispatch → verify → commit|squash chain even under injected
+//     delays and verify jitter. (Cycles are NOT globally monotone across a
+//     stream: the master's clock runs ahead of the commit unit, so a fork
+//     legitimately carries a later cycle than the next commit.)
+func checkLifecycleOrdering(t *testing.T, job string, evs []obs.Event) {
+	t.Helper()
+	known := map[string]bool{}
+	for _, r := range core.AllSquashReasons() {
+		known[r] = true
+	}
+	type taskState struct {
+		forked, dispatched, squashes int
+		committed                    bool
+		lastCycle                    float64
+	}
+	tasks := map[int64]*taskState{}
+	inFallback := false
+	fallbackEnterAt := 0.0
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Errorf("%s: event %d has seq %d (stream not dense)", job, i, ev.Seq)
+			return
+		}
+		if ev.Task != obs.NoTask {
+			if st := tasks[ev.Task]; st != nil && ev.Cycle < st.lastCycle {
+				t.Errorf("%s: seq %d: task %d's %s at cycle %v precedes its previous event at %v",
+					job, ev.Seq, ev.Task, ev.Kind, ev.Cycle, st.lastCycle)
+			}
+		}
+
+		switch ev.Kind {
+		case obs.KindFork:
+			st := tasks[ev.Task]
+			if st == nil {
+				st = &taskState{}
+				tasks[ev.Task] = st
+			}
+			if st.committed {
+				t.Errorf("%s: seq %d: task %d forked after commit", job, ev.Seq, ev.Task)
+			}
+			st.forked++
+			st.lastCycle = ev.Cycle
+		case obs.KindDispatch, obs.KindVerify, obs.KindCommit, obs.KindSquash:
+			st := tasks[ev.Task]
+			if st == nil || st.forked == 0 {
+				t.Errorf("%s: seq %d: %s for task %d that was never forked", job, ev.Seq, ev.Kind, ev.Task)
+				continue
+			}
+			if st.committed {
+				t.Errorf("%s: seq %d: %s for task %d after its commit", job, ev.Seq, ev.Kind, ev.Task)
+			}
+			st.lastCycle = ev.Cycle
+			switch ev.Kind {
+			case obs.KindDispatch:
+				st.dispatched++
+				if st.dispatched > st.forked+st.squashes {
+					t.Errorf("%s: seq %d: task %d dispatched %d times with %d forks + %d squashes",
+						job, ev.Seq, ev.Task, st.dispatched, st.forked, st.squashes)
+				}
+			case obs.KindCommit:
+				st.committed = true
+			case obs.KindSquash:
+				st.squashes++
+				if !known[ev.Reason] {
+					t.Errorf("%s: seq %d: squash with unknown reason %q", job, ev.Seq, ev.Reason)
+				}
+			}
+		case obs.KindFallbackEnter:
+			if inFallback {
+				t.Errorf("%s: seq %d: nested fallback-enter", job, ev.Seq)
+			}
+			inFallback = true
+			fallbackEnterAt = ev.Cycle
+		case obs.KindFallbackExit:
+			if !inFallback {
+				t.Errorf("%s: seq %d: fallback-exit without enter", job, ev.Seq)
+			}
+			if ev.Cycle < fallbackEnterAt {
+				t.Errorf("%s: seq %d: fallback-exit at cycle %v precedes its enter at %v",
+					job, ev.Seq, ev.Cycle, fallbackEnterAt)
+			}
+			inFallback = false
+		default:
+			t.Errorf("%s: seq %d: unknown event kind %q", job, ev.Seq, ev.Kind)
+		}
+	}
+	if inFallback {
+		t.Errorf("%s: stream ends inside fallback", job)
+	}
+}

@@ -129,6 +129,58 @@ type Config struct {
 	// executed non-speculatively, per the formal model's treatment of
 	// non-idempotent accesses.
 	NonSpecRegions []task.AddrRange
+
+	// Fault, when non-nil, injects deterministic faults into the machine's
+	// speculative paths (internal/chaos drives this for differential
+	// fuzzing). Injection can only corrupt predictions and perturb timing —
+	// never architected state — so a correct machine stays a jumping
+	// refinement of sequential execution under any fault plan.
+	Fault *FaultInjection
+}
+
+// FaultInjection groups the deterministic fault-injection hooks. Every hook
+// is optional; each is keyed by the task's fork sequence number so a seeded
+// plan replays exactly. Hooks run on the machine's single simulation
+// goroutine and must be pure functions of their arguments.
+//
+// The hooks cover the speculative surfaces the correctness argument has to
+// survive: corrupted distilled-program hints (CorruptStart,
+// CorruptCheckpoint), lost or late slave completions (DropCompletion,
+// SlaveDelay), perturbed verify timing (VerifyJitter), and forced entry
+// into sequential fallback (ForceFallback).
+type FaultInjection struct {
+	// CorruptStart perturbs the predicted start PC of a spawning task
+	// (a corrupted FORK immediate). The task is spawned with the returned
+	// PC; verification squashes it with SquashStartMismatch unless the
+	// corruption happens to agree with architected state.
+	CorruptStart func(taskID, start uint64) uint64
+
+	// CorruptCheckpoint mutates the checkpoint a spawning task carries
+	// (corrupted register predictions or memory-diff words). The slave
+	// executes against the corrupted prediction; the verify unit catches
+	// any consequence as a livein or fault squash.
+	CorruptCheckpoint func(taskID uint64, ck *task.Checkpoint)
+
+	// SlaveDelay returns extra cycles added to the task's slave completion
+	// time (a slow or stalled slave). Timing only: the functional
+	// execution is unaffected.
+	SlaveDelay func(taskID uint64) float64
+
+	// DropCompletion reports that the slave's completion for this task was
+	// lost. The verify unit squashes the task with SquashDropped, as a
+	// hardware commit unit would time out a silent slave.
+	DropCompletion func(taskID uint64) bool
+
+	// ForceFallback forces the machine into sequential fallback when this
+	// task reaches verification: the task is squashed with SquashForced
+	// and recovery runs non-speculative execution before reseeding the
+	// master (a watchdog kicking the machine into its dual mode).
+	ForceFallback func(taskID uint64) bool
+
+	// VerifyJitter returns extra cycles added to the commit unit's
+	// verification of this task, perturbing verify ordering in model time.
+	// Timing only.
+	VerifyJitter func(taskID uint64) float64
 }
 
 // DefaultConfig returns the 8-CPU configuration the experiments use as the
@@ -187,9 +239,9 @@ const (
 	// are superimposed and architected state jumps Steps instructions.
 	LifecycleCommit = "commit"
 	// LifecycleSquash marks a failed verification; Reason carries the
-	// squash taxonomy ("livein", "overflow", "fault", "nonspec",
-	// "start-mismatch") and Discarded the younger tasks thrown away.
-	// Discarded tasks emit no further events — their fork is their last.
+	// squash taxonomy (the Squash* constants) and Discarded the younger
+	// tasks thrown away. Discarded tasks emit no further events — their
+	// fork is their last.
 	LifecycleSquash = "squash"
 	// LifecycleFallbackEnter marks the machine entering bounded
 	// non-speculative sequential execution (dual-mode operation).
@@ -198,6 +250,50 @@ const (
 	// with Steps instructions committed architecturally.
 	LifecycleFallbackExit = "fallback-exit"
 )
+
+// Squash reasons, the values SquashEvent.Reason and LifecycleEvent.Reason
+// take. The first five are organic: the machine provokes them by itself
+// when speculation goes wrong. The last two appear only under fault
+// injection (Config.Fault) and never in a production configuration.
+const (
+	// SquashLiveIn marks a live-in mismatch: the master's distilled
+	// program predicted a value the original program disagrees with.
+	SquashLiveIn = "livein"
+	// SquashOverflow marks a task that exceeded MaxTaskLen without
+	// reaching its end PC (finite speculative buffering).
+	SquashOverflow = "overflow"
+	// SquashFault marks a task that faulted during speculative execution.
+	SquashFault = "fault"
+	// SquashNonSpec marks a task that touched a non-speculative region;
+	// recovery replays the access architecturally in sequential mode.
+	SquashNonSpec = "nonspec"
+	// SquashStartMismatch marks a task whose predicted start PC disagreed
+	// with the architected PC at verify time.
+	SquashStartMismatch = "start-mismatch"
+	// SquashDropped marks an injected lost slave completion
+	// (FaultInjection.DropCompletion); never organic.
+	SquashDropped = "dropped"
+	// SquashForced marks an injected forced entry into sequential
+	// fallback (FaultInjection.ForceFallback); never organic.
+	SquashForced = "forced"
+)
+
+// OrganicSquashReasons lists the squash reasons the machine can provoke
+// without fault injection, in canonical order. docs/OBSERVABILITY.md and
+// docs/TESTING.md document the same taxonomy; cmd/doccheck enforces that.
+var OrganicSquashReasons = []string{
+	SquashLiveIn, SquashOverflow, SquashFault, SquashNonSpec, SquashStartMismatch,
+}
+
+// InjectedSquashReasons lists the squash reasons only fault injection
+// (Config.Fault) can provoke, in canonical order.
+var InjectedSquashReasons = []string{SquashDropped, SquashForced}
+
+// AllSquashReasons returns the full taxonomy: organic reasons followed by
+// injected ones.
+func AllSquashReasons() []string {
+	return append(append([]string(nil), OrganicSquashReasons...), InjectedSquashReasons...)
+}
 
 // LifecycleEvent is one task-lifecycle transition, delivered to
 // Config.OnLifecycle. Field meaning varies by Kind; unused fields are zero.
@@ -238,8 +334,7 @@ type SquashEvent struct {
 	TaskID uint64
 	// Start is the task's predicted start PC.
 	Start uint64
-	// Reason is "livein", "overflow", "fault", "nonspec" or
-	// "start-mismatch".
+	// Reason is the squash taxonomy value (one of the Squash* constants).
 	Reason string
 	// Inconsistency is the first mismatching live-in cell (livein only).
 	Inconsistency *state.Inconsistency

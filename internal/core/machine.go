@@ -155,11 +155,23 @@ func (m *Machine) openTask() *pend {
 
 // spawn creates a new open task starting at the given anchor.
 func (m *Machine) spawn(anchor uint64) {
+	start := anchor
 	ck := m.checkpoint()
+	if f := m.cfg.Fault; f != nil {
+		// Injection corrupts only the spawning task's predictions — the
+		// open task's end anchor keeps the uncorrupted value, so one
+		// injected fault stays one fault.
+		if f.CorruptStart != nil {
+			start = f.CorruptStart(m.taskSeq, anchor)
+		}
+		if f.CorruptCheckpoint != nil {
+			f.CorruptCheckpoint(m.taskSeq, &ck)
+		}
+	}
 	p := &pend{
 		t: &task.Task{
 			ID:         m.taskSeq,
-			Start:      anchor,
+			Start:      start,
 			Checkpoint: ck,
 			Snap:       m.archSnapshot(),
 			NonSpec:    m.cfg.NonSpecRegions,
@@ -175,7 +187,7 @@ func (m *Machine) spawn(anchor uint64) {
 		Kind:   LifecycleFork,
 		Cycle:  m.master.clock,
 		TaskID: p.t.ID,
-		Start:  anchor,
+		Start:  p.t.Start,
 		Queue:  len(m.queue),
 	})
 }
@@ -257,14 +269,36 @@ func (m *Machine) slavePick() int {
 func (m *Machine) commitTimeOf(h *pend) float64 {
 	sl := m.slavePick()
 	st := maxf(h.forkAt+m.cfg.SpawnLatency, m.slaveFree[sl])
-	ct := st + float64(h.ex.Steps)*m.cfg.SlaveCPI
+	ct := st + float64(h.ex.Steps)*m.cfg.SlaveCPI + m.slaveDelayOf(h)
 	if h.ex.Outcome == task.OutcomeReachedEnd {
 		// The slave only knows it is done once the master has named the
 		// next task's start.
 		ct = maxf(ct, h.closedAt)
 	}
 	words := float64(h.ex.LiveIn.Len() + h.ex.LiveOut.Len())
-	return maxf(ct, m.commitFree) + m.cfg.CommitLatency + m.cfg.CommitPerWord*words
+	return maxf(ct, m.commitFree) + m.cfg.CommitLatency + m.cfg.CommitPerWord*words + m.verifyJitterOf(h)
+}
+
+// slaveDelayOf returns the injected extra slave-completion latency for a
+// task (zero without fault injection).
+func (m *Machine) slaveDelayOf(h *pend) float64 {
+	if f := m.cfg.Fault; f != nil && f.SlaveDelay != nil {
+		if d := f.SlaveDelay(h.t.ID); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// verifyJitterOf returns the injected extra verification latency for a task
+// (zero without fault injection).
+func (m *Machine) verifyJitterOf(h *pend) float64 {
+	if f := m.cfg.Fault; f != nil && f.VerifyJitter != nil {
+		if d := f.VerifyJitter(h.t.ID); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // verifyHead pops and verifies the oldest task, committing or squashing.
@@ -276,13 +310,13 @@ func (m *Machine) verifyHead() (squashed bool) {
 	// Timing.
 	sl := m.slavePick()
 	st := maxf(h.forkAt+m.cfg.SpawnLatency, m.slaveFree[sl])
-	compute := st + float64(h.ex.Steps)*m.cfg.SlaveCPI
+	compute := st + float64(h.ex.Steps)*m.cfg.SlaveCPI + m.slaveDelayOf(h)
 	ct := compute
 	if h.ex.Outcome == task.OutcomeReachedEnd {
 		ct = maxf(ct, h.closedAt)
 	}
 	words := float64(h.ex.LiveIn.Len() + h.ex.LiveOut.Len())
-	vt := maxf(ct, m.commitFree) + m.cfg.CommitLatency + m.cfg.CommitPerWord*words
+	vt := maxf(ct, m.commitFree) + m.cfg.CommitLatency + m.cfg.CommitPerWord*words + m.verifyJitterOf(h)
 
 	m.emit(LifecycleEvent{
 		Kind:   LifecycleDispatch,
@@ -321,27 +355,42 @@ func (m *Machine) verifyHead() (squashed bool) {
 		})
 		m.squashAndRecover(vt, forceFallback)
 	}
+	if f := m.cfg.Fault; f != nil {
+		// Injected failures take precedence over functional verification:
+		// a dropped completion or a forced fallback happens regardless of
+		// what the slave computed.
+		if f.DropCompletion != nil && f.DropCompletion(h.t.ID) {
+			m.metrics.TasksDropped++
+			fail(SquashDropped, nil, false)
+			return true
+		}
+		if f.ForceFallback != nil && f.ForceFallback(h.t.ID) {
+			m.metrics.TasksForced++
+			fail(SquashForced, nil, true)
+			return true
+		}
+	}
 	switch {
 	case h.t.Start != m.arch.PC:
 		m.metrics.TasksStartMismatch++
-		fail("start-mismatch", nil, false)
+		fail(SquashStartMismatch, nil, false)
 		return true
 	case h.ex.Outcome == task.OutcomeOverflow:
 		m.metrics.TasksOverflowed++
-		fail("overflow", nil, false)
+		fail(SquashOverflow, nil, false)
 		return true
 	case h.ex.Outcome == task.OutcomeFault:
 		m.metrics.TasksFaulted++
-		fail("fault", nil, false)
+		fail(SquashFault, nil, false)
 		return true
 	case h.ex.Outcome == task.OutcomeNonSpec:
 		m.metrics.TasksNonSpec++
-		fail("nonspec", nil, true)
+		fail(SquashNonSpec, nil, true)
 		return true
 	}
 	if inc := m.arch.FirstInconsistency(h.ex.LiveIn); inc != nil {
 		m.metrics.TasksMisspec++
-		fail("livein", inc, false)
+		fail(SquashLiveIn, inc, false)
 		return true
 	}
 

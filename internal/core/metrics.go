@@ -31,6 +31,10 @@ import "fmt"
 //     I/O, non-idempotent state); it is squashed and the access replayed
 //     architecturally in sequential mode, exactly once.
 //
+// Two further fates — dropped and forced — exist only under fault
+// injection (Config.Fault) and are counted by TasksDropped and
+// TasksForced; a production configuration never sees them.
+//
 // docs/OBSERVABILITY.md carries the same taxonomy with the event schema;
 // EXPERIMENTS.md's tables (E5, E9) report these counters per workload.
 type Metrics struct {
@@ -67,6 +71,12 @@ type Metrics struct {
 	// (I/O) region (Reason "nonspec"); the access then executes
 	// architecturally in sequential mode.
 	TasksNonSpec uint64
+	// TasksDropped counts tasks squashed by an injected lost slave
+	// completion (Reason "dropped"); nonzero only under fault injection.
+	TasksDropped uint64
+	// TasksForced counts tasks squashed by an injected forced fallback
+	// entry (Reason "forced"); nonzero only under fault injection.
+	TasksForced uint64
 	// TasksSquashedDown counts younger in-flight tasks discarded when an
 	// older task failed — collateral squashes, not charged to the
 	// taxonomy above.
@@ -123,7 +133,8 @@ type Metrics struct {
 
 // CommitRate returns the fraction of executed tasks that committed.
 func (m *Metrics) CommitRate() float64 {
-	total := m.TasksCommitted + m.TasksMisspec + m.TasksOverflowed + m.TasksFaulted + m.TasksStartMismatch + m.TasksNonSpec
+	total := m.TasksCommitted + m.TasksMisspec + m.TasksOverflowed + m.TasksFaulted +
+		m.TasksStartMismatch + m.TasksNonSpec + m.TasksDropped + m.TasksForced
 	if total == 0 {
 		return 0
 	}
@@ -136,7 +147,8 @@ func (m *Metrics) MisspecRate() float64 {
 	if m.TasksCommitted == 0 {
 		return 0
 	}
-	bad := m.TasksMisspec + m.TasksOverflowed + m.TasksFaulted + m.TasksStartMismatch + m.TasksNonSpec
+	bad := m.TasksMisspec + m.TasksOverflowed + m.TasksFaulted + m.TasksStartMismatch +
+		m.TasksNonSpec + m.TasksDropped + m.TasksForced
 	return float64(bad) / float64(m.TasksCommitted)
 }
 

@@ -1,0 +1,307 @@
+package state
+
+import (
+	"fmt"
+	"testing"
+
+	"mssp/internal/isa"
+)
+
+// bindings describes a delta as data for the tables below.
+type bindings struct {
+	regs map[int]uint64
+	pc   *uint64
+	mem  map[uint64]uint64
+}
+
+func (b bindings) delta() *Delta {
+	d := NewDelta()
+	for r, v := range b.regs {
+		d.SetReg(r, v)
+	}
+	if b.pc != nil {
+		d.SetPC(*b.pc)
+	}
+	for a, v := range b.mem {
+		d.SetMem(a, v)
+	}
+	return d
+}
+
+func pc(v uint64) *uint64 { return &v }
+
+// TestApplyEdgeCases pins the superimposition operator's edge semantics:
+// S ← ∅ is the identity, later writes to the same cell win, r0 stays
+// hardwired to zero, and a PC binding replaces the state's PC.
+func TestApplyEdgeCases(t *testing.T) {
+	base := func() *State {
+		s := New()
+		s.Regs[1], s.Regs[2] = 10, 20
+		s.PC = 100
+		s.Mem.Write(1000, 7)
+		return s
+	}
+	tests := []struct {
+		name string
+		bind func(d *Delta)
+		want func(s *State) // mutates a base() clone into the expectation
+	}{
+		{
+			name: "empty delta is identity",
+			bind: func(d *Delta) {},
+			want: func(s *State) {},
+		},
+		{
+			name: "unbound cells untouched",
+			bind: func(d *Delta) { d.SetReg(3, 33) },
+			want: func(s *State) { s.Regs[3] = 33 },
+		},
+		{
+			name: "rebinding same register last write wins",
+			bind: func(d *Delta) { d.SetReg(1, 11); d.SetReg(1, 12) },
+			want: func(s *State) { s.Regs[1] = 12 },
+		},
+		{
+			name: "rebinding same memory word last write wins",
+			bind: func(d *Delta) { d.SetMem(1000, 8); d.SetMem(1000, 9) },
+			want: func(s *State) { s.Mem.Write(1000, 9) },
+		},
+		{
+			name: "r0 binding is discarded by the state",
+			bind: func(d *Delta) { d.SetReg(isa.RegZero, 999) },
+			want: func(s *State) {},
+		},
+		{
+			name: "pc binding replaces pc",
+			bind: func(d *Delta) { d.SetPC(424) },
+			want: func(s *State) { s.PC = 424 },
+		},
+		{
+			name: "zero value still counts as a binding",
+			bind: func(d *Delta) { d.SetReg(2, 0); d.SetMem(1000, 0) },
+			want: func(s *State) { s.Regs[2] = 0; s.Mem.Write(1000, 0) },
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			d := NewDelta()
+			tc.bind(d)
+			s.Apply(d)
+			want := base()
+			tc.want(want)
+			if !s.Equal(want) {
+				t.Errorf("got\n%s\nwant\n%s", s.Dump(), want.Dump())
+			}
+		})
+	}
+}
+
+// TestApplyIdempotent: superimposing the same delta twice equals once —
+// S ← D ← D = S ← D. The commit unit relies on this shape of the algebra:
+// replaying a live-out set cannot change the outcome.
+func TestApplyIdempotent(t *testing.T) {
+	s := New()
+	s.Regs[5] = 1
+	s.Mem.Write(64, 2)
+	d := NewDelta()
+	d.SetReg(5, 50)
+	d.SetReg(6, 60)
+	d.SetMem(64, 7)
+	d.SetPC(8)
+
+	once := s.Clone()
+	once.Apply(d)
+	twice := s.Clone()
+	twice.Apply(d)
+	twice.Apply(d)
+	if !once.Equal(twice) {
+		t.Errorf("apply not idempotent:\nonce:\n%s\ntwice:\n%s", once.Dump(), twice.Dump())
+	}
+}
+
+// TestSuperimposeEdgeCases pins the delta-on-delta operator d ← e:
+// overlapping bindings take e's values, disjoint bindings union, the empty
+// delta is a left and right identity, and self-superimposition is the
+// identity.
+func TestSuperimposeEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		d, e bindings
+		want bindings
+	}{
+		{
+			name: "empty onto empty",
+			d:    bindings{},
+			e:    bindings{},
+			want: bindings{},
+		},
+		{
+			name: "empty right identity",
+			d:    bindings{regs: map[int]uint64{1: 10}, mem: map[uint64]uint64{8: 80}},
+			e:    bindings{},
+			want: bindings{regs: map[int]uint64{1: 10}, mem: map[uint64]uint64{8: 80}},
+		},
+		{
+			name: "empty left identity",
+			d:    bindings{},
+			e:    bindings{regs: map[int]uint64{1: 10}, pc: pc(4)},
+			want: bindings{regs: map[int]uint64{1: 10}, pc: pc(4)},
+		},
+		{
+			name: "overlapping register takes e",
+			d:    bindings{regs: map[int]uint64{1: 10, 2: 20}},
+			e:    bindings{regs: map[int]uint64{1: 11}},
+			want: bindings{regs: map[int]uint64{1: 11, 2: 20}},
+		},
+		{
+			name: "overlapping memory takes e",
+			d:    bindings{mem: map[uint64]uint64{8: 80, 16: 160}},
+			e:    bindings{mem: map[uint64]uint64{8: 81}},
+			want: bindings{mem: map[uint64]uint64{8: 81, 16: 160}},
+		},
+		{
+			name: "disjoint union",
+			d:    bindings{regs: map[int]uint64{1: 10}, mem: map[uint64]uint64{8: 80}},
+			e:    bindings{regs: map[int]uint64{2: 20}, mem: map[uint64]uint64{16: 160}, pc: pc(4)},
+			want: bindings{regs: map[int]uint64{1: 10, 2: 20}, mem: map[uint64]uint64{8: 80, 16: 160}, pc: pc(4)},
+		},
+		{
+			name: "pc overlap takes e",
+			d:    bindings{pc: pc(4)},
+			e:    bindings{pc: pc(8)},
+			want: bindings{pc: pc(8)},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.d.delta().Superimpose(tc.e.delta())
+			want := tc.want.delta()
+			if !got.Equal(want) {
+				t.Errorf("got %s want %s", got, want)
+			}
+		})
+	}
+}
+
+// TestSuperimposeSelfIdempotent: d ← d = d for arbitrary shapes.
+func TestSuperimposeSelfIdempotent(t *testing.T) {
+	shapes := []bindings{
+		{},
+		{regs: map[int]uint64{1: 1, 31: 9}},
+		{mem: map[uint64]uint64{0: 0, 1 << 40: 5}},
+		{regs: map[int]uint64{7: 7}, pc: pc(12), mem: map[uint64]uint64{99: 99}},
+	}
+	for i, b := range shapes {
+		d := b.delta()
+		if got := d.Clone().Superimpose(d); !got.Equal(d) {
+			t.Errorf("shape %d: d ← d = %s, want %s", i, got, d)
+		}
+	}
+}
+
+// TestConsistencyEdgeCases pins the ⊑ operator on states: the empty delta
+// is consistent with anything, absent cells are not checked, a bound cell
+// must match exactly, and r0 compares against the hardwired zero.
+func TestConsistencyEdgeCases(t *testing.T) {
+	base := func() *State {
+		s := New()
+		s.Regs[1] = 10
+		s.PC = 100
+		s.Mem.Write(1000, 7)
+		return s
+	}
+	tests := []struct {
+		name     string
+		d        bindings
+		wantOK   bool
+		wantCell string // FirstInconsistency cell when !wantOK
+	}{
+		{name: "empty delta consistent with anything", d: bindings{}, wantOK: true},
+		{name: "matching bindings", d: bindings{regs: map[int]uint64{1: 10}, pc: pc(100), mem: map[uint64]uint64{1000: 7}}, wantOK: true},
+		{name: "unbound mismatching cells ignored", d: bindings{regs: map[int]uint64{1: 10}}, wantOK: true},
+		{name: "register mismatch", d: bindings{regs: map[int]uint64{1: 11}}, wantOK: false, wantCell: "r1"},
+		{name: "pc mismatch", d: bindings{pc: pc(101)}, wantOK: false, wantCell: "pc"},
+		{name: "memory mismatch", d: bindings{mem: map[uint64]uint64{1000: 8}}, wantOK: false, wantCell: "m1000"},
+		{name: "absent memory cell reads zero", d: bindings{mem: map[uint64]uint64{2000: 0}}, wantOK: true},
+		{name: "absent memory cell nonzero mismatch", d: bindings{mem: map[uint64]uint64{2000: 5}}, wantOK: false, wantCell: "m2000"},
+		{name: "r0 binding of zero consistent", d: bindings{regs: map[int]uint64{isa.RegZero: 0}}, wantOK: true},
+		{name: "r0 binding nonzero inconsistent", d: bindings{regs: map[int]uint64{isa.RegZero: 3}}, wantOK: false, wantCell: "r0"},
+		{name: "registers checked before memory", d: bindings{regs: map[int]uint64{1: 99}, mem: map[uint64]uint64{1000: 99}}, wantOK: false, wantCell: "r1"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			d := tc.d.delta()
+			inc := s.FirstInconsistency(d)
+			if ok := inc == nil; ok != tc.wantOK {
+				t.Fatalf("consistent = %v, want %v (inc: %v)", ok, tc.wantOK, inc)
+			}
+			if s.Consistent(d) != tc.wantOK {
+				t.Fatal("Consistent disagrees with FirstInconsistency")
+			}
+			if !tc.wantOK && inc.Cell != tc.wantCell {
+				t.Errorf("first inconsistency at %s, want %s", inc.Cell, tc.wantCell)
+			}
+		})
+	}
+}
+
+// TestApplyThenConsistent ties the two operators together: after S ← D,
+// D ⊑ S holds — except for bindings the state is allowed to discard (r0).
+// This is the algebraic fact behind live-out verification at commit.
+func TestApplyThenConsistent(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		s := New()
+		s.Regs[2] = uint64(trial)
+		d := NewDelta()
+		d.SetReg(3, uint64(100+trial))
+		d.SetMem(uint64(64*trial), uint64(trial)*3)
+		d.SetPC(uint64(8 * trial))
+		s.Apply(d)
+		if inc := s.FirstInconsistency(d); inc != nil {
+			t.Errorf("trial %d: D ⋢ S after S ← D: %v", trial, inc)
+		}
+	}
+}
+
+// TestDeltaConsistentWithEdges pins ⊑ over delta pairs, where — unlike
+// against a full state — an absent cell fails the check rather than
+// defaulting to zero.
+func TestDeltaConsistentWithEdges(t *testing.T) {
+	tests := []struct {
+		name string
+		d, e bindings
+		want bool
+	}{
+		{name: "empty with empty", d: bindings{}, e: bindings{}, want: true},
+		{name: "empty with anything", d: bindings{}, e: bindings{regs: map[int]uint64{1: 1}}, want: true},
+		{name: "absent register fails", d: bindings{regs: map[int]uint64{1: 0}}, e: bindings{}, want: false},
+		{name: "absent memory fails even at zero", d: bindings{mem: map[uint64]uint64{8: 0}}, e: bindings{}, want: false},
+		{name: "absent pc fails", d: bindings{pc: pc(0)}, e: bindings{}, want: false},
+		{name: "subset holds", d: bindings{regs: map[int]uint64{1: 1}}, e: bindings{regs: map[int]uint64{1: 1, 2: 2}}, want: true},
+		{name: "superset fails", d: bindings{regs: map[int]uint64{1: 1, 2: 2}}, e: bindings{regs: map[int]uint64{1: 1}}, want: false},
+		{name: "value mismatch fails", d: bindings{mem: map[uint64]uint64{8: 1}}, e: bindings{mem: map[uint64]uint64{8: 2}}, want: false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.d.delta().ConsistentWith(tc.e.delta()); got != tc.want {
+				t.Errorf("(%s) ⊑ (%s) = %v, want %v", tc.d.delta(), tc.e.delta(), got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDeltaStringDeterministic guards the debug rendering the tables above
+// lean on for failure messages.
+func TestDeltaStringDeterministic(t *testing.T) {
+	d := bindings{
+		regs: map[int]uint64{3: 30, 1: 10},
+		pc:   pc(5),
+		mem:  map[uint64]uint64{16: 160, 8: 80},
+	}.delta()
+	want := "{r1=10 r3=30 pc=5 m8=80 m16=160}"
+	if got := fmt.Sprint(d); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
