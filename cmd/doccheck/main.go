@@ -11,6 +11,9 @@
 //     every squash reason the machine can emit, taken from the canonical
 //     lists in internal/core and internal/obs — adding a reason without
 //     documenting it is a build failure.
+//  4. The tracked benchmark baseline stays documented: every entry name
+//     in BENCH_core.json must be mentioned in docs/PERFORMANCE.md, so a
+//     new metric recorded by cmd/msspbench cannot land undocumented.
 //
 // Usage:
 //
@@ -20,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -74,6 +78,7 @@ func main() {
 	for _, doc := range taxonomyDocs {
 		problems = append(problems, checkTaxonomy(*root, doc)...)
 	}
+	problems = append(problems, checkBenchDoc(*root)...)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, p)
 	}
@@ -152,6 +157,41 @@ func checkTaxonomy(root, doc string) []string {
 	}
 	check("lifecycle event kind", lifecycleKinds)
 	check("squash reason", core.AllSquashReasons())
+	return problems
+}
+
+// checkBenchDoc verifies that docs/PERFORMANCE.md mentions every metric
+// tracked in BENCH_core.json, as a backtick-quoted name (`cpu/step`). The
+// JSON is read directly rather than through a package so the linter stays
+// decoupled from the benchmark tool's internals.
+func checkBenchDoc(root string) []string {
+	const benchFile = "BENCH_core.json"
+	const perfDoc = "docs/PERFORMANCE.md"
+	b, err := os.ReadFile(filepath.Join(root, benchFile))
+	if err != nil {
+		return []string{fmt.Sprintf("doccheck: %s: %v", benchFile, err)}
+	}
+	var f struct {
+		Schema  string `json:"schema"`
+		Entries []struct {
+			Name string `json:"name"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		return []string{fmt.Sprintf("doccheck: %s: %v", benchFile, err)}
+	}
+	doc, err := os.ReadFile(filepath.Join(root, perfDoc))
+	if err != nil {
+		return []string{fmt.Sprintf("doccheck: %s: %v", perfDoc, err)}
+	}
+	text := string(doc)
+	var problems []string
+	for _, e := range f.Entries {
+		if !strings.Contains(text, "`"+e.Name+"`") {
+			problems = append(problems,
+				fmt.Sprintf("%s: tracked benchmark entry `%s` (%s) is never mentioned", perfDoc, e.Name, benchFile))
+		}
+	}
 	return problems
 }
 

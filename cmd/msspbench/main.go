@@ -1,0 +1,406 @@
+// Command msspbench measures the execution core and maintains the tracked
+// benchmark baseline in BENCH_core.json. It runs the interpreter and memory
+// micro-benchmarks (the same programs as the internal/cpu and internal/mem
+// benchmark suites, via internal/workloads), wall-clocks the E3/E4
+// experiments, and measures chaos-harness soak throughput, then upserts one
+// labeled point per metric into the JSON history so before/after numbers
+// live next to each other in the repo.
+//
+// Usage:
+//
+//	msspbench [-quick] [-in BENCH_core.json] [-out BENCH_core.json] [-label fastpath]
+//
+// -quick runs the experiment smoke at Train scale and a short soak, and
+// skips the Ref-scale wall-clock entry; it is the CI bench-smoke mode. The
+// tool exits non-zero if the run-loop allocates or if the fast and slow
+// interpreters disagree, so every baseline refresh re-proves the fast-path
+// contract before recording numbers. docs/PERFORMANCE.md explains how to
+// read the output file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"mssp/internal/bench"
+	"mssp/internal/chaos"
+	"mssp/internal/cpu"
+	"mssp/internal/isa"
+	"mssp/internal/mem"
+	"mssp/internal/state"
+	"mssp/internal/workloads"
+)
+
+// benchSchema identifies the tracked-baseline file format.
+const benchSchema = "mssp-bench/v1"
+
+type histPoint struct {
+	Label string  `json:"label"`
+	Value float64 `json:"value"`
+}
+
+type benchEntry struct {
+	Name string `json:"name"`
+	// Unit is the metric's unit; lower is better for ns units, higher is
+	// better for rates (seeds/s).
+	Unit    string      `json:"unit"`
+	History []histPoint `json:"history"`
+}
+
+type benchFile struct {
+	Schema  string       `json:"schema"`
+	Entries []benchEntry `json:"entries"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smoke mode: Train-scale experiments, short soak, no Ref wall-clock entry")
+	in := flag.String("in", "BENCH_core.json", "existing baseline file to merge into (missing file starts fresh)")
+	out := flag.String("out", "BENCH_core.json", "output file")
+	label := flag.String("label", "fastpath", "history label for this run's measurements")
+	flag.Parse()
+
+	if err := run(*quick, *in, *out, *label); err != nil {
+		fmt.Fprintln(os.Stderr, "msspbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, in, out, label string) error {
+	// Re-prove the fast-path contract before recording any numbers.
+	if err := checkZeroAlloc(); err != nil {
+		return err
+	}
+	if err := checkEquivalence(); err != nil {
+		return err
+	}
+	fmt.Println("fast-path checks: zero-alloc ok, fast/slow equivalence ok")
+
+	var results []struct {
+		name  string
+		unit  string
+		value float64
+	}
+	record := func(name, unit string, value float64) {
+		fmt.Printf("%-24s %10.3f %s\n", name, value, unit)
+		results = append(results, struct {
+			name  string
+			unit  string
+			value float64
+		}{name, unit, value})
+	}
+
+	record("cpu/step", "ns/op", benchStep())
+	record("cpu/run_tight", "ns/inst", benchRun(workloads.MicroTight(1000)))
+	record("cpu/run_mem", "ns/inst", benchRun(workloads.MicroMem(1000)))
+	record("mem/read_hit", "ns/op", benchReadHit())
+	record("mem/write_hit", "ns/op", benchWriteHit())
+	record("mem/snapshot_churn", "ns/op", benchSnapshotChurn())
+	record("mem/equal_shared", "ns/op", benchEqualShared())
+	record("mem/overlay_setget", "ns/op", benchOverlaySetGet())
+
+	seeds := 300
+	if quick {
+		seeds = 40
+	}
+	rate, err := soak(seeds)
+	if err != nil {
+		return err
+	}
+	record("chaos/soak", "seeds/s", rate)
+
+	wall, err := experimentsWall(quick)
+	if err != nil {
+		return err
+	}
+	if quick {
+		fmt.Printf("%-24s %10.3f s (Train-scale smoke, not recorded)\n", "exp/e3_e4_wall", wall)
+	} else {
+		record("exp/e3_e4_wall", "s", wall)
+	}
+
+	f, err := load(in)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		upsert(f, r.name, r.unit, label, r.value)
+	}
+	reportSpeedups(f, label)
+	return save(out, f)
+}
+
+// nsPerOp is testing.BenchmarkResult.NsPerOp with fractional precision,
+// needed for the sub-nanosecond cached-read path.
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	if r.N <= 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// benchStep measures one predecoded Step through the Env interface.
+func benchStep() float64 {
+	p := workloads.MicroTight(1)
+	c := cpu.NewCode(isa.Predecode(p))
+	s := state.NewFromProgram(p, 1<<28)
+	env := cpu.StateEnv{S: s}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.PC = 1
+			if _, err := c.Step(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return nsPerOp(r)
+}
+
+// benchRun measures a full predecoded devirtualized run, in ns per dynamic
+// instruction.
+func benchRun(p *isa.Program) float64 {
+	code := isa.Predecode(p)
+	var insts uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := state.NewFromProgram(p, 1<<28)
+			res, err := cpu.NewCode(code).RunState(s, 1_000_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Halted {
+				b.Fatal("program did not halt")
+			}
+			insts = res.Steps
+		}
+	})
+	return nsPerOp(r) / float64(insts)
+}
+
+func benchReadHit() float64 {
+	m := mem.New()
+	m.Write(4096, 7)
+	mask := uint64(mem.PageWords - 1)
+	r := testing.Benchmark(func(b *testing.B) {
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink += m.Read(4096 + (uint64(i) & mask))
+		}
+		_ = sink
+	})
+	return nsPerOp(r)
+}
+
+func benchWriteHit() float64 {
+	m := mem.New()
+	m.Write(4096, 7)
+	mask := uint64(mem.PageWords - 1)
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Write(4096+(uint64(i)&mask), uint64(i))
+		}
+	})
+	return nsPerOp(r)
+}
+
+func benchSnapshotChurn() float64 {
+	m := mem.New()
+	for pn := uint64(0); pn < 16; pn++ {
+		m.Write(pn*mem.PageWords, pn+1)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			snap := m.Snapshot()
+			snap.Write(0, uint64(i))
+		}
+	})
+	return nsPerOp(r)
+}
+
+func benchEqualShared() float64 {
+	m := mem.New()
+	for pn := uint64(0); pn < 16; pn++ {
+		m.Write(pn*mem.PageWords, pn+1)
+	}
+	snap := m.Snapshot()
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !m.Equal(snap) {
+				b.Fatal("snapshot differs from parent")
+			}
+		}
+	})
+	return nsPerOp(r)
+}
+
+func benchOverlaySetGet() float64 {
+	o := mem.NewOverlay()
+	mask := uint64(mem.PageWords - 1)
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := uint64(i) & mask
+			o.Set(a, uint64(i))
+			if _, ok := o.Get(a); !ok {
+				b.Fatal("missing just-written cell")
+			}
+		}
+	})
+	return nsPerOp(r)
+}
+
+// checkZeroAlloc asserts the devirtualized run loop does not allocate after
+// warm-up, mirroring internal/cpu's TestRunLoopZeroAlloc.
+func checkZeroAlloc() error {
+	p := workloads.MicroTight(100)
+	code := cpu.NewCode(isa.Predecode(p))
+	s := state.NewFromProgram(p, 1<<28)
+	if _, err := code.RunState(s, 1_000_000); err != nil {
+		return err
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		s.PC = 0
+		if _, err := code.RunState(s, 1_000_000); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		return fmt.Errorf("run loop allocates: %v allocs/op, want 0", allocs)
+	}
+	return nil
+}
+
+// checkEquivalence spot-checks that the slow Env interpreter and the
+// predecoded devirtualized loop agree (the full suite lives in
+// internal/cpu's equivalence tests).
+func checkEquivalence() error {
+	for _, p := range []*isa.Program{workloads.MicroTight(1000), workloads.MicroMem(1000)} {
+		slow := state.NewFromProgram(p, 1<<28)
+		sres, serr := cpu.Run(cpu.StateEnv{S: slow}, 1_000_000)
+		fast := state.NewFromProgram(p, 1<<28)
+		fres, ferr := cpu.NewCode(isa.Predecode(p)).RunState(fast, 1_000_000)
+		if serr != nil || ferr != nil {
+			return fmt.Errorf("equivalence run failed: slow %v, fast %v", serr, ferr)
+		}
+		if sres != fres || !slow.Equal(fast) {
+			return fmt.Errorf("fast/slow divergence: slow %+v digest %#x, fast %+v digest %#x",
+				sres, slow.Digest(), fres, fast.Digest())
+		}
+	}
+	return nil
+}
+
+// soak runs the chaos differential harness over sequential seeds at full
+// fault intensity and returns the throughput in seeds per second.
+func soak(seeds int) (float64, error) {
+	start := time.Now()
+	for s := 1; s <= seeds; s++ {
+		rep := chaos.Run(chaos.Options{Seed: uint64(s), FaultIntensity: 1, ModelCheckCap: 64})
+		if !rep.OK {
+			return 0, fmt.Errorf("chaos seed %d failed: %v", s, rep.Failures)
+		}
+	}
+	return float64(seeds) / time.Since(start).Seconds(), nil
+}
+
+// experimentsWall runs E3 and E4 through the shared experiment harness and
+// returns the combined wall-clock seconds. Full mode measures Ref scale (the
+// number the paper tables use); quick mode smokes the pipeline at Train.
+func experimentsWall(quick bool) (float64, error) {
+	scale := workloads.Ref
+	if quick {
+		scale = workloads.Train
+	}
+	ctx := bench.NewContext(scale)
+	ctx.Parallel = true
+	defer ctx.Close()
+	start := time.Now()
+	for _, id := range []string{"E3", "E4"} {
+		e, err := bench.ByID(id)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := e.Run(ctx); err != nil {
+			return 0, fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &benchFile{Schema: benchSchema}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if f.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, benchSchema)
+	}
+	return &f, nil
+}
+
+// upsert records value under (name, label), replacing an existing point
+// with the same label so reruns refresh rather than accumulate.
+func upsert(f *benchFile, name, unit, label string, value float64) {
+	for i := range f.Entries {
+		e := &f.Entries[i]
+		if e.Name != name {
+			continue
+		}
+		e.Unit = unit
+		for j := range e.History {
+			if e.History[j].Label == label {
+				e.History[j].Value = value
+				return
+			}
+		}
+		e.History = append(e.History, histPoint{Label: label, Value: value})
+		return
+	}
+	f.Entries = append(f.Entries, benchEntry{
+		Name: name, Unit: unit, History: []histPoint{{Label: label, Value: value}},
+	})
+}
+
+// reportSpeedups prints the ratio of the first recorded point to this run's
+// point for every entry that has both, so the before/after story is visible
+// in the tool output.
+func reportSpeedups(f *benchFile, label string) {
+	for _, e := range f.Entries {
+		if len(e.History) < 2 {
+			continue
+		}
+		first := e.History[0]
+		var cur *histPoint
+		for j := range e.History {
+			if e.History[j].Label == label {
+				cur = &e.History[j]
+			}
+		}
+		if cur == nil || first.Label == label || cur.Value == 0 || first.Value == 0 {
+			continue
+		}
+		ratio := first.Value / cur.Value
+		word := "speedup"
+		if e.Unit == "seeds/s" { // rate: higher is better
+			ratio = cur.Value / first.Value
+		}
+		fmt.Printf("%-24s %s→%s: %.2fx %s\n", e.Name, first.Label, cur.Label, ratio, word)
+	}
+}
+
+func save(path string, f *benchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -36,17 +36,44 @@ func main() {
 		replay   = flag.String("replay", "", "re-run the failures recorded in this JSONL file and exit")
 		requireC = flag.Bool("require-coverage", false, "fail unless the soak provoked every event kind and squash reason")
 		verbose  = flag.Bool("v", false, "print the full JSON report of every run")
+		interp   = flag.String("interp", "fast", "execution core: fast, slow, or both (run each seed on both and diff the reports)")
 	)
 	flag.Parse()
 
+	switch *interp {
+	case "fast", "slow", "both":
+	default:
+		fmt.Fprintf(os.Stderr, "msspfuzz: -interp must be fast, slow or both, got %q\n", *interp)
+		os.Exit(2)
+	}
 	if *replay != "" {
 		os.Exit(replayArtifacts(*replay, *verbose))
 	}
-	os.Exit(soak(*seed, *count, *faults, *out, *requireC, *verbose))
+	os.Exit(soak(*seed, *count, *faults, *out, *interp, *requireC, *verbose))
+}
+
+// runSeed executes one seed under the selected interpreter(s). For "both"
+// it runs the fast and slow cores and appends a failure to the (fast)
+// report if the two reports are not byte-identical JSON — the command-line
+// form of the interpreter differential.
+func runSeed(s uint64, faults float64, interp string) *chaos.Report {
+	if interp != "both" {
+		return chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: interp})
+	}
+	fast := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "fast"})
+	slow := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "slow"})
+	fb, _ := json.Marshal(fast)
+	sb, _ := json.Marshal(slow)
+	if string(fb) != string(sb) {
+		fast.Failures = append(fast.Failures,
+			fmt.Sprintf("interp differential: fast and slow reports diverge\nfast: %s\nslow: %s", fb, sb))
+		fast.OK = false
+	}
+	return fast
 }
 
 // soak runs count consecutive seeds and reports aggregate coverage.
-func soak(seed uint64, count int, faults float64, out string, requireC, verbose bool) int {
+func soak(seed uint64, count int, faults float64, out, interp string, requireC, verbose bool) int {
 	var sink *os.File
 	if out != "" {
 		f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -62,7 +89,7 @@ func soak(seed uint64, count int, faults float64, out string, requireC, verbose 
 	failed := 0
 	for i := 0; i < count; i++ {
 		s := seed + uint64(i)
-		rep := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults})
+		rep := runSeed(s, faults, interp)
 		if verbose {
 			b, _ := json.MarshalIndent(rep, "", "  ")
 			fmt.Println(string(b))

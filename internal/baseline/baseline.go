@@ -53,7 +53,9 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}
 	s := state.NewFromProgram(p, cfg.SP)
-	res, err := cpu.Run(cpu.StateEnv{S: s}, cfg.MaxSteps)
+	// The baseline is the hottest sequential loop in the experiment suite:
+	// run it predecoded and devirtualized (cpu fast path).
+	res, err := cpu.NewCode(isa.Predecode(p)).RunState(s, cfg.MaxSteps)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}

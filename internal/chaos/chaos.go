@@ -60,6 +60,13 @@ type Options struct {
 	// streams (obs.Attach semantics), in addition to the harness's own
 	// coverage sink. Used by the JSONL hammer tests and cmd/msspfuzz -trace.
 	Observe func(leg string, cfg *core.Config)
+	// Interp selects the execution core: "fast" (or empty, the default)
+	// uses the predecoded/devirtualized interpreter everywhere; "slow"
+	// forces the per-step fetch+decode path (core.Config.DisableFastPath)
+	// for the sequential baseline and both MSSP legs. The two settings must
+	// produce byte-identical reports — the interpreter differential in
+	// interp_test.go and cmd/msspfuzz -interp both run each seed both ways.
+	Interp string
 }
 
 // defaultMaxSeqSteps bounds generated programs' dynamic length. Generated
@@ -84,6 +91,10 @@ type LegReport struct {
 	// FinalMatchesSeq reports whether the leg's final architected state is
 	// byte-identical to the sequential baseline's.
 	FinalMatchesSeq bool `json:"finalMatchesSeq"`
+	// FinalDigest fingerprints the leg's final architected state, so two
+	// reports for the same seed (e.g. fast vs slow interpreter) can be
+	// compared without re-running.
+	FinalDigest uint64 `json:"finalDigest"`
 	// Metrics is the machine's one-line metrics summary.
 	Metrics string `json:"metrics"`
 	// Coverage records the lifecycle kinds and squash reasons provoked.
@@ -102,6 +113,8 @@ type Report struct {
 	Knobs Knobs `json:"knobs"`
 	// SeqSteps is the sequential baseline's instruction count.
 	SeqSteps uint64 `json:"seqSteps"`
+	// SeqDigest fingerprints the sequential baseline's final state.
+	SeqDigest uint64 `json:"seqDigest"`
 	// Clean is the fault-free MSSP leg.
 	Clean *LegReport `json:"clean,omitempty"`
 	// Fault is the fault-injected MSSP leg (nil when skipped).
@@ -191,9 +204,20 @@ func Run(opts Options) *Report {
 	rep.Knobs = deriveKnobs(opts.Seed)
 
 	// Leg 1: sequential baseline. The generator guarantees termination;
-	// trust but verify.
+	// trust but verify. Under -interp slow the baseline runs on the
+	// per-step fetch+decode interpreter; the default uses the predecoded
+	// devirtualized loop. The interpreter differential asserts the two
+	// produce identical reports.
 	baseline := state.NewFromProgram(g.Prog, core.DefaultConfig().SP)
-	n, err := cpu.Seq(baseline, maxSteps)
+	var n uint64
+	var err error
+	if opts.Interp == "slow" {
+		var res cpu.RunResult
+		res, err = cpu.Run(cpu.StateEnv{S: baseline}, maxSteps)
+		n = res.Steps
+	} else {
+		n, err = cpu.Seq(baseline, maxSteps)
+	}
 	rep.SeqSteps = n
 	if err != nil {
 		failf("generator: sequential baseline faulted after %d steps: %v", n, err)
@@ -203,6 +227,7 @@ func Run(opts Options) *Report {
 		failf("generator: program did not halt within %d steps", maxSteps)
 		return rep
 	}
+	rep.SeqDigest = baseline.Digest()
 
 	// Distill from a profile of the same program. Profiling reruns the
 	// sequential execution, so its cost is bounded by the baseline's.
@@ -237,6 +262,7 @@ func runLeg(g *Generated, dist *distill.Result, knobs Knobs, plan *FaultPlan,
 
 	lr := &LegReport{Coverage: NewCoverage()}
 	cfg := knobs.Config()
+	cfg.DisableFastPath = opts.Interp == "slow"
 	if plan != nil {
 		cfg.Fault = plan.Injection()
 	}
@@ -271,6 +297,7 @@ func runLeg(g *Generated, dist *distill.Result, knobs Knobs, plan *FaultPlan,
 		failf("%s: model: %s", leg, v)
 	}
 	lr.FinalMatchesSeq = rrep.Result.Final.Equal(baseline)
+	lr.FinalDigest = rrep.Result.Final.Digest()
 	if !lr.FinalMatchesSeq {
 		failf("%s: final architected state differs from sequential baseline", leg)
 	}

@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// corpusSeeds parses every checked-in fuzz corpus entry (the
+// "go test fuzz v1" format with a single uint64 argument) and returns the
+// seeds.
+func corpusSeeds(t *testing.T) []uint64 {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", "FuzzMSSPDifferential")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read corpus dir: %v", err)
+	}
+	var seeds []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read corpus entry %s: %v", e.Name(), err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("corpus entry %s: unexpected format %q", e.Name(), string(data))
+		}
+		var seed uint64
+		if _, err := fmt.Sscanf(lines[1], "uint64(%d)", &seed); err != nil {
+			t.Fatalf("corpus entry %s: cannot parse %q: %v", e.Name(), lines[1], err)
+		}
+		seeds = append(seeds, seed)
+	}
+	if len(seeds) == 0 {
+		t.Fatal("no corpus seeds found")
+	}
+	return seeds
+}
+
+// legSummary flattens the cross-interpreter-comparable portion of a leg
+// report (everything except the in-memory Coverage sink, whose counts are
+// compared separately).
+type legSummary struct {
+	RefineOK        bool
+	Violations      []string
+	ModelViolations []string
+	ModelChecked    int
+	Commits         int
+	FinalMatchesSeq bool
+	FinalDigest     uint64
+	Metrics         string
+	Kinds           map[string]uint64
+	Reasons         map[string]uint64
+}
+
+func summarize(lr *LegReport) *legSummary {
+	if lr == nil {
+		return nil
+	}
+	return &legSummary{
+		RefineOK:        lr.RefineOK,
+		Violations:      lr.Violations,
+		ModelViolations: lr.ModelViolations,
+		ModelChecked:    lr.ModelChecked,
+		Commits:         lr.Commits,
+		FinalMatchesSeq: lr.FinalMatchesSeq,
+		FinalDigest:     lr.FinalDigest,
+		Metrics:         lr.Metrics,
+		Kinds:           lr.Coverage.Kinds,
+		Reasons:         lr.Coverage.Reasons,
+	}
+}
+
+// TestInterpDifferentialCorpus runs every checked-in fuzz corpus seed
+// through the chaos differential twice — once on the fast (predecoded,
+// devirtualized) interpreter and once on the slow fetch+decode path — and
+// requires the two reports to agree on everything observable: baseline step
+// count and final-state digest, per-leg commit counts, squash taxonomy
+// tallies, metrics lines, and final architected digests. This is the
+// machine-level fast/slow equivalence check; internal/cpu's equivalence
+// suite covers the instruction level.
+func TestInterpDifferentialCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is slow; skipped with -short")
+	}
+	for _, seed := range corpusSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			fast := Run(Options{Seed: seed, FaultIntensity: 1, ModelCheckCap: 64, Interp: "fast"})
+			slow := Run(Options{Seed: seed, FaultIntensity: 1, ModelCheckCap: 64, Interp: "slow"})
+
+			if !fast.OK {
+				t.Errorf("fast interpreter run failed:\n%s", strings.Join(fast.Failures, "\n"))
+			}
+			if !slow.OK {
+				t.Errorf("slow interpreter run failed:\n%s", strings.Join(slow.Failures, "\n"))
+			}
+			if fast.SeqSteps != slow.SeqSteps {
+				t.Errorf("baseline step count: fast %d, slow %d", fast.SeqSteps, slow.SeqSteps)
+			}
+			if fast.SeqDigest != slow.SeqDigest {
+				t.Errorf("baseline final-state digest: fast %#x, slow %#x", fast.SeqDigest, slow.SeqDigest)
+			}
+			for leg, pair := range map[string][2]*LegReport{
+				"clean": {fast.Clean, slow.Clean},
+				"fault": {fast.Fault, slow.Fault},
+			} {
+				fs, ss := summarize(pair[0]), summarize(pair[1])
+				if !reflect.DeepEqual(fs, ss) {
+					t.Errorf("%s leg diverges between interpreters:\nfast: %+v\nslow: %+v", leg, fs, ss)
+				}
+			}
+		})
+	}
+}

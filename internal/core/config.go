@@ -116,6 +116,13 @@ type Config struct {
 	// attach additional observers with obs.Attach, which chains.
 	OnLifecycle func(LifecycleEvent)
 
+	// DisableFastPath forces every execution context — master, slaves, and
+	// sequential fallback — onto the slow fetch+decode interpreter path,
+	// bypassing the predecoded instruction tables. Functionally the two
+	// paths are identical (the machine's output never depends on this
+	// flag); the chaos harness runs both and diffs them.
+	DisableFastPath bool
+
 	// MasterSuppliesAllData makes checkpoints carry the master's entire
 	// memory image, so slave data reads never consult architected state —
 	// the design alternative the paper rejects as demanding too much

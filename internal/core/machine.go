@@ -31,6 +31,18 @@ type Machine struct {
 	arch    *state.State
 	master  master
 
+	// origCode and distCode are the predecoded original and distilled
+	// programs (nil when Config.DisableFastPath). They are immutable and
+	// shared: spawned tasks carry origCode, the master runs over distCode.
+	origCode *isa.DecodedProgram
+	distCode *isa.DecodedProgram
+	// codeClean reports that the architected code segment still matches
+	// origCode. Committed live-outs and fallback stores can, in principle,
+	// write code addresses; the machine stops handing origCode to new tasks
+	// the moment one does. In-flight tasks keep their table: their snapshots
+	// predate the modification.
+	codeClean bool
+
 	queue []*pend // program order; tail may be open
 
 	slaveFree     []float64
@@ -82,6 +94,11 @@ func New(orig *isa.Program, dist *distill.Result, cfg Config) (*Machine, error) 
 		anchors:   dist.AnchorSet(),
 		arch:      state.NewFromProgram(orig, cfg.SP),
 		slaveFree: make([]float64, cfg.Slaves),
+	}
+	if !cfg.DisableFastPath {
+		m.origCode = isa.Predecode(orig)
+		m.distCode = isa.Predecode(dist.Prog)
+		m.codeClean = true
 	}
 	return m, nil
 }
@@ -174,6 +191,7 @@ func (m *Machine) spawn(anchor uint64) {
 			Start:      start,
 			Checkpoint: ck,
 			Snap:       m.archSnapshot(),
+			Code:       m.taskCode(),
 			NonSpec:    m.cfg.NonSpecRegions,
 		},
 		forkAt: m.master.clock,
@@ -396,6 +414,7 @@ func (m *Machine) verifyHead() (squashed bool) {
 
 	// Commit: the jump. Architected state advances #t sequential steps by
 	// superimposing the live-outs (task safety: live-ins consistent).
+	m.noteCodeWrites(h.ex.LiveOut)
 	m.arch.Apply(h.ex.LiveOut)
 	m.queue = m.queue[1:]
 
@@ -482,6 +501,10 @@ func (m *Machine) squashAndRecover(at float64, forceFallback bool) {
 // time at slave speed. This is the machine's sequential mode.
 func (m *Machine) seqFallback() {
 	env := cpu.StateEnv{S: m.arch}
+	// Fallback runs the original program against architected state, so the
+	// predecoded table is valid exactly while the code segment is clean; the
+	// runner's own dirty tracking catches stores this chunk performs.
+	code := cpu.NewCode(m.taskCode())
 	var steps uint64
 	bound := 4 * m.cfg.MaxTaskLen
 	halted := false
@@ -491,7 +514,7 @@ func (m *Machine) seqFallback() {
 		Start: m.arch.PC,
 	})
 	for steps < bound {
-		in, err := cpu.Step(env)
+		in, err := code.Step(env)
 		if err != nil {
 			// An architected-state fault is a real program fault; stop.
 			halted = true
@@ -507,6 +530,9 @@ func (m *Machine) seqFallback() {
 		if m.anchors[m.arch.PC] {
 			break
 		}
+	}
+	if code.Dirty() {
+		m.codeClean = false
 	}
 	m.metrics.SeqFallbackInsts += steps
 	m.metrics.CommittedInsts += steps
@@ -530,6 +556,32 @@ func (m *Machine) seqFallback() {
 		Cycle:  now,
 		Steps:  steps,
 		Halted: halted,
+	})
+}
+
+// taskCode returns the predecoded original program for a new execution over
+// architected code, or nil once the code segment has been written (or when
+// the fast path is disabled).
+func (m *Machine) taskCode() *isa.DecodedProgram {
+	if m.codeClean {
+		return m.origCode
+	}
+	return nil
+}
+
+// noteCodeWrites clears codeClean if the delta binds a memory word inside
+// the predecoded original code segment. Called before every live-out
+// superimposition; O(live-out set), like the Apply it guards.
+func (m *Machine) noteCodeWrites(d *state.Delta) {
+	if !m.codeClean || d == nil {
+		return
+	}
+	d.Mem.Range(func(a, _ uint64) bool {
+		if m.origCode.Covers(a) {
+			m.codeClean = false
+			return false
+		}
+		return true
 	})
 }
 

@@ -25,6 +25,13 @@ type master struct {
 	// diffAtFork is diff.Len() at the previous fork, for traffic metrics.
 	diffAtFork int
 
+	// code is this reseed's predecoded-distilled-program runner (a nil-table
+	// runner when the fast path is disabled). Reseed recreates it because it
+	// also re-copies the distilled code into the master's memory image,
+	// restoring the table's validity even if the previous master life
+	// overwrote distilled code.
+	code *cpu.Code
+
 	clock          float64
 	instsSinceFork uint64
 	// crossings counts dynamic executions of each anchor's FORK since the
@@ -79,7 +86,7 @@ func (m *Machine) runToFork() (anchor uint64, count uint64, stop masterStop) {
 	ms := &m.master
 	env := masterEnv{ms}
 	for {
-		in, err := cpu.Step(env)
+		in, err := ms.code.Step(env)
 		if err != nil {
 			ms.alive = false
 			m.metrics.MasterLost++
@@ -147,6 +154,7 @@ func (m *Machine) reseed(now float64) {
 	ms.diff = mem.NewOverlay()
 	ms.diffAtFork = 0
 	ms.pc = dpc
+	ms.code = cpu.NewCode(m.distCode)
 	ms.clock = now
 	// The master restarts on the fork at the architected PC; that fork
 	// must be taken unconditionally (it starts the first post-reseed task

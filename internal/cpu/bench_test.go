@@ -1,0 +1,143 @@
+package cpu
+
+import (
+	"testing"
+
+	"mssp/internal/isa"
+	"mssp/internal/state"
+	"mssp/internal/workloads"
+)
+
+// Benchmarks for the execution core. The slow/fast sub-benchmark pairs keep
+// the interface-dispatch cost visible next to the devirtualized loops;
+// cmd/msspbench runs these same loops to produce BENCH_core.json.
+
+// BenchmarkStep measures one dynamic instruction through each single-step
+// entry point: the slow Env path (fetch+decode per step) and a predecoded
+// Code runner over the same Env.
+func BenchmarkStep(b *testing.B) {
+	p := tightLoopProgram(b, 1)
+	b.Run("slow", func(b *testing.B) {
+		s := state.NewFromProgram(p, 1<<28)
+		env := StateEnv{S: s}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.PC = 1 // stay on the addi
+			if _, err := Step(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("predecoded", func(b *testing.B) {
+		s := state.NewFromProgram(p, 1<<28)
+		env := StateEnv{S: s}
+		c := NewCode(isa.Predecode(p))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.PC = 1
+			if _, err := c.Step(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// runBench times a full bounded run of prog per iteration and reports
+// ns per dynamic instruction.
+func runBench(b *testing.B, prog *isa.Program, run func(s *state.State) (RunResult, error)) {
+	b.Helper()
+	var insts uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := state.NewFromProgram(prog, 1<<28)
+		res, err := run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Halted {
+			b.Fatal("program did not halt")
+		}
+		insts = res.Steps
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(insts), "ns/inst")
+}
+
+// BenchmarkRunTight is the pure-ALU loop (3002 dynamic instructions) through
+// each run loop.
+func BenchmarkRunTight(b *testing.B) {
+	p := tightLoopProgram(b, 1000)
+	b.Run("slow", func(b *testing.B) {
+		runBench(b, p, func(s *state.State) (RunResult, error) { return Run(StateEnv{S: s}, 1_000_000) })
+	})
+	b.Run("devirt", func(b *testing.B) {
+		runBench(b, p, func(s *state.State) (RunResult, error) { return RunState(s, 1_000_000) })
+	})
+	b.Run("predecoded", func(b *testing.B) {
+		d := isa.Predecode(p)
+		runBench(b, p, func(s *state.State) (RunResult, error) { return NewCode(d).RunState(s, 1_000_000) })
+	})
+}
+
+// BenchmarkRunMem adds a load/store pair per iteration (6003 dynamic
+// instructions), exercising the memory page caches.
+func BenchmarkRunMem(b *testing.B) {
+	p := memLoopProgram(b, 1000)
+	b.Run("slow", func(b *testing.B) {
+		runBench(b, p, func(s *state.State) (RunResult, error) { return Run(StateEnv{S: s}, 1_000_000) })
+	})
+	b.Run("devirt", func(b *testing.B) {
+		runBench(b, p, func(s *state.State) (RunResult, error) { return RunState(s, 1_000_000) })
+	})
+	b.Run("predecoded", func(b *testing.B) {
+		d := isa.Predecode(p)
+		runBench(b, p, func(s *state.State) (RunResult, error) { return NewCode(d).RunState(s, 1_000_000) })
+	})
+}
+
+// BenchmarkSeqWorkload runs each experiment workload's train input to
+// completion on the predecoded devirtualized loop — the configuration the
+// SEQ baseline uses.
+func BenchmarkSeqWorkload(b *testing.B) {
+	for _, w := range workloads.All() {
+		b.Run(w.Name, func(b *testing.B) {
+			p := w.Build(workloads.Train)
+			d := isa.Predecode(p)
+			runBench(b, p, func(s *state.State) (RunResult, error) { return NewCode(d).RunState(s, 50_000_000) })
+		})
+	}
+}
+
+// TestRunLoopZeroAlloc pins the zero-allocation property of the run loops:
+// steady-state execution must not allocate (page faults in a fresh memory
+// image aside, which is why the state is reused and pre-touched).
+func TestRunLoopZeroAlloc(t *testing.T) {
+	p := tightLoopProgram(t, 1000)
+	d := isa.Predecode(p)
+	for _, tc := range []struct {
+		name string
+		run  func(s *state.State) error
+	}{
+		{"devirt", func(s *state.State) error { _, err := RunState(s, 1_000_000); return err }},
+		{"predecoded", func(s *state.State) error { _, err := NewCode(d).RunState(s, 1_000_000); return err }},
+		{"slow-env", func(s *state.State) error { _, err := Run(StateEnv{S: s}, 1_000_000); return err }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := state.NewFromProgram(p, 1<<28)
+			if err := tc.run(s); err != nil { // warm: fault in all pages
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				s.PC = p.Entry
+				if err := tc.run(s); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("run loop allocates: %v allocs/op, want 0", allocs)
+			}
+		})
+	}
+}

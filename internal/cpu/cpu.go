@@ -51,6 +51,11 @@ func (f *Fault) Error() string {
 // Halt is a fixpoint: executing a halt leaves the PC on the halt instruction,
 // so stepping a halted machine halts again. This makes n-step sequential
 // execution total, which the refinement checker relies on.
+//
+// Step is the slow path: it fetches and decodes the instruction word through
+// the environment on every call. Execution contexts that know their program
+// up front step through a Code instead, which serves decoded instructions
+// from a predecoded table with identical semantics.
 func Step(env Env) (isa.Inst, error) {
 	pc := env.PC()
 	w := env.Fetch(pc)
@@ -58,7 +63,14 @@ func Step(env Env) (isa.Inst, error) {
 	if !in.Op.Valid() {
 		return in, &Fault{PC: pc, Word: w}
 	}
+	stepExec(env, in, pc)
+	return in, nil
+}
 
+// stepExec applies one decoded instruction's semantics to env, including the
+// PC update. It is the single definition of per-instruction semantics for
+// every Env-based execution context; the fault check happened at fetch.
+func stepExec(env Env, in isa.Inst, pc uint64) {
 	next := pc + 1
 	switch in.Op {
 	case isa.OpNop, isa.OpFork:
@@ -161,7 +173,6 @@ func Step(env Env) (isa.Inst, error) {
 	}
 
 	env.SetPC(next)
-	return in, nil
 }
 
 func boolWord(b bool) uint64 {
@@ -240,7 +251,10 @@ var _ Env = StateEnv{}
 // Seq advances a state by n instructions under the sequential model and
 // returns the number actually executed (fewer than n only at a halt or
 // fault). This is the seq(S, n) of the formal model.
+//
+// Seq runs on the devirtualized fast path (RunState); callers that hold the
+// program can go faster still by predecoding it and using Code.Run.
 func Seq(s *state.State, n uint64) (uint64, error) {
-	res, err := Run(StateEnv{S: s}, n)
+	res, err := RunState(s, n)
 	return res.Steps, err
 }

@@ -1,0 +1,295 @@
+package cpu
+
+// This file is the fast-path execution core (see docs/PERFORMANCE.md).
+//
+// The slow path — Step over the Env interface — pays, per dynamic
+// instruction, one Fetch through memory, one Decode, and five-plus virtual
+// calls. The fast path removes those costs in two independent layers:
+//
+//   - Predecode: a Code runner serves instructions from an
+//     isa.DecodedProgram table instead of Fetch+Decode. This layer keeps
+//     the Env interface, so the master and slave contexts (which need
+//     their read/write interception) use it unchanged.
+//   - Devirtualization: RunState / Code.RunState execute directly against
+//     a concrete *state.State and *mem.Memory, with no interface dispatch
+//     at all. The SEQ baseline, cpu.Seq and the refinement checker's
+//     replay run here.
+//
+// Semantics are identical to the slow path by construction and by test
+// (TestFastSlowEquivalence, the chaos corpus differential): MIR is not
+// self-modifying, but if a store does land in the predecoded code segment
+// the runner notices and permanently falls back to fetching through
+// memory, so even self-modifying programs execute exactly like the slow
+// path.
+
+import (
+	"mssp/internal/isa"
+	"mssp/internal/state"
+)
+
+// Code is a fast-path instruction source over a predecoded program, with
+// the bookkeeping that keeps it semantically transparent: a dirty flag set
+// the moment a store hits the predecoded code segment, after which every
+// fetch goes through memory again (slow path).
+//
+// A Code is cheap (two words) and single-use per execution context; the
+// underlying isa.DecodedProgram is immutable and shared. A nil table is
+// allowed and means "always slow path", so callers can thread an optional
+// table without branching.
+type Code struct {
+	prog  *isa.DecodedProgram
+	dirty bool
+}
+
+// NewCode returns a runner over the given predecoded table (nil for a
+// pure slow-path runner).
+func NewCode(prog *isa.DecodedProgram) *Code { return &Code{prog: prog} }
+
+// Dirty reports whether a store has hit the code segment, invalidating the
+// predecoded table for the rest of this runner's life.
+func (c *Code) Dirty() bool { return c.dirty }
+
+// Step executes one instruction in env, exactly like Step, but fetching
+// from the predecoded table whenever the PC lies inside it and no store
+// has dirtied it.
+func (c *Code) Step(env Env) (isa.Inst, error) {
+	pc := env.PC()
+	var in isa.Inst
+	if c.prog != nil && !c.dirty {
+		if tin, valid, ok := c.prog.At(pc); ok {
+			if !valid {
+				return tin, &Fault{PC: pc, Word: c.prog.Word(pc)}
+			}
+			in = tin
+		} else {
+			w := env.Fetch(pc)
+			in = isa.Decode(w)
+			if !in.Op.Valid() {
+				return in, &Fault{PC: pc, Word: w}
+			}
+		}
+	} else {
+		w := env.Fetch(pc)
+		in = isa.Decode(w)
+		if !in.Op.Valid() {
+			return in, &Fault{PC: pc, Word: w}
+		}
+	}
+	stepExec(env, in, pc)
+	// A store into the code segment makes the table stale; re-reading rs1
+	// here is safe (stores never write registers) and unobservable (the
+	// execution above already recorded the rs1 read where that matters).
+	if in.Op == isa.OpSt && c.prog != nil && !c.dirty &&
+		c.prog.Covers(env.ReadReg(int(in.Rs1))+uint64(in.Imm)) {
+		c.dirty = true
+	}
+	return in, nil
+}
+
+// Run executes at most max instructions in env through the predecoded
+// table, with Run's stopping rules.
+func (c *Code) Run(env Env, max uint64) (RunResult, error) {
+	var res RunResult
+	for res.Steps < max {
+		in, err := c.Step(env)
+		if err != nil {
+			return res, err
+		}
+		res.Steps++
+		if in.Op == isa.OpHalt {
+			res.Halted = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// RunState executes at most max instructions directly against s on the
+// fully devirtualized loop: concrete register file and memory accesses,
+// predecoded fetches, no interface dispatch. Stopping rules and semantics
+// are identical to Run over StateEnv. The runner's dirty flag persists
+// across calls, so a self-modifying program stays on the slow fetch path
+// for this runner's whole life.
+func (c *Code) RunState(s *state.State, max uint64) (RunResult, error) {
+	res, dirty, err := runConcrete(s, c.prog, c.dirty, max)
+	c.dirty = dirty
+	return res, err
+}
+
+// RunState executes at most max instructions directly against s with no
+// interface dispatch, decoding each instruction from memory (no predecoded
+// table). This is the devirtualized drop-in for Run(StateEnv{S: s}, max).
+func RunState(s *state.State, max uint64) (RunResult, error) {
+	res, _, err := runConcrete(s, nil, false, max)
+	return res, err
+}
+
+// rdr reads register r of s; register 0 reads as zero. The &31 lets the
+// compiler drop the bounds check (decode already masks to five bits).
+func rdr(s *state.State, r uint8) uint64 {
+	if r == 0 {
+		return 0
+	}
+	return s.Regs[r&31]
+}
+
+// wrr writes register r of s; writes to register 0 are discarded.
+func wrr(s *state.State, r uint8, v uint64) {
+	if r != 0 {
+		s.Regs[r&31] = v
+	}
+}
+
+// runConcrete is the devirtualized interpreter loop shared by RunState and
+// Code.RunState. When code is non-nil and not dirty, instructions come from
+// the predecode table; otherwise each fetch reads memory and decodes. It
+// returns the (possibly updated) dirty flag.
+//
+// Per-instruction semantics mirror stepExec exactly; the equivalence suite
+// and the chaos corpus differential hold the two definitions together.
+func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint64) (RunResult, bool, error) {
+	var res RunResult
+	m := s.Mem
+	pc := s.PC
+
+	fast := code != nil && !dirty
+	var base uint64
+	var insts []isa.Inst
+	var valid []bool
+	var words []uint64
+	if code != nil {
+		base, insts, valid, words = code.Table()
+	}
+	ilen := uint64(len(insts))
+
+	for res.Steps < max {
+		var in isa.Inst
+		if i := pc - base; fast && i < ilen {
+			if !valid[i] {
+				s.PC = pc
+				return res, dirty, &Fault{PC: pc, Word: words[i]}
+			}
+			in = insts[i]
+		} else {
+			w := m.Read(pc)
+			in = isa.Decode(w)
+			if !in.Op.Valid() {
+				s.PC = pc
+				return res, dirty, &Fault{PC: pc, Word: w}
+			}
+		}
+
+		next := pc + 1
+		switch in.Op {
+		case isa.OpNop, isa.OpFork:
+
+		case isa.OpAdd:
+			wrr(s, in.Rd, rdr(s, in.Rs1)+rdr(s, in.Rs2))
+		case isa.OpSub:
+			wrr(s, in.Rd, rdr(s, in.Rs1)-rdr(s, in.Rs2))
+		case isa.OpMul:
+			wrr(s, in.Rd, rdr(s, in.Rs1)*rdr(s, in.Rs2))
+		case isa.OpDiv:
+			wrr(s, in.Rd, divSigned(rdr(s, in.Rs1), rdr(s, in.Rs2)))
+		case isa.OpRem:
+			wrr(s, in.Rd, remSigned(rdr(s, in.Rs1), rdr(s, in.Rs2)))
+		case isa.OpAnd:
+			wrr(s, in.Rd, rdr(s, in.Rs1)&rdr(s, in.Rs2))
+		case isa.OpOr:
+			wrr(s, in.Rd, rdr(s, in.Rs1)|rdr(s, in.Rs2))
+		case isa.OpXor:
+			wrr(s, in.Rd, rdr(s, in.Rs1)^rdr(s, in.Rs2))
+		case isa.OpSll:
+			wrr(s, in.Rd, rdr(s, in.Rs1)<<(rdr(s, in.Rs2)&63))
+		case isa.OpSrl:
+			wrr(s, in.Rd, rdr(s, in.Rs1)>>(rdr(s, in.Rs2)&63))
+		case isa.OpSra:
+			wrr(s, in.Rd, uint64(int64(rdr(s, in.Rs1))>>(rdr(s, in.Rs2)&63)))
+		case isa.OpSlt:
+			wrr(s, in.Rd, boolWord(int64(rdr(s, in.Rs1)) < int64(rdr(s, in.Rs2))))
+		case isa.OpSltu:
+			wrr(s, in.Rd, boolWord(rdr(s, in.Rs1) < rdr(s, in.Rs2)))
+
+		case isa.OpAddi:
+			wrr(s, in.Rd, rdr(s, in.Rs1)+uint64(in.Imm))
+		case isa.OpAndi:
+			wrr(s, in.Rd, rdr(s, in.Rs1)&uint64(in.Imm))
+		case isa.OpOri:
+			wrr(s, in.Rd, rdr(s, in.Rs1)|uint64(in.Imm))
+		case isa.OpXori:
+			wrr(s, in.Rd, rdr(s, in.Rs1)^uint64(in.Imm))
+		case isa.OpSlli:
+			wrr(s, in.Rd, rdr(s, in.Rs1)<<(uint64(in.Imm)&63))
+		case isa.OpSrli:
+			wrr(s, in.Rd, rdr(s, in.Rs1)>>(uint64(in.Imm)&63))
+		case isa.OpSrai:
+			wrr(s, in.Rd, uint64(int64(rdr(s, in.Rs1))>>(uint64(in.Imm)&63)))
+		case isa.OpSlti:
+			wrr(s, in.Rd, boolWord(int64(rdr(s, in.Rs1)) < in.Imm))
+		case isa.OpSltui:
+			wrr(s, in.Rd, boolWord(rdr(s, in.Rs1) < uint64(in.Imm)))
+		case isa.OpMuli:
+			wrr(s, in.Rd, rdr(s, in.Rs1)*uint64(in.Imm))
+
+		case isa.OpLdi:
+			wrr(s, in.Rd, uint64(in.Imm))
+		case isa.OpLdih:
+			low := rdr(s, in.Rs1) & 0xffffffff
+			wrr(s, in.Rd, uint64(in.Imm)<<32|low)
+
+		case isa.OpLd:
+			wrr(s, in.Rd, m.Read(rdr(s, in.Rs1)+uint64(in.Imm)))
+		case isa.OpSt:
+			addr := rdr(s, in.Rs1) + uint64(in.Imm)
+			m.Write(addr, rdr(s, in.Rs2))
+			if fast && addr-base < ilen {
+				// Self-modifying store: the table is stale from here on.
+				fast, dirty = false, true
+			}
+
+		case isa.OpBeq:
+			if rdr(s, in.Rs1) == rdr(s, in.Rs2) {
+				next = uint64(in.Imm)
+			}
+		case isa.OpBne:
+			if rdr(s, in.Rs1) != rdr(s, in.Rs2) {
+				next = uint64(in.Imm)
+			}
+		case isa.OpBlt:
+			if int64(rdr(s, in.Rs1)) < int64(rdr(s, in.Rs2)) {
+				next = uint64(in.Imm)
+			}
+		case isa.OpBge:
+			if int64(rdr(s, in.Rs1)) >= int64(rdr(s, in.Rs2)) {
+				next = uint64(in.Imm)
+			}
+		case isa.OpBltu:
+			if rdr(s, in.Rs1) < rdr(s, in.Rs2) {
+				next = uint64(in.Imm)
+			}
+		case isa.OpBgeu:
+			if rdr(s, in.Rs1) >= rdr(s, in.Rs2) {
+				next = uint64(in.Imm)
+			}
+
+		case isa.OpJal:
+			wrr(s, in.Rd, pc+1)
+			next = uint64(in.Imm)
+		case isa.OpJalr:
+			target := rdr(s, in.Rs1) + uint64(in.Imm)
+			wrr(s, in.Rd, pc+1)
+			next = target
+
+		case isa.OpHalt:
+			s.PC = pc // halt is a fixpoint
+			res.Steps++
+			res.Halted = true
+			return res, dirty, nil
+		}
+
+		pc = next
+		res.Steps++
+	}
+	s.PC = pc
+	return res, dirty, nil
+}

@@ -8,6 +8,13 @@
 // machine was in when the master forked them — exactly the stale-read hazard
 // the MSSP verify/commit unit exists to catch. The master's write log is an
 // Overlay snapshotted at every fork to form the checkpoint's live-in diff.
+//
+// Both structures carry a one-entry last-page cache on their access paths
+// (see docs/PERFORMANCE.md): the common sequential / stack-local access
+// patterns of MIR programs hit the same page repeatedly, and the cache
+// turns those accesses from a map lookup into a pointer compare. The caches
+// are invalidated on Snapshot, which is what keeps them coherent with
+// copy-on-write sharing.
 package mem
 
 // PageWords is the number of 64-bit words per page. Pages are the unit of
@@ -24,17 +31,34 @@ type page struct {
 	data [PageWords]uint64
 }
 
+// zeroPageData is the all-zero page contents, for fast whole-page compares.
+var zeroPageData [PageWords]uint64
+
 // Memory is a sparse word-addressed memory. Absent words read as zero.
 //
 // A Memory value and its snapshots share pages copy-on-write: Snapshot is
 // O(number of pages), and the first write to a shared page after a snapshot
 // copies that page. The zero value... is not usable; call New.
+//
+// A Memory is not safe for concurrent use; the page caches make even Read
+// a mutating operation. Snapshots are independent values and may be used
+// from different goroutines.
 type Memory struct {
 	pages map[uint64]*page
 	gen   uint64
 	// genCounter is shared across a snapshot family so generations stay
 	// unique even when snapshots of snapshots are taken.
 	genCounter *uint64
+
+	// Last-page caches. Invariants, whenever the pointers are non-nil:
+	// readPg == pages[readPN], and writePg == pages[writePN] with
+	// writePg.gen == gen (the page is exclusively owned, so writing
+	// through the cache can never clobber a snapshot). Snapshot changes
+	// gen and therefore drops both caches.
+	readPN  uint64
+	readPg  *page
+	writePN uint64
+	writePg *page
 }
 
 // New returns an empty memory.
@@ -45,16 +69,26 @@ func New() *Memory {
 
 // Read returns the word at addr (zero if never written).
 func (m *Memory) Read(addr uint64) uint64 {
-	if p, ok := m.pages[addr>>pageShift]; ok {
+	pn := addr >> pageShift
+	if p := m.readPg; p != nil && pn == m.readPN {
 		return p.data[addr&pageMask]
 	}
-	return 0
+	p, ok := m.pages[pn]
+	if !ok {
+		return 0
+	}
+	m.readPg, m.readPN = p, pn
+	return p.data[addr&pageMask]
 }
 
 // Write stores v at addr, copying the containing page if it is shared with
 // a snapshot.
 func (m *Memory) Write(addr uint64, v uint64) {
 	pn := addr >> pageShift
+	if p := m.writePg; p != nil && pn == m.writePN {
+		p.data[addr&pageMask] = v
+		return
+	}
 	p, ok := m.pages[pn]
 	switch {
 	case !ok:
@@ -70,6 +104,12 @@ func (m *Memory) Write(addr uint64, v uint64) {
 		m.pages[pn] = p
 	}
 	p.data[addr&pageMask] = v
+	m.writePg, m.writePN = p, pn
+	// Keep the read cache coherent: a copy-on-write just replaced the page
+	// the read cache may be holding.
+	if m.readPg != nil && m.readPN == pn {
+		m.readPg = p
+	}
 }
 
 // Snapshot returns a logically independent copy of the memory. The copy and
@@ -84,9 +124,12 @@ func (m *Memory) Snapshot() *Memory {
 	for pn, p := range m.pages {
 		clone.pages[pn] = p
 	}
-	// The receiver must also stop writing into shared pages in place.
+	// The receiver must also stop writing into shared pages in place, and
+	// its write cache no longer owns its page.
 	*m.genCounter++
 	m.gen = *m.genCounter
+	m.readPg = nil
+	m.writePg = nil
 	return clone
 }
 
@@ -119,10 +162,8 @@ func (m *Memory) subsetZero(o *Memory) bool {
 			}
 			continue
 		}
-		for _, w := range p.data {
-			if w != 0 {
-				return false
-			}
+		if p.data != zeroPageData {
+			return false
 		}
 	}
 	return true
@@ -130,12 +171,14 @@ func (m *Memory) subsetZero(o *Memory) bool {
 
 // Diff calls f for every address whose value differs between m and o,
 // passing the values in each. Useful for debugging refinement failures.
-// Iteration order is unspecified.
+// Iteration order is unspecified. Diff allocates nothing: membership in m
+// is checked directly instead of through a scratch set.
 func (m *Memory) Diff(o *Memory, f func(addr uint64, mv, ov uint64)) {
-	seen := make(map[uint64]bool, len(m.pages))
 	for pn, p := range m.pages {
-		seen[pn] = true
 		q := o.pages[pn]
+		if q != nil && (p == q || p.data == q.data) {
+			continue
+		}
 		for i := 0; i < PageWords; i++ {
 			var ov uint64
 			if q != nil {
@@ -147,7 +190,10 @@ func (m *Memory) Diff(o *Memory, f func(addr uint64, mv, ov uint64)) {
 		}
 	}
 	for pn, q := range o.pages {
-		if seen[pn] {
+		if _, ok := m.pages[pn]; ok {
+			continue
+		}
+		if q.data == zeroPageData {
 			continue
 		}
 		for i := 0; i < PageWords; i++ {

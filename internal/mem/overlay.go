@@ -15,11 +15,24 @@ type opage struct {
 // Overlays model the master processor's write log: at each fork point the
 // current overlay snapshot becomes the checkpoint's memory live-in diff, and
 // slave reads consult it before falling back to the architected snapshot.
+//
+// Like Memory, an Overlay carries one-entry last-page caches on Get and Set
+// (invalidated on Snapshot and Clear), so repeated accesses to one page —
+// the dominant pattern in slave write buffers and live-in sets — skip the
+// page map. The caches make Get a mutating operation: an Overlay is not
+// safe for concurrent use, but snapshots are independent values.
 type Overlay struct {
 	pages      map[uint64]*opage
 	gen        uint64
 	genCounter *uint64
 	count      int // number of present words
+
+	// Last-page caches; same invariants as Memory's: getPg ==
+	// pages[getPN], setPg == pages[setPN] with setPg.gen == gen.
+	getPN uint64
+	getPg *opage
+	setPN uint64
+	setPg *opage
 }
 
 // NewOverlay returns an empty overlay.
@@ -30,9 +43,15 @@ func NewOverlay() *Overlay {
 
 // Get returns the value at addr and whether it is present.
 func (o *Overlay) Get(addr uint64) (uint64, bool) {
-	p, ok := o.pages[addr>>pageShift]
-	if !ok {
-		return 0, false
+	pn := addr >> pageShift
+	p := o.getPg
+	if p == nil || pn != o.getPN {
+		var ok bool
+		p, ok = o.pages[pn]
+		if !ok {
+			return 0, false
+		}
+		o.getPg, o.getPN = p, pn
 	}
 	idx := addr & pageMask
 	if p.present[idx/64]&(1<<(idx%64)) == 0 {
@@ -44,16 +63,25 @@ func (o *Overlay) Get(addr uint64) (uint64, bool) {
 // Set stores v at addr.
 func (o *Overlay) Set(addr uint64, v uint64) {
 	pn := addr >> pageShift
-	p, ok := o.pages[pn]
-	switch {
-	case !ok:
-		p = &opage{gen: o.gen}
-		o.pages[pn] = p
-	case p.gen != o.gen:
-		cp := *p
-		cp.gen = o.gen
-		p = &cp
-		o.pages[pn] = p
+	p := o.setPg
+	if p == nil || pn != o.setPN {
+		var ok bool
+		p, ok = o.pages[pn]
+		switch {
+		case !ok:
+			p = &opage{gen: o.gen}
+			o.pages[pn] = p
+		case p.gen != o.gen:
+			cp := *p
+			cp.gen = o.gen
+			p = &cp
+			o.pages[pn] = p
+		}
+		o.setPg, o.setPN = p, pn
+		// A copy-on-write may have replaced the page the get cache holds.
+		if o.getPg != nil && o.getPN == pn {
+			o.getPg = p
+		}
 	}
 	idx := addr & pageMask
 	if p.present[idx/64]&(1<<(idx%64)) == 0 {
@@ -80,6 +108,8 @@ func (o *Overlay) Snapshot() *Overlay {
 	}
 	*o.genCounter++
 	o.gen = *o.genCounter
+	o.getPg = nil
+	o.setPg = nil
 	return clone
 }
 
@@ -107,4 +137,6 @@ func (o *Overlay) Clear() {
 	o.pages = make(map[uint64]*opage)
 	o.gen = *o.genCounter
 	o.count = 0
+	o.getPg = nil
+	o.setPg = nil
 }

@@ -92,12 +92,15 @@ func Collect(p *isa.Program, opts Options) (*Profile, error) {
 		Stride:          opts.Stride,
 	}
 
-	// Pass 1: counts.
+	// Pass 1: counts. Both passes need per-instruction observation, so they
+	// step through predecoded runners rather than the batch run loops.
+	code := isa.Predecode(p)
 	s := state.NewFromProgram(p, opts.SP)
 	env := cpu.StateEnv{S: s}
+	run1 := cpu.NewCode(code)
 	for prof.Total < opts.MaxSteps {
 		pc := s.PC
-		in, err := cpu.Step(env)
+		in, err := run1.Step(env)
 		if err != nil {
 			return nil, fmt.Errorf("profile: %w", err)
 		}
@@ -159,6 +162,7 @@ func Collect(p *isa.Program, opts Options) (*Profile, error) {
 	blockEnded := true // program start behaves like a boundary
 	s2 := state.NewFromProgram(p, opts.SP)
 	env2 := cpu.StateEnv{S: s2}
+	run2 := cpu.NewCode(code)
 	for steps := uint64(0); steps < opts.MaxSteps; steps++ {
 		pc := s2.PC
 		if blockEnded {
@@ -174,7 +178,7 @@ func Collect(p *isa.Program, opts Options) (*Profile, error) {
 				sinceAnchor = 0
 			}
 		}
-		in, err := cpu.Step(env2)
+		in, err := run2.Step(env2)
 		if err != nil {
 			return nil, fmt.Errorf("profile: %w", err)
 		}

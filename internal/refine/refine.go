@@ -77,6 +77,10 @@ func Check(orig *isa.Program, dist *distill.Result, cfg core.Config, opts Option
 		cfg.SP = 1 << 28
 	}
 	ref := state.NewFromProgram(orig, cfg.SP)
+	// One predecoded runner replays the whole reference trajectory; its dirty
+	// flag persists across commits, so a store into the code segment drops the
+	// replay onto the slow fetch path for the rest of the audit.
+	refRun := cpu.NewCode(isa.Predecode(orig))
 
 	violate := func(kind, format string, args ...any) {
 		rep.Violations = append(rep.Violations, &Violation{
@@ -101,7 +105,8 @@ func Check(orig *isa.Program, dist *distill.Result, cfg core.Config, opts Option
 		}
 
 		// The jump: advance the reference #t sequential steps.
-		n, err := cpu.Seq(ref, ev.Steps)
+		res, err := refRun.RunState(ref, ev.Steps)
+		n := res.Steps
 		rep.RefSteps += n
 		if err != nil {
 			violate("steps", "reference faulted: %v", err)

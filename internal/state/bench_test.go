@@ -1,0 +1,64 @@
+package state
+
+import "testing"
+
+// Benchmarks for the sparse state algebra on the verify/commit hot path:
+// delta sizing (commit-bandwidth accounting), superimposition (the commit
+// itself), and consistency checking (live-in verification).
+
+func benchDelta() *Delta {
+	d := NewDelta()
+	for r := 1; r <= 12; r++ {
+		d.SetReg(r, uint64(r)*3)
+	}
+	for a := uint64(0); a < 24; a++ {
+		d.SetMem(4096+a*8, a)
+	}
+	d.SetPC(7)
+	return d
+}
+
+func BenchmarkDeltaLen(b *testing.B) {
+	d := benchDelta()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += d.Len()
+	}
+	_ = sink
+}
+
+func BenchmarkDeltaApply(b *testing.B) {
+	d := benchDelta()
+	s := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply(d)
+	}
+}
+
+func BenchmarkDeltaConsistent(b *testing.B) {
+	d := benchDelta()
+	s := New()
+	s.Apply(d)
+	s.PC = d.PC
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Consistent(d) {
+			b.Fatal("applied delta inconsistent with state")
+		}
+	}
+}
+
+func BenchmarkDeltaSuperimpose(b *testing.B) {
+	d := benchDelta()
+	e := benchDelta()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Superimpose(e)
+	}
+}

@@ -2,6 +2,7 @@ package state
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mssp/internal/isa"
 	"mssp/internal/mem"
@@ -55,12 +56,7 @@ func (d *Delta) MemVal(addr uint64) (uint64, bool) { return d.Mem.Get(addr) }
 
 // Len returns the number of bound cells (registers + memory + PC).
 func (d *Delta) Len() int {
-	n := d.Mem.Len()
-	for r := 0; r < isa.NumRegs; r++ {
-		if d.regPresent&(1<<r) != 0 {
-			n++
-		}
-	}
+	n := d.Mem.Len() + bits.OnesCount32(d.regPresent)
 	if d.HasPC {
 		n++
 	}
@@ -81,10 +77,9 @@ func (d *Delta) Clone() *Delta {
 // Superimpose overwrites d's bindings with e's (d ← e), returning d.
 // Cells bound only in d keep their values; cells bound in e take e's values.
 func (d *Delta) Superimpose(e *Delta) *Delta {
-	for r := 0; r < isa.NumRegs; r++ {
-		if e.regPresent&(1<<r) != 0 {
-			d.SetReg(r, e.Regs[r])
-		}
+	for m := e.regPresent; m != 0; m &= m - 1 {
+		r := bits.TrailingZeros32(m)
+		d.SetReg(r, e.Regs[r])
 	}
 	if e.HasPC {
 		d.SetPC(e.PC)
@@ -99,12 +94,11 @@ func (d *Delta) Superimpose(e *Delta) *Delta {
 // ConsistentWith reports whether every cell d binds is bound to the same
 // value in e (d ⊑ e over deltas; cells absent from e make the check fail).
 func (d *Delta) ConsistentWith(e *Delta) bool {
-	for r := 0; r < isa.NumRegs; r++ {
-		if d.regPresent&(1<<r) != 0 {
-			v, ok := e.Reg(r)
-			if !ok || v != d.Regs[r] {
-				return false
-			}
+	for m := d.regPresent; m != 0; m &= m - 1 {
+		r := bits.TrailingZeros32(m)
+		v, ok := e.Reg(r)
+		if !ok || v != d.Regs[r] {
+			return false
 		}
 	}
 	if d.HasPC && (!e.HasPC || d.PC != e.PC) {

@@ -19,6 +19,7 @@ package state
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"mssp/internal/isa"
@@ -82,10 +83,9 @@ func (s *State) Equal(o *State) bool {
 // Apply superimposes a delta onto the state in place (S ← D).
 // The delta's PC binding, if any, replaces the state's PC.
 func (s *State) Apply(d *Delta) {
-	for r := 0; r < isa.NumRegs; r++ {
-		if d.regPresent&(1<<r) != 0 {
-			s.WriteReg(r, d.Regs[r])
-		}
+	for m := d.regPresent; m != 0; m &= m - 1 {
+		r := bits.TrailingZeros32(m)
+		s.WriteReg(r, d.Regs[r])
 	}
 	d.Mem.Range(func(a, v uint64) bool {
 		s.Mem.Write(a, v)
@@ -118,8 +118,11 @@ func (i *Inconsistency) Error() string {
 // with s, or nil if d ⊑ s. Deterministic: registers are checked in index
 // order, then PC, then memory in address order.
 func (s *State) FirstInconsistency(d *Delta) *Inconsistency {
-	for r := 0; r < isa.NumRegs; r++ {
-		if d.regPresent&(1<<r) != 0 && s.ReadReg(r) != d.Regs[r] {
+	// Mask iteration visits registers in ascending index order, preserving
+	// the documented determinism.
+	for m := d.regPresent; m != 0; m &= m - 1 {
+		r := bits.TrailingZeros32(m)
+		if s.ReadReg(r) != d.Regs[r] {
 			return &Inconsistency{Cell: fmt.Sprintf("r%d", r), Delta: d.Regs[r], Got: s.ReadReg(r)}
 		}
 	}

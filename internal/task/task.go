@@ -63,6 +63,11 @@ type Task struct {
 	// values the master did not predict from here, and fetches original-
 	// program code from here.
 	Snap *state.State
+	// Code, when non-nil, is the predecoded original program: the slave
+	// fetches decoded instructions from it instead of decoding Snap's words
+	// each step. The machine only sets it while the architected code
+	// segment is unmodified, so table fetches and Snap fetches agree.
+	Code *isa.DecodedProgram
 	// NonSpec lists address ranges that must not be accessed
 	// speculatively (memory-mapped I/O and other non-idempotent state).
 	// A task touching one stops with OutcomeNonSpec and is executed
@@ -213,8 +218,14 @@ func (t *Task) Execute(cap uint64) *Exec {
 	if remaining == 0 {
 		remaining = 1
 	}
+	// A per-execution runner over the shared predecode table (nil Code means
+	// every fetch decodes from the snapshot, as before). Its dirty tracking
+	// covers this task's own stores; cross-task code modifications are the
+	// machine's responsibility (it stops handing out Code once the
+	// architected code segment is written).
+	code := cpu.NewCode(t.Code)
 	for ex.Steps < cap {
-		in, err := cpu.Step(env)
+		in, err := code.Step(env)
 		if err != nil {
 			ex.Outcome = OutcomeFault
 			t.finish(env, ex)
