@@ -6,6 +6,7 @@
 //
 //	distill -workload compress
 //	distill -file prog.s -threshold 0.95 -disasm
+//	distill -workload compress -passes -stats -vet
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"mssp"
+	"mssp/internal/vet"
 	"mssp/internal/workloads"
 )
 
@@ -24,6 +26,9 @@ func main() {
 		stride    = flag.Uint64("stride", 100, "task-size target in instructions")
 		threshold = flag.Float64("threshold", 0.99, "bias threshold (1.0 disables pruning)")
 		disasm    = flag.Bool("disasm", false, "print original and distilled disassembly")
+		passes    = flag.Bool("passes", false, "enable analysis-driven passes (DCE, store sinking, const folding)")
+		stats     = flag.Bool("stats", false, "print per-pass removal statistics (static and estimated dynamic)")
+		doVet     = flag.Bool("vet", false, "vet the input and the distilled output; non-zero exit on findings")
 	)
 	flag.Parse()
 
@@ -52,6 +57,9 @@ func main() {
 	opts := mssp.DefaultPipelineOptions()
 	opts.Stride = *stride
 	opts.Distill.BiasThreshold = *threshold
+	opts.Distill.DeadCodeElim = *passes
+	opts.Distill.SinkDeadStores = *passes
+	opts.Distill.ConstFold = *passes
 	pl, err := mssp.Prepare(prog, opts)
 	if err != nil {
 		fatal(err)
@@ -68,6 +76,45 @@ func main() {
 	fmt.Printf("  cold instructions dropped: %d\n", st.DroppedInsts)
 	fmt.Printf("  fork markers inserted:   %d\n", st.Forks)
 	fmt.Printf("  calls expanded:          %d\n", st.CallExpansions)
+
+	if *stats {
+		fmt.Println("analysis passes:")
+		if st.AnalysisSkipped {
+			fmt.Println("  skipped: program has indirect jumps")
+		}
+		// Dynamic counts estimate saved master work from the training
+		// profile: executions of each removed instruction's original pc.
+		fmt.Printf("  dead code eliminated:    %d static, ~%d dynamic\n", st.DCEInsts, st.DCEDynSaved)
+		fmt.Printf("  dead stores sunk:        %d static, ~%d dynamic\n", st.DeadStores, st.DeadStoreDynSaved)
+		fmt.Printf("  constants folded:        %d static, ~%d dynamic\n", st.ConstFolds, st.ConstFoldDyn)
+	}
+
+	if *doVet {
+		findings := 0
+		report := func(label string, fs []vet.Finding) {
+			for _, f := range fs {
+				fmt.Printf("vet %s: %v\n", label, f)
+				findings++
+			}
+		}
+		fs, err := vet.Check(prog, nil)
+		if err != nil {
+			fatal(err)
+		}
+		report("input", fs)
+		dfs, err := vet.Check(pl.Distilled.Prog, &vet.Distilled{
+			Anchors:    pl.Distilled.Anchors,
+			OrigToDist: pl.Distilled.OrigToDist,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		report("distilled", dfs)
+		if findings > 0 {
+			fatal(fmt.Errorf("%d vet finding(s)", findings))
+		}
+		fmt.Println("vet: clean")
+	}
 
 	if *disasm {
 		fmt.Println("\n=== original ===")

@@ -1,5 +1,5 @@
 // Command doccheck is the documentation linter run by CI's docs job. It
-// enforces three invariants that markdown and godoc rot silently break:
+// enforces five invariants that markdown and godoc rot silently break:
 //
 //  1. Every relative link in the repository's *.md files resolves to an
 //     existing file (anchors and external URLs are not checked).
@@ -14,6 +14,9 @@
 //  4. The tracked benchmark baseline stays documented: every entry name
 //     in BENCH_core.json must be mentioned in docs/PERFORMANCE.md, so a
 //     new metric recorded by cmd/msspbench cannot land undocumented.
+//  5. The static-analysis rule catalogs stay documented: every rule ID in
+//     internal/vet (MV...) and its Go-source companion (GA...) must be
+//     mentioned in docs/ANALYSIS.md.
 //
 // Usage:
 //
@@ -37,6 +40,7 @@ import (
 
 	"mssp/internal/core"
 	"mssp/internal/obs"
+	"mssp/internal/vet"
 )
 
 // checkedPackages are the directories whose exported identifiers must all
@@ -46,6 +50,8 @@ import (
 var checkedPackages = []string{
 	"internal/obs",
 	"internal/chaos",
+	"internal/dataflow",
+	"internal/vet",
 }
 
 // taxonomyDocs are the markdown files that must each mention every
@@ -79,6 +85,7 @@ func main() {
 		problems = append(problems, checkTaxonomy(*root, doc)...)
 	}
 	problems = append(problems, checkBenchDoc(*root)...)
+	problems = append(problems, checkAnalysisRules(*root)...)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, p)
 	}
@@ -190,6 +197,29 @@ func checkBenchDoc(root string) []string {
 		if !strings.Contains(text, "`"+e.Name+"`") {
 			problems = append(problems,
 				fmt.Sprintf("%s: tracked benchmark entry `%s` (%s) is never mentioned", perfDoc, e.Name, benchFile))
+		}
+	}
+	return problems
+}
+
+// checkAnalysisRules verifies that docs/ANALYSIS.md documents every rule
+// in the msspvet catalogs (internal/vet.Rules and the Go-source rules in
+// vet.GoRules) as a backtick-quoted ID (`MV001`), so a new check cannot
+// land without its catalog entry.
+func checkAnalysisRules(root string) []string {
+	const analysisDoc = "docs/ANALYSIS.md"
+	b, err := os.ReadFile(filepath.Join(root, analysisDoc))
+	if err != nil {
+		return []string{fmt.Sprintf("doccheck: %s: %v", analysisDoc, err)}
+	}
+	text := string(b)
+	var problems []string
+	for _, rules := range [][]vet.Rule{vet.Rules, vet.GoRules} {
+		for _, r := range rules {
+			if !strings.Contains(text, "`"+r.ID+"`") {
+				problems = append(problems,
+					fmt.Sprintf("%s: msspvet rule `%s` (%s) is never documented", analysisDoc, r.ID, r.Name))
+			}
 		}
 	}
 	return problems

@@ -129,6 +129,23 @@ func run(quick bool, in, out, label string) error {
 	for _, r := range results {
 		upsert(f, r.name, r.unit, label, r.value)
 	}
+
+	// Distillation quality is an ablation pair, not a before/after history:
+	// the same run records both labels, so the entry always shows what the
+	// analysis passes buy on the current tree.
+	dq, err := distillQuality()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %10.0f insts (nopass) %10.0f insts (analysis)\n",
+		"distill/static_insts", dq.staticOff, dq.staticOn)
+	fmt.Printf("%-24s %10.0f insts (nopass) %10.0f insts (analysis)\n",
+		"distill/master_insts", dq.masterOff, dq.masterOn)
+	upsert(f, "distill/static_insts", "insts", "nopass", dq.staticOff)
+	upsert(f, "distill/static_insts", "insts", "analysis", dq.staticOn)
+	upsert(f, "distill/master_insts", "insts", "nopass", dq.masterOff)
+	upsert(f, "distill/master_insts", "insts", "analysis", dq.masterOn)
+
 	reportSpeedups(f, label)
 	return save(out, f)
 }

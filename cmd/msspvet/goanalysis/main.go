@@ -1,0 +1,266 @@
+// Command goanalysis is a source-level companion to msspvet: a small,
+// dependency-free analyzer (go/ast + go/parser only) enforcing the
+// determinism contracts the Go toolchain's vet cannot see. CI runs it
+// alongside `go vet`.
+//
+// Rules (documented in docs/ANALYSIS.md):
+//
+//	GA001  no time.Now in determinism paths — replay and differential
+//	       testing require identical behavior across runs.
+//	GA002  no global math/rand source in determinism paths — rand.New /
+//	       rand.NewSource with an explicit seed are fine, the package-level
+//	       functions draw from ambient state.
+//	GA003  squash reasons must flow through the core.Squash* constants —
+//	       comparing or switching on a raw string that equals one of their
+//	       values bypasses the taxonomy and breaks silently if a reason is
+//	       ever renamed.
+//
+// Test files are exempt from GA001/GA002 (tests may measure wall time and
+// draw seeds), but not from GA003: a test string-matching a squash reason
+// is exactly the silent breakage the rule exists for.
+//
+// Usage:
+//
+//	goanalysis [-core internal/core/config.go] [pkgdir ...]
+//
+// With no package directories, the three determinism packages are checked:
+// internal/core, internal/chaos, internal/distill.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// defaultDirs are the packages whose behavior must be a pure function of
+// their inputs: the machine, the differential harness, the distiller.
+var defaultDirs = []string{"internal/core", "internal/chaos", "internal/distill"}
+
+func main() {
+	corePath := flag.String("core", "internal/core/config.go",
+		"file defining the core.Squash* constants")
+	flag.Parse()
+
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+
+	squash, err := squashValues(*corePath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(squash) == 0 {
+		fatal(fmt.Errorf("no Squash* string constants found in %s", *corePath))
+	}
+
+	var findings []finding
+	for _, dir := range dirs {
+		fs, err := checkDir(dir, *corePath, squash)
+		if err != nil {
+			fatal(err)
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", f.pos, f.rule, f.msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "goanalysis: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+type finding struct {
+	pos  string // file:line
+	rule string
+	msg  string
+}
+
+// squashValues parses the config file and returns the string values of
+// every Squash*-named constant.
+func squashValues(path string) (map[string]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	vals := map[string]string{} // value -> constant name
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Squash") || i >= len(vs.Values) {
+					continue
+				}
+				if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if v, err := strconv.Unquote(lit.Value); err == nil {
+						vals[v] = name.Name
+					}
+				}
+			}
+		}
+	}
+	return vals, nil
+}
+
+// checkDir parses every Go file in dir (no recursion — matches how the
+// packages are laid out) and applies the rules.
+func checkDir(dir, corePath string, squash map[string]string) ([]finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []finding
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		fs, err := checkFile(path, corePath, squash)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	return out, nil
+}
+
+func checkFile(path, corePath string, squash map[string]string) ([]finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	isTest := strings.HasSuffix(path, "_test.go")
+	// The defining file may mention its own values freely.
+	isDefiner := filepath.Clean(path) == filepath.Clean(corePath)
+
+	// Resolve the local names of the imports we care about; dot and blank
+	// imports of these packages do not occur in this codebase.
+	timeName, randName := "", ""
+	for _, imp := range f.Imports {
+		p, _ := strconv.Unquote(imp.Path.Value)
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch p {
+		case "time":
+			timeName = importName(name, "time")
+		case "math/rand", "math/rand/v2":
+			randName = importName(name, "rand")
+		}
+	}
+
+	var out []finding
+	report := func(pos token.Pos, rule, format string, args ...any) {
+		out = append(out, finding{
+			pos:  fset.Position(pos).String(),
+			rule: rule,
+			msg:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isTest {
+				return true
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Obj != nil { // shadowed by a local identifier
+				return true
+			}
+			if timeName != "" && pkg.Name == timeName && sel.Sel.Name == "Now" {
+				report(n.Pos(), "GA001",
+					"time.Now in a determinism path; thread time through explicitly")
+			}
+			if randName != "" && pkg.Name == randName && !allowedRand(sel.Sel.Name) {
+				report(n.Pos(), "GA002",
+					"global math/rand source (rand.%s) in a determinism path; use rand.New(rand.NewSource(seed))",
+					sel.Sel.Name)
+			}
+		case *ast.BinaryExpr:
+			if isDefiner || (n.Op != token.EQL && n.Op != token.NEQ) {
+				return true
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if name, v, ok := squashLit(side, squash); ok {
+					report(side.Pos(), "GA003",
+						"comparison against raw squash reason %q; use core.%s", v, name)
+				}
+			}
+		case *ast.CaseClause:
+			if isDefiner {
+				return true
+			}
+			for _, e := range n.List {
+				if name, v, ok := squashLit(e, squash); ok {
+					report(e.Pos(), "GA003",
+						"switch case on raw squash reason %q; use core.%s", v, name)
+				}
+			}
+		}
+		return true
+	})
+	return out, nil
+}
+
+// importName returns the local name an import is referred to by.
+func importName(explicit, base string) string {
+	if explicit != "" {
+		return explicit
+	}
+	return base
+}
+
+// allowedRand lists the math/rand identifiers that construct explicitly
+// seeded sources rather than drawing from the ambient global one.
+func allowedRand(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "Rand", "Source", "Source64":
+		return true
+	}
+	return false
+}
+
+// squashLit reports whether e is a string literal equal to a squash-reason
+// value, returning the defining constant's name and the value.
+func squashLit(e ast.Expr, squash map[string]string) (name, val string, ok bool) {
+	lit, isLit := e.(*ast.BasicLit)
+	if !isLit || lit.Kind != token.STRING {
+		return "", "", false
+	}
+	v, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", "", false
+	}
+	n, hit := squash[v]
+	return n, v, hit
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "goanalysis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const configSrc = `package core
+
+const (
+	SquashLiveIn   = "livein"
+	SquashOverflow = "overflow"
+	NotASquash     = "ignored"
+)
+`
+
+func setup(t *testing.T) (dir, core string, squash map[string]string) {
+	t.Helper()
+	dir = t.TempDir()
+	core = write(t, dir, "config.go", configSrc)
+	squash, err := squashValues(core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, core, squash
+}
+
+func ruleCount(fs []finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range fs {
+		m[f.rule]++
+	}
+	return m
+}
+
+func TestSquashValueExtraction(t *testing.T) {
+	_, _, squash := setup(t)
+	if squash["livein"] != "SquashLiveIn" || squash["overflow"] != "SquashOverflow" {
+		t.Fatalf("squash values = %v", squash)
+	}
+	if _, ok := squash["ignored"]; ok {
+		t.Fatal("non-Squash constant collected")
+	}
+}
+
+func TestTimeNowFlagged(t *testing.T) {
+	dir, core, squash := setup(t)
+	write(t, dir, "bad.go", `package core
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`)
+	fs, err := checkDir(dir, core, squash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ruleCount(fs)["GA001"] != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestTimeNowAllowedInTests(t *testing.T) {
+	dir, core, squash := setup(t)
+	write(t, dir, "ok_test.go", `package core
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`)
+	fs, err := checkDir(dir, core, squash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("test file flagged: %v", fs)
+	}
+}
+
+func TestGlobalRandFlaggedSeededAllowed(t *testing.T) {
+	dir, core, squash := setup(t)
+	write(t, dir, "mixed.go", `package core
+
+import "math/rand"
+
+func draw() int {
+	r := rand.New(rand.NewSource(7)) // allowed: explicit seed
+	_ = r
+	return rand.Intn(10) // flagged: ambient global source
+}
+`)
+	fs, err := checkDir(dir, core, squash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ruleCount(fs)
+	if c["GA002"] != 1 {
+		t.Fatalf("want exactly the rand.Intn finding, got: %v", fs)
+	}
+}
+
+func TestAliasedImportResolved(t *testing.T) {
+	dir, core, squash := setup(t)
+	write(t, dir, "alias.go", `package core
+
+import mr "math/rand"
+
+func draw() int { return mr.Intn(10) }
+`)
+	fs, err := checkDir(dir, core, squash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ruleCount(fs)["GA002"] != 1 {
+		t.Fatalf("aliased import not resolved: %v", fs)
+	}
+}
+
+func TestShadowedPackageNameNotFlagged(t *testing.T) {
+	dir, core, squash := setup(t)
+	write(t, dir, "shadow.go", `package core
+
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func stamp() int {
+	time := clock{} // local identifier shadowing nothing imported
+	return time.Now()
+}
+`)
+	fs, err := checkDir(dir, core, squash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("shadowed identifier flagged: %v", fs)
+	}
+}
+
+func TestRawSquashComparisonFlagged(t *testing.T) {
+	dir, core, squash := setup(t)
+	write(t, dir, "cmp.go", `package core
+
+func classify(reason string) int {
+	if reason == "livein" { // flagged
+		return 1
+	}
+	switch reason {
+	case "overflow": // flagged
+		return 2
+	}
+	observe("livein") // call argument: allowed, not a taxonomy match
+	return 0
+}
+
+func observe(string) {}
+`)
+	fs, err := checkDir(dir, core, squash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ruleCount(fs)["GA003"] != 2 {
+		t.Fatalf("want 2 GA003 findings (==, case), got: %v", fs)
+	}
+}
+
+func TestGA003AppliesToTestsAndSparesDefiner(t *testing.T) {
+	dir, core, squash := setup(t)
+	// The defining file compares its own constants' values freely.
+	write(t, dir, "self.go", configSrc)
+	write(t, dir, "cmp_test.go", `package core
+
+func check(reason string) bool { return reason == "overflow" }
+`)
+	fs, err := checkDir(dir, core, squash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ruleCount(fs)
+	if c["GA003"] != 1 {
+		t.Fatalf("GA003 must fire in test files too: %v", fs)
+	}
+}
+
+// TestRealTreeIsClean runs the analyzer over the actual determinism
+// packages, mirroring the CI vet job.
+func TestRealTreeIsClean(t *testing.T) {
+	root := "../../.."
+	squash, err := squashValues(filepath.Join(root, "internal/core/config.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(squash) == 0 {
+		t.Fatal("no squash constants found in the real config")
+	}
+	for _, dir := range defaultDirs {
+		fs, err := checkDir(filepath.Join(root, dir), filepath.Join(root, "internal/core/config.go"), squash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s: %s: %s", f.pos, f.rule, f.msg)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Command msspvet statically checks MIR programs against the rule catalog
+// in internal/vet (documented in docs/ANALYSIS.md). It vets plain programs
+// as the sequential machine would run them and, with -distill, vets the
+// distiller's output against the distillation contract (FORK/anchor
+// agreement, link-value preservation).
+//
+// Usage:
+//
+//	msspvet -all                         # every registered workload
+//	msspvet -workload compress -distill -threshold 0.95,0.999
+//	msspvet -file prog.s
+//
+// Exit status is non-zero when any finding is reported, so CI can gate on
+// workload and distiller cleanliness directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mssp/internal/asm"
+	"mssp/internal/distill"
+	"mssp/internal/isa"
+	"mssp/internal/profile"
+	"mssp/internal/vet"
+	"mssp/internal/workloads"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "", "built-in workload name")
+		all        = flag.Bool("all", false, "vet every registered workload")
+		file       = flag.String("file", "", "MIR assembly file")
+		doDistill  = flag.Bool("distill", false, "also vet the distilled output")
+		thresholds = flag.String("threshold", "0.99", "comma-separated bias thresholds for -distill")
+		stride     = flag.Uint64("stride", 100, "profiling task-size target for -distill")
+		passes     = flag.Bool("passes", false, "enable analysis-driven distillation passes for -distill")
+		ref        = flag.Bool("ref", false, "build workloads at reference scale instead of training scale")
+	)
+	flag.Parse()
+
+	var thrs []float64
+	for _, s := range strings.Split(*thresholds, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -threshold %q: %v", s, err))
+		}
+		thrs = append(thrs, v)
+	}
+
+	type target struct {
+		name string
+		prog *isa.Program
+	}
+	var targets []target
+	scale := workloads.Train
+	if *ref {
+		scale = workloads.Ref
+	}
+	switch {
+	case *all:
+		for _, w := range workloads.All() {
+			targets = append(targets, target{w.Name, w.Build(scale)})
+		}
+	case *workload != "":
+		w, err := workloads.ByName(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		targets = append(targets, target{w.Name, w.Build(scale)})
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := asm.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		targets = append(targets, target{*file, p})
+	default:
+		fatal(fmt.Errorf("need -workload, -all, or -file"))
+	}
+
+	findings := 0
+	emit := func(name string, fs []vet.Finding) {
+		for _, f := range fs {
+			fmt.Printf("%s: %v\n", name, f)
+			findings++
+		}
+	}
+
+	for _, tg := range targets {
+		fs, err := vet.Check(tg.prog, nil)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", tg.name, err))
+		}
+		emit(tg.name, fs)
+
+		if !*doDistill {
+			continue
+		}
+		prof, err := profile.Collect(tg.prog, profile.Options{Stride: *stride})
+		if err != nil {
+			fatal(fmt.Errorf("%s: profile: %v", tg.name, err))
+		}
+		for _, thr := range thrs {
+			res, err := distill.Distill(tg.prog, prof, distill.Options{
+				BiasThreshold:  thr,
+				MinBranchCount: 16,
+				DeadCodeElim:   *passes,
+				SinkDeadStores: *passes,
+				ConstFold:      *passes,
+			})
+			if err != nil {
+				fatal(fmt.Errorf("%s@%v: distill: %v", tg.name, thr, err))
+			}
+			dfs, err := vet.Check(res.Prog, &vet.Distilled{
+				Anchors:    res.Anchors,
+				OrigToDist: res.OrigToDist,
+			})
+			if err != nil {
+				fatal(fmt.Errorf("%s@%v: %v", tg.name, thr, err))
+			}
+			emit(fmt.Sprintf("%s[distilled@%v]", tg.name, thr), dfs)
+		}
+	}
+
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "msspvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+	fmt.Printf("msspvet: %d target(s) clean\n", len(targets))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msspvet:", err)
+	os.Exit(1)
+}

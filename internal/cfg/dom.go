@@ -87,6 +87,12 @@ func (g *Graph) postorder(entry uint64) []uint64 {
 	return order
 }
 
+// Predecessors returns the statically known predecessor lists, keyed and
+// valued by block start address. Blocks only entered through indirect jumps
+// have no entries; consumers must consult HasIndirect before trusting the
+// map to be exhaustive.
+func (g *Graph) Predecessors() map[uint64][]uint64 { return g.predecessors() }
+
 // predecessors returns the statically known predecessor lists.
 func (g *Graph) predecessors() map[uint64][]uint64 {
 	preds := make(map[uint64][]uint64, len(g.Blocks))

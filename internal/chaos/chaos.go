@@ -67,6 +67,13 @@ type Options struct {
 	// produce byte-identical reports — the interpreter differential in
 	// interp_test.go and cmd/msspfuzz -interp both run each seed both ways.
 	Interp string
+	// DistillPasses turns on every analysis-driven distillation pass
+	// (dead-code elimination, checkpoint-aware store sinking, assumption-
+	// seeded constant folding). The architected results must be bit-
+	// identical with the passes on or off — that is the passes' whole
+	// soundness contract, and passes_test.go enforces it differentially
+	// across the seed corpus.
+	DistillPasses bool
 }
 
 // defaultMaxSeqSteps bounds generated programs' dynamic length. Generated
@@ -239,6 +246,9 @@ func Run(opts Options) *Report {
 	dist, err := distill.Distill(g.Prog, prof, distill.Options{
 		BiasThreshold:  rep.Knobs.BiasThreshold,
 		MinBranchCount: 4,
+		DeadCodeElim:   opts.DistillPasses,
+		SinkDeadStores: opts.DistillPasses,
+		ConstFold:      opts.DistillPasses,
 	})
 	if err != nil {
 		failf("distill: %v", err)

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDistillPassesArchitectedEquivalence is the soundness differential for
+// the analysis-driven distillation passes: for every seed, the full MSSP
+// differential must commit bit-identical architected state whether the
+// passes are on or off. The passes rewrite only the distilled program —
+// master hints — so they may change how often the machine squashes, but
+// never what it architects. A thousand seeds sweep generated programs,
+// machine knobs, and distillation thresholds together; a single digest
+// mismatch is an unsound rewrite, not flake, because both legs are
+// deterministic.
+func TestDistillPassesArchitectedEquivalence(t *testing.T) {
+	seeds := 1000
+	if testing.Short() {
+		seeds = 120
+	}
+
+	type verdict struct {
+		seed uint64
+		err  string
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		bad  []verdict
+		next = make(chan uint64, seeds)
+	)
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		next <- seed
+	}
+	close(next)
+
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range next {
+				off := Run(Options{Seed: seed, ModelCheckCap: 8})
+				on := Run(Options{Seed: seed, ModelCheckCap: 8, DistillPasses: true})
+				var msgs []string
+				if !off.OK {
+					msgs = append(msgs, "pass-off run failed: "+strings.Join(off.Failures, "; "))
+				}
+				if !on.OK {
+					msgs = append(msgs, "pass-on run failed: "+strings.Join(on.Failures, "; "))
+				}
+				if off.SeqDigest != on.SeqDigest {
+					msgs = append(msgs, "sequential baselines diverge (harness bug)")
+				}
+				if off.Clean != nil && on.Clean != nil {
+					if off.Clean.FinalDigest != on.Clean.FinalDigest {
+						msgs = append(msgs, "clean-leg architected state diverges")
+					}
+					if !on.Clean.FinalMatchesSeq {
+						msgs = append(msgs, "pass-on clean leg does not match sequential baseline")
+					}
+				}
+				if len(msgs) > 0 {
+					mu.Lock()
+					bad = append(bad, verdict{seed: seed, err: strings.Join(msgs, " | ")})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, v := range bad {
+		t.Errorf("seed %d: %s", v.seed, v.err)
+	}
+}

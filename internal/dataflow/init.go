@@ -1,0 +1,97 @@
+package dataflow
+
+import "mssp/internal/cfg"
+
+// InitFacts is a solved may-initialized analysis: for every instruction, the
+// set of registers some path from the entry has written before reaching it.
+// A register read outside this set is provably uninitialized — no execution
+// from the entry can have given it a value — which is what the msspvet
+// uninitialized-read rule reports.
+type InitFacts struct {
+	g      *cfg.Graph
+	before []RegSet
+}
+
+// initAnalysis: fact = registers possibly written; Bottom = none; Join =
+// union (may-analysis).
+type initAnalysis struct {
+	g     *cfg.Graph
+	entry RegSet
+}
+
+func (initAnalysis) Direction() Direction { return Forward }
+func (initAnalysis) Bottom() RegSet       { return 0 }
+
+func (a initAnalysis) Boundary(b *cfg.Block) RegSet {
+	if a.g.HasIndirect {
+		// Any block may be entered through a jalr from anywhere; assume
+		// everything may be initialized (the lint stays quiet rather than
+		// guessing).
+		return AllRegs
+	}
+	if b.Start == a.g.BlockFor(a.g.Prog.Entry).Start {
+		return a.entry
+	}
+	return 0
+}
+
+func (initAnalysis) Join(x, y RegSet) (RegSet, bool) {
+	u := x.Union(y)
+	return u, u != x
+}
+
+func (a initAnalysis) Transfer(b *cfg.Block, in RegSet) RegSet {
+	cur := in
+	for pc := b.Start; pc < b.End; pc++ {
+		cur = cur.Union(defsOf(a.g, pc))
+	}
+	return cur
+}
+
+// defsOf returns the registers the instruction at pc may write: its def, or
+// every register for a call (callee summary).
+func defsOf(g *cfg.Graph, pc uint64) RegSet {
+	in := g.Prog.InstAt(pc)
+	if IsCall(in) {
+		return AllRegs
+	}
+	if d, ok := Def(in); ok {
+		return RegSet(0).Add(d)
+	}
+	return 0
+}
+
+// MayInit computes the may-initialized analysis. entryInit is the set of
+// registers the runtime seeds before the first instruction (the stack
+// pointer, for MIR programs started through state.NewFromProgram).
+func MayInit(g *cfg.Graph, entryInit RegSet) *InitFacts {
+	f := &InitFacts{g: g, before: make([]RegSet, len(g.Prog.Code.Words))}
+
+	// An indirect jump can land on any instruction, including mid-block, so
+	// everything may be initialized everywhere.
+	if g.HasIndirect {
+		for i := range f.before {
+			f.before[i] = AllRegs
+		}
+		return f
+	}
+
+	a := initAnalysis{g: g, entry: entryInit}
+	facts := Solve[RegSet](g, a)
+
+	base := g.Prog.Code.Base
+	for _, b := range g.Blocks {
+		cur := facts.In[b.Start]
+		for pc := b.Start; pc < b.End; pc++ {
+			f.before[pc-base] = cur
+			cur = cur.Union(defsOf(g, pc))
+		}
+	}
+	return f
+}
+
+// Before returns the registers some path may have initialized before the
+// instruction at pc.
+func (f *InitFacts) Before(pc uint64) RegSet {
+	return f.before[pc-f.g.Prog.Code.Base]
+}

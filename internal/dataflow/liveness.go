@@ -1,0 +1,135 @@
+package dataflow
+
+import "mssp/internal/cfg"
+
+// LivenessOptions tunes the liveness analysis.
+type LivenessOptions struct {
+	// AtPC, when non-nil, injects extra register uses immediately *before*
+	// the instruction at a program counter. The distiller uses this to
+	// model FORK checkpoints: a fork placed before an anchored instruction
+	// captures the register file, so the registers the checkpoint's
+	// consumers may read are live at that point even though no distilled
+	// instruction reads them.
+	AtPC func(pc uint64) RegSet
+	// ExitLive is the set considered live at ordinary program exits (halt
+	// blocks and falls off the end of the code segment). Return blocks and
+	// indirect jumps always use AllRegs regardless: their successors are
+	// statically unknown code, not an exit.
+	ExitLive RegSet
+}
+
+// LiveFacts is a solved liveness analysis with per-instruction resolution.
+type LiveFacts struct {
+	g      *cfg.Graph
+	opts   LivenessOptions
+	before []RegSet // live set immediately before each code word, by pc-base
+}
+
+// liveAnalysis adapts liveness to the generic solver. Fact = RegSet of
+// registers live at the point; Bottom = none; Join = union.
+type liveAnalysis struct {
+	g    *cfg.Graph
+	opts LivenessOptions
+}
+
+func (liveAnalysis) Direction() Direction { return Backward }
+func (liveAnalysis) Bottom() RegSet       { return 0 }
+
+func (a liveAnalysis) Boundary(b *cfg.Block) RegSet {
+	if b.IsReturn || b.HasIndirect {
+		// Control continues in statically unknown code that may read
+		// anything.
+		return AllRegs
+	}
+	if len(b.Succs) == 0 {
+		// halt, or falling off the code segment: a genuine exit.
+		return a.opts.ExitLive
+	}
+	return 0
+}
+
+func (liveAnalysis) Join(x, y RegSet) (RegSet, bool) {
+	u := x.Union(y)
+	return u, u != x
+}
+
+func (a liveAnalysis) Transfer(b *cfg.Block, out RegSet) RegSet {
+	live := out
+	for pc := b.End; pc > b.Start; pc-- {
+		in := a.g.Prog.InstAt(pc - 1)
+		if d, ok := Def(in); ok {
+			live = live.Remove(d)
+		}
+		live = live.Union(Uses(in))
+		if a.opts.AtPC != nil {
+			live = live.Union(a.opts.AtPC(pc - 1))
+		}
+	}
+	return live
+}
+
+// Live computes register liveness over the graph and materializes the fact
+// before every instruction.
+func Live(g *cfg.Graph, opts LivenessOptions) *LiveFacts {
+	a := liveAnalysis{g: g, opts: opts}
+	facts := Solve[RegSet](g, a)
+
+	lf := &LiveFacts{g: g, opts: opts, before: make([]RegSet, len(g.Prog.Code.Words))}
+	base := g.Prog.Code.Base
+	for _, b := range g.Blocks {
+		out, _ := a.Join(a.Bottom(), a.Boundary(b))
+		for _, succ := range b.Succs {
+			out = out.Union(facts.In[succ])
+		}
+		live := out
+		for pc := b.End; pc > b.Start; pc-- {
+			in := g.Prog.InstAt(pc - 1)
+			if d, ok := Def(in); ok {
+				live = live.Remove(d)
+			}
+			live = live.Union(Uses(in))
+			if opts.AtPC != nil {
+				live = live.Union(opts.AtPC(pc - 1))
+			}
+			lf.before[pc-1-base] = live
+		}
+	}
+	return lf
+}
+
+// Before returns the registers live immediately before the instruction at
+// pc (after any fork-checkpoint uses injected at pc). It panics if pc is
+// outside the code segment.
+func (f *LiveFacts) Before(pc uint64) RegSet {
+	return f.before[pc-f.g.Prog.Code.Base]
+}
+
+// After returns the registers live immediately after the instruction at pc:
+// the Before fact of the instruction's unique fall-through, or the join over
+// the block's out-edges for a terminator.
+func (f *LiveFacts) After(pc uint64) RegSet {
+	b := f.g.BlockFor(pc)
+	if b == nil {
+		return AllRegs
+	}
+	if pc+1 < b.End {
+		return f.Before(pc + 1)
+	}
+	out := liveAnalysis{g: f.g, opts: f.opts}.Boundary(b)
+	for _, succ := range b.Succs {
+		out = out.Union(f.Before(succ))
+	}
+	return out
+}
+
+// DeadDef reports whether the instruction at pc writes a register whose
+// value is dead: no path from pc reads it before it is overwritten,
+// including any injected checkpoint uses. Instructions without a register
+// def are never dead defs.
+func (f *LiveFacts) DeadDef(pc uint64) bool {
+	d, ok := Def(f.g.Prog.InstAt(pc))
+	if !ok {
+		return false
+	}
+	return !f.After(pc).Has(d)
+}

@@ -1,0 +1,238 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"mssp/internal/cfg"
+	"mssp/internal/chaos"
+	"mssp/internal/cpu"
+	"mssp/internal/dataflow"
+	"mssp/internal/isa"
+	"mssp/internal/state"
+)
+
+// The property tests run every analysis against ground truth: a traced
+// sequential execution of chaos-generated programs. Static may-facts must
+// over-approximate what one concrete run actually did; a single violated
+// step is an unsoundness bug in an analysis, not test flake, because both
+// sides are deterministic.
+
+const propTraceCap = 60000
+
+// traceStep records one executed instruction with the registers its
+// semantics actually read and wrote.
+type traceStep struct {
+	pc     uint64
+	reads  dataflow.RegSet
+	writes dataflow.RegSet
+	// stack is the call-site pc of every active frame at the time this step
+	// executed, outermost first, paired with a per-invocation id so two
+	// calls through the same site are distinguishable.
+	stack []frameRef
+}
+
+type frameRef struct {
+	callPC uint64
+	id     int
+}
+
+// traceEnv wraps an Env and records register traffic per step.
+type traceEnv struct {
+	cpu.StateEnv
+	reads, writes dataflow.RegSet
+}
+
+func (e *traceEnv) ReadReg(r int) uint64 {
+	e.reads = e.reads.Add(uint8(r))
+	return e.StateEnv.ReadReg(r)
+}
+
+func (e *traceEnv) WriteReg(r int, v uint64) {
+	e.writes = e.writes.Add(uint8(r))
+	e.StateEnv.WriteReg(r, v)
+}
+
+// collectTrace runs prog sequentially, recording per-step register traffic
+// and call stacks. Programs with indirect jumps are the caller's problem:
+// the stack tracking assumes jalr only appears as a return.
+func collectTrace(t *testing.T, g *cfg.Graph, regSnaps *[][isa.NumRegs]uint64) []traceStep {
+	t.Helper()
+	s := state.NewFromProgram(g.Prog, 1<<28)
+	env := &traceEnv{StateEnv: cpu.StateEnv{S: s}}
+
+	var steps []traceStep
+	var stack []frameRef
+	nextID := 0
+	for len(steps) < propTraceCap {
+		pc := s.PC
+		if regSnaps != nil {
+			*regSnaps = append(*regSnaps, s.Regs)
+		}
+		env.reads, env.writes = 0, 0
+		in, err := cpu.Step(env)
+		if err != nil {
+			t.Fatalf("trace fault at pc %d: %v", pc, err)
+		}
+		st := traceStep{pc: pc, reads: env.reads, writes: env.writes}
+		st.stack = append(st.stack, stack...)
+		steps = append(steps, st)
+		if in.Op == isa.OpHalt {
+			return steps
+		}
+		switch {
+		case dataflow.IsCall(in):
+			stack = append(stack, frameRef{callPC: pc, id: nextID})
+			nextID++
+		case in.Op == isa.OpJalr:
+			if len(stack) == 0 {
+				t.Fatalf("return with empty call stack at pc %d", pc)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	t.Fatalf("program did not halt within %d steps", propTraceCap)
+	return nil
+}
+
+// plainCorpus yields chaos programs without indirect jumps, with their CFGs.
+func plainCorpus(t *testing.T, seeds int) []*cfg.Graph {
+	t.Helper()
+	var out []*cfg.Graph
+	for seed := 1; seed <= seeds; seed++ {
+		gen := chaos.Generate(uint64(seed))
+		g, err := cfg.Build(gen.Prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !g.HasIndirect {
+			out = append(out, g)
+		}
+	}
+	// The checks below are vacuous on an empty corpus; the generator must
+	// keep producing a healthy share of statically analyzable programs.
+	if len(out) < seeds/4 {
+		t.Fatalf("only %d/%d chaos programs are indirect-free; corpus too thin", len(out), seeds)
+	}
+	return out
+}
+
+func corpusSize(t *testing.T) int {
+	if testing.Short() {
+		return 20
+	}
+	return 80
+}
+
+// TestLivenessCoversTrace checks the defining property of may-liveness
+// against ground truth: walking the trace backward, any register that will
+// be read again before being overwritten must be in the static live set at
+// every intermediate step.
+func TestLivenessCoversTrace(t *testing.T) {
+	for i, g := range plainCorpus(t, corpusSize(t)) {
+		steps := collectTrace(t, g, nil)
+		lf := dataflow.Live(g, dataflow.LivenessOptions{})
+		var dynLive dataflow.RegSet
+		for j := len(steps) - 1; j >= 0; j-- {
+			st := steps[j]
+			dynLive = dynLive&^st.writes | st.reads
+			if got := lf.Before(st.pc); dynLive&^got != 0 {
+				t.Fatalf("corpus[%d] step %d pc %d: dynamically live %v not in static %v",
+					i, j, st.pc, dynLive, got)
+			}
+		}
+	}
+}
+
+// TestReachingCoversTrace checks reaching definitions against ground truth:
+// for every dynamic read, the def site that actually produced the value must
+// be in the static may-reach set — where a def made in a frame the reader
+// has since left is attributed to the call site that encloses it, because
+// the analysis models callees by call-site summary.
+func TestReachingCoversTrace(t *testing.T) {
+	for i, g := range plainCorpus(t, corpusSize(t)) {
+		steps := collectTrace(t, g, nil)
+		rf := dataflow.Reaching(g)
+
+		type lastDef struct {
+			pc    uint64
+			stack []frameRef
+			valid bool
+		}
+		var last [isa.NumRegs]lastDef
+		for j, st := range steps {
+			for r := uint8(1); r < isa.NumRegs; r++ {
+				if !st.reads.Has(r) {
+					continue
+				}
+				ld := last[r]
+				if !ld.valid {
+					if !rf.EntryReachesBefore(st.pc, r) {
+						t.Fatalf("corpus[%d] step %d pc %d: r%d read its entry value but entry does not statically reach",
+							i, j, st.pc, r)
+					}
+					continue
+				}
+				// Longest common prefix of frame instances between writer
+				// and reader decides attribution: a def from an exited
+				// frame is visible only through its enclosing call site.
+				k := 0
+				for k < len(ld.stack) && k < len(st.stack) && ld.stack[k].id == st.stack[k].id {
+					k++
+				}
+				site := ld.pc
+				if k < len(ld.stack) {
+					site = ld.stack[k].callPC
+				}
+				if !rf.ReachesBefore(st.pc, r, site) {
+					t.Fatalf("corpus[%d] step %d pc %d: r%d written at pc %d (site %d) but site does not statically reach",
+						i, j, st.pc, r, ld.pc, site)
+				}
+			}
+			for r := uint8(1); r < isa.NumRegs; r++ {
+				if st.writes.Has(r) {
+					last[r] = lastDef{pc: st.pc, stack: st.stack, valid: true}
+				}
+			}
+		}
+	}
+}
+
+// TestMayInitCoversTrace checks that every register actually written before
+// a step is in the static may-initialized set there.
+func TestMayInitCoversTrace(t *testing.T) {
+	for i, g := range plainCorpus(t, corpusSize(t)) {
+		steps := collectTrace(t, g, nil)
+		mi := dataflow.MayInit(g, dataflow.RegSet(0).Add(uint8(isa.RegSP)))
+		var written dataflow.RegSet
+		for j, st := range steps {
+			if written&^mi.Before(st.pc) != 0 {
+				t.Fatalf("corpus[%d] step %d pc %d: dynamically written %v not in may-init %v",
+					i, j, st.pc, written, mi.Before(st.pc))
+			}
+			written = written.Union(st.writes)
+		}
+	}
+}
+
+// TestConstsCoverTrace checks conditional constant propagation against
+// ground truth: whenever the analysis claims a register holds an exact
+// constant before an instruction, the traced machine's register must hold
+// exactly that value, and every executed block must be marked executable.
+func TestConstsCoverTrace(t *testing.T) {
+	for i, g := range plainCorpus(t, corpusSize(t)) {
+		var snaps [][isa.NumRegs]uint64
+		steps := collectTrace(t, g, &snaps)
+		cf := dataflow.Consts(g, dataflow.ConstOptions{})
+		for j, st := range steps {
+			if !cf.Executed(st.pc) {
+				t.Fatalf("corpus[%d] step %d: pc %d executed but statically infeasible", i, j, st.pc)
+			}
+			for r := uint8(1); r < isa.NumRegs; r++ {
+				if v, ok := cf.Before(st.pc, r).Value(); ok && snaps[j][r] != v {
+					t.Fatalf("corpus[%d] step %d pc %d: r%d = %d but analysis claims constant %d",
+						i, j, st.pc, r, snaps[j][r], v)
+				}
+			}
+		}
+	}
+}

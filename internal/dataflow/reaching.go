@@ -1,0 +1,243 @@
+package dataflow
+
+import (
+	"math/bits"
+
+	"mssp/internal/cfg"
+	"mssp/internal/isa"
+)
+
+// A def site is identified by a small dense index. Real sites are
+// instructions that write a register (calls count as a may-def site for
+// every register, summarizing the callee); each register additionally has an
+// entry pseudo-site standing for its pre-execution value.
+
+// DefSet is a bitset over def-site indices.
+type DefSet []uint64
+
+func newDefSet(n int) DefSet { return make(DefSet, (n+63)/64) }
+
+func (s DefSet) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+func (s DefSet) add(i int)      { s[i/64] |= 1 << (i % 64) }
+
+func (s DefSet) clone() DefSet {
+	c := make(DefSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// union folds t into s, reporting whether s grew.
+func (s DefSet) union(t DefSet) bool {
+	changed := false
+	for i := range s {
+		u := s[i] | t[i]
+		if u != s[i] {
+			s[i] = u
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Count returns the number of sites in the set.
+func (s DefSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ReachFacts is a solved reaching-definitions analysis: for every
+// instruction, the set of def sites that may have produced each register's
+// current value.
+type ReachFacts struct {
+	g *cfg.Graph
+	// site index layout: [0, nSites) are (pc, reg) pairs in program order;
+	// [nSites, nSites+32) are the per-register entry pseudo-sites.
+	sitePC  []uint64
+	siteReg []uint8
+	index   map[uint64][]int // pc -> site indices defined there
+	nSites  int
+	// killMask[r] has a bit for every site (real or entry) of register r.
+	killMask [isa.NumRegs]DefSet
+	before   []DefSet // facts before each code word, by pc-base
+}
+
+// reachAnalysis adapts reaching definitions to the generic solver. Fact =
+// DefSet (may-reach), Bottom = empty, Join = union.
+type reachAnalysis struct {
+	f *ReachFacts
+	g *cfg.Graph
+	// universal is the all-sites fact used as the boundary when the graph
+	// has indirect jumps (any block may be entered from anywhere).
+	universal DefSet
+	// entry is the entry block's boundary: every register's pre-execution
+	// pseudo-def.
+	entry DefSet
+}
+
+func (a reachAnalysis) bottom() DefSet { return newDefSet(a.f.nSites + isa.NumRegs) }
+
+// Reaching computes reaching definitions over the graph and materializes
+// the fact before every instruction.
+func Reaching(g *cfg.Graph) *ReachFacts {
+	f := &ReachFacts{g: g, index: make(map[uint64][]int)}
+	base := g.Prog.Code.Base
+	for i := range g.Prog.Code.Words {
+		pc := base + uint64(i)
+		in := g.Prog.InstAt(pc)
+		switch {
+		case IsCall(in):
+			// One may-def site per register, summarizing the callee.
+			for r := uint8(1); r < isa.NumRegs; r++ {
+				f.index[pc] = append(f.index[pc], len(f.sitePC))
+				f.sitePC = append(f.sitePC, pc)
+				f.siteReg = append(f.siteReg, r)
+			}
+		default:
+			if d, ok := Def(in); ok {
+				f.index[pc] = append(f.index[pc], len(f.sitePC))
+				f.sitePC = append(f.sitePC, pc)
+				f.siteReg = append(f.siteReg, d)
+			}
+		}
+	}
+	f.nSites = len(f.sitePC)
+	for r := range f.killMask {
+		f.killMask[r] = newDefSet(f.nSites + isa.NumRegs)
+		f.killMask[r].add(f.nSites + r)
+	}
+	for i := 0; i < f.nSites; i++ {
+		f.killMask[f.siteReg[i]].add(i)
+	}
+
+	a := reachAnalysis{f: f, g: g}
+	a.entry = a.bottom()
+	for r := 0; r < isa.NumRegs; r++ {
+		a.entry.add(f.nSites + r)
+	}
+	a.universal = a.bottom()
+	for i := 0; i < f.nSites+isa.NumRegs; i++ {
+		a.universal.add(i)
+	}
+
+	// An indirect jump can land on any instruction, including mid-block, so
+	// the per-instruction facts must be universal everywhere — the block-
+	// level boundary alone is not conservative enough.
+	if g.HasIndirect {
+		f.before = make([]DefSet, len(g.Prog.Code.Words))
+		for i := range f.before {
+			f.before[i] = a.universal
+		}
+		return f
+	}
+
+	facts := Solve[DefSet](g, solverReach{a})
+
+	// Materialize per-instruction facts.
+	f.before = make([]DefSet, len(g.Prog.Code.Words))
+	for _, b := range g.Blocks {
+		cur := facts.In[b.Start].clone()
+		for pc := b.Start; pc < b.End; pc++ {
+			f.before[pc-base] = cur.clone()
+			a.step(pc, cur)
+		}
+	}
+	return f
+}
+
+// solverReach is the Analysis[DefSet] view of reachAnalysis.
+type solverReach struct{ a reachAnalysis }
+
+func (s solverReach) Direction() Direction { return Forward }
+func (s solverReach) Bottom() DefSet       { return s.a.bottom() }
+
+func (s solverReach) Boundary(b *cfg.Block) DefSet {
+	if s.a.g.HasIndirect {
+		// Any block can be a jalr target: every def (and every entry
+		// value) may reach it.
+		return s.a.universal
+	}
+	if b.Start == s.a.g.BlockFor(s.a.g.Prog.Entry).Start {
+		return s.a.entry
+	}
+	return s.a.bottom()
+}
+
+func (s solverReach) Join(x, y DefSet) (DefSet, bool) {
+	out := x.clone()
+	changed := out.union(y)
+	return out, changed
+}
+
+func (s solverReach) Transfer(b *cfg.Block, in DefSet) DefSet {
+	cur := in.clone()
+	for pc := b.Start; pc < b.End; pc++ {
+		s.a.step(pc, cur)
+	}
+	return cur
+}
+
+// step applies one instruction's def effect to the fact in place.
+func (a reachAnalysis) step(pc uint64, cur DefSet) {
+	in := a.g.Prog.InstAt(pc)
+	sites := a.f.index[pc]
+	if len(sites) == 0 {
+		return
+	}
+	if IsCall(in) {
+		// The call certainly writes rd (killing its other defs) and may
+		// write everything else (killing nothing).
+		if in.Rd != isa.RegZero {
+			a.kill(cur, in.Rd)
+		}
+		for _, si := range sites {
+			cur.add(si)
+		}
+		return
+	}
+	d, _ := Def(in)
+	a.kill(cur, d)
+	cur.add(sites[0])
+}
+
+// kill removes every site (including the entry pseudo-site) for register r.
+func (a reachAnalysis) kill(cur DefSet, r uint8) {
+	for i, w := range a.f.killMask[r] {
+		cur[i] &^= w
+	}
+}
+
+// DefsBefore returns the program counters of the def sites of register r
+// that may reach the point immediately before pc, plus whether the
+// register's pre-execution entry value may still reach there.
+func (f *ReachFacts) DefsBefore(pc uint64, r uint8) (sites []uint64, entry bool) {
+	cur := f.before[pc-f.g.Prog.Code.Base]
+	for i := 0; i < f.nSites; i++ {
+		if f.siteReg[i] == r && cur.has(i) {
+			sites = append(sites, f.sitePC[i])
+		}
+	}
+	return sites, cur.has(f.nSites + int(r))
+}
+
+// ReachesBefore reports whether the def of register r at def-site pc defPC
+// may reach the point immediately before pc (or, with entry=true semantics,
+// use DefsBefore).
+func (f *ReachFacts) ReachesBefore(pc uint64, r uint8, defPC uint64) bool {
+	cur := f.before[pc-f.g.Prog.Code.Base]
+	for _, si := range f.index[defPC] {
+		if f.siteReg[si] == r && cur.has(si) {
+			return true
+		}
+	}
+	return false
+}
+
+// EntryReachesBefore reports whether register r's pre-execution value may
+// reach the point immediately before pc.
+func (f *ReachFacts) EntryReachesBefore(pc uint64, r uint8) bool {
+	cur := f.before[pc-f.g.Prog.Code.Base]
+	return cur.has(f.nSites + int(r))
+}

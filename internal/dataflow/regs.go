@@ -1,0 +1,91 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+
+	"mssp/internal/isa"
+)
+
+// RegSet is a bitset over the 32 MIR registers. Register 0 is hardwired to
+// zero, so it never appears in use or live sets: reading it is not a data
+// dependence and writing it has no effect.
+type RegSet uint32
+
+// AllRegs is the set of every register that can carry a value (r1..r31).
+const AllRegs RegSet = 0xfffffffe
+
+// Has reports whether register r is in the set.
+func (s RegSet) Has(r uint8) bool { return s&(1<<r) != 0 }
+
+// Add returns the set with register r added. Adding r0 is a no-op.
+func (s RegSet) Add(r uint8) RegSet {
+	if r == isa.RegZero {
+		return s
+	}
+	return s | 1<<r
+}
+
+// Remove returns the set with register r removed.
+func (s RegSet) Remove(r uint8) RegSet { return s &^ (1 << r) }
+
+// Union returns the union of the two sets.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// Count returns the number of registers in the set.
+func (s RegSet) Count() int {
+	n := 0
+	for v := uint32(s); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// String renders the set as "{r3 r7 r31}".
+func (s RegSet) String() string {
+	var parts []string
+	for r := uint8(0); r < isa.NumRegs; r++ {
+		if s.Has(r) {
+			parts = append(parts, fmt.Sprintf("r%d", r))
+		}
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// IsCall reports whether the instruction is a call: a control transfer that
+// records a return address. Calls transfer into code the intraprocedural
+// analyses do not trace instruction-by-instruction (the callee is entered and
+// left through link-register conventions), so the analyses treat them as
+// summaries: a call may read and may write any register.
+func IsCall(in isa.Inst) bool {
+	return (in.Op == isa.OpJal || in.Op == isa.OpJalr) && in.Rd != isa.RegZero
+}
+
+// Uses returns the registers the instruction reads. r0 reads are excluded
+// (they are the constant zero, not a dependence). Calls conservatively read
+// every register: the callee's reads are summarized into the call site.
+func Uses(in isa.Inst) RegSet {
+	if IsCall(in) {
+		return AllRegs
+	}
+	var s RegSet
+	if in.Op.ReadsRs1() {
+		s = s.Add(in.Rs1)
+	}
+	if in.Op.ReadsRs2() {
+		s = s.Add(in.Rs2)
+	}
+	if in.Op == isa.OpJalr { // jump base
+		s = s.Add(in.Rs1)
+	}
+	return s
+}
+
+// Def returns the register the instruction writes and whether it writes one.
+// Writes to r0 are discarded by the machine and reported as no def.
+func Def(in isa.Inst) (uint8, bool) {
+	if !in.Op.HasRd() || in.Rd == isa.RegZero {
+		return 0, false
+	}
+	return in.Rd, true
+}
