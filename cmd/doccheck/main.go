@@ -52,6 +52,7 @@ var checkedPackages = []string{
 	"internal/chaos",
 	"internal/dataflow",
 	"internal/vet",
+	"internal/parallel",
 }
 
 // taxonomyDocs are the markdown files that must each mention every

@@ -19,10 +19,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mssp/internal/bench"
 	"mssp/internal/core"
@@ -46,9 +49,18 @@ func main() {
 	if *scale == "train" {
 		s = workloads.Train
 	}
+	// Ctrl-C / SIGTERM cancels the shared context: the serial harness stops
+	// at the next sweep point, the parallel harness fails queued jobs, and
+	// the experiment loop below stops starting new experiments — so an
+	// interrupted run exits promptly with a summary instead of finishing
+	// the suite.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ctx := bench.NewContext(s)
 	ctx.Parallel = *parallel
 	ctx.Workers = *workers
+	ctx.Ctx = sigCtx
 	defer ctx.Close()
 	if *names != "" {
 		ctx.Names = strings.Split(*names, ",")
@@ -82,6 +94,11 @@ func main() {
 
 	var failed []string
 	for _, e := range exps {
+		if sigCtx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "experiments: interrupted before %s; stopping\n", e.ID)
+			failed = append(failed, fmt.Sprintf("%s (interrupted)", e.ID))
+			continue
+		}
 		out, err := e.Run(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)

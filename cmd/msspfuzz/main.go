@@ -37,6 +37,7 @@ func main() {
 		requireC = flag.Bool("require-coverage", false, "fail unless the soak provoked every event kind and squash reason")
 		verbose  = flag.Bool("v", false, "print the full JSON report of every run")
 		interp   = flag.String("interp", "fast", "execution core: fast, slow, or both (run each seed on both and diff the reports)")
+		engine   = flag.String("engine", "det", "speculative engine(s): det, or parallel (adds true-parallel legs cross-checked against det)")
 	)
 	flag.Parse()
 
@@ -46,19 +47,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "msspfuzz: -interp must be fast, slow or both, got %q\n", *interp)
 		os.Exit(2)
 	}
-	if *replay != "" {
-		os.Exit(replayArtifacts(*replay, *verbose))
+	switch *engine {
+	case chaos.EngineDet, chaos.EngineParallel:
+	default:
+		fmt.Fprintf(os.Stderr, "msspfuzz: -engine must be det or parallel, got %q\n", *engine)
+		os.Exit(2)
 	}
-	os.Exit(soak(*seed, *count, *faults, *out, *interp, *requireC, *verbose))
+	if *engine == chaos.EngineParallel && *interp == "both" {
+		// The interp differential byte-diffs the two reports; parallel legs
+		// carry schedule-dependent metrics, so the diff would be noise.
+		fmt.Fprintln(os.Stderr, "msspfuzz: -engine parallel cannot combine with -interp both (parallel reports are not byte-comparable)")
+		os.Exit(2)
+	}
+	if *replay != "" {
+		os.Exit(replayArtifacts(*replay, *engine, *verbose))
+	}
+	os.Exit(soak(*seed, *count, *faults, *out, *interp, *engine, *requireC, *verbose))
 }
 
 // runSeed executes one seed under the selected interpreter(s). For "both"
 // it runs the fast and slow cores and appends a failure to the (fast)
 // report if the two reports are not byte-identical JSON — the command-line
 // form of the interpreter differential.
-func runSeed(s uint64, faults float64, interp string) *chaos.Report {
+func runSeed(s uint64, faults float64, interp, engine string) *chaos.Report {
 	if interp != "both" {
-		return chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: interp})
+		return chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: interp, Engine: engine})
 	}
 	fast := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "fast"})
 	slow := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "slow"})
@@ -73,7 +86,7 @@ func runSeed(s uint64, faults float64, interp string) *chaos.Report {
 }
 
 // soak runs count consecutive seeds and reports aggregate coverage.
-func soak(seed uint64, count int, faults float64, out, interp string, requireC, verbose bool) int {
+func soak(seed uint64, count int, faults float64, out, interp, engine string, requireC, verbose bool) int {
 	var sink *os.File
 	if out != "" {
 		f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -89,13 +102,15 @@ func soak(seed uint64, count int, faults float64, out, interp string, requireC, 
 	failed := 0
 	for i := 0; i < count; i++ {
 		s := seed + uint64(i)
-		rep := runSeed(s, faults, interp)
+		rep := runSeed(s, faults, interp, engine)
 		if verbose {
 			b, _ := json.MarshalIndent(rep, "", "  ")
 			fmt.Println(string(b))
 		}
 		cov.Merge(legCoverage(rep.Clean))
 		cov.Merge(legCoverage(rep.Fault))
+		cov.Merge(legCoverage(rep.ParClean))
+		cov.Merge(legCoverage(rep.ParFault))
 		if rep.OK {
 			continue
 		}
@@ -127,7 +142,7 @@ func soak(seed uint64, count int, faults float64, out, interp string, requireC, 
 // replayArtifacts re-runs each recorded failure from its seed alone. A
 // record that still fails identically is "reproduced"; one that now passes
 // (after a fix) is reported as such.
-func replayArtifacts(path string, verbose bool) int {
+func replayArtifacts(path, engine string, verbose bool) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "msspfuzz:", err)
@@ -145,7 +160,7 @@ func replayArtifacts(path string, verbose bool) int {
 	}
 	reproduced := 0
 	for _, a := range arts {
-		rep := chaos.Run(chaos.Options{Seed: a.Seed, FaultIntensity: a.FaultIntensity})
+		rep := chaos.Run(chaos.Options{Seed: a.Seed, FaultIntensity: a.FaultIntensity, Engine: engine})
 		if verbose {
 			b, _ := json.MarshalIndent(rep, "", "  ")
 			fmt.Println(string(b))

@@ -5,6 +5,7 @@
 //
 //	msspsim -workload compress -scale ref
 //	msspsim -file prog.s -slaves 15 -stride 200 -audit
+//	msspsim -workload mtf -parallel            # true-parallel engine, wall-clock timing
 //	msspsim -workload mtf -trace run.jsonl     # JSONL lifecycle event stream
 //	msspsim -workload mtf -timeline 20         # last 20 commit/squash events
 //	msspsim -replay run.jsonl                  # rebuild the timeline offline
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mssp"
 	"mssp/internal/bench"
@@ -31,6 +33,7 @@ func main() {
 		stride    = flag.Uint64("stride", 100, "task-size target in instructions")
 		threshold = flag.Float64("threshold", 0.99, "distiller bias threshold (1.0 disables pruning)")
 		audit     = flag.Bool("audit", false, "run the jumping-refinement auditor alongside")
+		par       = flag.Bool("parallel", false, "run the true-parallel engine (goroutine master/slaves, wall-clock timing) instead of the deterministic machine")
 		traceOut  = flag.String("trace", "", "write the task-lifecycle event stream to this JSONL file")
 		timeline  = flag.Int("timeline", 0, "print the last N commit/squash timeline events")
 		replay    = flag.String("replay", "", "render the ASCII timeline from a JSONL trace file and exit")
@@ -87,6 +90,11 @@ func main() {
 		pl.Distilled.Stats.OrigInsts, pl.Distilled.Stats.DistInsts,
 		pl.Distilled.Stats.StaticCodeRatio, len(pl.Distilled.Anchors))
 
+	if *par {
+		runParallel(pl, sink, &rec, *timeline, *audit)
+		return
+	}
+
 	res, err := pl.Run()
 	if sink != nil {
 		// The stream is complete once the machine has run; close before any
@@ -111,6 +119,45 @@ func main() {
 
 	if *audit {
 		rep, err := pl.Audit()
+		if err != nil {
+			fatal(err)
+		}
+		if rep.OK {
+			fmt.Printf("audit:    OK — %d commits, %d reference instructions replayed\n",
+				rep.Commits, rep.RefSteps)
+		} else {
+			fmt.Printf("audit:    VIOLATED — %v\n", rep.FirstViolation())
+			os.Exit(1)
+		}
+	}
+}
+
+// runParallel executes the pipeline on the true-parallel engine, timing the
+// run and its sequential baseline on the wall clock (the parallel engine has
+// no cycle model; real elapsed time is its only honest speedup metric).
+func runParallel(pl *mssp.Pipeline, sink *obs.JSONL, rec *trace.Recorder, timeline int, audit bool) {
+	t0 := time.Now()
+	res, err := pl.RunParallel()
+	parWall := time.Since(t0)
+	if sink != nil {
+		if cerr := sink.Close(); cerr != nil {
+			fatal(cerr)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	m := res.Parallel.Metrics
+	fmt.Printf("parallel: %s\n", m.String())
+	fmt.Printf("baseline: %d instructions (state verified equal)\n", res.Baseline.Steps)
+	fmt.Printf("wall:     %v for %d committed insts on %d goroutines (msspbench records calibrated speedup vs the timed sequential core)\n",
+		parWall, m.CommittedInsts, res.Parallel.Goroutines)
+
+	if timeline > 0 {
+		fmt.Printf("\ntimeline (last %d events):\n%s", timeline, rec.String())
+	}
+	if audit {
+		rep, err := pl.AuditParallel()
 		if err != nil {
 			fatal(err)
 		}

@@ -14,17 +14,23 @@
 //	       comparing or switching on a raw string that equals one of their
 //	       values bypasses the taxonomy and breaks silently if a reason is
 //	       ever renamed.
+//	GA004  no bare go statement in internal/parallel outside spawn.go —
+//	       the engine counts, joins and drains every goroutine through its
+//	       spawn helper; a stray `go func` escapes shutdown accounting and
+//	       can outlive the engine (or deadlock its WaitGroup-based drain).
 //
 // Test files are exempt from GA001/GA002 (tests may measure wall time and
-// draw seeds), but not from GA003: a test string-matching a squash reason
-// is exactly the silent breakage the rule exists for.
+// draw seeds) and GA004 (tests may race goroutines against the engine),
+// but not from GA003: a test string-matching a squash reason is exactly
+// the silent breakage the rule exists for.
 //
 // Usage:
 //
 //	goanalysis [-core internal/core/config.go] [pkgdir ...]
 //
-// With no package directories, the three determinism packages are checked:
-// internal/core, internal/chaos, internal/distill.
+// With no package directories, the four determinism/concurrency packages
+// are checked: internal/core, internal/chaos, internal/distill,
+// internal/parallel.
 package main
 
 import (
@@ -41,8 +47,13 @@ import (
 )
 
 // defaultDirs are the packages whose behavior must be a pure function of
-// their inputs: the machine, the differential harness, the distiller.
-var defaultDirs = []string{"internal/core", "internal/chaos", "internal/distill"}
+// their inputs — the machine, the differential harness, the distiller —
+// plus the true-parallel engine, whose goroutine discipline GA004 guards.
+var defaultDirs = []string{"internal/core", "internal/chaos", "internal/distill", "internal/parallel"}
+
+// spawnFiles are the files allowed to contain go statements in packages
+// covered by GA004: the engine's single spawn helper.
+var spawnFiles = map[string]bool{"spawn.go": true}
 
 func main() {
 	corePath := flag.String("core", "internal/core/config.go",
@@ -151,6 +162,11 @@ func checkFile(path, corePath string, squash map[string]string) ([]finding, erro
 	isTest := strings.HasSuffix(path, "_test.go")
 	// The defining file may mention its own values freely.
 	isDefiner := filepath.Clean(path) == filepath.Clean(corePath)
+	// GA004 covers the parallel engine's non-test files except the spawn
+	// helper itself, which exists to be the one place goroutines start.
+	ga004 := !isTest &&
+		strings.Contains(filepath.ToSlash(filepath.Clean(path)), "internal/parallel") &&
+		!spawnFiles[filepath.Base(path)]
 
 	// Resolve the local names of the imports we care about; dot and blank
 	// imports of these packages do not occur in this codebase.
@@ -180,6 +196,11 @@ func checkFile(path, corePath string, squash map[string]string) ([]finding, erro
 
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.GoStmt:
+			if ga004 {
+				report(n.Pos(), "GA004",
+					"bare go statement outside spawn.go; route goroutines through the engine's spawn helper so shutdown can count and join them")
+			}
 		case *ast.CallExpr:
 			if isTest {
 				return true

@@ -193,6 +193,48 @@ func check(reason string) bool { return reason == "overflow" }
 	}
 }
 
+func TestBareGoStatementFlaggedOutsideSpawn(t *testing.T) {
+	dir, core, squash := setup(t)
+	pdir := filepath.Join(dir, "internal", "parallel")
+	if err := os.MkdirAll(pdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write(t, pdir, "engine.go", `package parallel
+
+func leak() { go func() {}() } // flagged: escapes shutdown accounting
+`)
+	write(t, pdir, "spawn.go", `package parallel
+
+func spawn(fn func()) { go fn() } // allowed: the one sanctioned launch site
+`)
+	write(t, pdir, "engine_test.go", `package parallel
+
+func race() { go func() {}() } // allowed: tests may race the engine
+`)
+	fs, err := checkDir(pdir, core, squash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ruleCount(fs)["GA004"] != 1 {
+		t.Fatalf("want exactly the engine.go finding, got: %v", fs)
+	}
+}
+
+func TestGoStatementOutsideParallelNotFlagged(t *testing.T) {
+	dir, core, squash := setup(t)
+	write(t, dir, "pool.go", `package core
+
+func fan() { go func() {}() }
+`)
+	fs, err := checkDir(dir, core, squash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ruleCount(fs)["GA004"] != 0 {
+		t.Fatalf("GA004 fired outside internal/parallel: %v", fs)
+	}
+}
+
 // TestRealTreeIsClean runs the analyzer over the actual determinism
 // packages, mirroring the CI vet job.
 func TestRealTreeIsClean(t *testing.T) {

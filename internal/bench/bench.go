@@ -52,6 +52,13 @@ type Context struct {
 	Parallel bool
 	// Workers bounds the pool when Parallel is set (0 = GOMAXPROCS).
 	Workers int
+	// Ctx, when non-nil, cancels sweeps in flight: the serial path checks
+	// it between sweep points and the parallel path hands it to the
+	// scheduler, which fails queued-but-unstarted jobs with ctx.Err().
+	// cmd/experiments wires its Ctrl-C/SIGTERM signal context here so an
+	// interrupted run stops promptly instead of finishing the sweep. Nil
+	// means context.Background() (never canceled).
+	Ctx context.Context
 	// Instrument, when non-nil, is called with each MSSP machine's
 	// configuration just before it runs (label is the workload name), so
 	// callers can attach observers — e.g. cmd/experiments -trace wires a
@@ -125,14 +132,27 @@ func (c *Context) SchedulerMetrics() sched.Metrics {
 	return s.Metrics()
 }
 
+// ctx returns the context governing sweeps (Background when unset).
+func (c *Context) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
 // fanOut computes fn(i) for every index in [0,n) — concurrently through
 // the context's scheduler when Parallel is set, serially otherwise — and
 // returns the results in index order either way, so callers render output
-// independent of completion order.
+// independent of completion order. Cancellation of c.Ctx aborts the sweep
+// with its error.
 func fanOut[T any](c *Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	ctx := c.ctx()
 	if !c.Parallel {
 		out := make([]T, n)
 		for i := range out {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -141,7 +161,7 @@ func fanOut[T any](c *Context, n int, fn func(i int) (T, error)) ([]T, error) {
 		}
 		return out, nil
 	}
-	return sched.Map(context.Background(), c.scheduler(), n,
+	return sched.Map(ctx, c.scheduler(), n,
 		func(_ context.Context, i int) (T, error) { return fn(i) })
 }
 

@@ -33,6 +33,7 @@ import (
 	"mssp/internal/distill"
 	"mssp/internal/model"
 	"mssp/internal/obs"
+	"mssp/internal/parallel"
 	"mssp/internal/profile"
 	"mssp/internal/refine"
 	"mssp/internal/state"
@@ -74,7 +75,24 @@ type Options struct {
 	// soundness contract, and passes_test.go enforces it differentially
 	// across the seed corpus.
 	DistillPasses bool
+	// Engine selects which speculative machines the differential runs.
+	// "" or "det" runs the deterministic machine only (the historical
+	// three-way differential). "parallel" additionally runs the seed on the
+	// true-parallel engine (internal/parallel) — clean and, with faults,
+	// injected legs — audited by the same streaming refinement checker,
+	// model shadow and coverage sink, and cross-checks its final digests
+	// against the deterministic legs' (a four/five-way differential).
+	// Parallel legs carry schedule-dependent metrics, so reports for
+	// Engine "parallel" are not byte-comparable across runs; the interp
+	// differential ("both") therefore refuses to combine with it.
+	Engine string
 }
+
+// Engine values for Options.Engine.
+const (
+	EngineDet      = "det"
+	EngineParallel = "parallel"
+)
 
 // defaultMaxSeqSteps bounds generated programs' dynamic length. Generated
 // loop nests stay well under this; hitting it means the generator broke its
@@ -126,6 +144,16 @@ type Report struct {
 	Clean *LegReport `json:"clean,omitempty"`
 	// Fault is the fault-injected MSSP leg (nil when skipped).
 	Fault *LegReport `json:"fault,omitempty"`
+	// ParClean is the true-parallel engine's clean leg (nil unless
+	// Options.Engine is "parallel"). Its final digest must match the
+	// deterministic legs' and the sequential baseline's: commit-time live-in
+	// verification makes the final state schedule-independent, so goroutine
+	// interleaving may change the squash taxonomy but never the state.
+	ParClean *LegReport `json:"parClean,omitempty"`
+	// ParFault is the true-parallel engine's fault-injected leg (nil unless
+	// Options.Engine is "parallel"); same digest contract as ParClean,
+	// cross-checked against the deterministic faulted leg.
+	ParFault *LegReport `json:"parFault,omitempty"`
 	// Failures lists every divergence or harness error, rendered. Empty
 	// iff OK.
 	Failures []string `json:"failures,omitempty"`
@@ -261,8 +289,82 @@ func Run(opts Options) *Report {
 		plan := &FaultPlan{Seed: opts.Seed, Intensity: opts.FaultIntensity}
 		rep.Fault = runLeg(g, dist, rep.Knobs, plan, baseline, opts, "fault", failf)
 	}
+
+	// Legs 4 and 5: the true-parallel engine, differentially against both
+	// the sequential baseline and the deterministic machine's digests.
+	switch opts.Engine {
+	case "", EngineDet:
+	case EngineParallel:
+		rep.ParClean = runParallelLeg(g, dist, rep.Knobs, nil, baseline, opts, "par-clean", failf)
+		if rep.Clean != nil && rep.ParClean.FinalDigest != rep.Clean.FinalDigest {
+			failf("par-clean: final digest %x differs from deterministic machine's %x",
+				rep.ParClean.FinalDigest, rep.Clean.FinalDigest)
+		}
+		if opts.FaultIntensity > 0 {
+			plan := &FaultPlan{Seed: opts.Seed, Intensity: opts.FaultIntensity}
+			rep.ParFault = runParallelLeg(g, dist, rep.Knobs, plan, baseline, opts, "par-fault", failf)
+			if rep.Fault != nil && rep.ParFault.FinalDigest != rep.Fault.FinalDigest {
+				failf("par-fault: final digest %x differs from deterministic machine's %x",
+					rep.ParFault.FinalDigest, rep.Fault.FinalDigest)
+			}
+		}
+	default:
+		failf("options: unknown engine %q", opts.Engine)
+	}
 	rep.OK = len(rep.Failures) == 0
 	return rep
+}
+
+// runParallelLeg executes one leg on the true-parallel engine under the
+// streaming refinement auditor, the model shadow and the coverage sink. The
+// audit pipeline is identical to runLeg's; only the machine differs — the
+// auditors consume the engine-agnostic commit stream and cannot tell which
+// machine produced it.
+func runParallelLeg(g *Generated, dist *distill.Result, knobs Knobs, plan *FaultPlan,
+	baseline *state.State, opts Options, leg string, failf func(string, ...any)) *LegReport {
+
+	lr := &LegReport{Coverage: NewCoverage()}
+	cfg := knobs.Config()
+	cfg.DisableFastPath = opts.Interp == "slow"
+	if plan != nil {
+		cfg.Fault = plan.Injection()
+	}
+	obs.Attach(&cfg, lr.Coverage)
+	if opts.Observe != nil {
+		opts.Observe(leg, &cfg)
+	}
+
+	shadow := newModelAudit(baselineStart(g), opts.ModelCheckCap)
+	aud := refine.NewAuditor(g.Prog, cfg.SP, refine.Options{FullCheckEvery: 16, CheckTaskSafety: true})
+	cfg.OnCommit = func(ev core.CommitEvent) {
+		shadow.onCommit(ev)
+		aud.OnCommit(ev)
+	}
+
+	res, err := parallel.Run(g.Prog, dist, cfg)
+	if err != nil {
+		failf("%s: machine error: %v", leg, err)
+		return lr
+	}
+	rrep := aud.Finish(res.Final)
+	lr.Commits = rrep.Commits
+	lr.RefineOK = rrep.OK
+	lr.Metrics = res.Metrics.String()
+	for _, v := range rrep.Violations {
+		lr.Violations = append(lr.Violations, v.Error())
+		failf("%s: refine: %v", leg, v)
+	}
+	lr.ModelChecked = shadow.checked
+	for _, v := range shadow.violations {
+		lr.ModelViolations = append(lr.ModelViolations, v)
+		failf("%s: model: %s", leg, v)
+	}
+	lr.FinalMatchesSeq = res.Final.Equal(baseline)
+	lr.FinalDigest = res.Final.Digest()
+	if !lr.FinalMatchesSeq {
+		failf("%s: final architected state differs from sequential baseline", leg)
+	}
+	return lr
 }
 
 // runLeg executes one MSSP leg under the refinement checker, the model

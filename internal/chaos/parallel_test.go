@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestParallelEngineDifferential: the true-parallel engine joins the
+// differential as legs four and five — its clean and faulted final digests
+// must match the deterministic machine's legs and the sequential baseline
+// on every seed, under the same refine/model/coverage audits. GOMAXPROCS is
+// raised so goroutines genuinely interleave; the full ≥1000-seed soak runs
+// in CI via `msspfuzz -engine parallel` (with -race in the race job).
+func TestParallelEngineDifferential(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	seeds := uint64(15)
+	if testing.Short() {
+		seeds = 4
+	}
+	cov := NewCoverage()
+	for seed := uint64(0); seed < seeds; seed++ {
+		rep := Run(Options{Seed: seed, FaultIntensity: 1, Engine: EngineParallel})
+		if !rep.OK {
+			t.Fatalf("seed %d (replay: go run ./cmd/msspfuzz -engine parallel -seed %d -faults 1):\n%s",
+				seed, seed, strings.Join(rep.Failures, "\n"))
+		}
+		if rep.ParClean == nil || rep.ParFault == nil {
+			t.Fatalf("seed %d: parallel legs missing from report", seed)
+		}
+		if rep.ParClean.FinalDigest != rep.SeqDigest {
+			t.Fatalf("seed %d: par-clean digest %x != seq %x", seed, rep.ParClean.FinalDigest, rep.SeqDigest)
+		}
+		cov.Merge(rep.ParClean.Coverage)
+		cov.Merge(rep.ParFault.Coverage)
+	}
+	if miss := cov.MissingKinds(); len(miss) > 0 {
+		t.Errorf("parallel legs never provoked lifecycle kinds %v in %d seeds", miss, seeds)
+	}
+}
+
+// TestParallelEngineUnknownEngine: a bad engine name is a recorded failure,
+// not a silent fallback to the deterministic machine.
+func TestParallelEngineUnknownEngine(t *testing.T) {
+	rep := Run(Options{Seed: 1, Engine: "warp"})
+	if rep.OK {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+// TestDetReportUnchangedByEngineField: Engine "det" must produce the exact
+// report the historical default produces — the byte-diff contracts
+// (-interp both, replay) depend on it.
+func TestDetReportUnchangedByEngineField(t *testing.T) {
+	a := Run(Options{Seed: 11, FaultIntensity: 1})
+	b := Run(Options{Seed: 11, FaultIntensity: 1, Engine: EngineDet})
+	if a.ParClean != nil || b.ParClean != nil {
+		t.Fatal("det runs grew parallel legs")
+	}
+	if len(a.Failures)+len(b.Failures) > 0 {
+		t.Fatalf("failures: %v %v", a.Failures, b.Failures)
+	}
+	if a.Clean.FinalDigest != b.Clean.FinalDigest || a.Fault.Metrics != b.Fault.Metrics {
+		t.Fatal("Engine \"det\" changed the deterministic report")
+	}
+}

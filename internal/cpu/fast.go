@@ -111,7 +111,7 @@ func (c *Code) Run(env Env, max uint64) (RunResult, error) {
 // across calls, so a self-modifying program stays on the slow fetch path
 // for this runner's whole life.
 func (c *Code) RunState(s *state.State, max uint64) (RunResult, error) {
-	res, dirty, err := runConcrete(s, c.prog, c.dirty, max)
+	res, _, dirty, err := runConcrete(s, c.prog, c.dirty, max, false)
 	c.dirty = dirty
 	return res, err
 }
@@ -120,9 +120,62 @@ func (c *Code) RunState(s *state.State, max uint64) (RunResult, error) {
 // interface dispatch, decoding each instruction from memory (no predecoded
 // table). This is the devirtualized drop-in for Run(StateEnv{S: s}, max).
 func RunState(s *state.State, max uint64) (RunResult, error) {
-	res, _, err := runConcrete(s, nil, false, max)
+	res, _, _, err := runConcrete(s, nil, false, max, false)
 	return res, err
 }
+
+// StopKind classifies why RunToStop returned.
+type StopKind uint8
+
+const (
+	// StopSteps: the step budget ran out.
+	StopSteps StopKind = iota
+	// StopHalt: a halt instruction executed (PC is the halt fixpoint).
+	StopHalt
+	// StopFork: a FORK instruction executed; Anchor holds its immediate
+	// (an original-program PC) and the state's PC is past the fork.
+	StopFork
+	// StopJalr: an indirect jump executed; the state's PC is the raw,
+	// untranslated target. Master engines translate it and resume.
+	StopJalr
+	// StopFault: an invalid instruction word (also reported as an error).
+	StopFault
+)
+
+// StopResult reports a RunToStop stop.
+type StopResult struct {
+	Steps  uint64   // instructions executed this call (stop event included)
+	Kind   StopKind //
+	Anchor uint64   // FORK immediate, valid when Kind == StopFork
+}
+
+// RunToStop executes at most max instructions directly against s on the
+// devirtualized loop, additionally stopping — with the instruction's effects
+// applied and the PC advanced — at every FORK (reporting its anchor) and
+// every JALR (leaving the untranslated target in s.PC for the caller to
+// map). It exists for master engines: the true-parallel runtime's master
+// goroutine runs the distilled program here at full fast-path speed and
+// layers fork/translation policy on top, instead of stepping through the
+// Env interface. The dirty flag persists like RunState's.
+func (c *Code) RunToStop(s *state.State, max uint64) (StopResult, error) {
+	res, stop, dirty, err := runConcrete(s, c.prog, c.dirty, max, true)
+	c.dirty = dirty
+	stop.Steps = res.Steps
+	return stop, err
+}
+
+// DivSigned exposes the MIR signed-division semantics (divide by zero yields
+// all ones; INT64_MIN / -1 wraps) for execution loops outside this package,
+// such as the slave fast path in internal/task.
+func DivSigned(a, b uint64) uint64 { return divSigned(a, b) }
+
+// RemSigned exposes the MIR signed-remainder semantics (remainder by zero
+// yields rs1; INT64_MIN % -1 yields 0); see DivSigned.
+func RemSigned(a, b uint64) uint64 { return remSigned(a, b) }
+
+// BoolWord returns 1 for true and 0 for false, the MIR comparison result
+// encoding.
+func BoolWord(b bool) uint64 { return boolWord(b) }
 
 // rdr reads register r of s; register 0 reads as zero. The &31 lets the
 // compiler drop the bounds check (decode already masks to five bits).
@@ -140,14 +193,16 @@ func wrr(s *state.State, r uint8, v uint64) {
 	}
 }
 
-// runConcrete is the devirtualized interpreter loop shared by RunState and
-// Code.RunState. When code is non-nil and not dirty, instructions come from
-// the predecode table; otherwise each fetch reads memory and decodes. It
-// returns the (possibly updated) dirty flag.
+// runConcrete is the devirtualized interpreter loop shared by RunState,
+// Code.RunState and Code.RunToStop. When code is non-nil and not dirty,
+// instructions come from the predecode table; otherwise each fetch reads
+// memory and decodes. It returns the (possibly updated) dirty flag. With
+// stops set, fork and jalr instructions end the run after executing (the
+// RunToStop contract); the StopResult's Steps field is filled by the caller.
 //
 // Per-instruction semantics mirror stepExec exactly; the equivalence suite
 // and the chaos corpus differential hold the two definitions together.
-func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint64) (RunResult, bool, error) {
+func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint64, stops bool) (RunResult, StopResult, bool, error) {
 	var res RunResult
 	m := s.Mem
 	pc := s.PC
@@ -167,7 +222,7 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 		if i := pc - base; fast && i < ilen {
 			if !valid[i] {
 				s.PC = pc
-				return res, dirty, &Fault{PC: pc, Word: words[i]}
+				return res, StopResult{Kind: StopFault}, dirty, &Fault{PC: pc, Word: words[i]}
 			}
 			in = insts[i]
 		} else {
@@ -175,13 +230,20 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 			in = isa.Decode(w)
 			if !in.Op.Valid() {
 				s.PC = pc
-				return res, dirty, &Fault{PC: pc, Word: w}
+				return res, StopResult{Kind: StopFault}, dirty, &Fault{PC: pc, Word: w}
 			}
 		}
 
 		next := pc + 1
 		switch in.Op {
-		case isa.OpNop, isa.OpFork:
+		case isa.OpNop:
+
+		case isa.OpFork:
+			if stops {
+				s.PC = next
+				res.Steps++
+				return res, StopResult{Kind: StopFork, Anchor: uint64(in.Imm)}, dirty, nil
+			}
 
 		case isa.OpAdd:
 			wrr(s, in.Rd, rdr(s, in.Rs1)+rdr(s, in.Rs2))
@@ -279,17 +341,22 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 			target := rdr(s, in.Rs1) + uint64(in.Imm)
 			wrr(s, in.Rd, pc+1)
 			next = target
+			if stops {
+				s.PC = next
+				res.Steps++
+				return res, StopResult{Kind: StopJalr}, dirty, nil
+			}
 
 		case isa.OpHalt:
 			s.PC = pc // halt is a fixpoint
 			res.Steps++
 			res.Halted = true
-			return res, dirty, nil
+			return res, StopResult{Kind: StopHalt}, dirty, nil
 		}
 
 		pc = next
 		res.Steps++
 	}
 	s.PC = pc
-	return res, dirty, nil
+	return res, StopResult{Kind: StopSteps}, dirty, nil
 }

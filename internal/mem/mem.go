@@ -15,7 +15,26 @@
 // turns those accesses from a map lookup into a pointer compare. The caches
 // are invalidated on Snapshot, which is what keeps them coherent with
 // copy-on-write sharing.
+//
+// # Concurrency contract
+//
+// The true-parallel engine (internal/parallel, see docs/PARALLEL.md) runs
+// snapshots of one family on different goroutines, so the sharing rules are
+// load-bearing rather than theoretical:
+//
+//   - A single Memory or Overlay value is goroutine-confined. The page
+//     caches make even Read/Get mutating operations, so one value must
+//     never be touched by two goroutines, even read-only.
+//   - Distinct members of one snapshot family may be used — including
+//     Snapshot itself — from different goroutines concurrently, provided
+//     each value is handed off with ordinary happens-before edges (channel
+//     send, mutex). The shared generation counter is advanced atomically,
+//     so generations stay unique family-wide; in-place page writes only
+//     ever hit pages whose generation matches the writing value's own
+//     (exclusively owned pages), and shared pages are only ever read.
 package mem
+
+import "sync/atomic"
 
 // PageWords is the number of 64-bit words per page. Pages are the unit of
 // copy-on-write sharing.
@@ -47,7 +66,9 @@ type Memory struct {
 	pages map[uint64]*page
 	gen   uint64
 	// genCounter is shared across a snapshot family so generations stay
-	// unique even when snapshots of snapshots are taken.
+	// unique even when snapshots of snapshots are taken. It is advanced
+	// atomically so family members on different goroutines can snapshot
+	// concurrently (see the package concurrency contract).
 	genCounter *uint64
 
 	// Last-page caches. Invariants, whenever the pointers are non-nil:
@@ -114,20 +135,24 @@ func (m *Memory) Write(addr uint64, v uint64) {
 
 // Snapshot returns a logically independent copy of the memory. The copy and
 // the receiver share pages until either side writes.
+//
+// Snapshot may be called concurrently on different members of one family
+// (the generation counter is atomic); the receiver itself must still be
+// goroutine-confined.
 func (m *Memory) Snapshot() *Memory {
-	*m.genCounter++
+	// One atomic bump hands out two fresh generations: one for the clone,
+	// one for the receiver (which must also stop writing into now-shared
+	// pages in place).
+	gen := atomic.AddUint64(m.genCounter, 2)
 	clone := &Memory{
 		pages:      make(map[uint64]*page, len(m.pages)),
-		gen:        *m.genCounter,
+		gen:        gen - 1,
 		genCounter: m.genCounter,
 	}
 	for pn, p := range m.pages {
 		clone.pages[pn] = p
 	}
-	// The receiver must also stop writing into shared pages in place, and
-	// its write cache no longer owns its page.
-	*m.genCounter++
-	m.gen = *m.genCounter
+	m.gen = gen
 	m.readPg = nil
 	m.writePg = nil
 	return clone

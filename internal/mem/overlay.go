@@ -1,6 +1,9 @@
 package mem
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 type opage struct {
 	gen     uint64
@@ -20,7 +23,10 @@ type opage struct {
 // (invalidated on Snapshot and Clear), so repeated accesses to one page —
 // the dominant pattern in slave write buffers and live-in sets — skip the
 // page map. The caches make Get a mutating operation: an Overlay is not
-// safe for concurrent use, but snapshots are independent values.
+// safe for concurrent use, but snapshots are independent values and follow
+// the package-level concurrency contract (atomic generation counter, so
+// different family members may be used and snapshotted from different
+// goroutines).
 type Overlay struct {
 	pages      map[uint64]*opage
 	gen        uint64
@@ -95,19 +101,19 @@ func (o *Overlay) Set(addr uint64, v uint64) {
 func (o *Overlay) Len() int { return o.count }
 
 // Snapshot returns a logically independent copy sharing pages copy-on-write.
+// As with Memory.Snapshot, distinct family members may snapshot concurrently.
 func (o *Overlay) Snapshot() *Overlay {
-	*o.genCounter++
+	gen := atomic.AddUint64(o.genCounter, 2)
 	clone := &Overlay{
 		pages:      make(map[uint64]*opage, len(o.pages)),
-		gen:        *o.genCounter,
+		gen:        gen - 1,
 		genCounter: o.genCounter,
 		count:      o.count,
 	}
 	for pn, p := range o.pages {
 		clone.pages[pn] = p
 	}
-	*o.genCounter++
-	o.gen = *o.genCounter
+	o.gen = gen
 	o.getPg = nil
 	o.setPg = nil
 	return clone
@@ -133,9 +139,8 @@ func (o *Overlay) Range(f func(addr uint64, v uint64) bool) {
 // Clear removes all entries. The overlay remains usable and keeps its
 // snapshot family, so outstanding snapshots are unaffected.
 func (o *Overlay) Clear() {
-	*o.genCounter++
 	o.pages = make(map[uint64]*opage)
-	o.gen = *o.genCounter
+	o.gen = atomic.AddUint64(o.genCounter, 1)
 	o.count = 0
 	o.getPg = nil
 	o.setPg = nil

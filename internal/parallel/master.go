@@ -1,0 +1,189 @@
+package parallel
+
+import (
+	"mssp/internal/cpu"
+	"mssp/internal/mem"
+	"mssp/internal/state"
+	"mssp/internal/task"
+)
+
+// masterLife is one incarnation of the master processor: a goroutine running
+// the distilled program from a reseed point until it halts, gets lost, or is
+// stopped by a squash. The coordinator owns the life's creation (it builds
+// the memory image, so every architected-family snapshot the coordinator
+// depends on stays ordered) and its teardown (close stop, then receive the
+// exit report).
+//
+// Channel discipline: forkCh is unbuffered, so a fork either transfers
+// synchronously to the coordinator or the master sees stop — a squashed
+// life can never leave a stale fork buffered. exitCh has capacity one, so
+// the master can always report its end and exit without waiting for the
+// coordinator.
+type masterLife struct {
+	forkCh chan forkMsg
+	exitCh chan masterExit
+	stop   chan struct{}
+
+	// st is the master's private machine state: distilled code overlaid on
+	// an architected-memory snapshot as of the reseed. Master-goroutine
+	// confined after the spawn handoff.
+	st   *state.State
+	code *cpu.Code
+}
+
+// forkMsg is one taken fork: the next task's anchor, the number of times the
+// anchor's FORK was crossed since the last taken fork (the slave's
+// EndCount), and the checkpoint predicting machine state at the anchor.
+type forkMsg struct {
+	anchor uint64
+	count  uint64
+	ck     task.Checkpoint
+}
+
+// masterStop says why a master life ended.
+type masterStop uint8
+
+const (
+	masterHalted masterStop = iota
+	masterLost
+	masterStopped // coordinator squashed this life
+)
+
+// masterExit is a life's final report. Per-life metric counts ride here (and
+// nowhere else) so the coordinator folds them in with a happens-before edge
+// instead of sharing counters across goroutines.
+type masterExit struct {
+	stop    masterStop
+	insts   uint64
+	skipped uint64 // forks skipped by MinTaskSpacing
+}
+
+// masterChunk bounds one RunToStop call so the stop channel is polled at a
+// predictable period even in fork-free distilled code.
+const masterChunk = 4096
+
+// runMaster is the master goroutine body. It reproduces the deterministic
+// machine's fork policy (crossing counts, MinTaskSpacing, the run-ahead cap,
+// indirect-target translation) on top of the devirtualized cpu.RunToStop
+// loop, and computes checkpoint diffs by page-diffing against the previous
+// fork's snapshot instead of teeing every store through an overlay — the
+// hot loop is the same one the SEQ baseline runs.
+func (e *Engine) runMaster(l *masterLife) {
+	st := l.st
+	var exit masterExit
+
+	// instsSinceFork is primed past any spacing threshold: the reseed fork
+	// at the architected PC must be taken unconditionally. If the first
+	// instruction is not a taken fork the run-ahead check declares the
+	// master lost, exactly like the deterministic machine.
+	instsSinceFork := uint64(1) << 62
+	crossings := make(map[uint64]uint64)
+
+	// diffBase is the master's memory as of the previous fork (initially the
+	// reseed image); cum accumulates all predicted writes since reseed.
+	diffBase := st.Mem.Snapshot()
+	cum := mem.NewOverlay()
+
+	for {
+		select {
+		case <-l.stop:
+			exit.stop = masterStopped
+			l.exitCh <- exit
+			return
+		default:
+		}
+
+		chunk := uint64(masterChunk)
+		if instsSinceFork <= e.cfg.MasterRunaheadCap {
+			if left := e.cfg.MasterRunaheadCap - instsSinceFork + 1; left < chunk {
+				chunk = left
+			}
+		} else {
+			chunk = 1
+		}
+
+		res, err := l.code.RunToStop(st, chunk)
+		exit.insts += res.Steps
+		instsSinceFork += res.Steps
+		if err != nil {
+			exit.stop = masterLost
+			l.exitCh <- exit
+			return
+		}
+
+		switch res.Kind {
+		case cpu.StopHalt:
+			exit.stop = masterHalted
+			l.exitCh <- exit
+			return
+
+		case cpu.StopFork:
+			a := res.Anchor
+			crossings[a]++
+			if instsSinceFork <= e.cfg.MinTaskSpacing {
+				exit.skipped++
+				break
+			}
+			instsSinceFork = 0
+			c := crossings[a]
+			clear(crossings)
+
+			ck := e.masterCheckpoint(st, diffBase, cum)
+			diffBase = st.Mem.Snapshot()
+			select {
+			case l.forkCh <- forkMsg{anchor: a, count: c, ck: ck}:
+			case <-l.stop:
+				exit.stop = masterStopped
+				l.exitCh <- exit
+				return
+			}
+
+		case cpu.StopJalr:
+			// Indirect-jump targets in distilled code are original-program
+			// addresses; translate them into the distilled address space. An
+			// untranslatable target that is not already distilled code means
+			// the master has lost its way.
+			target := st.PC
+			if dpc, ok := e.dist.OrigToDist[target]; ok {
+				st.PC = dpc
+			} else if !e.dist.Prog.InCode(target) {
+				exit.stop = masterLost
+				l.exitCh <- exit
+				return
+			}
+		}
+
+		if instsSinceFork > e.cfg.MasterRunaheadCap {
+			exit.stop = masterLost
+			l.exitCh <- exit
+			return
+		}
+	}
+}
+
+// masterCheckpoint captures the master's current prediction. New writes
+// since the previous fork are folded into the cumulative overlay by diffing
+// memory images (page-granular, proportional to pages actually written), and
+// the checkpoint carries a snapshot of the cumulative overlay — the same
+// reads-fall-through-to-architected-snapshot contract as the deterministic
+// machine's write log, modulo stores that rewrote a value in place (which
+// the diff cannot see; they only make the prediction marginally sparser,
+// and verification is indifferent to prediction quality).
+func (e *Engine) masterCheckpoint(st *state.State, diffBase *mem.Memory, cum *mem.Overlay) task.Checkpoint {
+	newWords := 0
+	st.Mem.Diff(diffBase, func(a uint64, v, _ uint64) {
+		if _, ok := cum.Get(a); !ok {
+			newWords++
+		}
+		cum.Set(a, v)
+	})
+	ck := task.Checkpoint{
+		Regs:         st.Regs,
+		MemDiff:      cum.Snapshot(),
+		NewDiffWords: newWords,
+	}
+	if e.cfg.MasterSuppliesAllData {
+		ck.FullMem = st.Mem.Snapshot()
+	}
+	return ck
+}

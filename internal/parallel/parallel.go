@@ -1,0 +1,701 @@
+// Package parallel implements a true-parallel MSSP machine: the master, the
+// slave pool, and the verify/commit unit run on real goroutines, with tasks
+// retired strictly in program order through a reservation/check-commit
+// protocol (internal/parallel/ring.go).
+//
+// # Relation to internal/core
+//
+// internal/core is the deterministic reference machine: a discrete-event
+// model in which "parallelism" is bookkeeping over a single goroutine. This
+// package executes the same paradigm with real concurrency — the master runs
+// ahead on its own goroutine while slaves execute speculative tasks on a
+// worker pool — and is differentially checked against core: because commits
+// only happen when a task's recorded live-ins are consistent with architected
+// state, the final architected state is schedule-independent and must equal
+// the deterministic machine's (and SEQ's) bit for bit, no matter how the
+// goroutines interleave. Squash counts and the fork schedule may differ
+// (the parallel master keeps running while older work verifies, so it can be
+// further ahead or behind than the model predicts); the refinement argument
+// does not depend on them.
+//
+// # Threading model
+//
+// Exactly one goroutine — the coordinator, running Engine.run — owns
+// architected state, the reservation ring, metrics, and event emission.
+// Everything else communicates with it over channels:
+//
+//	master life ── forkCh/exitCh ──▶ coordinator ◀── resultCh ── slave workers
+//	                                     │ dispatchCh
+//	                                     ▼
+//	                               slave workers
+//
+// The coordinator performs every snapshot/clone of the architected family
+// itself, so the memory snapshot graph (internal/mem's concurrency contract)
+// only ever branches under a single goroutine per value; the atomic
+// generation counter makes the master's own snapshots of its private image
+// safe against the coordinator snapshotting siblings concurrently.
+//
+// Squashes are epoch-based: the coordinator bumps an atomic epoch, discards
+// the ring, and stops the master life. In-flight slave work from the dead
+// epoch cancels itself cooperatively (task.Task.Cancel) and its results are
+// dropped on arrival. A task of the *current* epoch can never be canceled —
+// cancellation implies the epoch moved, which implies the coordinator already
+// discarded the slot — so a canceled outcome at the verification head is an
+// engine bug, not a recoverable condition.
+//
+// Events (Config.OnLifecycle, OnCommit, OnSquash) are emitted only by the
+// coordinator, in commit order, with a virtual clock (a monotone counter) in
+// place of model time: wall-clock timestamps would make the stream
+// nondeterministic and are banned from engine code anyway (goanalysis GA001).
+// Timing fields of core.Config (CPIs, latencies, penalties) are ignored;
+// structural fields (Slaves, TaskBuffer, MaxTaskLen, MasterRunaheadCap,
+// MinTaskSpacing, fault injection, ...) mean exactly what they mean in core.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mssp/internal/core"
+	"mssp/internal/cpu"
+	"mssp/internal/distill"
+	"mssp/internal/isa"
+	"mssp/internal/state"
+	"mssp/internal/task"
+)
+
+// Result is the outcome of a completed parallel run.
+type Result struct {
+	// Metrics holds the functional counters (instruction counts, squash
+	// taxonomy, traffic). Cycle-model fields stay zero: this machine runs in
+	// wall-clock time, it does not model time. Counters that depend on the
+	// fork/verify interleaving (Squashes, RunaheadSum, ...) are
+	// schedule-dependent; CommittedInsts and the final state are not.
+	Metrics core.Metrics
+	// Final is the architected state at program halt.
+	Final *state.State
+	// Goroutines is the number of goroutines the engine spawned over the
+	// whole run (worker pool + master lives + shutdown helper).
+	Goroutines int
+}
+
+// Run executes the program to completion on the parallel machine.
+func Run(orig *isa.Program, dist *distill.Result, cfg core.Config) (*Result, error) {
+	e, err := newEngine(orig, dist, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+// Engine is one parallel MSSP machine instance, single-use. All fields are
+// coordinator-owned unless noted.
+type Engine struct {
+	cfg  core.Config
+	orig *isa.Program
+	dist *distill.Result
+
+	anchors map[uint64]bool
+	arch    *state.State
+
+	origCode  *isa.DecodedProgram
+	distCode  *isa.DecodedProgram
+	codeClean bool
+
+	// epoch is the squash epoch, read by slave workers and Cancel hooks.
+	epoch atomic.Uint64
+
+	ring *ring
+	life *masterLife // nil while the master is dead
+
+	// dispatchCh carries closed slots to the worker pool; resultCh carries
+	// them back with s.ex filled in. Capacities are sized so workers never
+	// block on resultCh and the coordinator rarely blocks on dispatchCh.
+	dispatchCh chan *slot
+	resultCh   chan *slot
+	workerWg   sync.WaitGroup
+	goroutines int
+
+	metrics core.Metrics
+	taskSeq uint64
+	// vclock is the virtual clock stamped on lifecycle events: a counter
+	// incremented per event, giving a deterministic, monotone Cycle field
+	// without wall-clock time.
+	vclock float64
+	done   bool
+	err    error
+
+	lastSquashCommitted uint64
+	anySquash           bool
+}
+
+func newEngine(orig *isa.Program, dist *distill.Result, cfg core.Config) (*Engine, error) {
+	// Structural validation only — the timing parameters core validates are
+	// ignored here.
+	if cfg.Slaves < 1 {
+		return nil, fmt.Errorf("parallel: need at least one slave, got %d", cfg.Slaves)
+	}
+	if cfg.MaxTaskLen == 0 {
+		return nil, fmt.Errorf("parallel: MaxTaskLen must be positive")
+	}
+	if cfg.MasterRunaheadCap == 0 {
+		return nil, fmt.Errorf("parallel: MasterRunaheadCap must be positive")
+	}
+	if err := orig.Validate(); err != nil {
+		return nil, fmt.Errorf("parallel: original program: %w", err)
+	}
+	if cfg.MaxCommitted == 0 {
+		cfg.MaxCommitted = 10_000_000_000
+	}
+	if cfg.SP == 0 {
+		cfg.SP = 1 << 28
+	}
+	if cfg.TaskBuffer == 0 {
+		cfg.TaskBuffer = 4 * cfg.Slaves
+	}
+	if cfg.TaskBuffer < cfg.Slaves {
+		cfg.TaskBuffer = cfg.Slaves
+	}
+	e := &Engine{
+		cfg:        cfg,
+		orig:       orig,
+		dist:       dist,
+		anchors:    dist.AnchorSet(),
+		arch:       state.NewFromProgram(orig, cfg.SP),
+		ring:       newRing(cfg.TaskBuffer),
+		dispatchCh: make(chan *slot, cfg.TaskBuffer),
+		resultCh:   make(chan *slot, cfg.TaskBuffer+cfg.Slaves+4),
+	}
+	if !cfg.DisableFastPath {
+		e.origCode = isa.Predecode(orig)
+		e.distCode = isa.Predecode(dist.Prog)
+		e.codeClean = true
+	}
+	return e, nil
+}
+
+// run is the coordinator goroutine body (it runs on the caller's goroutine).
+func (e *Engine) run() (*Result, error) {
+	for i := 0; i < e.cfg.Slaves; i++ {
+		id := i
+		e.spawn(&e.workerWg, func() { e.slaveWorker(id) })
+	}
+	e.reseed()
+
+	for !e.done && e.err == nil {
+		if e.metrics.CommittedInsts > e.cfg.MaxCommitted {
+			e.err = fmt.Errorf("parallel: committed instructions exceeded MaxCommitted=%d", e.cfg.MaxCommitted)
+			break
+		}
+		if e.life == nil {
+			e.drain()
+			continue
+		}
+		select {
+		case fm := <-e.life.forkCh:
+			e.handleFork(fm)
+		case s := <-e.resultCh:
+			e.noteResult(s)
+			e.commitDue()
+		case x := <-e.life.exitCh:
+			e.collectExit(x)
+			e.life = nil
+		}
+	}
+
+	e.shutdown()
+	if e.err != nil {
+		return nil, e.err
+	}
+	return &Result{Metrics: e.metrics, Final: e.arch, Goroutines: e.goroutines}, nil
+}
+
+// handleFork processes one taken fork from the live master: close the open
+// reservation (the fork names its end), retire whatever results have already
+// arrived, stall on a full ring, and reserve the new task. A squash anywhere
+// in the middle (epoch change) makes the fork stale — the master life that
+// produced it is already being stopped — so it is dropped.
+func (e *Engine) handleFork(fm forkMsg) {
+	epoch := e.epoch.Load()
+	if open := e.ring.Open(); open != nil {
+		if err := e.ring.Close(open, fm.anchor, fm.count, true); err != nil {
+			e.err = err
+			return
+		}
+		e.dispatch(open)
+	}
+
+	// Retire everything already verifiable, so the new task's architected
+	// snapshot is as fresh as possible (fewer stale live-ins to mispredict).
+	e.commitDue()
+	if e.done || e.err != nil || e.epoch.Load() != epoch {
+		return
+	}
+
+	// Reservation backpressure: the master stalls (we simply do not reserve
+	// or listen to forkCh) until the oldest reservation retires.
+	for e.ring.Full() {
+		h := e.ring.Head()
+		if h.state == SlotDone {
+			if e.verifyHead() {
+				return // squashed; the fork is stale
+			}
+			if e.done || e.err != nil {
+				return
+			}
+			continue
+		}
+		s := <-e.resultCh
+		e.noteResult(s)
+		if e.err != nil {
+			return
+		}
+	}
+
+	e.reserve(fm)
+}
+
+// reserve creates the new open reservation for a fork.
+func (e *Engine) reserve(fm forkMsg) {
+	start := fm.anchor
+	ck := fm.ck
+	if f := e.cfg.Fault; f != nil {
+		// Injection corrupts only the spawning task's predictions — the open
+		// task's end anchor keeps the uncorrupted value, so one injected
+		// fault stays one fault (same contract as core.Machine.spawn).
+		if f.CorruptStart != nil {
+			start = f.CorruptStart(e.taskSeq, fm.anchor)
+		}
+		if f.CorruptCheckpoint != nil {
+			f.CorruptCheckpoint(e.taskSeq, &ck)
+		}
+	}
+	epoch := e.epoch.Load()
+	t := &task.Task{
+		ID:         e.taskSeq,
+		Start:      start,
+		Checkpoint: ck,
+		Snap:       e.arch.Clone(),
+		Code:       e.taskCode(),
+		NonSpec:    e.cfg.NonSpecRegions,
+		// Cancel makes in-flight work from squashed epochs abandon itself
+		// instead of running to the cap on a doomed prediction.
+		Cancel: func() bool { return e.epoch.Load() != epoch },
+	}
+	e.metrics.RunaheadSum += uint64(e.ring.Len())
+	if _, err := e.ring.Reserve(t, epoch); err != nil {
+		e.err = err
+		return
+	}
+	e.taskSeq++
+	e.metrics.Forks++
+	e.metrics.CheckpointNew += uint64(ck.NewDiffWords)
+	e.emit(core.LifecycleEvent{
+		Kind:   core.LifecycleFork,
+		Cycle:  e.tick(),
+		TaskID: t.ID,
+		Start:  t.Start,
+		Queue:  e.ring.Len(),
+	})
+}
+
+// dispatch hands a closed slot to the worker pool, draining results if the
+// dispatch queue is momentarily full (it cannot stay full: closed slots are
+// bounded by the ring capacity, which equals the queue capacity).
+func (e *Engine) dispatch(s *slot) {
+	for {
+		select {
+		case e.dispatchCh <- s:
+			return
+		case r := <-e.resultCh:
+			e.noteResult(r)
+		}
+	}
+}
+
+// noteResult records a slave's completed execution. Results from dead epochs
+// are stale — their slots left the ring at the squash — and are dropped.
+func (e *Engine) noteResult(s *slot) {
+	if s.epoch != e.epoch.Load() {
+		return
+	}
+	if err := e.ring.Complete(s); err != nil {
+		e.err = err
+	}
+}
+
+// commitDue retires every head reservation whose result has arrived, in
+// program order, stopping at the first squash (which empties the ring).
+func (e *Engine) commitDue() {
+	for !e.done && e.err == nil {
+		h := e.ring.Head()
+		if h == nil || h.state != SlotDone {
+			return
+		}
+		if e.verifyHead() {
+			return
+		}
+	}
+}
+
+// verifyHead verifies the oldest reservation (which must hold its result),
+// committing or squashing. Reports whether a squash occurred. This is a port
+// of core.Machine.verifyHead with the timing model replaced by the virtual
+// clock; the functional check order is identical, which is what keeps the
+// two machines' squash taxonomies comparable under fault injection.
+func (e *Engine) verifyHead() (squashed bool) {
+	h := e.ring.Head()
+
+	e.emit(core.LifecycleEvent{
+		Kind:   core.LifecycleDispatch,
+		Cycle:  e.tick(),
+		TaskID: h.t.ID,
+		Start:  h.t.Start,
+		Slave:  h.slave,
+	})
+	e.emit(core.LifecycleEvent{
+		Kind:   core.LifecycleVerify,
+		Cycle:  e.tick(),
+		TaskID: h.t.ID,
+		Start:  h.t.Start,
+	})
+
+	fail := func(reason string, inc *state.Inconsistency, forceFallback bool) {
+		if e.cfg.OnSquash != nil {
+			e.cfg.OnSquash(core.SquashEvent{
+				TaskID:        h.t.ID,
+				Start:         h.t.Start,
+				Reason:        reason,
+				Inconsistency: inc,
+				Discarded:     e.ring.Len() - 1,
+			})
+		}
+		e.emit(core.LifecycleEvent{
+			Kind:      core.LifecycleSquash,
+			Cycle:     e.tick(),
+			TaskID:    h.t.ID,
+			Start:     h.t.Start,
+			Reason:    reason,
+			Discarded: e.ring.Len() - 1,
+		})
+		e.squashAndRecover(forceFallback)
+	}
+
+	if f := e.cfg.Fault; f != nil {
+		// Injected failures take precedence over functional verification,
+		// exactly as in the deterministic machine.
+		if f.DropCompletion != nil && f.DropCompletion(h.t.ID) {
+			e.metrics.TasksDropped++
+			fail(core.SquashDropped, nil, false)
+			return true
+		}
+		if f.ForceFallback != nil && f.ForceFallback(h.t.ID) {
+			e.metrics.TasksForced++
+			fail(core.SquashForced, nil, true)
+			return true
+		}
+	}
+	if h.ex.Outcome == task.OutcomeCanceled {
+		// Cancellation implies the slot's epoch died, which implies the slot
+		// left the ring — a canceled head is a protocol violation.
+		e.err = fmt.Errorf("parallel: canceled task %d at verification head", h.t.ID)
+		return false
+	}
+	switch {
+	case h.t.Start != e.arch.PC:
+		e.metrics.TasksStartMismatch++
+		fail(core.SquashStartMismatch, nil, false)
+		return true
+	case h.ex.Outcome == task.OutcomeOverflow:
+		e.metrics.TasksOverflowed++
+		fail(core.SquashOverflow, nil, false)
+		return true
+	case h.ex.Outcome == task.OutcomeFault:
+		e.metrics.TasksFaulted++
+		fail(core.SquashFault, nil, false)
+		return true
+	case h.ex.Outcome == task.OutcomeNonSpec:
+		e.metrics.TasksNonSpec++
+		fail(core.SquashNonSpec, nil, true)
+		return true
+	}
+	if inc := e.arch.FirstInconsistency(h.ex.LiveIn); inc != nil {
+		e.metrics.TasksMisspec++
+		fail(core.SquashLiveIn, inc, false)
+		return true
+	}
+
+	// Commit: the jump. The coordinator is the sole writer of architected
+	// state, so the superimposition needs no locking.
+	e.noteCodeWrites(h.ex.LiveOut)
+	e.arch.Apply(h.ex.LiveOut)
+	if err := e.ring.PopCommitted(); err != nil {
+		e.err = err
+		return false
+	}
+
+	e.metrics.TasksCommitted++
+	e.metrics.CommittedInsts += h.ex.Steps
+	e.metrics.LiveInWords += uint64(h.ex.LiveIn.Len())
+	e.metrics.LiveOutWords += uint64(h.ex.LiveOut.Len())
+
+	if e.cfg.OnCommit != nil {
+		e.cfg.OnCommit(core.CommitEvent{
+			Kind:    "task",
+			TaskID:  h.t.ID,
+			Start:   h.t.Start,
+			Steps:   h.ex.Steps,
+			Halted:  h.ex.Outcome == task.OutcomeHalted,
+			LiveIn:  h.ex.LiveIn,
+			LiveOut: h.ex.LiveOut,
+			Arch:    e.arch,
+		})
+	}
+	e.emit(core.LifecycleEvent{
+		Kind:   core.LifecycleCommit,
+		Cycle:  e.tick(),
+		TaskID: h.t.ID,
+		Start:  h.t.Start,
+		Steps:  h.ex.Steps,
+		Halted: h.ex.Outcome == task.OutcomeHalted,
+	})
+
+	if h.ex.Outcome == task.OutcomeHalted {
+		e.done = true
+	}
+	return false
+}
+
+// squashAndRecover discards all speculative state: the epoch bump invalidates
+// every in-flight slave execution (cooperative cancellation) and stale
+// results (dropped on arrival), the ring is emptied, and the master life is
+// stopped synchronously. Recovery then mirrors core: sequential fallback when
+// forced or when no instructions committed since the previous squash, then a
+// reseed from architected state.
+func (e *Engine) squashAndRecover(forceFallback bool) {
+	e.metrics.Squashes++
+	if n := e.ring.Len(); n > 1 {
+		e.metrics.TasksSquashedDown += uint64(n - 1)
+	}
+	e.epoch.Add(1)
+	e.ring.SquashAll()
+	e.stopMaster()
+
+	if forceFallback || (e.anySquash && e.metrics.CommittedInsts == e.lastSquashCommitted) {
+		e.seqFallback()
+	}
+	e.anySquash = true
+	e.lastSquashCommitted = e.metrics.CommittedInsts
+	if e.done || e.err != nil {
+		return
+	}
+	e.reseed()
+}
+
+// drain handles a dead master: verify whatever is in flight (the youngest
+// reservation runs endless, to halt or the cap), then make progress
+// sequentially and try to revive the master. Mirrors core.Machine.drain.
+func (e *Engine) drain() {
+	if !e.ring.Empty() {
+		if open := e.ring.Open(); open != nil {
+			// End remains unknown: the task runs until halt or cap.
+			if err := e.ring.Close(open, 0, 0, false); err != nil {
+				e.err = err
+				return
+			}
+			e.dispatch(open)
+		}
+		h := e.ring.Head()
+		for h.state != SlotDone && e.err == nil {
+			s := <-e.resultCh
+			e.noteResult(s)
+		}
+		if e.err != nil {
+			return
+		}
+		e.verifyHead()
+		return
+	}
+	e.seqFallback()
+	if e.done {
+		return
+	}
+	// If the architected PC does not map into the distilled program the
+	// master stays dead and the next drain call falls back again; forward
+	// progress is guaranteed because seqFallback always executes at least
+	// one instruction.
+	e.reseed()
+}
+
+// reseed starts a new master life from architected state, if the architected
+// PC maps into the distilled program.
+func (e *Engine) reseed() {
+	dpc, ok := e.dist.OrigToDist[e.arch.PC]
+	if !ok {
+		e.life = nil
+		return
+	}
+	img := e.arch.Mem.Snapshot()
+	img.CopyWords(e.dist.Prog.Code.Base, e.dist.Prog.Code.Words)
+	l := &masterLife{
+		forkCh: make(chan forkMsg),
+		exitCh: make(chan masterExit, 1),
+		stop:   make(chan struct{}),
+		st:     &state.State{Regs: e.arch.Regs, PC: dpc, Mem: img},
+		code:   cpu.NewCode(e.distCode),
+	}
+	e.life = l
+	// The life's goroutine is tracked by the exitCh handshake, not the
+	// worker WaitGroup: stopMaster/collectExit always consumes its exit.
+	e.spawn(nil, func() { e.runMaster(l) })
+}
+
+// stopMaster stops the current master life, if any, and folds in its exit
+// report. Safe against a life that already exited on its own (exitCh is
+// buffered; the report is waiting).
+func (e *Engine) stopMaster() {
+	l := e.life
+	if l == nil {
+		return
+	}
+	close(l.stop)
+	e.collectExit(<-l.exitCh)
+	e.life = nil
+}
+
+// collectExit folds a master life's final report into the metrics.
+func (e *Engine) collectExit(x masterExit) {
+	e.metrics.MasterInsts += x.insts
+	e.metrics.ForksSkipped += x.skipped
+	switch x.stop {
+	case masterHalted:
+		e.metrics.MasterHalts++
+	case masterLost:
+		e.metrics.MasterLost++
+	}
+}
+
+// seqFallback executes the original program non-speculatively from the
+// architected state until the next anchor (or halt, or a bound). Identical to
+// core.Machine.seqFallback minus the cycle accounting.
+func (e *Engine) seqFallback() {
+	env := cpu.StateEnv{S: e.arch}
+	code := cpu.NewCode(e.taskCode())
+	var steps uint64
+	bound := 4 * e.cfg.MaxTaskLen
+	halted := false
+	e.emit(core.LifecycleEvent{
+		Kind:  core.LifecycleFallbackEnter,
+		Cycle: e.tick(),
+		Start: e.arch.PC,
+	})
+	for steps < bound {
+		in, err := code.Step(env)
+		if err != nil {
+			halted = true
+			e.done = true
+			break
+		}
+		steps++
+		if in.Op == isa.OpHalt {
+			halted = true
+			e.done = true
+			break
+		}
+		if e.anchors[e.arch.PC] {
+			break
+		}
+	}
+	if code.Dirty() {
+		e.codeClean = false
+	}
+	e.metrics.SeqFallbackInsts += steps
+	e.metrics.CommittedInsts += steps
+
+	if e.cfg.OnCommit != nil && steps > 0 {
+		e.cfg.OnCommit(CommitEventFallback(steps, halted, e.arch))
+	}
+	e.emit(core.LifecycleEvent{
+		Kind:   core.LifecycleFallbackExit,
+		Cycle:  e.tick(),
+		Steps:  steps,
+		Halted: halted,
+	})
+}
+
+// CommitEventFallback builds the fallback-chunk commit event (shared shape
+// with core so downstream auditors cannot tell the engines apart).
+func CommitEventFallback(steps uint64, halted bool, arch *state.State) core.CommitEvent {
+	return core.CommitEvent{Kind: "fallback", Steps: steps, Halted: halted, Arch: arch}
+}
+
+// shutdown tears the machine down: stop the master, close the dispatch
+// queue so workers exit, and drain results until the pool is gone. Called
+// once, after the main loop; by the time run returns, every goroutine the
+// engine spawned has exited or is past its last shared access.
+func (e *Engine) shutdown() {
+	e.stopMaster()
+	close(e.dispatchCh)
+	e.spawn(nil, func() {
+		e.workerWg.Wait()
+		close(e.resultCh)
+	})
+	for range e.resultCh {
+		// Discard: the run is over; stale results carry no state anyone
+		// will read.
+	}
+}
+
+// slaveWorker is the worker-pool goroutine body: execute closed reservations
+// and send them back. Work from dead epochs is skipped outright (cheaper than
+// letting Cancel fire on the first poll).
+func (e *Engine) slaveWorker(id int) {
+	for s := range e.dispatchCh {
+		if s.epoch == e.epoch.Load() {
+			s.slave = id
+			s.ex = s.t.Execute(e.cfg.MaxTaskLen)
+		} else {
+			s.ex = &task.Exec{Outcome: task.OutcomeCanceled, LiveIn: state.NewDelta(), LiveOut: state.NewDelta()}
+		}
+		e.resultCh <- s
+	}
+}
+
+// taskCode returns the predecoded original program for a new execution over
+// architected code, or nil once the code segment has been written (or when
+// the fast path is disabled).
+func (e *Engine) taskCode() *isa.DecodedProgram {
+	if e.codeClean {
+		return e.origCode
+	}
+	return nil
+}
+
+// noteCodeWrites clears codeClean if the delta binds a memory word inside
+// the predecoded original code segment.
+func (e *Engine) noteCodeWrites(d *state.Delta) {
+	if !e.codeClean || d == nil {
+		return
+	}
+	d.Mem.Range(func(a, _ uint64) bool {
+		if e.origCode.Covers(a) {
+			e.codeClean = false
+			return false
+		}
+		return true
+	})
+}
+
+// emit delivers a lifecycle event to the configured observer, if any.
+func (e *Engine) emit(ev core.LifecycleEvent) {
+	if e.cfg.OnLifecycle != nil {
+		e.cfg.OnLifecycle(ev)
+	}
+}
+
+// tick advances the virtual clock by one event.
+func (e *Engine) tick() float64 {
+	e.vclock++
+	return e.vclock
+}

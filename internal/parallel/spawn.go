@@ -1,0 +1,25 @@
+package parallel
+
+import "sync"
+
+// This file is the package's only goroutine-creation site. Keeping every go
+// statement behind one audited helper makes the engine's concurrency surface
+// reviewable at a glance — coordinator, master lives, slave workers, and the
+// shutdown closer all come through here — and the goanalysis linter (GA004)
+// rejects bare go statements anywhere else in internal/parallel.
+
+// spawn starts fn on a new goroutine, counting it and, when wg is non-nil,
+// registering it before launch (the Add happens on the caller's goroutine, so
+// a Wait can never race a late Add).
+func (e *Engine) spawn(wg *sync.WaitGroup, fn func()) {
+	e.goroutines++
+	if wg != nil {
+		wg.Add(1)
+	}
+	go func() {
+		if wg != nil {
+			defer wg.Done()
+		}
+		fn()
+	}()
+}

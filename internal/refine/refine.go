@@ -65,78 +65,122 @@ type Report struct {
 	FullChecks int
 	// RefSteps is the total number of reference instructions executed.
 	RefSteps uint64
-	// Result is the underlying MSSP run result.
+	// Result is the underlying MSSP run result (nil when the auditor was
+	// attached to an engine directly instead of driven through Check).
 	Result *core.Result
 }
 
-// Check runs the program under MSSP with the given configuration and audits
-// it against the sequential model.
+// Auditor is the streaming form of the jumping-refinement audit: attach its
+// OnCommit to any machine that emits core.CommitEvents — the deterministic
+// machine or the true-parallel engine — and call Finish once the run ends.
+// The commit stream is engine-agnostic by design; the auditor cannot tell
+// the engines apart, which is exactly what makes it a shared oracle.
+//
+// OnCommit must be called from a single goroutine in commit order (both
+// engines deliver events that way: core from its simulation goroutine, the
+// parallel engine from its coordinator).
+type Auditor struct {
+	opts   Options
+	ref    *state.State
+	refRun *cpu.Code
+	rep    *Report
+}
+
+// NewAuditor builds an auditor whose reference machine starts from the
+// program's initial state with the given stack pointer (zero means the
+// engines' default).
+func NewAuditor(orig *isa.Program, sp uint64, opts Options) *Auditor {
+	if sp == 0 {
+		sp = 1 << 28
+	}
+	return &Auditor{
+		opts: opts,
+		ref:  state.NewFromProgram(orig, sp),
+		// One predecoded runner replays the whole reference trajectory; its
+		// dirty flag persists across commits, so a store into the code
+		// segment drops the replay onto the slow fetch path for the rest of
+		// the audit.
+		refRun: cpu.NewCode(isa.Predecode(orig)),
+		rep:    &Report{},
+	}
+}
+
+func (a *Auditor) violate(kind, format string, args ...any) {
+	a.rep.Violations = append(a.rep.Violations, &Violation{
+		Commit: a.rep.Commits,
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// OnCommit audits one architected-state advance. It has the signature of
+// core.Config.OnCommit; chain it with any other observer.
+func (a *Auditor) OnCommit(ev core.CommitEvent) {
+	if a.opts.CheckTaskSafety && ev.Kind == "task" {
+		// Task safety, part 1: the live-ins the slave observed must be
+		// consistent with the pre-commit architected state, which the
+		// reference machine currently holds.
+		if inc := a.ref.FirstInconsistency(ev.LiveIn); inc != nil {
+			a.violate("livein", "committed task's live-ins inconsistent with reference: %v", inc)
+		}
+	}
+
+	// The jump: advance the reference #t sequential steps.
+	res, err := a.refRun.RunState(a.ref, ev.Steps)
+	n := res.Steps
+	a.rep.RefSteps += n
+	if err != nil {
+		a.violate("steps", "reference faulted: %v", err)
+	} else if n != ev.Steps {
+		a.violate("steps", "reference executed %d of claimed %d steps", n, ev.Steps)
+	}
+
+	// ψ(MSSP state) must now equal the reference state.
+	if ev.Arch.Regs != a.ref.Regs {
+		a.violate("regs", "register files diverge")
+	}
+	if ev.Arch.PC != a.ref.PC {
+		a.violate("pc", "pc %d != reference %d", ev.Arch.PC, a.ref.PC)
+	}
+	if a.opts.CheckTaskSafety && ev.Kind == "task" {
+		// Task safety, part 2: the live-outs must cover everything the
+		// jump changed — every live-out cell must match the reference
+		// post-state. (Completeness of the live-out set relative to
+		// the jump is implied by the periodic full-memory checks.)
+		if inc := a.ref.FirstInconsistency(ev.LiveOut); inc != nil {
+			a.violate("liveout", "live-outs disagree with reference post-state: %v", inc)
+		}
+	}
+	a.rep.Commits++
+	if a.opts.FullCheckEvery > 0 && a.rep.Commits%a.opts.FullCheckEvery == 0 {
+		a.rep.FullChecks++
+		if !ev.Arch.Mem.Equal(a.ref.Mem) {
+			a.violate("memory", "memory images diverge at periodic check")
+		}
+	}
+}
+
+// Finish performs the final full comparison against the machine's final
+// architected state and seals the report. Call exactly once.
+func (a *Auditor) Finish(final *state.State) *Report {
+	a.rep.FullChecks++
+	if !final.Equal(a.ref) {
+		a.violate("final", "final architected state differs from sequential execution")
+	}
+	a.rep.OK = len(a.rep.Violations) == 0
+	return a.rep
+}
+
+// Check runs the program under the deterministic MSSP machine with the given
+// configuration and audits it against the sequential model.
 func Check(orig *isa.Program, dist *distill.Result, cfg core.Config, opts Options) (*Report, error) {
-	rep := &Report{}
-	if cfg.SP == 0 {
-		cfg.SP = 1 << 28
-	}
-	ref := state.NewFromProgram(orig, cfg.SP)
-	// One predecoded runner replays the whole reference trajectory; its dirty
-	// flag persists across commits, so a store into the code segment drops the
-	// replay onto the slow fetch path for the rest of the audit.
-	refRun := cpu.NewCode(isa.Predecode(orig))
-
-	violate := func(kind, format string, args ...any) {
-		rep.Violations = append(rep.Violations, &Violation{
-			Commit: rep.Commits,
-			Kind:   kind,
-			Detail: fmt.Sprintf(format, args...),
-		})
-	}
-
+	aud := NewAuditor(orig, cfg.SP, opts)
 	prevHook := cfg.OnCommit
 	cfg.OnCommit = func(ev core.CommitEvent) {
 		if prevHook != nil {
 			prevHook(ev)
 		}
-		if opts.CheckTaskSafety && ev.Kind == "task" {
-			// Task safety, part 1: the live-ins the slave observed must be
-			// consistent with the pre-commit architected state, which the
-			// reference machine currently holds.
-			if inc := ref.FirstInconsistency(ev.LiveIn); inc != nil {
-				violate("livein", "committed task's live-ins inconsistent with reference: %v", inc)
-			}
-		}
-
-		// The jump: advance the reference #t sequential steps.
-		res, err := refRun.RunState(ref, ev.Steps)
-		n := res.Steps
-		rep.RefSteps += n
-		if err != nil {
-			violate("steps", "reference faulted: %v", err)
-		} else if n != ev.Steps {
-			violate("steps", "reference executed %d of claimed %d steps", n, ev.Steps)
-		}
-
-		// ψ(MSSP state) must now equal the reference state.
-		if ev.Arch.Regs != ref.Regs {
-			violate("regs", "register files diverge")
-		}
-		if ev.Arch.PC != ref.PC {
-			violate("pc", "pc %d != reference %d", ev.Arch.PC, ref.PC)
-		}
-		if opts.CheckTaskSafety && ev.Kind == "task" {
-			// Task safety, part 2: the live-outs must cover everything the
-			// jump changed — every live-out cell must match the reference
-			// post-state. (Completeness of the live-out set relative to
-			// the jump is implied by the periodic full-memory checks.)
-			if inc := ref.FirstInconsistency(ev.LiveOut); inc != nil {
-				violate("liveout", "live-outs disagree with reference post-state: %v", inc)
-			}
-		}
-		rep.Commits++
-		if opts.FullCheckEvery > 0 && rep.Commits%opts.FullCheckEvery == 0 {
-			rep.FullChecks++
-			if !ev.Arch.Mem.Equal(ref.Mem) {
-				violate("memory", "memory images diverge at periodic check")
-			}
-		}
+		aud.OnCommit(ev)
 	}
 
 	m, err := core.New(orig, dist, cfg)
@@ -147,14 +191,8 @@ func Check(orig *isa.Program, dist *distill.Result, cfg core.Config, opts Option
 	if err != nil {
 		return nil, err
 	}
+	rep := aud.Finish(res.Final)
 	rep.Result = res
-
-	// Final full comparison.
-	rep.FullChecks++
-	if !res.Final.Equal(ref) {
-		violate("final", "final architected state differs from sequential execution")
-	}
-	rep.OK = len(rep.Violations) == 0
 	return rep, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -363,6 +364,81 @@ func TestForEach(t *testing.T) {
 		return nil
 	}); !errors.Is(err, werr) {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// TestWorkerCountClamping: zero and negative worker counts clamp to
+// GOMAXPROCS instead of starting an empty (deadlocked) or negative pool;
+// an explicit positive count is taken literally. Each clamped pool must
+// actually execute work, not just report a plausible Metrics().Workers.
+func TestWorkerCountClamping(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+		want    int
+	}{
+		{"zero-defaults-to-gomaxprocs", 0, runtime.GOMAXPROCS(0)},
+		{"negative-clamps-to-gomaxprocs", -3, runtime.GOMAXPROCS(0)},
+		{"explicit-count-is-literal", 5, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTest(t, Options{Workers: tc.workers})
+			if got := s.Metrics().Workers; got != tc.want {
+				t.Fatalf("Workers = %d, want %d", got, tc.want)
+			}
+			out, err := Map(context.Background(), s, 8, func(_ context.Context, i int) (int, error) {
+				return i * i, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+// TestMapPanicKeepsOrderedAssembly is the regression test for the poisoned
+// commit unit: a panic in one job must surface as the map's error while
+// every job that completed keeps its own submission-order slot — the crash
+// must not shift, drop or reorder neighbouring results. Index panicIdx
+// waits until every earlier index has finished so the set of guaranteed
+// slots is deterministic regardless of scheduling.
+func TestMapPanicKeepsOrderedAssembly(t *testing.T) {
+	s := newTest(t, Options{Workers: 4})
+	const n, panicIdx = 24, 7
+	var before atomic.Int64
+	out, err := Map(context.Background(), s, n, func(ctx context.Context, i int) (string, error) {
+		switch {
+		case i < panicIdx:
+			before.Add(1)
+		case i == panicIdx:
+			for before.Load() < panicIdx { // let 0..panicIdx-1 commit first
+				time.Sleep(time.Millisecond)
+			}
+			panic("poisoned job")
+		}
+		return fmt.Sprintf("job-%02d", i), nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	for i := 0; i < panicIdx; i++ {
+		if want := fmt.Sprintf("job-%02d", i); out[i] != want {
+			t.Fatalf("out[%d] = %q, want %q — panic poisoned in-order assembly", i, out[i], want)
+		}
+	}
+	// Later indices either completed (kept their own slot) or were cancelled
+	// by the failure (zero value); a value in the wrong slot is the bug.
+	for i := panicIdx; i < n; i++ {
+		if want := fmt.Sprintf("job-%02d", i); out[i] != "" && out[i] != want {
+			t.Fatalf("out[%d] = %q, want %q or empty", i, out[i], want)
+		}
 	}
 }
 

@@ -1,0 +1,195 @@
+package task
+
+// This file is the slave half of the fast-path execution core (the SEQ half
+// lives in internal/cpu/fast.go; see docs/PERFORMANCE.md and
+// docs/PARALLEL.md). Slave bodies are the bulk of the parallel engine's
+// work — every original-program instruction is executed by some slave — so
+// they get the same treatment as cpu.runConcrete: predecoded fetches and
+// direct calls on the concrete *slaveEnv instead of interface dispatch, so
+// the register live-in tracking inlines into the loop. ReadMem/WriteMem keep
+// their full capture semantics (write buffer, checkpoint overlay, live-in
+// recording); only the dispatch overhead is gone.
+//
+// Per-instruction semantics mirror cpu.stepExec exactly, like cpu.runConcrete
+// does; TestExecuteFastSlowEquivalence holds the two slave paths together,
+// and the chaos corpus differential holds both against the reference machine.
+
+import (
+	"mssp/internal/cpu"
+	"mssp/internal/isa"
+)
+
+// executeFast is the devirtualized Execute body, used whenever the task
+// carries a predecode table. A store into the table's range drops this
+// execution onto the decode-from-snapshot path for the rest of its life,
+// exactly like cpu.Code's dirty flag.
+func (t *Task) executeFast(env *slaveEnv, ex *Exec, cap uint64, remaining uint64) {
+	base, insts, valid, words := t.Code.Table()
+	_ = words
+	ilen := uint64(len(insts))
+	fast := true
+	pc := env.pc
+
+	for ex.Steps < cap {
+		if t.Cancel != nil && ex.Steps%cancelEvery == 0 && t.Cancel() {
+			env.pc = pc
+			ex.Outcome = OutcomeCanceled
+			t.finish(env, ex)
+			return
+		}
+
+		var in isa.Inst
+		if i := pc - base; fast && i < ilen {
+			if !valid[i] {
+				env.pc = pc
+				ex.Outcome = OutcomeFault
+				t.finish(env, ex)
+				return
+			}
+			in = insts[i]
+		} else {
+			w := env.Fetch(pc)
+			in = isa.Decode(w)
+			if !in.Op.Valid() {
+				env.pc = pc
+				ex.Outcome = OutcomeFault
+				t.finish(env, ex)
+				return
+			}
+		}
+
+		next := pc + 1
+		switch in.Op {
+		case isa.OpNop, isa.OpFork:
+			// FORK is architecturally a no-op in original programs.
+
+		case isa.OpAdd:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))+env.ReadReg(int(in.Rs2)))
+		case isa.OpSub:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))-env.ReadReg(int(in.Rs2)))
+		case isa.OpMul:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))*env.ReadReg(int(in.Rs2)))
+		case isa.OpDiv:
+			env.WriteReg(int(in.Rd), cpu.DivSigned(env.ReadReg(int(in.Rs1)), env.ReadReg(int(in.Rs2))))
+		case isa.OpRem:
+			env.WriteReg(int(in.Rd), cpu.RemSigned(env.ReadReg(int(in.Rs1)), env.ReadReg(int(in.Rs2))))
+		case isa.OpAnd:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))&env.ReadReg(int(in.Rs2)))
+		case isa.OpOr:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))|env.ReadReg(int(in.Rs2)))
+		case isa.OpXor:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))^env.ReadReg(int(in.Rs2)))
+		case isa.OpSll:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))<<(env.ReadReg(int(in.Rs2))&63))
+		case isa.OpSrl:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))>>(env.ReadReg(int(in.Rs2))&63))
+		case isa.OpSra:
+			env.WriteReg(int(in.Rd), uint64(int64(env.ReadReg(int(in.Rs1)))>>(env.ReadReg(int(in.Rs2))&63)))
+		case isa.OpSlt:
+			env.WriteReg(int(in.Rd), cpu.BoolWord(int64(env.ReadReg(int(in.Rs1))) < int64(env.ReadReg(int(in.Rs2)))))
+		case isa.OpSltu:
+			env.WriteReg(int(in.Rd), cpu.BoolWord(env.ReadReg(int(in.Rs1)) < env.ReadReg(int(in.Rs2))))
+
+		case isa.OpAddi:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))+uint64(in.Imm))
+		case isa.OpAndi:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))&uint64(in.Imm))
+		case isa.OpOri:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))|uint64(in.Imm))
+		case isa.OpXori:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))^uint64(in.Imm))
+		case isa.OpSlli:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))<<(uint64(in.Imm)&63))
+		case isa.OpSrli:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))>>(uint64(in.Imm)&63))
+		case isa.OpSrai:
+			env.WriteReg(int(in.Rd), uint64(int64(env.ReadReg(int(in.Rs1)))>>(uint64(in.Imm)&63)))
+		case isa.OpSlti:
+			env.WriteReg(int(in.Rd), cpu.BoolWord(int64(env.ReadReg(int(in.Rs1))) < in.Imm))
+		case isa.OpSltui:
+			env.WriteReg(int(in.Rd), cpu.BoolWord(env.ReadReg(int(in.Rs1)) < uint64(in.Imm)))
+		case isa.OpMuli:
+			env.WriteReg(int(in.Rd), env.ReadReg(int(in.Rs1))*uint64(in.Imm))
+
+		case isa.OpLdi:
+			env.WriteReg(int(in.Rd), uint64(in.Imm))
+		case isa.OpLdih:
+			low := env.ReadReg(int(in.Rs1)) & 0xffffffff
+			env.WriteReg(int(in.Rd), uint64(in.Imm)<<32|low)
+
+		case isa.OpLd:
+			env.WriteReg(int(in.Rd), env.ReadMem(env.ReadReg(int(in.Rs1))+uint64(in.Imm)))
+		case isa.OpSt:
+			addr := env.ReadReg(int(in.Rs1)) + uint64(in.Imm)
+			env.WriteMem(addr, env.ReadReg(int(in.Rs2)))
+			if fast && addr-base < ilen {
+				// Self-modifying store: the table is stale from here on.
+				fast = false
+			}
+
+		case isa.OpBeq:
+			if env.ReadReg(int(in.Rs1)) == env.ReadReg(int(in.Rs2)) {
+				next = uint64(in.Imm)
+			}
+		case isa.OpBne:
+			if env.ReadReg(int(in.Rs1)) != env.ReadReg(int(in.Rs2)) {
+				next = uint64(in.Imm)
+			}
+		case isa.OpBlt:
+			if int64(env.ReadReg(int(in.Rs1))) < int64(env.ReadReg(int(in.Rs2))) {
+				next = uint64(in.Imm)
+			}
+		case isa.OpBge:
+			if int64(env.ReadReg(int(in.Rs1))) >= int64(env.ReadReg(int(in.Rs2))) {
+				next = uint64(in.Imm)
+			}
+		case isa.OpBltu:
+			if env.ReadReg(int(in.Rs1)) < env.ReadReg(int(in.Rs2)) {
+				next = uint64(in.Imm)
+			}
+		case isa.OpBgeu:
+			if env.ReadReg(int(in.Rs1)) >= env.ReadReg(int(in.Rs2)) {
+				next = uint64(in.Imm)
+			}
+
+		case isa.OpJal:
+			env.WriteReg(int(in.Rd), pc+1)
+			next = uint64(in.Imm)
+		case isa.OpJalr:
+			target := env.ReadReg(int(in.Rs1)) + uint64(in.Imm)
+			env.WriteReg(int(in.Rd), pc+1)
+			next = target
+
+		case isa.OpHalt:
+			env.pc = pc // halt is a fixpoint
+			ex.Steps++
+			ex.Outcome = OutcomeHalted
+			t.finish(env, ex)
+			return
+		}
+
+		ex.Steps++
+		pc = next
+		if env.nonSpecHit {
+			// The offending instruction's effects stay in the local buffers
+			// and are discarded with the task; the machine performs the
+			// access non-speculatively instead.
+			env.pc = pc
+			ex.Outcome = OutcomeNonSpec
+			t.finish(env, ex)
+			return
+		}
+		if t.HasEnd && pc == t.End {
+			remaining--
+			if remaining == 0 {
+				env.pc = pc
+				ex.Outcome = OutcomeReachedEnd
+				t.finish(env, ex)
+				return
+			}
+		}
+	}
+	env.pc = pc
+	ex.Outcome = OutcomeOverflow
+	t.finish(env, ex)
+}

@@ -1,0 +1,197 @@
+package task
+
+import (
+	"testing"
+
+	"mssp/internal/asm"
+	"mssp/internal/isa"
+	"mssp/internal/mem"
+	"mssp/internal/state"
+)
+
+// runBoth executes the same task once per path — devirtualized (with the
+// predecode table) and Env-stepping (without) — and requires identical
+// results. Returns the fast-path Exec.
+func runBoth(t *testing.T, mk func() *Task, cap uint64) *Exec {
+	t.Helper()
+	fastTask := mk()
+	if fastTask.Code == nil {
+		t.Fatal("runBoth caller must set Code")
+	}
+	slowTask := mk()
+	slowTask.Code = nil
+
+	fast := fastTask.Execute(cap)
+	slow := slowTask.Execute(cap)
+	if fast.Outcome != slow.Outcome || fast.Steps != slow.Steps {
+		t.Fatalf("fast %v/%d steps != slow %v/%d steps", fast.Outcome, fast.Steps, slow.Outcome, slow.Steps)
+	}
+	if !fast.LiveIn.Equal(slow.LiveIn) {
+		t.Fatalf("live-in divergence:\nfast %s\nslow %s", fast.LiveIn, slow.LiveIn)
+	}
+	if !fast.LiveOut.Equal(slow.LiveOut) {
+		t.Fatalf("live-out divergence:\nfast %s\nslow %s", fast.LiveOut, slow.LiveOut)
+	}
+	return fast
+}
+
+// mkCoded is mkTask plus a predecode table.
+func mkCoded(t *testing.T, src string, start, end uint64, hasEnd bool) func() *Task {
+	t.Helper()
+	p := asm.MustAssemble(src)
+	return func() *Task {
+		arch := state.NewFromProgram(p, 1<<19)
+		arch.PC = start
+		return &Task{
+			Start:  start,
+			End:    end,
+			HasEnd: hasEnd,
+			Checkpoint: Checkpoint{
+				Regs:    arch.Regs,
+				MemDiff: mem.NewOverlay(),
+			},
+			Snap: arch.Clone(),
+			Code: isa.Predecode(p),
+		}
+	}
+}
+
+func TestExecuteFastSlowEquivalence(t *testing.T) {
+	t.Run("halt", func(t *testing.T) {
+		ex := runBoth(t, mkCoded(t, sumSrc, 0, 0, false), 1000)
+		if ex.Outcome != OutcomeHalted || ex.Steps != 17 {
+			t.Errorf("got %v/%d, want halted/17", ex.Outcome, ex.Steps)
+		}
+	})
+	t.Run("reached-end", func(t *testing.T) {
+		mk := mkCoded(t, sumSrc, 1, 1, true)
+		wrap := func() *Task {
+			tk := mk()
+			tk.Checkpoint.Regs[1] = 5
+			tk.Snap.WriteReg(1, 5)
+			return tk
+		}
+		if ex := runBoth(t, wrap, 1000); ex.Outcome != OutcomeReachedEnd || ex.Steps != 3 {
+			t.Errorf("got %v/%d, want reached-end/3", ex.Outcome, ex.Steps)
+		}
+	})
+	t.Run("end-count", func(t *testing.T) {
+		mk := mkCoded(t, sumSrc, 1, 1, true)
+		wrap := func() *Task {
+			tk := mk()
+			tk.EndCount = 2
+			tk.Checkpoint.Regs[1] = 5
+			tk.Snap.WriteReg(1, 5)
+			return tk
+		}
+		if ex := runBoth(t, wrap, 1000); ex.Outcome != OutcomeReachedEnd || ex.Steps != 6 {
+			t.Errorf("got %v/%d, want reached-end/6 (two iterations)", ex.Outcome, ex.Steps)
+		}
+	})
+	t.Run("overflow", func(t *testing.T) {
+		if ex := runBoth(t, mkCoded(t, "spin: j spin\nhalt", 0, 1, true), 50); ex.Outcome != OutcomeOverflow {
+			t.Errorf("got %v, want overflow", ex.Outcome)
+		}
+	})
+	t.Run("fault", func(t *testing.T) {
+		mk := mkCoded(t, "halt", 0, 0, false)
+		wrap := func() *Task {
+			tk := mk()
+			tk.Start = 999
+			tk.Snap.Mem.Write(999, ^uint64(0))
+			return tk
+		}
+		if ex := runBoth(t, wrap, 10); ex.Outcome != OutcomeFault {
+			t.Errorf("got %v, want fault", ex.Outcome)
+		}
+	})
+	t.Run("nonspec", func(t *testing.T) {
+		src := `
+			ldi r1, 700
+			ld  r2, 0(r1)
+			halt
+		`
+		mk := mkCoded(t, src, 0, 0, false)
+		wrap := func() *Task {
+			tk := mk()
+			tk.NonSpec = []AddrRange{{Lo: 700, Hi: 710}}
+			return tk
+		}
+		if ex := runBoth(t, wrap, 10); ex.Outcome != OutcomeNonSpec {
+			t.Errorf("got %v, want nonspec", ex.Outcome)
+		}
+	})
+	t.Run("livein-capture", func(t *testing.T) {
+		src := `
+			start:  add  r3, r1, r2
+			        ldi  r1, 9
+			        add  r4, r1, r1
+			        ld   r5, 0(r6)
+			        st   r5, 1(r6)
+			        ld   r7, 1(r6)
+			        halt
+		`
+		mk := mkCoded(t, src, 0, 0, false)
+		wrap := func() *Task {
+			tk := mk()
+			tk.Checkpoint.Regs[1] = 10
+			tk.Checkpoint.Regs[2] = 20
+			tk.Checkpoint.Regs[6] = 100
+			tk.Snap.Mem.Write(100, 77)
+			return tk
+		}
+		ex := runBoth(t, wrap, 100)
+		if v, ok := ex.LiveIn.MemVal(100); !ok || v != 77 {
+			t.Errorf("live-in m100 = %d,%v, want 77", v, ok)
+		}
+	})
+	t.Run("self-modifying-store", func(t *testing.T) {
+		// A store into the predecoded range must drop the fast path without
+		// changing semantics: slave fetches always come from the frozen
+		// snapshot, so both paths still see the original instruction at the
+		// stored-to address.
+		p := &isa.Program{
+			Entry: 0,
+			Code: isa.Segment{Base: 0, Words: []uint64{
+				isa.Encode(isa.Inst{Op: isa.OpLdi, Rd: 1, Imm: int64(isa.Encode(isa.Inst{Op: isa.OpLdi, Rd: 3, Imm: 42}))}),
+				isa.Encode(isa.Inst{Op: isa.OpSt, Rs1: 0, Rs2: 1, Imm: 3}),
+				isa.Encode(isa.Inst{Op: isa.OpNop}),
+				isa.Encode(isa.Inst{Op: isa.OpHalt}),
+			}},
+		}
+		mk := func() *Task {
+			arch := state.NewFromProgram(p, 1<<19)
+			return &Task{
+				Start:      0,
+				Checkpoint: Checkpoint{Regs: arch.Regs, MemDiff: mem.NewOverlay()},
+				Snap:       arch.Clone(),
+				Code:       isa.Predecode(p),
+			}
+		}
+		if ex := runBoth(t, mk, 100); ex.Outcome != OutcomeHalted {
+			t.Errorf("got %v, want halted", ex.Outcome)
+		}
+	})
+}
+
+func TestExecuteCancel(t *testing.T) {
+	for _, withCode := range []bool{true, false} {
+		mk := mkCoded(t, "spin: j spin\nhalt", 0, 1, true)
+		tk := mk()
+		if !withCode {
+			tk.Code = nil
+		}
+		calls := 0
+		tk.Cancel = func() bool {
+			calls++
+			return calls > 2 // let a couple of poll periods run first
+		}
+		ex := tk.Execute(1 << 20)
+		if ex.Outcome != OutcomeCanceled {
+			t.Errorf("withCode=%v: outcome = %v, want canceled", withCode, ex.Outcome)
+		}
+		if ex.Steps == 0 || ex.Steps >= 1<<20 {
+			t.Errorf("withCode=%v: steps = %d, want a few poll periods", withCode, ex.Steps)
+		}
+	}
+}

@@ -73,7 +73,18 @@ type Task struct {
 	// A task touching one stops with OutcomeNonSpec and is executed
 	// non-speculatively by the machine instead.
 	NonSpec []AddrRange
+	// Cancel, when non-nil, is polled periodically during execution; when
+	// it returns true the task stops with OutcomeCanceled. The parallel
+	// engine uses it to abandon in-flight slave work for squashed epochs
+	// instead of letting stale tasks run to their cap. It must be safe to
+	// call from the executing goroutine at any time.
+	Cancel func() bool
 }
+
+// cancelEvery is the instruction period at which Cancel is polled: rare
+// enough to stay off the hot path, frequent enough that a squashed task
+// stops within microseconds.
+const cancelEvery = 256
 
 // Outcome classifies how a task execution ended.
 type Outcome int
@@ -91,6 +102,10 @@ const (
 	// OutcomeNonSpec: the task touched a non-speculative region and must
 	// be re-executed non-speculatively.
 	OutcomeNonSpec
+	// OutcomeCanceled: the task's Cancel hook fired. Only abandoned (e.g.
+	// squashed-epoch) executions end this way; a verify unit must never
+	// see a canceled task at the commit head.
+	OutcomeCanceled
 )
 
 func (o Outcome) String() string {
@@ -105,6 +120,8 @@ func (o Outcome) String() string {
 		return "fault"
 	case OutcomeNonSpec:
 		return "nonspec"
+	case OutcomeCanceled:
+		return "canceled"
 	}
 	return "unknown"
 }
@@ -210,6 +227,10 @@ var _ cpu.Env = (*slaveEnv)(nil)
 
 // Execute runs the task to completion on a virtual slave processor,
 // executing at most cap instructions.
+//
+// With a predecode table present the task runs on the devirtualized capture
+// loop (fast.go); otherwise it steps through the Env interface. The two
+// paths are semantically identical (TestExecuteFastSlowEquivalence).
 func (t *Task) Execute(cap uint64) *Exec {
 	env := newSlaveEnv(t)
 	ex := &Exec{LiveIn: env.liveIn, LiveOut: state.NewDelta()}
@@ -218,6 +239,10 @@ func (t *Task) Execute(cap uint64) *Exec {
 	if remaining == 0 {
 		remaining = 1
 	}
+	if t.Code != nil {
+		t.executeFast(env, ex, cap, remaining)
+		return ex
+	}
 	// A per-execution runner over the shared predecode table (nil Code means
 	// every fetch decodes from the snapshot, as before). Its dirty tracking
 	// covers this task's own stores; cross-task code modifications are the
@@ -225,6 +250,11 @@ func (t *Task) Execute(cap uint64) *Exec {
 	// architected code segment is written).
 	code := cpu.NewCode(t.Code)
 	for ex.Steps < cap {
+		if t.Cancel != nil && ex.Steps%cancelEvery == 0 && t.Cancel() {
+			ex.Outcome = OutcomeCanceled
+			t.finish(env, ex)
+			return ex
+		}
 		in, err := code.Step(env)
 		if err != nil {
 			ex.Outcome = OutcomeFault

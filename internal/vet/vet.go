@@ -96,6 +96,8 @@ var GoRules = []Rule{
 		Summary: "package-level math/rand source in a determinism path; seeded rand.New is fine"},
 	{ID: "GA003", Name: "squash-taxonomy",
 		Summary: "comparison or switch on a raw string equal to a core.Squash* value"},
+	{ID: "GA004", Name: "no-bare-go",
+		Summary: "go statement in internal/parallel outside the spawn helper; goroutines must stay joinable at shutdown"},
 }
 
 // Check runs every applicable rule over p. Pass dist non-nil to vet p as

@@ -33,6 +33,7 @@ import (
 	"mssp/internal/distill"
 	"mssp/internal/isa"
 	"mssp/internal/obs"
+	"mssp/internal/parallel"
 	"mssp/internal/profile"
 	"mssp/internal/refine"
 	"mssp/internal/sched"
@@ -163,6 +164,57 @@ func (p *Pipeline) Run() (*RunResult, error) {
 // checker attached, verifying every commit against the sequential model.
 func (p *Pipeline) Audit() (*RefinementReport, error) {
 	return refine.Check(p.Prog, p.Distilled, p.Opts.Machine, refine.DefaultOptions())
+}
+
+// ParallelResult is the true-parallel engine's run outcome.
+type ParallelResult = parallel.Result
+
+// ParallelRunResult pairs a true-parallel MSSP run with its sequential
+// baseline. Unlike RunResult there is no modeled-cycle speedup: the parallel
+// engine runs in wall-clock time (measure it around RunParallel if needed).
+type ParallelRunResult struct {
+	Parallel *ParallelResult
+	Baseline *baseline.Result
+}
+
+// RunParallel executes the prepared program on the true-parallel MSSP
+// engine (internal/parallel) — master, slaves and verify/commit unit on
+// real goroutines — and on the sequential baseline, verifying that both
+// produce identical architected state. Timing fields of the machine config
+// are ignored; structural fields apply unchanged.
+func (p *Pipeline) RunParallel() (*ParallelRunResult, error) {
+	res, err := parallel.Run(p.Prog, p.Distilled, p.Opts.Machine)
+	if err != nil {
+		return nil, fmt.Errorf("mssp: %w", err)
+	}
+	b, err := baseline.Run(p.Prog, baseline.Config{CPI: p.Opts.Machine.SlaveCPI})
+	if err != nil {
+		return nil, fmt.Errorf("mssp: %w", err)
+	}
+	if !res.Final.Equal(b.Final) {
+		return nil, fmt.Errorf("mssp: parallel final state diverged from sequential execution (engine bug)")
+	}
+	return &ParallelRunResult{Parallel: res, Baseline: b}, nil
+}
+
+// AuditParallel runs the prepared program on the true-parallel engine with
+// the streaming jumping-refinement auditor consuming its commit stream —
+// the same oracle Audit applies to the deterministic machine.
+func (p *Pipeline) AuditParallel() (*RefinementReport, error) {
+	cfg := p.Opts.Machine
+	aud := refine.NewAuditor(p.Prog, cfg.SP, refine.DefaultOptions())
+	prev := cfg.OnCommit
+	cfg.OnCommit = func(ev core.CommitEvent) {
+		if prev != nil {
+			prev(ev)
+		}
+		aud.OnCommit(ev)
+	}
+	res, err := parallel.Run(p.Prog, p.Distilled, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mssp: %w", err)
+	}
+	return aud.Finish(res.Final), nil
 }
 
 // Scheduler is the concurrent simulation scheduler: a bounded worker pool
