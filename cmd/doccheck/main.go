@@ -1,5 +1,5 @@
 // Command doccheck is the documentation linter run by CI's docs job. It
-// enforces five invariants that markdown and godoc rot silently break:
+// enforces six invariants that markdown and godoc rot silently break:
 //
 //  1. Every relative link in the repository's *.md files resolves to an
 //     existing file (anchors and external URLs are not checked).
@@ -13,10 +13,17 @@
 //     documenting it is a build failure.
 //  4. The tracked benchmark baseline stays documented: every entry name
 //     in BENCH_core.json must be mentioned in docs/PERFORMANCE.md, so a
-//     new metric recorded by cmd/msspbench cannot land undocumented.
+//     new metric recorded by cmd/msspbench cannot land undocumented; for
+//     the task/* and parallel/* entries every history label must be
+//     mentioned too (they carry ablation pairs like unpooled/pooled whose
+//     meaning lives in the doc).
 //  5. The static-analysis rule catalogs stay documented: every rule ID in
 //     internal/vet (MV...) and its Go-source companion (GA...) must be
 //     mentioned in docs/ANALYSIS.md.
+//  6. The memory-model contract stays complete: docs/MEMORY.md must mention
+//     every exported identifier of internal/mem and of the task pool
+//     (internal/task/pool.go) — the lifecycle/aliasing rules live there,
+//     and an API addition that skips the contract is a build failure.
 //
 // Usage:
 //
@@ -53,6 +60,8 @@ var checkedPackages = []string{
 	"internal/dataflow",
 	"internal/vet",
 	"internal/parallel",
+	"internal/task",
+	"internal/mem",
 }
 
 // taxonomyDocs are the markdown files that must each mention every
@@ -87,6 +96,7 @@ func main() {
 	}
 	problems = append(problems, checkBenchDoc(*root)...)
 	problems = append(problems, checkAnalysisRules(*root)...)
+	problems = append(problems, checkMemoryDoc(*root)...)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, p)
 	}
@@ -169,9 +179,12 @@ func checkTaxonomy(root, doc string) []string {
 }
 
 // checkBenchDoc verifies that docs/PERFORMANCE.md mentions every metric
-// tracked in BENCH_core.json, as a backtick-quoted name (`cpu/step`). The
-// JSON is read directly rather than through a package so the linter stays
-// decoupled from the benchmark tool's internals.
+// tracked in BENCH_core.json, as a backtick-quoted name (`cpu/step`). For
+// the task/* and parallel/* entries it additionally requires every history
+// label to be mentioned: those entries carry ablation pairs (`unpooled` vs
+// `pooled`) and per-PR run labels whose meaning is only recorded in the
+// doc. The JSON is read directly rather than through a package so the
+// linter stays decoupled from the benchmark tool's internals.
 func checkBenchDoc(root string) []string {
 	const benchFile = "BENCH_core.json"
 	const perfDoc = "docs/PERFORMANCE.md"
@@ -182,7 +195,10 @@ func checkBenchDoc(root string) []string {
 	var f struct {
 		Schema  string `json:"schema"`
 		Entries []struct {
-			Name string `json:"name"`
+			Name    string `json:"name"`
+			History []struct {
+				Label string `json:"label"`
+			} `json:"history"`
 		} `json:"entries"`
 	}
 	if err := json.Unmarshal(b, &f); err != nil {
@@ -199,8 +215,132 @@ func checkBenchDoc(root string) []string {
 			problems = append(problems,
 				fmt.Sprintf("%s: tracked benchmark entry `%s` (%s) is never mentioned", perfDoc, e.Name, benchFile))
 		}
+		if !strings.HasPrefix(e.Name, "task/") && !strings.HasPrefix(e.Name, "parallel/") {
+			continue
+		}
+		for _, h := range e.History {
+			if h.Label != "" && !strings.Contains(text, "`"+h.Label+"`") {
+				problems = append(problems,
+					fmt.Sprintf("%s: benchmark label `%s` on entry `%s` (%s) is never mentioned", perfDoc, h.Label, e.Name, benchFile))
+			}
+		}
 	}
 	return problems
+}
+
+// memoryDocTargets are the package directories whose exported API must be
+// covered by docs/MEMORY.md. A non-empty onlyFile restricts the scan to a
+// single file — internal/task's execution surface is documented in
+// ARCHITECTURE.md; only its pooling layer belongs to the memory contract.
+var memoryDocTargets = []struct {
+	dir      string
+	onlyFile string
+}{
+	{"internal/mem", ""},
+	{"internal/task", "pool.go"},
+}
+
+// checkMemoryDoc verifies that docs/MEMORY.md — the ownership, pooling and
+// aliasing contract — mentions every exported identifier of the packages in
+// memoryDocTargets. Plain names must appear backtick-quoted (`Overlay`);
+// methods as `Recv.Name` (`Overlay.Reset`), so the doc cannot satisfy the
+// check with an ambiguous bare verb.
+func checkMemoryDoc(root string) []string {
+	const memDoc = "docs/MEMORY.md"
+	b, err := os.ReadFile(filepath.Join(root, memDoc))
+	if err != nil {
+		return []string{fmt.Sprintf("doccheck: %s: %v", memDoc, err)}
+	}
+	text := string(b)
+	var problems []string
+	for _, tgt := range memoryDocTargets {
+		names, err := exportedAPI(filepath.Join(root, tgt.dir), tgt.onlyFile)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("doccheck: %v", err))
+			continue
+		}
+		for _, n := range names {
+			if !strings.Contains(text, "`"+n+"`") {
+				problems = append(problems,
+					fmt.Sprintf("%s: %s export `%s` is never mentioned", memDoc, tgt.dir, n))
+			}
+		}
+	}
+	return problems
+}
+
+// exportedAPI returns a package directory's exported top-level names: types,
+// funcs, consts and vars as Name, methods on exported receivers as
+// Recv.Name. Test files are skipped; a non-empty onlyFile restricts the
+// scan to that one file.
+func exportedAPI(dir, onlyFile string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		if strings.HasSuffix(fi.Name(), "_test.go") {
+			return false
+		}
+		return onlyFile == "" || fi.Name() == onlyFile
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", dir, err)
+	}
+	var names []string
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					if recv := recvTypeName(d); recv != "" {
+						if ast.IsExported(recv) {
+							names = append(names, recv+"."+d.Name.Name)
+						}
+					} else {
+						names = append(names, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() {
+								names = append(names, s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, n := range s.Names {
+								if n.IsExported() {
+									names = append(names, n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return names, nil
+}
+
+// recvTypeName returns the name of a method's receiver type, or "" for a
+// plain function.
+func recvTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
 }
 
 // checkAnalysisRules verifies that docs/ANALYSIS.md documents every rule

@@ -35,6 +35,7 @@ import (
 	"mssp/internal/mem"
 	"mssp/internal/parallel"
 	"mssp/internal/state"
+	"mssp/internal/task"
 	"mssp/internal/workloads"
 )
 
@@ -104,6 +105,7 @@ func run(quick bool, in, out, label string) error {
 	record("mem/snapshot_churn", "ns/op", benchSnapshotChurn())
 	record("mem/equal_shared", "ns/op", benchEqualShared())
 	record("mem/overlay_setget", "ns/op", benchOverlaySetGet())
+	record("parallel/commit_ns", "ns/op", benchCommitCycle())
 
 	seeds := 300
 	if quick {
@@ -152,6 +154,27 @@ func run(quick bool, in, out, label string) error {
 	upsert(f, "distill/static_insts", "insts", "analysis", dq.staticOn)
 	upsert(f, "distill/master_insts", "insts", "nopass", dq.masterOff)
 	upsert(f, "distill/master_insts", "insts", "analysis", dq.masterOn)
+
+	// Task-machinery premium: an unpooled/pooled ablation pair (same run,
+	// fixed labels, like distill/*), plus the alloc gate — a pooled task
+	// execution must stay allocation-free, and the pool must keep at least a
+	// 2x per-task alloc reduction over the unpooled path.
+	tp, err := taskPoolBench()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %10.3f ns (unpooled) %10.3f ns (pooled)\n",
+		"task/fork_ns", tp.forkUnpooled, tp.forkPooled)
+	fmt.Printf("%-24s %10.0f allocs (unpooled) %7.0f allocs (pooled)\n",
+		"task/delta_allocs", tp.allocsUnpooled, tp.allocsPooled)
+	if tp.allocsPooled != 0 || tp.allocsPooled*2 > tp.allocsUnpooled {
+		return fmt.Errorf("task pool alloc regression: pooled %v allocs/task vs unpooled %v (want 0 pooled and ≥2x reduction)",
+			tp.allocsPooled, tp.allocsUnpooled)
+	}
+	upsert(f, "task/fork_ns", "ns/task", "unpooled", tp.forkUnpooled)
+	upsert(f, "task/fork_ns", "ns/task", "pooled", tp.forkPooled)
+	upsert(f, "task/delta_allocs", "allocs/task", "unpooled", tp.allocsUnpooled)
+	upsert(f, "task/delta_allocs", "allocs/task", "pooled", tp.allocsPooled)
 
 	reportSpeedups(f, label)
 	return save(out, f)
@@ -273,6 +296,86 @@ func benchOverlaySetGet() float64 {
 		}
 	})
 	return nsPerOp(r)
+}
+
+// benchCommitCycle measures one pass of the parallel engine's reservation
+// protocol (reserve, close, complete, pop-committed) via the exported
+// CommitCycle helper — the engine itself cannot time it (GA001 bans
+// wall-clock reads from engine code).
+func benchCommitCycle() float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		if parallel.CommitCycle(b.N) != b.N {
+			b.Fatal("reservation protocol error")
+		}
+	})
+	return nsPerOp(r)
+}
+
+// taskPoolResult carries the unpooled/pooled ablation pair for the task
+// machinery: wall time and allocations for one complete task life
+// (architected snapshot, capture machinery, execution, retirement).
+type taskPoolResult struct {
+	forkUnpooled, forkPooled     float64
+	allocsUnpooled, allocsPooled float64
+}
+
+// taskPoolBench measures the per-task machinery premium with and without the
+// task pool on a short memory-touching task — short on purpose: the premium
+// is per-task overhead, and long tasks would bury it under execution time.
+// The pooled result is equivalence-checked against the unpooled one before
+// anything is measured, so the recorded numbers can never come from a run
+// that computed something different.
+func taskPoolBench() (taskPoolResult, error) {
+	var res taskPoolResult
+	prog := workloads.MicroMem(100)
+	arch := state.NewFromProgram(prog, 1<<28)
+	code := isa.Predecode(prog)
+	ck := task.Checkpoint{Regs: arch.Regs, MemDiff: mem.NewOverlay()}
+
+	runUnpooled := func() *task.Exec {
+		t := &task.Task{Start: arch.PC, Checkpoint: ck, Snap: arch.Clone(), Code: code}
+		return t.Execute(1_000_000)
+	}
+	var pool task.Pool
+	tk := &task.Task{Start: arch.PC, Checkpoint: ck, Code: code}
+	runPooled := func() {
+		tk.Snap = pool.CloneState(arch)
+		ex := pool.Execute(tk, 1_000_000)
+		pool.Release(ex)
+		pool.ReleaseState(tk.Snap)
+		tk.Snap = nil
+	}
+
+	want := runUnpooled()
+	tk.Snap = pool.CloneState(arch)
+	got := pool.Execute(tk, 1_000_000)
+	if got.Outcome != want.Outcome || got.Steps != want.Steps ||
+		!got.LiveIn.Equal(want.LiveIn) || !got.LiveOut.Equal(want.LiveOut) {
+		return res, fmt.Errorf("task pool: pooled execution diverged from unpooled (%v/%d vs %v/%d)",
+			got.Outcome, got.Steps, want.Outcome, want.Steps)
+	}
+	pool.Release(got)
+	pool.ReleaseState(tk.Snap)
+	tk.Snap = nil
+
+	ru := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ex := runUnpooled(); ex.Outcome != want.Outcome {
+				b.Fatal("unpooled outcome changed")
+			}
+		}
+	})
+	res.forkUnpooled = nsPerOp(ru)
+	rp := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runPooled()
+		}
+	})
+	res.forkPooled = nsPerOp(rp)
+
+	res.allocsUnpooled = testing.AllocsPerRun(50, func() { _ = runUnpooled() })
+	res.allocsPooled = testing.AllocsPerRun(50, runPooled)
+	return res, nil
 }
 
 // checkZeroAlloc asserts the devirtualized run loop does not allocate after

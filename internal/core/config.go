@@ -364,6 +364,8 @@ type CommitEvent struct {
 	// Halted reports whether the region ended at a halt.
 	Halted bool
 	// LiveIn and LiveOut are the task's recorded sets (nil for fallback).
+	// They borrow pooled storage and are valid only during the callback;
+	// Clone them to retain (docs/MEMORY.md).
 	LiveIn, LiveOut *state.Delta
 	// Arch is the architected state after the commit. Observers must not
 	// mutate it; clone before storing.

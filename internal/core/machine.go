@@ -45,6 +45,15 @@ type Machine struct {
 
 	queue []*pend // program order; tail may be open
 
+	// pool recycles task scratch and architected snapshots across task
+	// lives; retired tasks are released in verifyHead and squashAndRecover.
+	pool task.Pool
+	// shareCk allows checkpoints to share (rather than re-snapshot) the
+	// master's diff when it is provably unchanged. Disabled under fault
+	// injection, whose CorruptCheckpoint hook mutates checkpoint diffs in
+	// place and must corrupt exactly one task.
+	shareCk bool
+
 	slaveFree     []float64
 	commitFree    float64
 	lastCommitEnd float64
@@ -94,6 +103,7 @@ func New(orig *isa.Program, dist *distill.Result, cfg Config) (*Machine, error) 
 		anchors:   dist.AnchorSet(),
 		arch:      state.NewFromProgram(orig, cfg.SP),
 		slaveFree: make([]float64, cfg.Slaves),
+		shareCk:   cfg.Fault == nil,
 	}
 	if !cfg.DisableFastPath {
 		m.origCode = isa.Predecode(orig)
@@ -264,11 +274,21 @@ func (m *Machine) drain() error {
 	return nil
 }
 
-// ensureExec runs the task's functional execution once.
+// ensureExec runs the task's functional execution once, on pooled scratch.
 func (m *Machine) ensureExec(p *pend) {
 	if p.ex == nil {
-		p.ex = p.t.Execute(m.cfg.MaxTaskLen)
+		p.ex = m.pool.Execute(p.t, m.cfg.MaxTaskLen)
 	}
+}
+
+// release returns a retired task's pooled resources (execution scratch and
+// architected snapshot). Must run only once per task, after its last use —
+// the commit in verifyHead or the discard in squashAndRecover.
+func (m *Machine) release(p *pend) {
+	m.pool.Release(p.ex)
+	p.ex = nil
+	m.pool.ReleaseState(p.t.Snap)
+	p.t.Snap = nil
 }
 
 // slavePick returns the index of the earliest-free slave.
@@ -440,13 +460,14 @@ func (m *Machine) verifyHead() (squashed bool) {
 	m.commitFree = vt
 	m.lastCommitEnd = vt
 
+	halted := h.ex.Outcome == task.OutcomeHalted
 	if m.cfg.OnCommit != nil {
 		m.cfg.OnCommit(CommitEvent{
 			Kind:    "task",
 			TaskID:  h.t.ID,
 			Start:   h.t.Start,
 			Steps:   h.ex.Steps,
-			Halted:  h.ex.Outcome == task.OutcomeHalted,
+			Halted:  halted,
 			LiveIn:  h.ex.LiveIn,
 			LiveOut: h.ex.LiveOut,
 			Arch:    m.arch,
@@ -458,10 +479,11 @@ func (m *Machine) verifyHead() (squashed bool) {
 		TaskID: h.t.ID,
 		Start:  h.t.Start,
 		Steps:  h.ex.Steps,
-		Halted: h.ex.Outcome == task.OutcomeHalted,
+		Halted: halted,
 	})
+	m.release(h)
 
-	if h.ex.Outcome == task.OutcomeHalted {
+	if halted {
 		m.done = true
 	}
 	return false
@@ -476,6 +498,9 @@ func (m *Machine) squashAndRecover(at float64, forceFallback bool) {
 	m.metrics.Squashes++
 	if len(m.queue) > 1 {
 		m.metrics.TasksSquashedDown += uint64(len(m.queue) - 1)
+	}
+	for _, p := range m.queue {
+		m.release(p)
 	}
 	m.queue = nil
 	m.master.alive = false

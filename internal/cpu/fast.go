@@ -147,6 +147,10 @@ type StopResult struct {
 	Steps  uint64   // instructions executed this call (stop event included)
 	Kind   StopKind //
 	Anchor uint64   // FORK immediate, valid when Kind == StopFork
+	// Stores is the number of store instructions executed this call. Master
+	// engines use it to skip checkpoint materialization over store-free
+	// stretches of distilled code (see docs/MEMORY.md).
+	Stores uint64
 }
 
 // RunToStop executes at most max instructions directly against s on the
@@ -206,6 +210,7 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 	var res RunResult
 	m := s.Mem
 	pc := s.PC
+	var stores uint64
 
 	fast := code != nil && !dirty
 	var base uint64
@@ -222,7 +227,7 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 		if i := pc - base; fast && i < ilen {
 			if !valid[i] {
 				s.PC = pc
-				return res, StopResult{Kind: StopFault}, dirty, &Fault{PC: pc, Word: words[i]}
+				return res, StopResult{Kind: StopFault, Stores: stores}, dirty, &Fault{PC: pc, Word: words[i]}
 			}
 			in = insts[i]
 		} else {
@@ -230,7 +235,7 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 			in = isa.Decode(w)
 			if !in.Op.Valid() {
 				s.PC = pc
-				return res, StopResult{Kind: StopFault}, dirty, &Fault{PC: pc, Word: w}
+				return res, StopResult{Kind: StopFault, Stores: stores}, dirty, &Fault{PC: pc, Word: w}
 			}
 		}
 
@@ -242,7 +247,7 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 			if stops {
 				s.PC = next
 				res.Steps++
-				return res, StopResult{Kind: StopFork, Anchor: uint64(in.Imm)}, dirty, nil
+				return res, StopResult{Kind: StopFork, Anchor: uint64(in.Imm), Stores: stores}, dirty, nil
 			}
 
 		case isa.OpAdd:
@@ -304,6 +309,7 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 		case isa.OpSt:
 			addr := rdr(s, in.Rs1) + uint64(in.Imm)
 			m.Write(addr, rdr(s, in.Rs2))
+			stores++
 			if fast && addr-base < ilen {
 				// Self-modifying store: the table is stale from here on.
 				fast, dirty = false, true
@@ -344,19 +350,19 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 			if stops {
 				s.PC = next
 				res.Steps++
-				return res, StopResult{Kind: StopJalr}, dirty, nil
+				return res, StopResult{Kind: StopJalr, Stores: stores}, dirty, nil
 			}
 
 		case isa.OpHalt:
 			s.PC = pc // halt is a fixpoint
 			res.Steps++
 			res.Halted = true
-			return res, StopResult{Kind: StopHalt}, dirty, nil
+			return res, StopResult{Kind: StopHalt, Stores: stores}, dirty, nil
 		}
 
 		pc = next
 		res.Steps++
 	}
 	s.PC = pc
-	return res, StopResult{Kind: StopSteps}, dirty, nil
+	return res, StopResult{Kind: StopSteps, Stores: stores}, dirty, nil
 }

@@ -32,6 +32,14 @@
 //     so generations stay unique family-wide; in-place page writes only
 //     ever hit pages whose generation matches the writing value's own
 //     (exclusively owned pages), and shared pages are only ever read.
+//   - A logically frozen Overlay (one nobody will mutate again, such as a
+//     checkpoint diff) may be read from many goroutines at once through
+//     per-goroutine OverlayReader cursors, which keep their page cache on
+//     the reader instead of the overlay.
+//
+// Reset and SnapshotInto recycle allocations across lives (pooled task
+// machinery); their safety rests on the same generation tags. The full
+// lifecycle, pooling and aliasing contract lives in docs/MEMORY.md.
 package mem
 
 import "sync/atomic"
@@ -156,6 +164,36 @@ func (m *Memory) Snapshot() *Memory {
 	m.readPg = nil
 	m.writePg = nil
 	return clone
+}
+
+// SnapshotInto is Snapshot with the clone's allocations recycled from dst:
+// dst's page map is cleared and refilled (keeping its buckets) and dst is
+// adopted into m's snapshot family. It exists for the task pools
+// (internal/task.Pool), which re-issue the same architected-snapshot value
+// life after life instead of allocating a map per spawn; in steady state the
+// call allocates nothing.
+//
+// dst must be retired: no goroutine may still use it, and it must not alias
+// a value anyone else holds. Its previous page references are dropped
+// (copy-on-write siblings keep their own). A nil dst falls back to a plain
+// Snapshot. See docs/MEMORY.md for the pooling contract.
+func (m *Memory) SnapshotInto(dst *Memory) *Memory {
+	if dst == nil || dst == m {
+		return m.Snapshot()
+	}
+	gen := atomic.AddUint64(m.genCounter, 2)
+	clear(dst.pages)
+	for pn, p := range m.pages {
+		dst.pages[pn] = p
+	}
+	dst.gen = gen - 1
+	dst.genCounter = m.genCounter
+	dst.readPg = nil
+	dst.writePg = nil
+	m.gen = gen
+	m.readPg = nil
+	m.writePg = nil
+	return dst
 }
 
 // CopyWords bulk-writes words starting at base. Used to load program images.

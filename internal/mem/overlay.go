@@ -32,6 +32,11 @@ type Overlay struct {
 	gen        uint64
 	genCounter *uint64
 	count      int // number of present words
+	// version counts content mutations (Set, Clear, Reset). Snapshot leaves
+	// it unchanged: equal versions across a snapshot mean equal contents,
+	// which is what lets checkpoint producers reuse a previous snapshot
+	// verbatim (see docs/MEMORY.md).
+	version uint64
 
 	// Last-page caches; same invariants as Memory's: getPg ==
 	// pages[getPN], setPg == pages[setPN] with setPg.gen == gen.
@@ -95,10 +100,60 @@ func (o *Overlay) Set(addr uint64, v uint64) {
 		o.count++
 	}
 	p.data[idx] = v
+	o.version++
+}
+
+// SetIfAbsent binds addr to v only if addr is not already present, and
+// reports whether it stored the value. It is the single-lookup form of the
+// Get-then-Set pattern live-in capture uses on every memory read: one page
+// walk instead of two.
+func (o *Overlay) SetIfAbsent(addr, v uint64) bool {
+	pn := addr >> pageShift
+	p := o.setPg
+	if p == nil || pn != o.setPN {
+		var ok bool
+		p, ok = o.pages[pn]
+		switch {
+		case !ok:
+			p = &opage{gen: o.gen}
+			o.pages[pn] = p
+		case p.gen != o.gen:
+			idx := addr & pageMask
+			if p.present[idx/64]&(1<<(idx%64)) != 0 {
+				return false // present in a shared page: no write, no CoW
+			}
+			cp := *p
+			cp.gen = o.gen
+			p = &cp
+			o.pages[pn] = p
+		}
+		o.setPg, o.setPN = p, pn
+		// A copy-on-write may have replaced the page the get cache holds.
+		if o.getPg != nil && o.getPN == pn {
+			o.getPg = p
+		}
+	}
+	idx := addr & pageMask
+	if p.present[idx/64]&(1<<(idx%64)) != 0 {
+		return false
+	}
+	p.present[idx/64] |= 1 << (idx % 64)
+	p.data[idx] = v
+	o.count++
+	o.version++
+	return true
 }
 
 // Len returns the number of present words.
 func (o *Overlay) Len() int { return o.count }
+
+// Version returns the overlay's content version: it advances on every
+// mutation (Set, SetIfAbsent binding a new word, Clear, Reset) and is left
+// alone by Snapshot. A producer that recorded the version at its last
+// Snapshot can therefore prove "nothing changed since" with one compare and
+// hand out the previous snapshot again — the checkpoint-reuse fast path of
+// the master engines (docs/MEMORY.md).
+func (o *Overlay) Version() uint64 { return o.version }
 
 // Snapshot returns a logically independent copy sharing pages copy-on-write.
 // As with Memory.Snapshot, distinct family members may snapshot concurrently.
@@ -142,6 +197,72 @@ func (o *Overlay) Clear() {
 	o.pages = make(map[uint64]*opage)
 	o.gen = atomic.AddUint64(o.genCounter, 1)
 	o.count = 0
+	o.version++
 	o.getPg = nil
 	o.setPg = nil
+}
+
+// Reset removes all entries like Clear but reuses the overlay's allocations:
+// the page map keeps its buckets, and pages the overlay exclusively owns
+// (generation tag equal to the overlay's own — provably unaliased, because
+// every Snapshot retags both sides) are kept and wiped in place. Shared
+// pages may be referenced by snapshots and are dropped instead. This
+// generation check is what makes pooled reuse safe: a Reset can never
+// scribble on a page some outstanding snapshot still reads.
+func (o *Overlay) Reset() {
+	for pn, p := range o.pages {
+		if p.gen != o.gen {
+			delete(o.pages, pn)
+			continue
+		}
+		p.present = [PageWords / 64]uint64{}
+	}
+	o.count = 0
+	o.version++
+	o.getPg = nil
+	o.setPg = nil
+}
+
+// OverlayReader is a read-only cursor over an overlay, carrying its own
+// one-entry page cache. Overlay.Get caches the last page on the overlay
+// itself and is therefore a mutating call; a frozen overlay shared between
+// tasks (a checkpoint diff handed to several slaves) must instead be read
+// through per-reader cursors — each goroutine owns its OverlayReader, the
+// shared overlay is never written, and the reads race with nothing.
+//
+// The cursor caches a page pointer, so it must only be used while the
+// underlying overlay is logically frozen: a Set/Clear/Reset on the overlay
+// invalidates every outstanding reader (docs/MEMORY.md has the aliasing
+// table).
+type OverlayReader struct {
+	o  *Overlay
+	pn uint64
+	pg *opage
+}
+
+// Init points the reader at o and drops any cached page. A reader is a
+// plain value; Init (re)initializes it without allocating.
+func (r *OverlayReader) Init(o *Overlay) {
+	r.o = o
+	r.pg = nil
+}
+
+// Get returns the value at addr and whether it is present, without mutating
+// the underlying overlay.
+func (r *OverlayReader) Get(addr uint64) (uint64, bool) {
+	pn := addr >> pageShift
+	p := r.pg
+	if p == nil || pn != r.pn {
+		var ok bool
+		p, ok = r.o.pages[pn]
+		if !ok {
+			return 0, false
+		}
+		r.pg, r.pn = p, pn
+	}
+	idx := addr & pageMask
+	if p.present[idx/64]&(1<<(idx%64)) == 0 {
+		return 0, false
+	}
+	return p.data[idx], true
 }

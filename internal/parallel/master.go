@@ -84,6 +84,16 @@ func (e *Engine) runMaster(l *masterLife) {
 	diffBase := st.Mem.Snapshot()
 	cum := mem.NewOverlay()
 
+	// storesSince counts store instructions since the last materialized
+	// checkpoint; prevCk is that checkpoint's diff snapshot. When a fork
+	// arrives with storesSince == 0 the memory image is untouched, so the
+	// previous snapshot (or the engine's shared empty diff) is bit-identical
+	// to what diffing would produce — the checkpoint is register-only and
+	// the O(pages) diff + snapshots are skipped entirely (lazy checkpoints,
+	// docs/MEMORY.md). Fault injection disables the sharing (Engine.shareCk).
+	var storesSince uint64
+	var prevCk *mem.Overlay
+
 	for {
 		select {
 		case <-l.stop:
@@ -105,6 +115,7 @@ func (e *Engine) runMaster(l *masterLife) {
 		res, err := l.code.RunToStop(st, chunk)
 		exit.insts += res.Steps
 		instsSinceFork += res.Steps
+		storesSince += res.Stores
 		if err != nil {
 			exit.stop = masterLost
 			l.exitCh <- exit
@@ -128,8 +139,24 @@ func (e *Engine) runMaster(l *masterLife) {
 			c := crossings[a]
 			clear(crossings)
 
-			ck := e.masterCheckpoint(st, diffBase, cum)
-			diffBase = st.Mem.Snapshot()
+			var ck task.Checkpoint
+			if e.shareCk && storesSince == 0 {
+				d := prevCk
+				if d == nil {
+					d = e.emptyDiff
+				}
+				ck = task.Checkpoint{Regs: st.Regs, MemDiff: d}
+				if e.cfg.MasterSuppliesAllData {
+					ck.FullMem = st.Mem.Snapshot()
+				}
+			} else {
+				ck = e.masterCheckpoint(st, diffBase, cum)
+				diffBase = st.Mem.Snapshot()
+				if e.shareCk {
+					prevCk = ck.MemDiff
+				}
+				storesSince = 0
+			}
 			select {
 			case l.forkCh <- forkMsg{anchor: a, count: c, ck: ck}:
 			case <-l.stop:

@@ -61,6 +61,7 @@ import (
 	"mssp/internal/cpu"
 	"mssp/internal/distill"
 	"mssp/internal/isa"
+	"mssp/internal/mem"
 	"mssp/internal/state"
 	"mssp/internal/task"
 )
@@ -105,6 +106,21 @@ type Engine struct {
 
 	// epoch is the squash epoch, read by slave workers and Cancel hooks.
 	epoch atomic.Uint64
+
+	// pool recycles task scratch and architected snapshots. It is shared by
+	// the coordinator (CloneState/Release points) and the slave workers
+	// (Execute); each borrowed object stays goroutine-confined between the
+	// pool's internal lock hand-offs.
+	pool task.Pool
+	// shareCk allows checkpoints to reuse the previous diff snapshot (or the
+	// shared empty diff) over store-free master stretches. Disabled under
+	// fault injection, whose CorruptCheckpoint hook mutates checkpoint diffs
+	// in place and must corrupt exactly one task.
+	shareCk bool
+	// emptyDiff is the immutable empty overlay handed to checkpoints taken
+	// before the master's first store; slaves read it through per-task
+	// OverlayReader cursors, so cross-task sharing is race-free.
+	emptyDiff *mem.Overlay
 
 	ring *ring
 	life *masterLife // nil while the master is dead
@@ -163,6 +179,8 @@ func newEngine(orig *isa.Program, dist *distill.Result, cfg core.Config) (*Engin
 		dist:       dist,
 		anchors:    dist.AnchorSet(),
 		arch:       state.NewFromProgram(orig, cfg.SP),
+		shareCk:    cfg.Fault == nil,
+		emptyDiff:  mem.NewOverlay(),
 		ring:       newRing(cfg.TaskBuffer),
 		dispatchCh: make(chan *slot, cfg.TaskBuffer),
 		resultCh:   make(chan *slot, cfg.TaskBuffer+cfg.Slaves+4),
@@ -197,6 +215,7 @@ func (e *Engine) run() (*Result, error) {
 			e.handleFork(fm)
 		case s := <-e.resultCh:
 			e.noteResult(s)
+			e.drainResults()
 			e.commitDue()
 		case x := <-e.life.exitCh:
 			e.collectExit(x)
@@ -276,7 +295,7 @@ func (e *Engine) reserve(fm forkMsg) {
 		ID:         e.taskSeq,
 		Start:      start,
 		Checkpoint: ck,
-		Snap:       e.arch.Clone(),
+		Snap:       e.pool.CloneState(e.arch),
 		Code:       e.taskCode(),
 		NonSpec:    e.cfg.NonSpecRegions,
 		// Cancel makes in-flight work from squashed epochs abandon itself
@@ -315,14 +334,44 @@ func (e *Engine) dispatch(s *slot) {
 }
 
 // noteResult records a slave's completed execution. Results from dead epochs
-// are stale — their slots left the ring at the squash — and are dropped.
+// are stale — their slots left the ring at the squash — and are dropped,
+// which is also the point where an in-flight-at-squash slot's pooled
+// resources finally come home (nothing else may reclaim them earlier: the
+// worker owned the scratch until this arrival).
 func (e *Engine) noteResult(s *slot) {
 	if s.epoch != e.epoch.Load() {
+		e.releaseSlot(s)
 		return
 	}
 	if err := e.ring.Complete(s); err != nil {
 		e.err = err
 	}
+}
+
+// drainResults greedily absorbs every slave result already queued, without
+// blocking. Batching the receives ahead of commitDue lets one verification
+// pass publish a whole run of completed tasks in program order instead of
+// alternating channel receives and single commits (parallel/commit_ns).
+func (e *Engine) drainResults() {
+	for e.err == nil {
+		select {
+		case s := <-e.resultCh:
+			e.noteResult(s)
+		default:
+			return
+		}
+	}
+}
+
+// releaseSlot returns a retired slot's pooled resources (execution scratch
+// and architected snapshot). Exactly one release point exists per slot:
+// commit in verifyHead, discard in squashAndRecover (open/done slots), or
+// stale-result arrival in noteResult (slots in flight when their epoch died).
+func (e *Engine) releaseSlot(s *slot) {
+	e.pool.Release(s.ex)
+	s.ex = nil
+	e.pool.ReleaseState(s.t.Snap)
+	s.t.Snap = nil
 }
 
 // commitDue retires every head reservation whose result has arrived, in
@@ -440,13 +489,14 @@ func (e *Engine) verifyHead() (squashed bool) {
 	e.metrics.LiveInWords += uint64(h.ex.LiveIn.Len())
 	e.metrics.LiveOutWords += uint64(h.ex.LiveOut.Len())
 
+	halted := h.ex.Outcome == task.OutcomeHalted
 	if e.cfg.OnCommit != nil {
 		e.cfg.OnCommit(core.CommitEvent{
 			Kind:    "task",
 			TaskID:  h.t.ID,
 			Start:   h.t.Start,
 			Steps:   h.ex.Steps,
-			Halted:  h.ex.Outcome == task.OutcomeHalted,
+			Halted:  halted,
 			LiveIn:  h.ex.LiveIn,
 			LiveOut: h.ex.LiveOut,
 			Arch:    e.arch,
@@ -458,10 +508,11 @@ func (e *Engine) verifyHead() (squashed bool) {
 		TaskID: h.t.ID,
 		Start:  h.t.Start,
 		Steps:  h.ex.Steps,
-		Halted: h.ex.Outcome == task.OutcomeHalted,
+		Halted: halted,
 	})
+	e.releaseSlot(h)
 
-	if h.ex.Outcome == task.OutcomeHalted {
+	if halted {
 		e.done = true
 	}
 	return false
@@ -479,6 +530,14 @@ func (e *Engine) squashAndRecover(forceFallback bool) {
 		e.metrics.TasksSquashedDown += uint64(n - 1)
 	}
 	e.epoch.Add(1)
+	// Reclaim what the coordinator still owns. Closed slots are in flight —
+	// a worker owns their task and scratch until the (now stale) result
+	// arrives back in noteResult, which is their release point.
+	for _, s := range e.ring.slots {
+		if s.state != SlotClosed {
+			e.releaseSlot(s)
+		}
+	}
 	e.ring.SquashAll()
 	e.stopMaster()
 
@@ -647,16 +706,22 @@ func (e *Engine) shutdown() {
 	}
 }
 
+// canceledExec is the shared stub result for work skipped because its epoch
+// died before a worker picked it up. It is immutable: stale slots are dropped
+// in noteResult without reading the deltas, and Pool.Release passes it
+// through as unpooled.
+var canceledExec = &task.Exec{Outcome: task.OutcomeCanceled, LiveIn: state.NewDelta(), LiveOut: state.NewDelta()}
+
 // slaveWorker is the worker-pool goroutine body: execute closed reservations
-// and send them back. Work from dead epochs is skipped outright (cheaper than
-// letting Cancel fire on the first poll).
+// on pooled scratch and send them back. Work from dead epochs is skipped
+// outright (cheaper than letting Cancel fire on the first poll).
 func (e *Engine) slaveWorker(id int) {
 	for s := range e.dispatchCh {
 		if s.epoch == e.epoch.Load() {
 			s.slave = id
-			s.ex = s.t.Execute(e.cfg.MaxTaskLen)
+			s.ex = e.pool.Execute(s.t, e.cfg.MaxTaskLen)
 		} else {
-			s.ex = &task.Exec{Outcome: task.OutcomeCanceled, LiveIn: state.NewDelta(), LiveOut: state.NewDelta()}
+			s.ex = canceledExec
 		}
 		e.resultCh <- s
 	}

@@ -156,6 +156,37 @@ func (r *ring) PopCommitted() error {
 	return nil
 }
 
+// CommitCycle drives the reservation protocol end to end n times on a
+// scratch ring — reserve, close, complete, pop — and returns the number of
+// slots committed (n unless the protocol errors, which would be a bug).
+// It is the inner loop behind the parallel/commit_ns benchmark entry:
+// cmd/msspbench supplies the timing, since wall-clock reads are banned from
+// engine code (goanalysis GA001).
+func CommitCycle(n int) int {
+	r := newRing(4)
+	t := &task.Task{}
+	ex := &task.Exec{}
+	committed := 0
+	for i := 0; i < n; i++ {
+		s, err := r.Reserve(t, 0)
+		if err != nil {
+			return committed
+		}
+		if err := r.Close(s, 0, 0, true); err != nil {
+			return committed
+		}
+		s.ex = ex
+		if err := r.Complete(s); err != nil {
+			return committed
+		}
+		if err := r.PopCommitted(); err != nil {
+			return committed
+		}
+		committed++
+	}
+	return committed
+}
+
 // SquashAll discards every reservation (a squash kills the whole speculative
 // pipeline) and returns how many slots were dropped.
 func (r *ring) SquashAll() int {

@@ -51,6 +51,12 @@ func (d *Delta) SetPC(pc uint64) {
 // SetMem binds memory word addr to v.
 func (d *Delta) SetMem(addr, v uint64) { d.Mem.Set(addr, v) }
 
+// SetMemIfAbsent binds memory word addr to v only if it is not already
+// bound, reporting whether it stored the value. This is the one-lookup form
+// of the read-before-write capture rule: live-in recording keeps the first
+// observed value and must ignore later reads of the same word.
+func (d *Delta) SetMemIfAbsent(addr, v uint64) bool { return d.Mem.SetIfAbsent(addr, v) }
+
 // MemVal returns the binding for memory word addr and whether it is present.
 func (d *Delta) MemVal(addr uint64) (uint64, bool) { return d.Mem.Get(addr) }
 
@@ -72,6 +78,17 @@ func (d *Delta) Clone() *Delta {
 	c := *d
 	c.Mem = d.Mem.Snapshot()
 	return &c
+}
+
+// Reset empties the delta in place, reusing its allocations: the register
+// file keeps its array (the presence mask hides stale values) and the
+// memory overlay keeps its owned pages (mem.Overlay.Reset's generation
+// check protects outstanding snapshots). This is what lets the task pool
+// run delta capture allocation-free across task lives (docs/MEMORY.md).
+func (d *Delta) Reset() {
+	d.regPresent = 0
+	d.HasPC = false
+	d.Mem.Reset()
 }
 
 // Superimpose overwrites d's bindings with e's (d ← e), returning d.

@@ -60,6 +60,19 @@ func (s *State) Clone() *State {
 	return &c
 }
 
+// CloneInto is Clone with the copy's allocations recycled from dst (see
+// mem.Memory.SnapshotInto): dst must be a retired state no one else holds,
+// and is returned re-seeded with s's registers, PC and a fresh snapshot of
+// s's memory. A nil dst (or one without a memory) falls back to Clone.
+func (s *State) CloneInto(dst *State) *State {
+	if dst == nil || dst.Mem == nil {
+		return s.Clone()
+	}
+	m := s.Mem.SnapshotInto(dst.Mem)
+	*dst = State{Regs: s.Regs, PC: s.PC, Mem: m}
+	return dst
+}
+
 // ReadReg returns the value of register r; register 0 always reads zero.
 func (s *State) ReadReg(r int) uint64 {
 	if r == isa.RegZero {

@@ -2,6 +2,7 @@ package task
 
 // AddrRange is a half-open word-address interval [Lo, Hi).
 type AddrRange struct {
+	// Lo is the inclusive lower bound and Hi the exclusive upper bound.
 	Lo, Hi uint64
 }
 

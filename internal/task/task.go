@@ -56,7 +56,8 @@ type Task struct {
 	// the cap.
 	End      uint64
 	EndCount uint64 // occurrences of End to consume; 0 behaves as 1
-	HasEnd   bool
+	// HasEnd distinguishes a real end anchor from the run-to-halt drain case.
+	HasEnd bool
 	// Checkpoint is the master's state prediction at Start.
 	Checkpoint Checkpoint
 	// Snap is the architected state as of the spawn. The slave reads
@@ -108,6 +109,7 @@ const (
 	OutcomeCanceled
 )
 
+// String names the outcome for logs and error messages.
 func (o Outcome) String() string {
 	switch o {
 	case OutcomeReachedEnd:
@@ -127,7 +129,13 @@ func (o Outcome) String() string {
 }
 
 // Exec is the result of executing a task on a slave.
+//
+// An Exec produced by Pool.Execute borrows pooled storage: it, and the
+// LiveIn/LiveOut deltas it carries, are valid only until Pool.Release —
+// engines that hand deltas to callbacks document the same borrow (see
+// core.CommitEvent and docs/MEMORY.md). Clone the deltas to retain them.
 type Exec struct {
+	// Outcome says how the execution ended.
 	Outcome Outcome
 	// Steps is the number of original-program instructions executed (#t).
 	Steps uint64
@@ -137,6 +145,10 @@ type Exec struct {
 	// LiveOut is everything the slave wrote, plus the final PC.
 	// Committing a safe task is exactly arch.Apply(LiveOut).
 	LiveOut *state.Delta
+
+	// sc points back at the pooled scratch this Exec borrows from, nil for
+	// unpooled executions. Pool.Release uses it to recycle the storage.
+	sc *scratch
 }
 
 // slaveEnv implements cpu.Env with live-in/live-out capture over the
@@ -151,6 +163,11 @@ type slaveEnv struct {
 	writes *mem.Overlay // local write buffer (live-outs)
 	liveIn *state.Delta
 
+	// ckRd reads the checkpoint diff through a reader-owned cursor: the
+	// diff may be shared by every in-flight task of a fork epoch (lazy
+	// checkpoints), so the env must not touch its page caches.
+	ckRd mem.OverlayReader
+
 	pc uint64
 	// nonSpecHit is set when an access touches a non-speculative region.
 	nonSpecHit bool
@@ -164,6 +181,7 @@ func newSlaveEnv(t *Task) *slaveEnv {
 		liveIn: state.NewDelta(),
 		pc:     t.Start,
 	}
+	e.ckRd.Init(t.Checkpoint.MemDiff)
 	return e
 }
 
@@ -195,16 +213,14 @@ func (e *slaveEnv) ReadMem(addr uint64) uint64 {
 		return v
 	}
 	var v uint64
-	if cv, ok := e.t.Checkpoint.MemDiff.Get(addr); ok {
+	if cv, ok := e.ckRd.Get(addr); ok {
 		v = cv
 	} else if e.t.Checkpoint.FullMem != nil {
 		v = e.t.Checkpoint.FullMem.Read(addr)
 	} else {
 		v = e.t.Snap.Mem.Read(addr)
 	}
-	if _, seen := e.liveIn.MemVal(addr); !seen {
-		e.liveIn.SetMem(addr, v)
-	}
+	e.liveIn.SetMemIfAbsent(addr, v)
 	return v
 }
 
@@ -234,7 +250,12 @@ var _ cpu.Env = (*slaveEnv)(nil)
 func (t *Task) Execute(cap uint64) *Exec {
 	env := newSlaveEnv(t)
 	ex := &Exec{LiveIn: env.liveIn, LiveOut: state.NewDelta()}
+	return t.execute(env, ex, cap)
+}
 
+// execute is the shared body behind Execute and Pool.Execute: env and ex
+// carry the (fresh or recycled) capture machinery, already wired to t.
+func (t *Task) execute(env *slaveEnv, ex *Exec, cap uint64) *Exec {
 	remaining := t.EndCount
 	if remaining == 0 {
 		remaining = 1
