@@ -14,9 +14,9 @@
 //  4. The tracked benchmark baseline stays documented: every entry name
 //     in BENCH_core.json must be mentioned in docs/PERFORMANCE.md, so a
 //     new metric recorded by cmd/msspbench cannot land undocumented; for
-//     the task/* and parallel/* entries every history label must be
-//     mentioned too (they carry ablation pairs like unpooled/pooled whose
-//     meaning lives in the doc).
+//     the task/*, parallel/* and predict/* entries every history label
+//     must be mentioned too (they carry ablation pairs like
+//     unpooled/pooled whose meaning lives in the doc).
 //  5. The static-analysis rule catalogs stay documented: every rule ID in
 //     internal/vet (MV...) and its Go-source companion (GA...) must be
 //     mentioned in docs/ANALYSIS.md.
@@ -62,6 +62,7 @@ var checkedPackages = []string{
 	"internal/parallel",
 	"internal/task",
 	"internal/mem",
+	"internal/predict",
 }
 
 // taxonomyDocs are the markdown files that must each mention every
@@ -77,6 +78,7 @@ var lifecycleKinds = []string{
 	string(obs.KindFork), string(obs.KindDispatch), string(obs.KindVerify),
 	string(obs.KindCommit), string(obs.KindSquash),
 	string(obs.KindFallbackEnter), string(obs.KindFallbackExit),
+	string(obs.KindPredict), string(obs.KindPolicy),
 }
 
 // mdLink matches inline markdown links and images: [text](target).
@@ -180,10 +182,10 @@ func checkTaxonomy(root, doc string) []string {
 
 // checkBenchDoc verifies that docs/PERFORMANCE.md mentions every metric
 // tracked in BENCH_core.json, as a backtick-quoted name (`cpu/step`). For
-// the task/* and parallel/* entries it additionally requires every history
-// label to be mentioned: those entries carry ablation pairs (`unpooled` vs
-// `pooled`) and per-PR run labels whose meaning is only recorded in the
-// doc. The JSON is read directly rather than through a package so the
+// the task/*, parallel/* and predict/* entries it additionally requires
+// every history label to be mentioned: those entries carry ablation pairs
+// (`unpooled` vs `pooled`, `off` vs `predict`) and per-PR run labels whose
+// meaning is only recorded in the doc. The JSON is read directly rather than through a package so the
 // linter stays decoupled from the benchmark tool's internals.
 func checkBenchDoc(root string) []string {
 	const benchFile = "BENCH_core.json"
@@ -215,7 +217,8 @@ func checkBenchDoc(root string) []string {
 			problems = append(problems,
 				fmt.Sprintf("%s: tracked benchmark entry `%s` (%s) is never mentioned", perfDoc, e.Name, benchFile))
 		}
-		if !strings.HasPrefix(e.Name, "task/") && !strings.HasPrefix(e.Name, "parallel/") {
+		if !strings.HasPrefix(e.Name, "task/") && !strings.HasPrefix(e.Name, "parallel/") &&
+			!strings.HasPrefix(e.Name, "predict/") {
 			continue
 		}
 		for _, h := range e.History {

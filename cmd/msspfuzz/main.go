@@ -38,6 +38,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print the full JSON report of every run")
 		interp   = flag.String("interp", "fast", "execution core: fast, slow, or both (run each seed on both and diff the reports)")
 		engine   = flag.String("engine", "det", "speculative engine(s): det, or parallel (adds true-parallel legs cross-checked against det)")
+		predictF = flag.Bool("predict", false, "attach a value predictor to every leg (kind derived from the seed); faulted legs must leave it untrained")
 	)
 	flag.Parse()
 
@@ -60,21 +61,21 @@ func main() {
 		os.Exit(2)
 	}
 	if *replay != "" {
-		os.Exit(replayArtifacts(*replay, *engine, *verbose))
+		os.Exit(replayArtifacts(*replay, *engine, *predictF, *verbose))
 	}
-	os.Exit(soak(*seed, *count, *faults, *out, *interp, *engine, *requireC, *verbose))
+	os.Exit(soak(*seed, *count, *faults, *out, *interp, *engine, *requireC, *predictF, *verbose))
 }
 
 // runSeed executes one seed under the selected interpreter(s). For "both"
 // it runs the fast and slow cores and appends a failure to the (fast)
 // report if the two reports are not byte-identical JSON — the command-line
 // form of the interpreter differential.
-func runSeed(s uint64, faults float64, interp, engine string) *chaos.Report {
+func runSeed(s uint64, faults float64, interp, engine string, predict bool) *chaos.Report {
 	if interp != "both" {
-		return chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: interp, Engine: engine})
+		return chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: interp, Engine: engine, Predict: predict})
 	}
-	fast := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "fast"})
-	slow := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "slow"})
+	fast := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "fast", Predict: predict})
+	slow := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "slow", Predict: predict})
 	fb, _ := json.Marshal(fast)
 	sb, _ := json.Marshal(slow)
 	if string(fb) != string(sb) {
@@ -86,7 +87,7 @@ func runSeed(s uint64, faults float64, interp, engine string) *chaos.Report {
 }
 
 // soak runs count consecutive seeds and reports aggregate coverage.
-func soak(seed uint64, count int, faults float64, out, interp, engine string, requireC, verbose bool) int {
+func soak(seed uint64, count int, faults float64, out, interp, engine string, requireC, predict, verbose bool) int {
 	var sink *os.File
 	if out != "" {
 		f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -102,7 +103,7 @@ func soak(seed uint64, count int, faults float64, out, interp, engine string, re
 	failed := 0
 	for i := 0; i < count; i++ {
 		s := seed + uint64(i)
-		rep := runSeed(s, faults, interp, engine)
+		rep := runSeed(s, faults, interp, engine, predict)
 		if verbose {
 			b, _ := json.MarshalIndent(rep, "", "  ")
 			fmt.Println(string(b))
@@ -142,7 +143,7 @@ func soak(seed uint64, count int, faults float64, out, interp, engine string, re
 // replayArtifacts re-runs each recorded failure from its seed alone. A
 // record that still fails identically is "reproduced"; one that now passes
 // (after a fix) is reported as such.
-func replayArtifacts(path, engine string, verbose bool) int {
+func replayArtifacts(path, engine string, predict, verbose bool) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "msspfuzz:", err)
@@ -160,7 +161,7 @@ func replayArtifacts(path, engine string, verbose bool) int {
 	}
 	reproduced := 0
 	for _, a := range arts {
-		rep := chaos.Run(chaos.Options{Seed: a.Seed, FaultIntensity: a.FaultIntensity, Engine: engine})
+		rep := chaos.Run(chaos.Options{Seed: a.Seed, FaultIntensity: a.FaultIntensity, Engine: engine, Predict: predict})
 		if verbose {
 			b, _ := json.MarshalIndent(rep, "", "  ")
 			fmt.Println(string(b))

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+
+	"mssp/internal/core"
+	"mssp/internal/distill"
+	"mssp/internal/isa"
+	"mssp/internal/predict"
+	"mssp/internal/profile"
+	"mssp/internal/stats"
+	"mssp/internal/workloads"
+)
+
+func init() {
+	registerExtraExperiment(&Experiment{
+		ID:    "E13",
+		Title: "Value-predictor kind sensitivity (live-in prediction)",
+		Run:   runE13,
+	})
+}
+
+// e13Row is one measured program in the E13 sweep: the sweep-subset
+// workloads plus the prediction micro-program (workloads.MicroPredict),
+// whose distillation-pruned accumulators make live-in prediction the whole
+// game.
+type e13Row struct {
+	name     string
+	train    *isa.Program
+	measured *isa.Program
+}
+
+// e13Off is the no-predictor baseline column's sentinel kind.
+const e13Off = predict.Kind(-1)
+
+// e13Kinds are the predictor columns, baseline first.
+var e13Kinds = []predict.Kind{e13Off, predict.LastValue, predict.Stride, predict.FCM}
+
+// runE13 sweeps predictor kind × workload and reports the squash rate and
+// live-in prediction hit rate per cell. Each workload is re-distilled with
+// predictable-slot analysis on (Result.PredictableRegs); the predictor is
+// consulted only for registers that analysis marks stale-but-affine at a
+// fork anchor, so workloads with zero slots show identical columns — the
+// predictor never fires there, by construction.
+func runE13(c *Context) (string, error) {
+	var rows []e13Row
+	for _, w := range c.SweepWorkloads() {
+		rows = append(rows, e13Row{
+			name:     w.Name,
+			train:    c.Prog(w, workloads.Train),
+			measured: c.Prog(w, c.Scale),
+		})
+	}
+	microIters := int64(50_000)
+	if c.Scale == workloads.Train {
+		microIters = 5_000
+	}
+	rows = append(rows, e13Row{
+		name:     "micro-predict",
+		train:    workloads.MicroPredict(2_000, false),
+		measured: workloads.MicroPredict(microIters, true),
+	})
+
+	type cell struct {
+		slots  int
+		squash float64 // squash rate over verified tasks
+		hit    float64 // live-in prediction hit rate (0 when none applied)
+		preds  uint64  // predictions applied
+	}
+	nk := len(e13Kinds)
+	cells, err := fanOut(c, len(rows)*nk, func(i int) (cell, error) {
+		row, kind := rows[i/nk], e13Kinds[i%nk]
+		prof, err := profile.Collect(row.train, profile.Options{Stride: c.Stride})
+		if err != nil {
+			return cell{}, fmt.Errorf("profile %s: %w", row.name, err)
+		}
+		dopts := distill.DefaultOptions()
+		dopts.PredictableSlots = true
+		d, err := distill.Distill(row.train, prof, dopts)
+		if err != nil {
+			return cell{}, fmt.Errorf("distill %s: %w", row.name, err)
+		}
+		cfg := c.MSSPConfig()
+		if kind != e13Off {
+			po := predict.DefaultOptions()
+			po.Kind = kind
+			po.PredictableRegs = d.PredictableRegs
+			cfg.Predictor = predict.NewUnit(po)
+		}
+		m, err := core.New(row.measured, d, cfg)
+		if err != nil {
+			return cell{}, fmt.Errorf("mssp %s: %w", row.name, err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			return cell{}, fmt.Errorf("mssp %s/%s: %w", row.name, kind, err)
+		}
+		mm := res.Metrics
+		out := cell{slots: d.Stats.PredictableSlots, preds: mm.PredictApplied}
+		if verified := mm.TasksCommitted + mm.TasksMisspec; verified > 0 {
+			out.squash = float64(mm.TasksMisspec) / float64(verified)
+		}
+		if graded := mm.PredictHits + mm.PredictMisses; graded > 0 {
+			out.hit = float64(mm.PredictHits) / float64(graded)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return "", err
+	}
+
+	t := stats.NewTable("E13: squash rate by value-predictor kind (hit rate in parens)",
+		"workload", "slots", "off", "last-value", "stride", "fcm")
+	for i, row := range rows {
+		r := cells[i*nk : (i+1)*nk]
+		fmtCell := func(c cell) string {
+			if c.preds == 0 {
+				return fmt.Sprintf("%.3f (-)", c.squash)
+			}
+			return fmt.Sprintf("%.3f (%.0f%%)", c.squash, 100*c.hit)
+		}
+		t.Row(row.name, r[0].slots,
+			fmt.Sprintf("%.3f", r[0].squash), fmtCell(r[1]), fmtCell(r[2]), fmtCell(r[3]))
+	}
+	return t.String(), nil
+}

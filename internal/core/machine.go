@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mssp/internal/cpu"
 	"mssp/internal/distill"
 	"mssp/internal/isa"
+	"mssp/internal/predict"
 	"mssp/internal/state"
 	"mssp/internal/task"
 )
@@ -19,6 +21,13 @@ type pend struct {
 	closedAt float64 // master clock when the end-defining fork was taken
 
 	ex *task.Exec // cached functional execution (lazy)
+
+	// applied lists the live-in predictions written into the task's
+	// checkpoint, for grading at verify; exact marks the first fork of a
+	// master life, whose checkpoint is architected state verbatim and
+	// therefore trains nothing (it would double-count the squash point).
+	applied []predict.Pred
+	exact   bool
 }
 
 // Machine is one MSSP machine instance, single-use: construct, Run, inspect.
@@ -64,6 +73,14 @@ type Machine struct {
 
 	lastSquashCommitted uint64
 	anySquash           bool
+
+	// plan is the predictor's reseed-frozen consultation snapshot;
+	// lifeCount counts consulted forks per site within the current master
+	// life (the chain index), and firstFork marks the life's first spawn —
+	// the exact task, never consulted and never trained.
+	plan      *predict.Plan
+	lifeCount map[uint64]int
+	firstFork bool
 }
 
 // Result is the outcome of a completed run.
@@ -180,10 +197,63 @@ func (m *Machine) openTask() *pend {
 	return nil
 }
 
+// predictOn reports whether the predictor participates in this run: like
+// checkpoint sharing (shareCk), prediction is gated off entirely under
+// fault injection so a corrupted checkpoint can never reach the table.
+func (m *Machine) predictOn() bool {
+	return m.cfg.Predictor != nil && m.cfg.Fault == nil
+}
+
+// consult overrides the checkpoint's unresolved registers with the frozen
+// plan's forecasts for this site's next consulted fork, returning the
+// applied predictions for grading at verify. The first fork of a life is
+// exact (the master has only executed the FORK at the architected PC) and
+// is never consulted.
+func (m *Machine) consult(anchor uint64, ck *task.Checkpoint) []predict.Pred {
+	first := m.firstFork
+	m.firstFork = false
+	if !m.predictOn() || first {
+		return nil
+	}
+	j := m.lifeCount[anchor]
+	m.lifeCount[anchor]++
+	var applied []predict.Pred
+	for mask := m.dist.PredictableRegs[anchor]; mask != 0; mask &= mask - 1 {
+		r := bits.TrailingZeros32(mask)
+		if v, ok := m.plan.Predict(anchor, r, j); ok {
+			ck.Regs[r] = v
+			applied = append(applied, predict.Pred{Reg: r, Val: v})
+		}
+	}
+	return applied
+}
+
+// train delivers one verified outcome to the predictor (no-op when
+// prediction is off or the task is the life's exact first fork). It must
+// run before the task's live-outs are applied: the architected state it
+// hands over is the truth for the task's live-ins.
+func (m *Machine) train(h *pend, committed bool, reason string) {
+	if !m.predictOn() || h.exact {
+		return
+	}
+	hits, misses := m.cfg.Predictor.Train(predict.Observation{
+		Site:      h.t.Start,
+		Applied:   h.applied,
+		LiveIn:    h.ex.LiveIn,
+		Arch:      m.arch,
+		Committed: committed,
+		Reason:    reason,
+	})
+	m.metrics.PredictHits += uint64(hits)
+	m.metrics.PredictMisses += uint64(misses)
+}
+
 // spawn creates a new open task starting at the given anchor.
 func (m *Machine) spawn(anchor uint64) {
 	start := anchor
 	ck := m.checkpoint()
+	exact := m.firstFork
+	applied := m.consult(anchor, &ck)
 	if f := m.cfg.Fault; f != nil {
 		// Injection corrupts only the spawning task's predictions — the
 		// open task's end anchor keeps the uncorrupted value, so one
@@ -204,7 +274,9 @@ func (m *Machine) spawn(anchor uint64) {
 			Code:       m.taskCode(),
 			NonSpec:    m.cfg.NonSpecRegions,
 		},
-		forkAt: m.master.clock,
+		forkAt:  m.master.clock,
+		applied: applied,
+		exact:   exact,
 	}
 	m.taskSeq++
 	m.metrics.Forks++
@@ -218,6 +290,16 @@ func (m *Machine) spawn(anchor uint64) {
 		Start:  p.t.Start,
 		Queue:  len(m.queue),
 	})
+	if len(applied) > 0 {
+		m.metrics.PredictApplied += uint64(len(applied))
+		m.emit(LifecycleEvent{
+			Kind:   LifecyclePredict,
+			Cycle:  m.master.clock,
+			TaskID: p.t.ID,
+			Start:  p.t.Start,
+			Preds:  len(applied),
+		})
+	}
 }
 
 // emit delivers a lifecycle event to the configured observer, if any.
@@ -374,6 +456,7 @@ func (m *Machine) verifyHead() (squashed bool) {
 	// must run sequential mode before re-engaging the master (non-idempotent
 	// accesses have to execute architecturally, exactly once).
 	fail := func(reason string, inc *state.Inconsistency, forceFallback bool) {
+		m.train(h, false, reason)
 		if m.cfg.OnSquash != nil {
 			m.cfg.OnSquash(SquashEvent{
 				TaskID:        h.t.ID,
@@ -434,6 +517,9 @@ func (m *Machine) verifyHead() (squashed bool) {
 
 	// Commit: the jump. Architected state advances #t sequential steps by
 	// superimposing the live-outs (task safety: live-ins consistent).
+	// The predictor trains first: pre-commit architected state is the
+	// truth for this task's live-ins.
+	m.train(h, true, "")
 	m.noteCodeWrites(h.ex.LiveOut)
 	m.arch.Apply(h.ex.LiveOut)
 	m.queue = m.queue[1:]

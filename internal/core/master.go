@@ -116,6 +116,20 @@ func (m *Machine) runToFork() (anchor uint64, count uint64, stop masterStop) {
 				m.metrics.ForksSkipped++
 				break
 			}
+			// The adaptive policy suppresses forks at sites whose
+			// checkpoints keep squashing, merging their regions into
+			// longer neighboring tasks. The life's first fork (primed
+			// spacing counter) is always taken: it restarts speculation
+			// exactly where architected state stands. The skip is bounded
+			// at half the run-ahead cap — a disabled site forks anyway
+			// once the master has run that far, so backing off the only
+			// site in a program merges regions instead of driving the
+			// master lost.
+			if ms.instsSinceFork < 1<<61 && ms.instsSinceFork <= m.cfg.MasterRunaheadCap/2 &&
+				!m.plan.Eligible(a) {
+				m.metrics.PolicyForksSkipped++
+				break
+			}
 			ms.instsSinceFork = 0
 			c := ms.crossings[a]
 			clear(ms.crossings)
@@ -172,6 +186,18 @@ func (m *Machine) reseed(now float64) {
 	ms.instsSinceFork = 1 << 62
 	ms.crossings = make(map[uint64]uint64)
 	ms.alive = true
+
+	// A reseed is the predictor's lockstep point: nothing is in flight and
+	// architected state is the only truth, so the consultation plan for
+	// the coming life freezes here and the per-site chain indices restart.
+	m.firstFork = true
+	if m.predictOn() {
+		m.plan = m.cfg.Predictor.Plan()
+		m.lifeCount = make(map[uint64]int)
+		if d := m.plan.Disabled(); d > 0 {
+			m.emit(LifecycleEvent{Kind: LifecyclePolicy, Cycle: now, Disabled: d})
+		}
+	}
 }
 
 // checkpoint captures the master's current prediction of machine state.

@@ -112,6 +112,22 @@ type Metrics struct {
 	// commit point on average.
 	RunaheadSum uint64
 
+	// PredictApplied counts predicted live-in registers written into
+	// spawned checkpoints (Config.Predictor); includes predictions on
+	// tasks later discarded unverified.
+	PredictApplied uint64
+	// PredictHits counts graded predictions that matched architected
+	// truth at verify (only verified tasks grade, and only registers the
+	// slave actually read).
+	PredictHits uint64
+	// PredictMisses counts graded predictions that disagreed with
+	// architected truth at verify.
+	PredictMisses uint64
+	// PolicyForksSkipped counts forks suppressed by the adaptive fork
+	// policy (sites held ineligible by their squash-rate controller),
+	// distinct from the MinTaskSpacing thinning in ForksSkipped.
+	PolicyForksSkipped uint64
+
 	// Cycles is the modeled end-to-end execution time.
 	Cycles float64
 	// MasterBoundCycles accumulates commit-to-commit gaps limited by the

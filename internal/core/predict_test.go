@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"mssp/internal/distill"
+	"mssp/internal/predict"
+	"mssp/internal/profile"
+	"mssp/internal/state"
+	"mssp/internal/task"
+	"mssp/internal/workloads"
+)
+
+// prepPredict builds the prediction micro-workload harness the way
+// mssp.Prepare does: profile and distill the training build (guarded path
+// never taken, so the distiller prunes it), with predictable-slot analysis
+// on, then measure the flag-flipped build — whose guarded accumulators the
+// master can only recover through the predictor.
+func prepPredict(t *testing.T, iters int64) *harness {
+	t.Helper()
+	train := workloads.MicroPredict(1000, false)
+	prof, err := profile.Collect(train, profile.Options{Stride: 100})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	dopts := distill.DefaultOptions()
+	dopts.PredictableSlots = true
+	d, err := distill.Distill(train, prof, dopts)
+	if err != nil {
+		t.Fatalf("distill: %v", err)
+	}
+	if d.Stats.PredictableSlots == 0 {
+		t.Fatal("distiller found no predictable slots; the test premise is broken")
+	}
+	return &harness{orig: workloads.MicroPredict(iters, true), prof: prof, dist: d}
+}
+
+// predictCfg attaches a fresh unit of the given kind to the default
+// configuration.
+func predictCfg(d *distill.Result, kind predict.Kind) (Config, *predict.Unit) {
+	cfg := DefaultConfig()
+	po := predict.DefaultOptions()
+	po.Kind = kind
+	po.PredictableRegs = d.PredictableRegs
+	u := predict.NewUnit(po)
+	cfg.Predictor = u
+	return cfg, u
+}
+
+// TestPredictorTurnsSquashesIntoCommits: on the prediction micro-workload,
+// the stride predictor must collapse the squash rate — without it every
+// non-exact task live-in-squashes on the pruned accumulators — while the
+// final state stays exactly the sequential one.
+func TestPredictorTurnsSquashesIntoCommits(t *testing.T) {
+	h := prepPredict(t, 20_000)
+	b := runBaseline(t, h)
+
+	off := runMSSP(t, h, DefaultConfig())
+	assertEquivalent(t, b, off)
+
+	cfg, u := predictCfg(h.dist, predict.Stride)
+	on := runMSSP(t, h, cfg)
+	assertEquivalent(t, b, on)
+
+	if off.Metrics.TasksMisspec == 0 {
+		t.Fatal("predictor-off run never squashed; the workload premise is broken")
+	}
+	if on.Metrics.PredictApplied == 0 || on.Metrics.PredictHits == 0 {
+		t.Fatalf("predictor never engaged: applied=%d hits=%d",
+			on.Metrics.PredictApplied, on.Metrics.PredictHits)
+	}
+	if on.Metrics.TasksMisspec*10 >= off.Metrics.TasksMisspec {
+		t.Fatalf("predictor did not collapse the squash count: %d with vs %d without",
+			on.Metrics.TasksMisspec, off.Metrics.TasksMisspec)
+	}
+	if st := u.Stats(); st.Hits != on.Metrics.PredictHits || st.Misses != on.Metrics.PredictMisses {
+		t.Fatalf("unit and machine disagree on grades: unit %d/%d, machine %d/%d",
+			st.Hits, st.Misses, on.Metrics.PredictHits, on.Metrics.PredictMisses)
+	}
+}
+
+// TestPredictorDeterminism: two identical runs with identically-configured
+// fresh units must produce bit-identical metrics and unit fingerprints.
+func TestPredictorDeterminism(t *testing.T) {
+	h := prepPredict(t, 5_000)
+	cfg1, u1 := predictCfg(h.dist, predict.Stride)
+	cfg2, u2 := predictCfg(h.dist, predict.Stride)
+	r1 := runMSSP(t, h, cfg1)
+	r2 := runMSSP(t, h, cfg2)
+	if r1.Metrics != r2.Metrics {
+		t.Fatalf("metrics diverged across identical runs:\n%v\nvs\n%v", r1.Metrics, r2.Metrics)
+	}
+	if u1.Fingerprint() != u2.Fingerprint() {
+		t.Fatalf("unit fingerprints diverged: %#x vs %#x", u1.Fingerprint(), u2.Fingerprint())
+	}
+}
+
+// TestTaxonomyStringsAgree: predict cannot import core's Squash* constants
+// (import cycle), so it mirrors the two strings it reacts to. This pins the
+// agreement behaviorally: live-in squashes must train value cells,
+// start-mismatch squashes must drive the policy, and the neutral reasons
+// must do neither.
+func TestTaxonomyStringsAgree(t *testing.T) {
+	arch := state.New()
+	arch.WriteReg(2, 7)
+	mk := func() *predict.Unit {
+		return predict.NewUnit(predict.Options{
+			Kind:            predict.LastValue,
+			Policy:          true,
+			BackoffInitial:  4,
+			PredictableRegs: map[uint64]uint32{0x40: 1 << 2},
+		})
+	}
+
+	u := mk()
+	u.Train(predict.Observation{Site: 0x40, Arch: arch, Reason: SquashLiveIn})
+	if u.Len() == 0 {
+		t.Fatalf("a %q squash did not train value cells: predict's live-in string disagrees with core's", SquashLiveIn)
+	}
+
+	u = mk()
+	disabled := false
+	for i := 0; i < 32 && !disabled; i++ {
+		u.Train(predict.Observation{Site: 0x40, Arch: arch, Reason: SquashStartMismatch})
+		// Freeze a plan right after each observation: the tiny backoff
+		// window expires (re-probe) within a few more, so the ineligible
+		// state is only visible immediately.
+		disabled = !u.Plan().Eligible(0x40)
+	}
+	if !disabled {
+		t.Fatalf("a %q squash streak did not drive the policy: predict's start-mismatch string disagrees with core's", SquashStartMismatch)
+	}
+
+	for _, neutral := range []string{SquashOverflow, SquashFault, SquashNonSpec} {
+		u = mk()
+		for i := 0; i < 32; i++ {
+			u.Train(predict.Observation{Site: 0x40, Arch: arch, Reason: neutral})
+		}
+		if u.Len() != 0 {
+			t.Errorf("neutral reason %q trained value cells", neutral)
+		}
+		if !u.Plan().Eligible(0x40) {
+			t.Errorf("neutral reason %q backed the site off", neutral)
+		}
+	}
+}
+
+// TestFaultInjectionDisablesPredictor: with any fault plan attached, the
+// predictor must be gated off completely — no training, no consults — so a
+// corrupted checkpoint can never poison the table, and a unit carried from
+// a faulted run into a clean one behaves exactly like a fresh unit.
+func TestFaultInjectionDisablesPredictor(t *testing.T) {
+	h := prepPredict(t, 5_000)
+
+	cfg, u := predictCfg(h.dist, predict.Stride)
+	cfg.Fault = &FaultInjection{
+		CorruptCheckpoint: func(taskID uint64, ck *task.Checkpoint) {
+			if taskID%3 == 0 {
+				ck.Regs[2] ^= 0xdead
+				ck.Regs[7] += 12345
+			}
+		},
+	}
+	faulted := runMSSP(t, h, cfg)
+	assertEquivalent(t, runBaseline(t, h), faulted)
+	if faulted.Metrics.PredictApplied != 0 {
+		t.Fatalf("faulted run applied %d predictions; prediction must be gated off under fault injection",
+			faulted.Metrics.PredictApplied)
+	}
+	if st := u.Stats(); st.Verifies != 0 || st.Trained != 0 || st.Cells != 0 {
+		t.Fatalf("fault injection reached the predictor: %+v", st)
+	}
+
+	// The survivor unit must now be indistinguishable from a fresh one.
+	cfgSurvivor := DefaultConfig()
+	cfgSurvivor.Predictor = u
+	survivor := runMSSP(t, h, cfgSurvivor)
+	cfgFresh, fresh := predictCfg(h.dist, predict.Stride)
+	reference := runMSSP(t, h, cfgFresh)
+	if survivor.Metrics != reference.Metrics {
+		t.Fatalf("unit carried out of a faulted run diverged from a fresh unit:\n%v\nvs\n%v",
+			survivor.Metrics, reference.Metrics)
+	}
+	if u.Fingerprint() != fresh.Fingerprint() {
+		t.Fatalf("survivor and fresh unit fingerprints differ: %#x vs %#x",
+			u.Fingerprint(), fresh.Fingerprint())
+	}
+}

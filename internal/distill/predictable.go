@@ -1,0 +1,84 @@
+package distill
+
+import (
+	"math/bits"
+
+	"mssp/internal/cfg"
+	"mssp/internal/dataflow"
+	"mssp/internal/isa"
+)
+
+// predictableRegs computes, for every anchor, the registers whose checkpoint
+// values the distilled program leaves unresolved: registers with at least
+// one original-program def site that may reach the anchor (reaching
+// definitions over the original CFG) but whose defining instruction the
+// distiller discarded — dropped as cold code, pruned to a nop by the
+// analysis passes, or any other rewrite that no longer writes the register.
+// At a fork on such an anchor the master's register prediction is whatever
+// stale value the register last held, which is exactly the slot a value
+// predictor (internal/predict) can usefully fill.
+//
+// A dropped call site marks every register unresolved (the callee summary
+// may write anything). When the original program contains indirect jumps,
+// Reaching's facts are universal, so every dropped def taints every anchor —
+// the sound coarse fallback.
+//
+// The returned count is the total number of (anchor, register) slots, for
+// Stats.
+func predictableRegs(p *isa.Program, work *isa.Program, g0 *cfg.Graph, survives []bool, anchorSet map[uint64]bool) (map[uint64]uint32, int) {
+	base := p.Code.Base
+	dropped := make(map[uint64]uint32) // def site pc -> regs whose defs vanished
+	allRegs := (^uint32(0) >> (32 - isa.NumRegs)) &^ 1
+	for i := range p.Code.Words {
+		pc := base + uint64(i)
+		in := isa.Decode(p.Code.Words[i])
+		var m uint32
+		switch {
+		case dataflow.IsCall(in):
+			if !survives[i] {
+				m = allRegs
+			}
+		default:
+			d, ok := dataflow.Def(in)
+			if !ok {
+				break
+			}
+			if !survives[i] {
+				m = 1 << d
+			} else {
+				w := isa.Decode(work.Code.Words[i])
+				wd, wok := dataflow.Def(w)
+				if !(wok && wd == d) && !dataflow.IsCall(w) {
+					m = 1 << d
+				}
+			}
+		}
+		if m != 0 {
+			dropped[pc] = m
+		}
+	}
+	if len(dropped) == 0 {
+		return nil, 0
+	}
+
+	reach := dataflow.Reaching(g0)
+	out := make(map[uint64]uint32, len(anchorSet))
+	slots := 0
+	for a := range anchorSet {
+		var mask uint32
+		for r := uint8(1); r < isa.NumRegs; r++ {
+			sites, _ := reach.DefsBefore(a, r)
+			for _, s := range sites {
+				if dropped[s]&(1<<r) != 0 {
+					mask |= 1 << r
+					break
+				}
+			}
+		}
+		if mask != 0 {
+			out[a] = mask
+			slots += bits.OnesCount32(mask)
+		}
+	}
+	return out, slots
+}

@@ -3,6 +3,7 @@ package parallel
 import (
 	"mssp/internal/cpu"
 	"mssp/internal/mem"
+	"mssp/internal/predict"
 	"mssp/internal/state"
 	"mssp/internal/task"
 )
@@ -29,6 +30,11 @@ type masterLife struct {
 	// confined after the spawn handoff.
 	st   *state.State
 	code *cpu.Code
+
+	// plan is the adaptive fork policy's reseed-frozen eligibility snapshot
+	// (nil when prediction is off → every site eligible). Immutable, so the
+	// life reads it without synchronization beyond the spawn handoff.
+	plan *predict.Plan
 }
 
 // forkMsg is one taken fork: the next task's anchor, the number of times the
@@ -53,9 +59,10 @@ const (
 // nowhere else) so the coordinator folds them in with a happens-before edge
 // instead of sharing counters across goroutines.
 type masterExit struct {
-	stop    masterStop
-	insts   uint64
-	skipped uint64 // forks skipped by MinTaskSpacing
+	stop          masterStop
+	insts         uint64
+	skipped       uint64 // forks skipped by MinTaskSpacing
+	policySkipped uint64 // forks suppressed by the adaptive fork policy
 }
 
 // masterChunk bounds one RunToStop call so the stop channel is polled at a
@@ -133,6 +140,19 @@ func (e *Engine) runMaster(l *masterLife) {
 			crossings[a]++
 			if instsSinceFork <= e.cfg.MinTaskSpacing {
 				exit.skipped++
+				break
+			}
+			// The adaptive policy suppresses forks at sites whose
+			// checkpoints keep squashing, merging their regions into longer
+			// neighboring tasks. The life's first fork (primed spacing
+			// counter) is always taken: it restarts speculation exactly
+			// where architected state stands. The skip is bounded at half
+			// the run-ahead cap — a disabled site forks anyway once the
+			// master has run that far, so backing off the only site in a
+			// program merges regions instead of driving the master lost.
+			if instsSinceFork < 1<<61 && instsSinceFork <= e.cfg.MasterRunaheadCap/2 &&
+				!l.plan.Eligible(a) {
+				exit.policySkipped++
 				break
 			}
 			instsSinceFork = 0

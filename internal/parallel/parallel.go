@@ -54,6 +54,7 @@ package parallel
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -62,6 +63,7 @@ import (
 	"mssp/internal/distill"
 	"mssp/internal/isa"
 	"mssp/internal/mem"
+	"mssp/internal/predict"
 	"mssp/internal/state"
 	"mssp/internal/task"
 )
@@ -144,6 +146,17 @@ type Engine struct {
 
 	lastSquashCommitted uint64
 	anySquash           bool
+
+	// plan is the predictor's reseed-frozen consultation snapshot (shared
+	// read-only with the master life for fork eligibility); lifeCount counts
+	// consulted forks per site within the current master life (the chain
+	// index), and firstFork marks the life's first reservation — the exact
+	// task, never consulted and never trained. All three are
+	// coordinator-owned; the life sees the plan through masterLife.plan,
+	// frozen before the spawn handoff.
+	plan      *predict.Plan
+	lifeCount map[uint64]int
+	firstFork bool
 }
 
 func newEngine(orig *isa.Program, dist *distill.Result, cfg core.Config) (*Engine, error) {
@@ -275,10 +288,67 @@ func (e *Engine) handleFork(fm forkMsg) {
 	e.reserve(fm)
 }
 
+// predictOn reports whether the predictor participates in this run: like
+// checkpoint sharing (shareCk), prediction is gated off entirely under
+// fault injection so a corrupted checkpoint can never reach the table.
+func (e *Engine) predictOn() bool {
+	return e.cfg.Predictor != nil && e.cfg.Fault == nil
+}
+
+// consult overrides the checkpoint's unresolved registers with the frozen
+// plan's forecasts for this site's next consulted fork, returning the
+// applied predictions for grading at verify. The first reservation of a
+// life is exact (the master had only executed the FORK at the architected
+// PC) and is never consulted. Identical to core.Machine.consult; because
+// forks arrive at the coordinator in the order the master took them, the
+// chain indices advance exactly as in the deterministic machine.
+func (e *Engine) consult(anchor uint64, ck *task.Checkpoint) []predict.Pred {
+	first := e.firstFork
+	e.firstFork = false
+	if !e.predictOn() || first {
+		return nil
+	}
+	j := e.lifeCount[anchor]
+	e.lifeCount[anchor]++
+	var applied []predict.Pred
+	for mask := e.dist.PredictableRegs[anchor]; mask != 0; mask &= mask - 1 {
+		r := bits.TrailingZeros32(mask)
+		if v, ok := e.plan.Predict(anchor, r, j); ok {
+			ck.Regs[r] = v
+			applied = append(applied, predict.Pred{Reg: r, Val: v})
+		}
+	}
+	return applied
+}
+
+// train delivers one verified outcome to the predictor (no-op when
+// prediction is off or the task is the life's exact first fork). It must
+// run before the task's live-outs are applied: the architected state it
+// hands over is the truth for the task's live-ins. Training happens only
+// here, on the coordinator, in program order — which is what makes the
+// table's evolution schedule-independent.
+func (e *Engine) train(h *slot, committed bool, reason string) {
+	if !e.predictOn() || h.exact {
+		return
+	}
+	hits, misses := e.cfg.Predictor.Train(predict.Observation{
+		Site:      h.t.Start,
+		Applied:   h.applied,
+		LiveIn:    h.ex.LiveIn,
+		Arch:      e.arch,
+		Committed: committed,
+		Reason:    reason,
+	})
+	e.metrics.PredictHits += uint64(hits)
+	e.metrics.PredictMisses += uint64(misses)
+}
+
 // reserve creates the new open reservation for a fork.
 func (e *Engine) reserve(fm forkMsg) {
 	start := fm.anchor
 	ck := fm.ck
+	exact := e.firstFork
+	applied := e.consult(fm.anchor, &ck)
 	if f := e.cfg.Fault; f != nil {
 		// Injection corrupts only the spawning task's predictions — the open
 		// task's end anchor keeps the uncorrupted value, so one injected
@@ -303,10 +373,13 @@ func (e *Engine) reserve(fm forkMsg) {
 		Cancel: func() bool { return e.epoch.Load() != epoch },
 	}
 	e.metrics.RunaheadSum += uint64(e.ring.Len())
-	if _, err := e.ring.Reserve(t, epoch); err != nil {
+	s, err := e.ring.Reserve(t, epoch)
+	if err != nil {
 		e.err = err
 		return
 	}
+	s.applied = applied
+	s.exact = exact
 	e.taskSeq++
 	e.metrics.Forks++
 	e.metrics.CheckpointNew += uint64(ck.NewDiffWords)
@@ -317,6 +390,16 @@ func (e *Engine) reserve(fm forkMsg) {
 		Start:  t.Start,
 		Queue:  e.ring.Len(),
 	})
+	if len(applied) > 0 {
+		e.metrics.PredictApplied += uint64(len(applied))
+		e.emit(core.LifecycleEvent{
+			Kind:   core.LifecyclePredict,
+			Cycle:  e.tick(),
+			TaskID: t.ID,
+			Start:  t.Start,
+			Preds:  len(applied),
+		})
+	}
 }
 
 // dispatch hands a closed slot to the worker pool, draining results if the
@@ -411,6 +494,7 @@ func (e *Engine) verifyHead() (squashed bool) {
 	})
 
 	fail := func(reason string, inc *state.Inconsistency, forceFallback bool) {
+		e.train(h, false, reason)
 		if e.cfg.OnSquash != nil {
 			e.cfg.OnSquash(core.SquashEvent{
 				TaskID:        h.t.ID,
@@ -476,7 +560,9 @@ func (e *Engine) verifyHead() (squashed bool) {
 	}
 
 	// Commit: the jump. The coordinator is the sole writer of architected
-	// state, so the superimposition needs no locking.
+	// state, so the superimposition needs no locking. The predictor trains
+	// first: architected state is still the truth at the task's start.
+	e.train(h, true, "")
 	e.noteCodeWrites(h.ex.LiveOut)
 	e.arch.Apply(h.ex.LiveOut)
 	if err := e.ring.PopCommitted(); err != nil {
@@ -604,6 +690,20 @@ func (e *Engine) reseed() {
 		st:     &state.State{Regs: e.arch.Regs, PC: dpc, Mem: img},
 		code:   cpu.NewCode(e.distCode),
 	}
+	// A reseed is the predictor's lockstep point: nothing is in flight and
+	// architected state is the only truth, so the consultation plan for the
+	// coming life freezes here and the per-site chain indices restart. The
+	// frozen plan is immutable, so sharing it with the life's goroutine (for
+	// fork eligibility) is race-free; the spawn handoff orders the writes.
+	e.firstFork = true
+	if e.predictOn() {
+		e.plan = e.cfg.Predictor.Plan()
+		e.lifeCount = make(map[uint64]int)
+		l.plan = e.plan
+		if d := e.plan.Disabled(); d > 0 {
+			e.emit(core.LifecycleEvent{Kind: core.LifecyclePolicy, Cycle: e.tick(), Disabled: d})
+		}
+	}
 	e.life = l
 	// The life's goroutine is tracked by the exitCh handshake, not the
 	// worker WaitGroup: stopMaster/collectExit always consumes its exit.
@@ -627,6 +727,7 @@ func (e *Engine) stopMaster() {
 func (e *Engine) collectExit(x masterExit) {
 	e.metrics.MasterInsts += x.insts
 	e.metrics.ForksSkipped += x.skipped
+	e.metrics.PolicyForksSkipped += x.policySkipped
 	switch x.stop {
 	case masterHalted:
 		e.metrics.MasterHalts++

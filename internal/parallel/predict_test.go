@@ -1,0 +1,143 @@
+package parallel_test
+
+import (
+	"testing"
+
+	"mssp/internal/core"
+	"mssp/internal/distill"
+	"mssp/internal/isa"
+	"mssp/internal/predict"
+	"mssp/internal/profile"
+	"mssp/internal/workloads"
+)
+
+// predictPrep profiles and distills one program with predictable-slot
+// analysis on, optionally from a separate training build.
+func predictPrep(t *testing.T, train, measured *isa.Program) *distill.Result {
+	t.Helper()
+	prof, err := profile.Collect(train, profile.Options{Stride: 100})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	dopts := distill.DefaultOptions()
+	dopts.PredictableSlots = true
+	d, err := distill.Distill(train, prof, dopts)
+	if err != nil {
+		t.Fatalf("distill: %v", err)
+	}
+	return d
+}
+
+// predictUnit builds a stride unit wired to the distillation's slot masks.
+func predictUnit(d *distill.Result) *predict.Unit {
+	po := predict.DefaultOptions()
+	po.PredictableRegs = d.PredictableRegs
+	return predict.NewUnit(po)
+}
+
+// TestPredictCrossEngineEquivalence: with predictors attached, the
+// deterministic machine and the true-parallel engine must still agree
+// bit-for-bit — on the final state, on every predictor metric, on the
+// units' per-site hit/miss tallies, and on the units' full state
+// fingerprints. Training happens at verify points in program order and
+// consults read reseed-frozen plans, so the parallel schedule must be
+// invisible to the predictor; this test pins that across every registered
+// workload plus the prediction micro-program.
+func TestPredictCrossEngineEquivalence(t *testing.T) {
+	type pair struct {
+		name            string
+		train, measured *isa.Program
+	}
+	var cases []pair
+	for _, w := range workloads.All() {
+		p := w.Build(workloads.Train)
+		cases = append(cases, pair{name: w.Name, train: p, measured: p})
+	}
+	cases = append(cases, pair{
+		name:     "micro-predict",
+		train:    workloads.MicroPredict(1_000, false),
+		measured: workloads.MicroPredict(10_000, true),
+	})
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := predictPrep(t, c.train, c.measured)
+
+			detUnit := predictUnit(d)
+			cfg := core.DefaultConfig()
+			cfg.Predictor = detUnit
+			m, err := core.New(c.measured, d, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			det, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			parUnit := predictUnit(d)
+			pcfg := core.DefaultConfig()
+			pcfg.Predictor = parUnit
+			h := &harness{orig: c.measured, dist: d}
+			par := runPar(t, h, pcfg)
+
+			if dd, pd := det.Final.Digest(), par.Final.Digest(); dd != pd {
+				t.Fatalf("final digests diverged: det=%#x par=%#x", dd, pd)
+			}
+			dm, pm := det.Metrics, par.Metrics
+			if dm.CommittedInsts != pm.CommittedInsts {
+				t.Errorf("committed insts: det=%d par=%d", dm.CommittedInsts, pm.CommittedInsts)
+			}
+			if dm.PredictApplied != pm.PredictApplied || dm.PredictHits != pm.PredictHits ||
+				dm.PredictMisses != pm.PredictMisses {
+				t.Errorf("predictor metrics diverged: det applied/hits/misses %d/%d/%d, par %d/%d/%d",
+					dm.PredictApplied, dm.PredictHits, dm.PredictMisses,
+					pm.PredictApplied, pm.PredictHits, pm.PredictMisses)
+			}
+			ds, ps := detUnit.Stats(), parUnit.Stats()
+			if ds.Verifies != ps.Verifies || ds.Trained != ps.Trained || ds.Cells != ps.Cells {
+				t.Errorf("unit counters diverged: det %+v par %+v", ds, ps)
+			}
+			if len(ds.Sites) != len(ps.Sites) {
+				t.Errorf("site tallies diverged: det has %d sites, par %d", len(ds.Sites), len(ps.Sites))
+			}
+			for site, dt := range ds.Sites {
+				if pt := ps.Sites[site]; pt != dt {
+					t.Errorf("site %#x: det hits/misses %d/%d, par %d/%d",
+						site, dt.Hits, dt.Misses, pt.Hits, pt.Misses)
+				}
+			}
+			if df, pf := detUnit.Fingerprint(), parUnit.Fingerprint(); df != pf {
+				t.Errorf("unit fingerprints diverged: det=%#x par=%#x", df, pf)
+			}
+		})
+	}
+}
+
+// TestPredictSquashHammer: the parallel engine under constant squash
+// pressure with the predictor and policy churning — every squash cancels an
+// epoch and kills a master life mid-handoff, every reseed freezes a new
+// plan. The test is a deadlock and divergence hammer: it must terminate
+// (the fork channel handoff must never wedge against cancellation) and
+// every repetition must produce the sequential final state.
+func TestPredictSquashHammer(t *testing.T) {
+	h := prep(t, hostileSrc, 100, distill.DefaultOptions())
+	d := predictPrep(t, h.orig, h.orig)
+	for _, slaves := range []int{1, 2, 8} {
+		for rep := 0; rep < 5; rep++ {
+			po := predict.DefaultOptions()
+			po.PredictableRegs = d.PredictableRegs
+			// A hair-trigger policy maximizes plan churn: sites flip
+			// between eligible and backed off throughout the run.
+			po.BackoffInitial = 1
+			po.BackoffMax = 2
+			po.HighWater = 64
+			cfg := core.DefaultConfig()
+			cfg.Slaves = slaves
+			cfg.Predictor = predict.NewUnit(po)
+			hh := &harness{orig: h.orig, dist: d, seq: h.seq}
+			par := runPar(t, hh, cfg)
+			assertEquivalent(t, hh, par)
+		}
+	}
+}

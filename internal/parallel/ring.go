@@ -3,6 +3,7 @@ package parallel
 import (
 	"fmt"
 
+	"mssp/internal/predict"
 	"mssp/internal/task"
 )
 
@@ -64,6 +65,12 @@ type slot struct {
 	epoch uint64
 	// slave is the worker index that executed the task (valid once Done).
 	slave int
+	// applied lists the live-in predictions written into the task's
+	// checkpoint, for grading at verify; exact marks the first fork of a
+	// master life, whose checkpoint is architected state verbatim and
+	// therefore trains nothing (it would double-count the squash point).
+	applied []predict.Pred
+	exact   bool
 }
 
 // ring is the reservation queue of the check-commit protocol: slots in

@@ -1,0 +1,105 @@
+package predict
+
+// Plan is an immutable consultation snapshot, frozen from a Unit at a
+// master reseed. It carries, per fork site, the policy's eligibility
+// verdict and a precomputed chain of forecasts for each confident
+// predictable register: chain entry j seeds the j-th consulted fork the
+// site takes during the coming master life.
+//
+// Freezing at reseeds is what keeps the engines deterministic and
+// equivalent: a reseed is a lockstep point (no tasks in flight, architected
+// state the only truth), so both engines freeze identical plans from
+// identically-trained units, and every consult during the life is a pure
+// read — the parallel engine's master goroutine may read eligibility while
+// the coordinator reads chains, without synchronization.
+type Plan struct {
+	sites    map[uint64]*sitePlan
+	disabled int
+}
+
+// sitePlan is one fork site's slice of a Plan.
+type sitePlan struct {
+	eligible bool
+	chains   map[uint8][]uint64
+}
+
+// Plan freezes the unit's current state into an immutable consultation
+// snapshot. As a side effect it advances the policy clock: sites whose
+// backoff window has expired move to the probe state and become eligible
+// in the returned plan. Call it only at reseed points, from the goroutine
+// that owns the unit.
+func (u *Unit) Plan() *Plan {
+	p := &Plan{sites: make(map[uint64]*sitePlan)}
+	for k, c := range u.cells {
+		if c.conf < u.opts.Threshold {
+			continue
+		}
+		chain := c.chain(u.opts.Kind, u.opts.ChainDepth)
+		if len(chain) == 0 {
+			continue
+		}
+		p.site(k.site).chains[k.reg] = chain
+	}
+	if u.opts.Policy {
+		for site, ctl := range u.ctl {
+			if ctl.state == ctlBackoff && u.verifies >= ctl.until {
+				ctl.state = ctlProbe
+			}
+			if ctl.state == ctlBackoff {
+				p.site(site).eligible = false
+				p.disabled++
+			}
+		}
+	}
+	return p
+}
+
+// site returns the plan's entry for a fork site, creating it (eligible,
+// no chains) on first touch.
+func (p *Plan) site(s uint64) *sitePlan {
+	sp := p.sites[s]
+	if sp == nil {
+		sp = &sitePlan{eligible: true, chains: make(map[uint8][]uint64)}
+		p.sites[s] = sp
+	}
+	return sp
+}
+
+// Eligible reports whether the policy allows forking at the site. A nil
+// plan (predictor disabled) allows every site.
+func (p *Plan) Eligible(site uint64) bool {
+	if p == nil {
+		return true
+	}
+	if sp := p.sites[site]; sp != nil {
+		return sp.eligible
+	}
+	return true
+}
+
+// Predict returns the frozen forecast for register r at the site's j-th
+// consulted fork of the life, if the plan carries one. Predictions are pure
+// reads: a plan is never mutated after freezing.
+func (p *Plan) Predict(site uint64, r, j int) (uint64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	sp := p.sites[site]
+	if sp == nil {
+		return 0, false
+	}
+	ch := sp.chains[uint8(r)]
+	if j < 0 || j >= len(ch) {
+		return 0, false
+	}
+	return ch[j], true
+}
+
+// Disabled returns the number of sites the plan holds ineligible (for the
+// policy-decision lifecycle event).
+func (p *Plan) Disabled() int {
+	if p == nil {
+		return 0
+	}
+	return p.disabled
+}

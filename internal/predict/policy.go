@@ -1,0 +1,83 @@
+package predict
+
+// The adaptive fork policy is a per-site feedback controller over the
+// squash-reason taxonomy. Each fork site carries a fixed-point EMA of its
+// "prediction failed" rate — the fraction of its verified tasks that ended
+// in a `livein` or `start-mismatch` squash, the two reasons that indict the
+// site's checkpoints rather than the task's execution. A site whose EMA
+// crosses the high-water mark is backed off: the master skips its FORKs
+// (merging its region into longer neighboring tasks, the policy's
+// granularity lever) for an exponentially growing window of verified tasks,
+// then re-probes. One committed probe returns the site to active; a failed
+// probe doubles the window, up to the cap.
+//
+// State machine (docs/PREDICTION.md draws it):
+//
+//	active --(bad outcome, ema >= HighWater)--> backoff
+//	backoff --(window expires, at plan freeze)--> probe
+//	probe --(commit)--> active        probe --(bad outcome)--> backoff (x2)
+//
+// Only verified outcomes drive transitions, in program order, so the policy
+// is as deterministic as the verify stream; overflow, fault and nonspec
+// squashes are policy-neutral (they do not indict the site's predictions).
+
+// Policy controller states.
+const (
+	ctlActive uint8 = iota
+	ctlBackoff
+	ctlProbe
+)
+
+// siteCtl is the per-fork-site policy controller.
+type siteCtl struct {
+	// ema estimates the site's livein/start-mismatch rate in fixed point
+	// (emaOne = every verified task squashes).
+	ema uint32
+	// state is one of ctlActive, ctlBackoff, ctlProbe.
+	state uint8
+	// backoff is the current backoff window length, in verified tasks.
+	backoff uint64
+	// until is the value of the unit's verify counter at which the current
+	// backoff window expires.
+	until uint64
+}
+
+// trainPolicy feeds one verified outcome to the site's controller.
+func (u *Unit) trainPolicy(o Observation) {
+	bad := o.Reason == reasonLiveIn || o.Reason == reasonStartMismatch
+	if !o.Committed && !bad {
+		return // overflow/fault/nonspec and injected reasons are neutral
+	}
+	ctl := u.ctl[o.Site]
+	if ctl == nil {
+		ctl = &siteCtl{}
+		u.ctl[o.Site] = ctl
+	}
+	if o.Committed {
+		ctl.ema -= ctl.ema >> emaShift
+		if ctl.state == ctlProbe {
+			ctl.state = ctlActive
+			ctl.backoff = 0
+		}
+		return
+	}
+	ctl.ema += (emaOne - ctl.ema) >> emaShift
+	switch ctl.state {
+	case ctlActive:
+		if ctl.ema >= u.opts.HighWater {
+			ctl.backoff = u.opts.BackoffInitial
+			ctl.until = u.verifies + ctl.backoff
+			ctl.state = ctlBackoff
+		}
+	case ctlProbe:
+		ctl.backoff *= 2
+		if ctl.backoff > u.opts.BackoffMax {
+			ctl.backoff = u.opts.BackoffMax
+		}
+		if ctl.backoff == 0 {
+			ctl.backoff = u.opts.BackoffInitial
+		}
+		ctl.until = u.verifies + ctl.backoff
+		ctl.state = ctlBackoff
+	}
+}

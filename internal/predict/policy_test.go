@@ -1,0 +1,152 @@
+package predict_test
+
+import (
+	"testing"
+
+	"mssp/internal/predict"
+	"mssp/internal/state"
+)
+
+// Policy edge cases: the per-site controller's full state machine driven
+// through the public surface only — observations in, Plan eligibility out.
+
+const polSite = 0x80
+
+// polObs builds one policy-relevant observation at polSite.
+func polObs(reason string, committed bool) predict.Observation {
+	arch := state.New()
+	return predict.Observation{Site: polSite, Arch: arch, Committed: committed, Reason: reason}
+}
+
+// polUnit builds a policy-only unit with a tiny initial backoff so tests
+// can walk the whole state machine in a handful of observations.
+func polUnit() *predict.Unit {
+	return predict.NewUnit(predict.Options{
+		Kind:           predict.LastValue,
+		Policy:         true,
+		BackoffInitial: 4,
+		BackoffMax:     16,
+	})
+}
+
+// driveToBackoff feeds live-in squashes until the site's EMA crosses the
+// high-water mark and the site turns ineligible, failing the test if it
+// never does.
+func driveToBackoff(t *testing.T, u *predict.Unit) {
+	t.Helper()
+	for i := 0; i < 32; i++ {
+		u.Train(polObs("livein", false))
+		if !u.Plan().Eligible(polSite) {
+			return
+		}
+	}
+	t.Fatal("site never entered backoff despite an unbroken live-in squash streak")
+}
+
+// TestPolicyDisablesAlwaysSquashingSite: an unbroken live-in squash streak
+// must back the site off — the plan turns it ineligible and counts it
+// disabled.
+func TestPolicyDisablesAlwaysSquashingSite(t *testing.T) {
+	u := polUnit()
+	driveToBackoff(t, u)
+	p := u.Plan()
+	if p.Eligible(polSite) {
+		t.Fatal("backed-off site still eligible")
+	}
+	if p.Disabled() != 1 {
+		t.Fatalf("Disabled() = %d, want 1", p.Disabled())
+	}
+	if st := u.Stats(); st.Disabled != 1 {
+		t.Fatalf("Stats().Disabled = %d, want 1", st.Disabled)
+	}
+}
+
+// TestPolicyReprobesAfterWindow: once the backoff window's worth of verified
+// tasks has passed, the next plan freeze must re-probe the site (eligible
+// again). Neutral squashes advance the window without indicting the site.
+func TestPolicyReprobesAfterWindow(t *testing.T) {
+	u := polUnit()
+	driveToBackoff(t, u)
+	for i := uint64(0); i < u.Options().BackoffInitial; i++ {
+		u.Train(polObs("overflow", false)) // policy-neutral, advances the clock
+	}
+	if !u.Plan().Eligible(polSite) {
+		t.Fatal("site not re-probed after its backoff window expired")
+	}
+}
+
+// TestPolicyProbeOutcomes: a committed probe returns the site to active (it
+// stays eligible and a fresh squash must re-cross the high-water mark from
+// a decayed EMA before backing off again); a failed probe doubles the
+// window, capped at BackoffMax.
+func TestPolicyProbeOutcomes(t *testing.T) {
+	// Committed probe → active.
+	u := polUnit()
+	driveToBackoff(t, u)
+	for i := uint64(0); i < u.Options().BackoffInitial; i++ {
+		u.Train(polObs("overflow", false))
+	}
+	u.Plan() // moves the site to probe
+	u.Train(polObs("", true))
+	if !u.Plan().Eligible(polSite) {
+		t.Fatal("committed probe did not reactivate the site")
+	}
+
+	// Failed probe → backoff with a doubled window.
+	u = polUnit()
+	driveToBackoff(t, u)
+	for i := uint64(0); i < u.Options().BackoffInitial; i++ {
+		u.Train(polObs("overflow", false))
+	}
+	u.Plan()
+	u.Train(polObs("livein", false))
+	if u.Plan().Eligible(polSite) {
+		t.Fatal("failed probe did not back the site off again")
+	}
+	// The doubled window: BackoffInitial observations are no longer enough.
+	for i := uint64(0); i < u.Options().BackoffInitial; i++ {
+		u.Train(polObs("overflow", false))
+	}
+	if u.Plan().Eligible(polSite) {
+		t.Fatal("second backoff window did not double")
+	}
+	for i := uint64(0); i < u.Options().BackoffInitial; i++ {
+		u.Train(polObs("overflow", false))
+	}
+	if !u.Plan().Eligible(polSite) {
+		t.Fatal("site not re-probed after the doubled window expired")
+	}
+}
+
+// TestPolicyWindowCaps: repeated failed probes must stop doubling at
+// BackoffMax — the site keeps re-probing forever instead of being disabled
+// permanently.
+func TestPolicyWindowCaps(t *testing.T) {
+	u := polUnit()
+	driveToBackoff(t, u)
+	max := u.Options().BackoffMax
+	for round := 0; round < 6; round++ { // enough doublings to pass the cap
+		for i := uint64(0); i < max; i++ {
+			u.Train(polObs("overflow", false))
+		}
+		if !u.Plan().Eligible(polSite) {
+			t.Fatalf("round %d: site not re-probed within BackoffMax observations", round)
+		}
+		u.Train(polObs("livein", false)) // fail the probe
+	}
+}
+
+// TestPolicyNeutralReasonsNeverDisable: overflow, fault and nonspec squashes
+// must never back a site off, no matter how many arrive — they do not
+// indict the site's checkpoints.
+func TestPolicyNeutralReasonsNeverDisable(t *testing.T) {
+	u := polUnit()
+	for i := 0; i < 200; i++ {
+		u.Train(polObs("overflow", false))
+		u.Train(polObs("fault", false))
+		u.Train(polObs("nonspec", false))
+	}
+	if !u.Plan().Eligible(polSite) {
+		t.Fatal("neutral squashes backed the site off")
+	}
+}

@@ -1,0 +1,528 @@
+// Package predict implements online value prediction for checkpoint live-in
+// registers at fork sites, plus an adaptive fork policy driven by the
+// squash-reason taxonomy.
+//
+// # Role in the machine
+//
+// The master's distilled program is unverified by construction: registers
+// whose defining instructions were distilled away reach fork points holding
+// stale values, and every task seeded from such a checkpoint squashes with a
+// `livein` mismatch at verify. A value predictor recovers exactly this case
+// (Prophet's live-in precomputation, PAPERS.md): it watches the verified
+// truth stream — the architected register values observed when each task
+// reaches the verify/commit unit — and, once confident, supplies predicted
+// values for the checkpoint registers the distiller left unresolved
+// (distill.Result.PredictableRegs). A correct prediction turns a certain
+// squash into a commit; a wrong one is just another verified-and-squashed
+// hint, so the engine's correctness argument is untouched.
+//
+// # Determinism
+//
+// A Unit is deterministic by construction: it holds no clocks, no seeds and
+// no randomness, it is trained only at verify points in program order, and
+// consults happen through immutable Plans frozen at master reseeds. Predictor
+// state after N updates is a pure function of the update sequence
+// (Fingerprint makes that testable), and the engines' fork sequences remain
+// deterministic because consults never feed back into trained state.
+//
+// docs/PREDICTION.md carries the full design: the predictor lattice, the
+// training points, the confidence scheme, the policy state machine, and the
+// determinism argument.
+package predict
+
+import (
+	"math/bits"
+	"sort"
+
+	"mssp/internal/state"
+)
+
+// Kind selects the value-prediction scheme a Unit trains, forming the usual
+// predictor lattice: last-value ⊑ stride ⊑ finite-context-method in the
+// class of sequences each captures exactly.
+type Kind int
+
+const (
+	// LastValue predicts that a register holds the value observed at the
+	// previous verified task from the same fork site (loop invariants,
+	// slowly-varying state).
+	LastValue Kind = iota
+	// Stride predicts the last value plus the last observed difference
+	// (induction variables, accumulators; wrapping uint64 arithmetic).
+	Stride
+	// FCM is an order-fcmOrder finite context method: a hash of the last
+	// few observed values indexes a table of next values, capturing
+	// repeating non-affine patterns at the cost of a longer warmup.
+	FCM
+)
+
+// AllKinds lists every predictor kind in canonical order (experiment sweeps
+// and the chaos harness iterate it).
+var AllKinds = []Kind{LastValue, Stride, FCM}
+
+// String names the kind for experiment tables and logs.
+func (k Kind) String() string {
+	switch k {
+	case LastValue:
+		return "last-value"
+	case Stride:
+		return "stride"
+	case FCM:
+		return "fcm"
+	}
+	return "unknown"
+}
+
+// ConfMax is the saturation point of the per-cell confidence counter; a
+// cell's forecasts are exported into Plans once confidence reaches
+// Options.Threshold.
+const ConfMax = 3
+
+// fcmOrder is the FCM context length: the number of trailing observed
+// values hashed into the context index.
+const fcmOrder = 4
+
+// emaOne is the fixed-point 1.0 of the policy's squash-rate EMA.
+const emaOne = 1024
+
+// emaShift is the EMA step: each observation moves the estimate 1/2^emaShift
+// of the way toward the new sample.
+const emaShift = 3
+
+// Squash-reason strings the predictor reacts to. They mirror core's
+// taxonomy (core.SquashLiveIn, core.SquashStartMismatch); predict cannot
+// import core without a cycle, so the engines' tests assert the two sets
+// agree.
+const (
+	reasonLiveIn        = "livein"
+	reasonStartMismatch = "start-mismatch"
+)
+
+// Options configures a Unit.
+type Options struct {
+	// Kind selects the value-prediction scheme.
+	Kind Kind
+	// Threshold is the confidence a cell must reach before its forecasts
+	// are exported into Plans (0 exports every trained cell, ConfMax only
+	// cells with a full streak of correct self-grades).
+	Threshold uint8
+	// ChainDepth is how many forks ahead a frozen Plan can predict per
+	// (site, register): chain entry j seeds the j-th consulted fork of a
+	// master life. Zero means the default (64).
+	ChainDepth int
+	// PredictableRegs maps each fork-site PC to the bitmask of registers
+	// the distiller left unresolved there (distill.Result.PredictableRegs).
+	// Only masked registers are trained and predicted; a nil map disables
+	// value prediction entirely (the policy may still run).
+	PredictableRegs map[uint64]uint32
+	// Policy enables the adaptive fork policy: sites with a high
+	// livein/start-mismatch rate are made ineligible for forking, with
+	// exponentially-decaying re-probes.
+	Policy bool
+	// BackoffInitial is the first backoff window, in verified tasks,
+	// applied when a site's squash-rate EMA crosses HighWater. Zero means
+	// the default (32).
+	BackoffInitial uint64
+	// BackoffMax caps the exponential backoff window. Zero means the
+	// default (4096).
+	BackoffMax uint64
+	// HighWater is the squash-rate EMA (fixed point, emaOne = certain
+	// squash) at which an active site is backed off. Zero means the
+	// default (512, a ~50% estimated squash rate).
+	HighWater uint32
+}
+
+// DefaultOptions returns the configuration the experiments use: a stride
+// predictor at confidence threshold 2 with the adaptive policy enabled.
+func DefaultOptions() Options {
+	return Options{
+		Kind:           Stride,
+		Threshold:      2,
+		ChainDepth:     64,
+		Policy:         true,
+		BackoffInitial: 32,
+		BackoffMax:     4096,
+		HighWater:      512,
+	}
+}
+
+// key identifies one trained cell: a (fork-site PC, register) pair.
+type key struct {
+	site uint64
+	reg  uint8
+}
+
+// cell is the per-(site, register) training state. All three predictor
+// kinds share the same cell; Kind selects which fields forecast() consults.
+type cell struct {
+	last   uint64
+	stride uint64
+	// hist is the FCM context window: the last fcmOrder observed values,
+	// oldest first.
+	hist [fcmOrder]uint64
+	// tab is the FCM table, context hash → next observed value. Allocated
+	// only for FCM units.
+	tab map[uint64]uint64
+	// obs counts updates, saturating; forecasts need a minimum history.
+	obs uint8
+	// conf is the saturating self-graded confidence counter: incremented
+	// when the pre-update forecast matched the observed truth, reset on a
+	// mismatch.
+	conf uint8
+}
+
+// forecast returns the cell's one-step prediction from its current state,
+// if it has enough history to make one.
+func (c *cell) forecast(k Kind) (uint64, bool) {
+	switch k {
+	case LastValue:
+		if c.obs >= 1 {
+			return c.last, true
+		}
+	case Stride:
+		if c.obs >= 2 {
+			return c.last + c.stride, true
+		}
+	case FCM:
+		if c.obs >= fcmOrder {
+			if v, ok := c.tab[ctxHash(c.hist)]; ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// update absorbs one observed truth value, self-grading the pre-update
+// forecast first.
+func (c *cell) update(k Kind, truth uint64) {
+	if pred, ok := c.forecast(k); ok {
+		if pred == truth {
+			if c.conf < ConfMax {
+				c.conf++
+			}
+		} else {
+			c.conf = 0
+		}
+	}
+	if c.obs >= 1 {
+		c.stride = truth - c.last
+	}
+	if k == FCM && c.obs >= fcmOrder {
+		c.tab[ctxHash(c.hist)] = truth
+	}
+	copy(c.hist[:], c.hist[1:])
+	c.hist[fcmOrder-1] = truth
+	c.last = truth
+	if c.obs < 255 {
+		c.obs++
+	}
+}
+
+// chain precomputes up to depth forecasts by iterating the cell's scheme
+// from its current state: entry j predicts the value at the j-th consulted
+// fork of the coming master life.
+func (c *cell) chain(k Kind, depth int) []uint64 {
+	out := make([]uint64, 0, depth)
+	switch k {
+	case LastValue:
+		for i := 0; i < depth; i++ {
+			out = append(out, c.last)
+		}
+	case Stride:
+		v := c.last
+		for i := 0; i < depth; i++ {
+			v += c.stride
+			out = append(out, v)
+		}
+	case FCM:
+		h := c.hist
+		for i := 0; i < depth; i++ {
+			v, ok := c.tab[ctxHash(h)]
+			if !ok {
+				break
+			}
+			out = append(out, v)
+			copy(h[:], h[1:])
+			h[fcmOrder-1] = v
+		}
+	}
+	return out
+}
+
+// ctxHash mixes an FCM context window into a table index. The constants are
+// fixed (no per-process seed), keeping the unit replayable.
+func ctxHash(h [fcmOrder]uint64) uint64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	for _, v := range h {
+		x ^= v
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 29
+	}
+	return x
+}
+
+// Pred is one prediction applied to a spawning task's checkpoint, recorded
+// by the engine so the verify stream can grade it.
+type Pred struct {
+	// Reg is the predicted register.
+	Reg int
+	// Val is the value written into the checkpoint.
+	Val uint64
+}
+
+// Observation is one verified task outcome, the predictor's only training
+// input. Engines deliver observations at verify points in program order,
+// before the task's live-outs are applied — Arch is therefore the machine
+// state at the task's start point, the ground truth for its live-ins.
+//
+// LiveIn and Arch are borrowed for the duration of the Train call; the unit
+// copies what it keeps.
+type Observation struct {
+	// Site is the task's fork-site PC (its predicted start).
+	Site uint64
+	// Applied lists the predictions the engine wrote into this task's
+	// checkpoint at spawn, for grading.
+	Applied []Pred
+	// LiveIn is the task's recorded read-before-write set; predictions for
+	// registers the slave never read are ungraded (they were harmless).
+	LiveIn *state.Delta
+	// Arch is architected state at verify time (the task's start point in
+	// program order). Train only reads it.
+	Arch *state.State
+	// Committed reports that the task's live-ins verified consistent.
+	Committed bool
+	// Reason is the squash taxonomy value when Committed is false (one of
+	// core's Squash* strings).
+	Reason string
+}
+
+// SiteStats is the per-fork-site grading tally.
+type SiteStats struct {
+	// Hits counts graded predictions that matched architected truth.
+	Hits uint64
+	// Misses counts graded predictions that did not.
+	Misses uint64
+}
+
+// Stats is a point-in-time snapshot of a unit's counters.
+type Stats struct {
+	// Verifies counts Train calls (verified tasks observed).
+	Verifies uint64
+	// Trained counts per-cell value updates absorbed.
+	Trained uint64
+	// Hits and Misses total the graded predictions across all sites.
+	Hits uint64
+	// Misses counts graded predictions that disagreed with truth.
+	Misses uint64
+	// Cells is the number of trained (site, register) cells.
+	Cells int
+	// Sites is the per-site grading tally, keyed by fork-site PC.
+	Sites map[uint64]SiteStats
+	// Disabled is the number of sites the policy currently holds in
+	// backoff.
+	Disabled int
+}
+
+// Unit is one predictor instance: the trained cells, the policy
+// controllers, and the counters. A Unit is owned by whichever goroutine
+// runs the engine's verify stream (the core machine's simulation goroutine,
+// the parallel engine's coordinator) and must not be shared concurrently;
+// it may be reused across sequential runs, which is how a production
+// configuration accumulates training across master lives and how the chaos
+// harness checks that fault-injected runs leave it untouched.
+type Unit struct {
+	opts     Options
+	cells    map[key]*cell
+	ctl      map[uint64]*siteCtl
+	sites    map[uint64]*SiteStats
+	verifies uint64
+	trained  uint64
+	hits     uint64
+	misses   uint64
+}
+
+// NewUnit builds a unit. Zero-valued option fields take their documented
+// defaults.
+func NewUnit(opts Options) *Unit {
+	if opts.ChainDepth <= 0 {
+		opts.ChainDepth = 64
+	}
+	if opts.BackoffInitial == 0 {
+		opts.BackoffInitial = 32
+	}
+	if opts.BackoffMax == 0 {
+		opts.BackoffMax = 4096
+	}
+	if opts.HighWater == 0 {
+		opts.HighWater = 512
+	}
+	return &Unit{
+		opts:  opts,
+		cells: make(map[key]*cell),
+		ctl:   make(map[uint64]*siteCtl),
+		sites: make(map[uint64]*SiteStats),
+	}
+}
+
+// Options returns the unit's (normalized) configuration.
+func (u *Unit) Options() Options { return u.opts }
+
+// Len returns the number of trained (site, register) cells — zero for a
+// unit that has absorbed no training, however many runs it was attached to.
+func (u *Unit) Len() int { return len(u.cells) }
+
+// Train absorbs one verified task outcome. It grades the predictions the
+// engine applied to the task (returning the hit and miss counts so the
+// engine can fold them into its metrics), trains the value cells for the
+// site's predictable registers, and feeds the adaptive policy.
+//
+// Value cells and grades only consume informative observations — commits
+// and `livein` squashes, where the task really executed from its recorded
+// start point and Arch is the truth for its live-ins. A `start-mismatch`
+// task ran from a point execution never reached, an overflow or fault may
+// have wandered off into garbage: those train only the policy.
+func (u *Unit) Train(o Observation) (hits, misses int) {
+	u.verifies++
+	informative := o.Committed || o.Reason == reasonLiveIn
+	if informative && o.Arch != nil {
+		if o.LiveIn != nil {
+			for _, p := range o.Applied {
+				if _, read := o.LiveIn.Reg(p.Reg); !read {
+					continue
+				}
+				if o.Arch.ReadReg(p.Reg) == p.Val {
+					hits++
+				} else {
+					misses++
+				}
+			}
+			if hits+misses > 0 {
+				ss := u.siteStats(o.Site)
+				ss.Hits += uint64(hits)
+				ss.Misses += uint64(misses)
+				u.hits += uint64(hits)
+				u.misses += uint64(misses)
+			}
+		}
+		for mask := u.opts.PredictableRegs[o.Site]; mask != 0; mask &= mask - 1 {
+			r := bits.TrailingZeros32(mask)
+			u.trainCell(o.Site, r, o.Arch.ReadReg(r))
+		}
+	}
+	if u.opts.Policy {
+		u.trainPolicy(o)
+	}
+	return hits, misses
+}
+
+// trainCell absorbs one truth value into the (site, reg) cell, creating it
+// on first touch.
+func (u *Unit) trainCell(site uint64, r int, truth uint64) {
+	k := key{site: site, reg: uint8(r)}
+	c := u.cells[k]
+	if c == nil {
+		c = &cell{}
+		if u.opts.Kind == FCM {
+			c.tab = make(map[uint64]uint64)
+		}
+		u.cells[k] = c
+	}
+	c.update(u.opts.Kind, truth)
+	u.trained++
+}
+
+// siteStats returns the per-site tally, creating it on first touch.
+func (u *Unit) siteStats(site uint64) *SiteStats {
+	ss := u.sites[site]
+	if ss == nil {
+		ss = &SiteStats{}
+		u.sites[site] = ss
+	}
+	return ss
+}
+
+// Stats returns a deep-copied snapshot of the unit's counters.
+func (u *Unit) Stats() Stats {
+	s := Stats{
+		Verifies: u.verifies,
+		Trained:  u.trained,
+		Hits:     u.hits,
+		Misses:   u.misses,
+		Cells:    len(u.cells),
+		Sites:    make(map[uint64]SiteStats, len(u.sites)),
+	}
+	for site, ss := range u.sites {
+		s.Sites[site] = *ss
+	}
+	for _, ctl := range u.ctl {
+		if ctl.state == ctlBackoff {
+			s.Disabled++
+		}
+	}
+	return s
+}
+
+// Fingerprint hashes the unit's entire mutable state — cells, policy
+// controllers, counters — in a canonical order. Two units that absorbed the
+// same observation sequence have equal fingerprints, and a fingerprint is
+// unchanged by Plan consults; the property tests pivot on both.
+func (u *Unit) Fingerprint() uint64 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001b3
+		h ^= h >> 31
+	}
+	keys := make([]key, 0, len(u.cells))
+	for k := range u.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].site != keys[j].site {
+			return keys[i].site < keys[j].site
+		}
+		return keys[i].reg < keys[j].reg
+	})
+	for _, k := range keys {
+		c := u.cells[k]
+		mix(k.site)
+		mix(uint64(k.reg))
+		mix(c.last)
+		mix(c.stride)
+		mix(uint64(c.obs))
+		mix(uint64(c.conf))
+		for _, v := range c.hist {
+			mix(v)
+		}
+		if len(c.tab) > 0 {
+			ctxs := make([]uint64, 0, len(c.tab))
+			for ctx := range c.tab {
+				ctxs = append(ctxs, ctx)
+			}
+			sort.Slice(ctxs, func(i, j int) bool { return ctxs[i] < ctxs[j] })
+			for _, ctx := range ctxs {
+				mix(ctx)
+				mix(c.tab[ctx])
+			}
+		}
+	}
+	ctlSites := make([]uint64, 0, len(u.ctl))
+	for site := range u.ctl {
+		ctlSites = append(ctlSites, site)
+	}
+	sort.Slice(ctlSites, func(i, j int) bool { return ctlSites[i] < ctlSites[j] })
+	for _, site := range ctlSites {
+		ctl := u.ctl[site]
+		mix(site)
+		mix(uint64(ctl.ema))
+		mix(uint64(ctl.state))
+		mix(ctl.backoff)
+		mix(ctl.until)
+	}
+	mix(u.verifies)
+	mix(u.trained)
+	mix(u.hits)
+	mix(u.misses)
+	return h
+}

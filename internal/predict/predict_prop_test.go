@@ -1,0 +1,234 @@
+package predict_test
+
+import (
+	"testing"
+
+	"mssp/internal/predict"
+	"mssp/internal/state"
+)
+
+// The property harness: predictor correctness is stated as invariants over
+// generated observation streams, not example-based expectations. The
+// properties pivot on Fingerprint — a canonical hash of the unit's entire
+// mutable state — so "nothing changed" and "same history, same state" are
+// exact claims, not sampled ones.
+
+const propSite = 0x40
+
+// obsAt builds an informative committed observation whose architected truth
+// holds v in register r.
+func obsAt(r int, v uint64) predict.Observation {
+	arch := state.New()
+	arch.WriteReg(r, v)
+	return predict.Observation{Site: propSite, Arch: arch, Committed: true}
+}
+
+// unitFor builds a unit that trains register r at propSite with threshold 0
+// (every trained cell exports), policy off.
+func unitFor(kind predict.Kind, r int) *predict.Unit {
+	return predict.NewUnit(predict.Options{
+		Kind:            kind,
+		Threshold:       0,
+		PredictableRegs: map[uint64]uint32{propSite: 1 << r},
+	})
+}
+
+// TestConstantStreamPredictsPerfectly: for every predictor kind, a constant
+// truth stream must eventually yield a frozen chain that predicts the
+// constant at every depth — the bottom of the predictor lattice, which all
+// three schemes capture exactly.
+func TestConstantStreamPredictsPerfectly(t *testing.T) {
+	const reg, val = 5, uint64(0xdeadbeef)
+	for _, kind := range predict.AllKinds {
+		u := unitFor(kind, reg)
+		// FCM needs its context window full plus one table insertion; give
+		// every kind the same generous warmup.
+		for i := 0; i < 8; i++ {
+			u.Train(obsAt(reg, val))
+		}
+		p := u.Plan()
+		depth := u.Options().ChainDepth
+		for j := 0; j < depth; j++ {
+			got, ok := p.Predict(propSite, reg, j)
+			if !ok {
+				t.Fatalf("%v: no forecast at chain depth %d", kind, j)
+			}
+			if got != val {
+				t.Fatalf("%v: chain[%d] = %#x, want the constant %#x", kind, j, got, val)
+			}
+		}
+	}
+}
+
+// TestStrideLearnsAffine: the stride predictor must capture any affine
+// sequence v0 + i*d after at most 3 observations, and the frozen chain must
+// then extrapolate the entire future exactly — including wrapping uint64
+// arithmetic (negative strides are huge positive ones).
+func TestStrideLearnsAffine(t *testing.T) {
+	const reg = 3
+	cases := []struct{ v0, d uint64 }{
+		{0, 1},
+		{100, 100},
+		{1 << 62, 1 << 61},  // wraps within the chain
+		{5, ^uint64(0) - 2}, // stride -3
+		{0xabcdef, 0},       // degenerate affine: constant
+		{^uint64(0) - 1, 1 << 40},
+	}
+	for _, c := range cases {
+		u := unitFor(predict.Stride, reg)
+		for i := uint64(0); i < 3; i++ {
+			u.Train(obsAt(reg, c.v0+i*c.d))
+		}
+		p := u.Plan()
+		for j := 0; j < u.Options().ChainDepth; j++ {
+			// chain[j] seeds the j-th consulted fork, one step past the last
+			// observation per step.
+			want := c.v0 + (3+uint64(j))*c.d
+			got, ok := p.Predict(propSite, reg, j)
+			if !ok {
+				t.Fatalf("stride(%#x,%#x): no forecast at depth %d", c.v0, c.d, j)
+			}
+			if got != want {
+				t.Fatalf("stride(%#x,%#x): chain[%d] = %#x, want %#x", c.v0, c.d, j, got, want)
+			}
+		}
+	}
+}
+
+// propStream feeds n pseudorandom observations (mixed commits and squashes,
+// several sites and registers) into u. The generator is a fixed-constant
+// LCG, so every caller with the same n sees the same stream.
+func propStream(u *predict.Unit, n int) {
+	rng := uint64(0x243f6a8885a308d3)
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 11
+	}
+	for i := 0; i < n; i++ {
+		site := uint64(0x40 + 4*(next()%3))
+		r := int(2 + next()%3)
+		arch := state.New()
+		arch.WriteReg(r, next())
+		o := predict.Observation{Site: site, Arch: arch}
+		switch next() % 4 {
+		case 0, 1:
+			o.Committed = true
+		case 2:
+			o.Reason = "livein"
+		case 3:
+			o.Reason = "overflow"
+		}
+		if next()%2 == 0 {
+			li := state.NewDelta()
+			li.SetReg(r, arch.ReadReg(r))
+			o.LiveIn = li
+			o.Applied = []predict.Pred{{Reg: r, Val: next()}}
+		}
+		u.Train(o)
+	}
+}
+
+// propUnit builds the multi-site unit the stream tests train.
+func propUnit(kind predict.Kind) *predict.Unit {
+	return predict.NewUnit(predict.Options{
+		Kind:      kind,
+		Threshold: 1,
+		Policy:    true,
+		PredictableRegs: map[uint64]uint32{
+			0x40: 1<<2 | 1<<3,
+			0x44: 1 << 3,
+			0x48: 1 << 4,
+		},
+	})
+}
+
+// TestConsultsArePure: once a plan is frozen, any number of Eligible and
+// Predict calls — and further Plan freezes with no intervening training —
+// must leave the unit's fingerprint untouched. Consults never feed back
+// into trained state; that is the determinism argument's load-bearing wall.
+func TestConsultsArePure(t *testing.T) {
+	for _, kind := range predict.AllKinds {
+		u := propUnit(kind)
+		propStream(u, 500)
+		// The first freeze may advance the policy clock (backoff windows can
+		// expire at a freeze); absorb that documented side effect first.
+		u.Plan()
+		fp := u.Fingerprint()
+		for i := 0; i < 10; i++ {
+			p := u.Plan()
+			for site := uint64(0x3c); site < 0x50; site++ {
+				p.Eligible(site)
+				for r := 0; r < 8; r++ {
+					for j := 0; j < 70; j++ {
+						p.Predict(site, r, j)
+					}
+				}
+			}
+		}
+		if got := u.Fingerprint(); got != fp {
+			t.Fatalf("%v: consults mutated the unit: fingerprint %#x -> %#x", kind, fp, got)
+		}
+	}
+}
+
+// TestReplayDeterminism: unit state after N updates is a pure function of
+// the update sequence. Two fresh units fed the same stream must agree on
+// fingerprint and counters; a third fed one extra observation must not.
+func TestReplayDeterminism(t *testing.T) {
+	for _, kind := range predict.AllKinds {
+		a, b := propUnit(kind), propUnit(kind)
+		propStream(a, 800)
+		propStream(b, 800)
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("%v: same stream, different fingerprints (%#x vs %#x)",
+				kind, a.Fingerprint(), b.Fingerprint())
+		}
+		sa, sb := a.Stats(), b.Stats()
+		if sa.Verifies != sb.Verifies || sa.Trained != sb.Trained ||
+			sa.Hits != sb.Hits || sa.Misses != sb.Misses || sa.Cells != sb.Cells {
+			t.Fatalf("%v: same stream, different stats (%+v vs %+v)", kind, sa, sb)
+		}
+		c := propUnit(kind)
+		propStream(c, 801)
+		if c.Fingerprint() == a.Fingerprint() {
+			t.Fatalf("%v: fingerprint insensitive to an extra observation", kind)
+		}
+	}
+}
+
+// TestUngradedWhenNotRead: a prediction applied for a register the task
+// never read must not be graded — it was harmless, and grading it would
+// poison confidence with outcomes the prediction did not cause.
+func TestUngradedWhenNotRead(t *testing.T) {
+	u := unitFor(predict.Stride, 2)
+	arch := state.New()
+	arch.WriteReg(2, 7)
+	li := state.NewDelta() // task read nothing
+	hits, misses := u.Train(predict.Observation{
+		Site: propSite, Arch: arch, Committed: true,
+		LiveIn:  li,
+		Applied: []predict.Pred{{Reg: 2, Val: 999}}, // wrong, but unread
+	})
+	if hits != 0 || misses != 0 {
+		t.Fatalf("unread prediction was graded: hits=%d misses=%d", hits, misses)
+	}
+	if st := u.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("unread prediction reached the tally: %+v", st)
+	}
+}
+
+// TestUninformativeObservationsDoNotTrainValues: overflow, fault and
+// start-mismatch squashes must leave every value cell untouched — the task
+// ran from a point program order never reached, so Arch is not the truth
+// for its live-ins. Only the policy may see them.
+func TestUninformativeObservationsDoNotTrainValues(t *testing.T) {
+	for _, reason := range []string{"overflow", "fault", "nonspec", "start-mismatch"} {
+		u := unitFor(predict.LastValue, 2)
+		arch := state.New()
+		arch.WriteReg(2, 42)
+		u.Train(predict.Observation{Site: propSite, Arch: arch, Reason: reason})
+		if st := u.Stats(); st.Trained != 0 || st.Cells != 0 {
+			t.Fatalf("%s observation trained value cells: %+v", reason, st)
+		}
+	}
+}
