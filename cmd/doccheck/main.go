@@ -63,6 +63,7 @@ var checkedPackages = []string{
 	"internal/task",
 	"internal/mem",
 	"internal/predict",
+	"internal/fuse",
 }
 
 // taxonomyDocs are the markdown files that must each mention every

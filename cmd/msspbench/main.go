@@ -31,6 +31,7 @@ import (
 	"mssp/internal/bench"
 	"mssp/internal/chaos"
 	"mssp/internal/cpu"
+	"mssp/internal/fuse"
 	"mssp/internal/isa"
 	"mssp/internal/mem"
 	"mssp/internal/parallel"
@@ -98,8 +99,12 @@ func run(quick bool, in, out, label string) error {
 	}
 
 	record("cpu/step", "ns/op", benchStep())
-	record("cpu/run_tight", "ns/inst", benchRun(workloads.MicroTight(1000)))
-	record("cpu/run_mem", "ns/inst", benchRun(workloads.MicroMem(1000)))
+	// cpu/run_tight and cpu/run_mem track the production fast path, which
+	// since the "fuse" label dispatches superinstructions (internal/fuse).
+	record("cpu/run_tight", "ns/inst", benchRun(workloads.MicroTight(1000),
+		cpu.NewCode(fuse.Predecode(workloads.MicroTight(1000), fuse.Options{})).RunState))
+	record("cpu/run_mem", "ns/inst", benchRun(workloads.MicroMem(1000),
+		cpu.NewCode(fuse.Predecode(workloads.MicroMem(1000), fuse.Options{})).RunState))
 	record("mem/read_hit", "ns/op", benchReadHit())
 	record("mem/write_hit", "ns/op", benchWriteHit())
 	record("mem/snapshot_churn", "ns/op", benchSnapshotChurn())
@@ -176,6 +181,32 @@ func run(quick bool, in, out, label string) error {
 	upsert(f, "task/delta_allocs", "allocs/task", "unpooled", tp.allocsUnpooled)
 	upsert(f, "task/delta_allocs", "allocs/task", "pooled", tp.allocsPooled)
 
+	// Superinstruction dispatch: a fused/unfused/threaded ablation on the
+	// micro workloads (same run, fixed labels, like distill/*) plus the
+	// dynamic fused-retirement ratio, gated so fusion can never regress
+	// below single-instruction dispatch while still being recorded.
+	fb, err := fusionBench()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %10.3f (unfused) %7.3f (fused) %7.3f (threaded) ns/inst\n",
+		"cpu/run_tight_fused", fb.tightUnfused, fb.tightFused, fb.tightThreaded)
+	fmt.Printf("%-24s %10.3f (unfused) %7.3f (fused) %7.3f (threaded) ns/inst\n",
+		"cpu/run_mem_fused", fb.memUnfused, fb.memFused, fb.memThreaded)
+	fmt.Printf("%-24s %10.4f (tight) %8.4f (mem)\n", "dispatch/fused_ratio", fb.ratioTight, fb.ratioMem)
+	if fb.tightFused > fb.tightUnfused || fb.memFused > fb.memUnfused {
+		return fmt.Errorf("fusion regression: fused dispatch slower than unfused (tight %.3f vs %.3f, mem %.3f vs %.3f ns/inst)",
+			fb.tightFused, fb.tightUnfused, fb.memFused, fb.memUnfused)
+	}
+	upsert(f, "cpu/run_tight_fused", "ns/inst", "unfused", fb.tightUnfused)
+	upsert(f, "cpu/run_tight_fused", "ns/inst", "fused", fb.tightFused)
+	upsert(f, "cpu/run_tight_fused", "ns/inst", "threaded", fb.tightThreaded)
+	upsert(f, "cpu/run_mem_fused", "ns/inst", "unfused", fb.memUnfused)
+	upsert(f, "cpu/run_mem_fused", "ns/inst", "fused", fb.memFused)
+	upsert(f, "cpu/run_mem_fused", "ns/inst", "threaded", fb.memThreaded)
+	upsert(f, "dispatch/fused_ratio", "fraction", "tight", fb.ratioTight)
+	upsert(f, "dispatch/fused_ratio", "fraction", "mem", fb.ratioMem)
+
 	// Value-prediction quality: an off/on ablation pair on the prediction
 	// micro-workload (same run, fixed labels, like distill/*), gated so the
 	// predictor must cut the squash rate without adding master work.
@@ -222,25 +253,44 @@ func benchStep() float64 {
 	return nsPerOp(r)
 }
 
-// benchRun measures a full predecoded devirtualized run, in ns per dynamic
-// instruction.
-func benchRun(p *isa.Program) float64 {
-	code := isa.Predecode(p)
-	var insts uint64
-	r := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			s := state.NewFromProgram(p, 1<<28)
-			res, err := cpu.NewCode(code).RunState(s, 1_000_000)
-			if err != nil {
-				b.Fatal(err)
+// benchRun measures a full run over a prebuilt dispatcher, in ns per dynamic
+// instruction. The state is built once and re-entered by resetting PC — the
+// steady-state harness from internal/cpu's runBench; timing fresh-state
+// construction per iteration added ~1 ns/inst of page-allocation and GC
+// noise and caused the cpu/run_tight drift the "dispatchfix" label records
+// the recovery from (docs/PERFORMANCE.md). The rerun assertion keeps the
+// harness honest: every iteration must retire the same instruction count.
+func benchRun(p *isa.Program, run func(s *state.State, max uint64) (cpu.RunResult, error)) float64 {
+	s := state.NewFromProgram(p, 1<<28)
+	first, err := run(s, 1_000_000)
+	if err != nil {
+		panic(err)
+	}
+	if !first.Halted {
+		panic("benchRun: program did not halt")
+	}
+	// Best of three, like parallelSpeedups: one in-process testing.Benchmark
+	// after the soak and experiment phases sees enough GC and scheduler noise
+	// to swing the number by >10%.
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.PC = p.Entry
+				res, err := run(s, 1_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Steps != first.Steps || !res.Halted {
+					b.Fatalf("rerun diverged: %d steps, first %d — program not rerun-safe", res.Steps, first.Steps)
+				}
 			}
-			if !res.Halted {
-				b.Fatal("program did not halt")
-			}
-			insts = res.Steps
+		})
+		if ns := nsPerOp(r); rep == 0 || ns < best {
+			best = ns
 		}
-	})
-	return nsPerOp(r) / float64(insts)
+	}
+	return best / float64(first.Steps)
 }
 
 func benchReadHit() float64 {
@@ -394,42 +444,127 @@ func taskPoolBench() (taskPoolResult, error) {
 	return res, nil
 }
 
-// checkZeroAlloc asserts the devirtualized run loop does not allocate after
-// warm-up, mirroring internal/cpu's TestRunLoopZeroAlloc.
+// fusionResult carries the superinstruction ablation: ns/inst for
+// single-instruction (unfused), fused-switch, and threaded dispatch over the
+// same predecoded programs, plus the dynamic fused-retirement ratio
+// (instructions retired through fused groups / total instructions).
+type fusionResult struct {
+	tightUnfused, tightFused, tightThreaded float64
+	memUnfused, memFused, memThreaded       float64
+	ratioTight, ratioMem                    float64
+}
+
+// fusionBench measures the dispatch ablation on the micro workloads. All
+// three paths are equivalence-checked against each other by benchRun's rerun
+// assertion plus an explicit digest comparison here, so the recorded numbers
+// can never come from runs that computed different answers.
+func fusionBench() (fusionResult, error) {
+	var res fusionResult
+	measure := func(p *isa.Program) (unfused, fused, threaded, ratio float64, err error) {
+		df := fuse.Predecode(p, fuse.Options{})
+		plain := cpu.NewCode(isa.Predecode(p))
+		fc := cpu.NewCode(df)
+		th := cpu.NewThreaded(df)
+
+		states := make([]*state.State, 3)
+		for i, run := range []func(*state.State, uint64) (cpu.RunResult, error){plain.RunState, fc.RunState, th.RunState} {
+			s := state.NewFromProgram(p, 1<<28)
+			r, rerr := run(s, 1_000_000)
+			if rerr != nil || !r.Halted {
+				return 0, 0, 0, 0, fmt.Errorf("fusion bench: dispatcher %d failed (%v, halted=%v)", i, rerr, r.Halted)
+			}
+			states[i] = s
+		}
+		if d0 := states[0].Digest(); d0 != states[1].Digest() || d0 != states[2].Digest() {
+			return 0, 0, 0, 0, fmt.Errorf("fusion bench: dispatchers diverged (digests %#x %#x %#x)",
+				states[0].Digest(), states[1].Digest(), states[2].Digest())
+		}
+
+		unfused = benchRun(p, plain.RunState)
+		fused = benchRun(p, fc.RunState)
+		threaded = benchRun(p, th.RunState)
+
+		s := state.NewFromProgram(p, 1<<28)
+		stop, serr := cpu.NewCode(fuse.Predecode(p, fuse.Options{})).RunToStop(s, 1_000_000)
+		if serr != nil {
+			return 0, 0, 0, 0, serr
+		}
+		if stop.Kind != cpu.StopHalt || stop.Steps == 0 {
+			return 0, 0, 0, 0, fmt.Errorf("fusion bench: ratio run stopped %v after %d steps, want halt", stop.Kind, stop.Steps)
+		}
+		return unfused, fused, threaded, float64(stop.Fused) / float64(stop.Steps), nil
+	}
+
+	var err error
+	if res.tightUnfused, res.tightFused, res.tightThreaded, res.ratioTight, err = measure(workloads.MicroTight(1000)); err != nil {
+		return res, err
+	}
+	if res.memUnfused, res.memFused, res.memThreaded, res.ratioMem, err = measure(workloads.MicroMem(1000)); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// checkZeroAlloc asserts the devirtualized run loops — plain, fused, and
+// threaded — do not allocate after warm-up, mirroring internal/cpu's
+// TestRunLoopZeroAlloc.
 func checkZeroAlloc() error {
 	p := workloads.MicroTight(100)
-	code := cpu.NewCode(isa.Predecode(p))
-	s := state.NewFromProgram(p, 1<<28)
-	if _, err := code.RunState(s, 1_000_000); err != nil {
-		return err
-	}
-	allocs := testing.AllocsPerRun(10, func() {
-		s.PC = 0
-		if _, err := code.RunState(s, 1_000_000); err != nil {
-			panic(err)
+	df := fuse.Predecode(p, fuse.Options{})
+	th := cpu.NewThreaded(df)
+	for _, c := range []struct {
+		name string
+		run  func(s *state.State, max uint64) (cpu.RunResult, error)
+	}{
+		{"plain", cpu.NewCode(isa.Predecode(p)).RunState},
+		{"fused", cpu.NewCode(df).RunState},
+		{"threaded", th.RunState},
+	} {
+		s := state.NewFromProgram(p, 1<<28)
+		if _, err := c.run(s, 1_000_000); err != nil {
+			return err
 		}
-	})
-	if allocs != 0 {
-		return fmt.Errorf("run loop allocates: %v allocs/op, want 0", allocs)
+		allocs := testing.AllocsPerRun(10, func() {
+			s.PC = 0
+			if _, err := c.run(s, 1_000_000); err != nil {
+				panic(err)
+			}
+		})
+		if allocs != 0 {
+			return fmt.Errorf("%s run loop allocates: %v allocs/op, want 0", c.name, allocs)
+		}
 	}
 	return nil
 }
 
-// checkEquivalence spot-checks that the slow Env interpreter and the
-// predecoded devirtualized loop agree (the full suite lives in
-// internal/cpu's equivalence tests).
+// checkEquivalence spot-checks that the slow Env interpreter and every
+// devirtualized loop — plain predecoded, fused, and threaded — agree (the
+// full suite lives in internal/cpu's equivalence tests).
 func checkEquivalence() error {
 	for _, p := range []*isa.Program{workloads.MicroTight(1000), workloads.MicroMem(1000)} {
 		slow := state.NewFromProgram(p, 1<<28)
 		sres, serr := cpu.Run(cpu.StateEnv{S: slow}, 1_000_000)
-		fast := state.NewFromProgram(p, 1<<28)
-		fres, ferr := cpu.NewCode(isa.Predecode(p)).RunState(fast, 1_000_000)
-		if serr != nil || ferr != nil {
-			return fmt.Errorf("equivalence run failed: slow %v, fast %v", serr, ferr)
+		if serr != nil {
+			return fmt.Errorf("equivalence run failed: slow %v", serr)
 		}
-		if sres != fres || !slow.Equal(fast) {
-			return fmt.Errorf("fast/slow divergence: slow %+v digest %#x, fast %+v digest %#x",
-				sres, slow.Digest(), fres, fast.Digest())
+		df := fuse.Predecode(p, fuse.Options{})
+		for _, c := range []struct {
+			name string
+			run  func(s *state.State, max uint64) (cpu.RunResult, error)
+		}{
+			{"plain", cpu.NewCode(isa.Predecode(p)).RunState},
+			{"fused", cpu.NewCode(df).RunState},
+			{"threaded", cpu.NewThreaded(df).RunState},
+		} {
+			fast := state.NewFromProgram(p, 1<<28)
+			fres, ferr := c.run(fast, 1_000_000)
+			if ferr != nil {
+				return fmt.Errorf("equivalence run failed: %s %v", c.name, ferr)
+			}
+			if sres != fres || !slow.Equal(fast) {
+				return fmt.Errorf("%s/slow divergence: slow %+v digest %#x, %s %+v digest %#x",
+					c.name, sres, slow.Digest(), c.name, fres, fast.Digest())
+			}
 		}
 	}
 	return nil

@@ -37,6 +37,7 @@ func main() {
 		requireC = flag.Bool("require-coverage", false, "fail unless the soak provoked every event kind and squash reason")
 		verbose  = flag.Bool("v", false, "print the full JSON report of every run")
 		interp   = flag.String("interp", "fast", "execution core: fast, slow, or both (run each seed on both and diff the reports)")
+		fuse     = flag.String("fuse", "on", "superinstruction dispatch: on, off, or both (run each seed fused and unfused and diff the reports)")
 		engine   = flag.String("engine", "det", "speculative engine(s): det, or parallel (adds true-parallel legs cross-checked against det)")
 		predictF = flag.Bool("predict", false, "attach a value predictor to every leg (kind derived from the seed); faulted legs must leave it untrained")
 	)
@@ -48,10 +49,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "msspfuzz: -interp must be fast, slow or both, got %q\n", *interp)
 		os.Exit(2)
 	}
+	switch *fuse {
+	case "on", "off", "both":
+	default:
+		fmt.Fprintf(os.Stderr, "msspfuzz: -fuse must be on, off or both, got %q\n", *fuse)
+		os.Exit(2)
+	}
 	switch *engine {
 	case chaos.EngineDet, chaos.EngineParallel:
 	default:
 		fmt.Fprintf(os.Stderr, "msspfuzz: -engine must be det or parallel, got %q\n", *engine)
+		os.Exit(2)
+	}
+	if *fuse == "both" && (*interp == "both" || *engine == chaos.EngineParallel) {
+		// Like -interp both, the fuse differential byte-diffs two reports;
+		// combining differentials (or schedule-dependent parallel metrics)
+		// would make the diff meaningless.
+		fmt.Fprintln(os.Stderr, "msspfuzz: -fuse both cannot combine with -interp both or -engine parallel")
 		os.Exit(2)
 	}
 	if *engine == chaos.EngineParallel && *interp == "both" {
@@ -63,19 +77,32 @@ func main() {
 	if *replay != "" {
 		os.Exit(replayArtifacts(*replay, *engine, *predictF, *verbose))
 	}
-	os.Exit(soak(*seed, *count, *faults, *out, *interp, *engine, *requireC, *predictF, *verbose))
+	os.Exit(soak(*seed, *count, *faults, *out, *interp, *fuse, *engine, *requireC, *predictF, *verbose))
 }
 
-// runSeed executes one seed under the selected interpreter(s). For "both"
-// it runs the fast and slow cores and appends a failure to the (fast)
+// runSeed executes one seed under the selected interpreter(s) and fusion
+// mode(s). For -interp both it runs the fast and slow cores, for -fuse both
+// the fused and unfused dispatchers, and appends a failure to the primary
 // report if the two reports are not byte-identical JSON — the command-line
-// form of the interpreter differential.
-func runSeed(s uint64, faults float64, interp, engine string, predict bool) *chaos.Report {
-	if interp != "both" {
-		return chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: interp, Engine: engine, Predict: predict})
+// forms of the interpreter and fusion differentials.
+func runSeed(s uint64, faults float64, interp, fuse, engine string, predict bool) *chaos.Report {
+	if fuse == "both" {
+		fused := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Fuse: "on", Predict: predict})
+		unfused := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Fuse: "off", Predict: predict})
+		fb, _ := json.Marshal(fused)
+		ub, _ := json.Marshal(unfused)
+		if string(fb) != string(ub) {
+			fused.Failures = append(fused.Failures,
+				fmt.Sprintf("fuse differential: fused and unfused reports diverge\nfused: %s\nunfused: %s", fb, ub))
+			fused.OK = false
+		}
+		return fused
 	}
-	fast := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "fast", Predict: predict})
-	slow := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "slow", Predict: predict})
+	if interp != "both" {
+		return chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: interp, Fuse: fuse, Engine: engine, Predict: predict})
+	}
+	fast := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "fast", Fuse: fuse, Predict: predict})
+	slow := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "slow", Fuse: fuse, Predict: predict})
 	fb, _ := json.Marshal(fast)
 	sb, _ := json.Marshal(slow)
 	if string(fb) != string(sb) {
@@ -87,7 +114,7 @@ func runSeed(s uint64, faults float64, interp, engine string, predict bool) *cha
 }
 
 // soak runs count consecutive seeds and reports aggregate coverage.
-func soak(seed uint64, count int, faults float64, out, interp, engine string, requireC, predict, verbose bool) int {
+func soak(seed uint64, count int, faults float64, out, interp, fuse, engine string, requireC, predict, verbose bool) int {
 	var sink *os.File
 	if out != "" {
 		f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -103,7 +130,7 @@ func soak(seed uint64, count int, faults float64, out, interp, engine string, re
 	failed := 0
 	for i := 0; i < count; i++ {
 		s := seed + uint64(i)
-		rep := runSeed(s, faults, interp, engine, predict)
+		rep := runSeed(s, faults, interp, fuse, engine, predict)
 		if verbose {
 			b, _ := json.MarshalIndent(rep, "", "  ")
 			fmt.Println(string(b))

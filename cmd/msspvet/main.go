@@ -23,6 +23,7 @@ import (
 
 	"mssp/internal/asm"
 	"mssp/internal/distill"
+	"mssp/internal/fuse"
 	"mssp/internal/isa"
 	"mssp/internal/profile"
 	"mssp/internal/vet"
@@ -99,6 +100,9 @@ func main() {
 			fatal(fmt.Errorf("%s: %v", tg.name, err))
 		}
 		emit(tg.name, fs)
+		// MV008: the superinstruction table the engines would build for this
+		// program must re-encode to the original words (fused-bijection).
+		emit(tg.name+"[fused]", vet.CheckFused(fuse.Predecode(tg.prog, fuse.Options{})))
 
 		if !*doDistill {
 			continue
@@ -126,6 +130,11 @@ func main() {
 				fatal(fmt.Errorf("%s@%v: %v", tg.name, thr, err))
 			}
 			emit(fmt.Sprintf("%s[distilled@%v]", tg.name, thr), dfs)
+			// MV008 on the distilled program's table, elision included —
+			// elision redirects FusedInst.RdA/RdB, never the components, so
+			// the bijection must hold for the master's table too.
+			emit(fmt.Sprintf("%s[distilled@%v,fused]", tg.name, thr),
+				vet.CheckFused(fuse.Predecode(res.Prog, fuse.Options{Elide: true})))
 		}
 	}
 

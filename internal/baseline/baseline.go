@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"mssp/internal/cpu"
+	"mssp/internal/fuse"
 	"mssp/internal/isa"
 	"mssp/internal/state"
 )
@@ -54,8 +55,11 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 	}
 	s := state.NewFromProgram(p, cfg.SP)
 	// The baseline is the hottest sequential loop in the experiment suite:
-	// run it predecoded and devirtualized (cpu fast path).
-	res, err := cpu.NewCode(isa.Predecode(p)).RunState(s, cfg.MaxSteps)
+	// run it predecoded, devirtualized, and fused (cpu fast path with
+	// superinstruction dispatch; no anchors — nothing interrupts a
+	// sequential run, and elision stays off because the final register file
+	// is the result).
+	res, err := cpu.NewCode(fuse.Predecode(p, fuse.Options{})).RunState(s, cfg.MaxSteps)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}

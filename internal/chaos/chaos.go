@@ -69,6 +69,14 @@ type Options struct {
 	// produce byte-identical reports — the interpreter differential in
 	// interp_test.go and cmd/msspfuzz -interp both run each seed both ways.
 	Interp string
+	// Fuse selects superinstruction dispatch on the fast interpreter:
+	// "on" (or empty, the default) lets the MSSP legs run fused tables;
+	// "off" forces single-instruction dispatch (core.Config.DisableFusion).
+	// Like Interp, the two settings must produce byte-identical reports —
+	// fuse_test.go and cmd/msspfuzz -fuse run each seed both ways. The knob
+	// is meaningless (and ignored) when Interp is "slow", which bypasses
+	// the predecoded tables entirely.
+	Fuse string
 	// DistillPasses turns on every analysis-driven distillation pass
 	// (dead-code elimination, checkpoint-aware store sinking, assumption-
 	// seeded constant folding). The architected results must be bit-
@@ -338,6 +346,7 @@ func runParallelLeg(g *Generated, dist *distill.Result, knobs Knobs, plan *Fault
 	lr := &LegReport{Coverage: NewCoverage()}
 	cfg := knobs.Config()
 	cfg.DisableFastPath = opts.Interp == "slow"
+	cfg.DisableFusion = opts.Fuse == "off"
 	if plan != nil {
 		cfg.Fault = plan.Injection()
 	}
@@ -389,6 +398,7 @@ func runLeg(g *Generated, dist *distill.Result, knobs Knobs, plan *FaultPlan,
 	lr := &LegReport{Coverage: NewCoverage()}
 	cfg := knobs.Config()
 	cfg.DisableFastPath = opts.Interp == "slow"
+	cfg.DisableFusion = opts.Fuse == "off"
 	if plan != nil {
 		cfg.Fault = plan.Injection()
 	}

@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFuseDifferentialCorpus runs every checked-in fuzz corpus seed through
+// the chaos differential twice — once with superinstruction fusion on
+// (the default fast path) and once with single-instruction dispatch
+// (core.Config.DisableFusion) — and requires the two reports to agree on
+// everything observable, exactly like the fast/slow interpreter
+// differential. Fused execution is defined to be the in-order execution of
+// each group's components, so any divergence here is a dispatcher bug.
+// internal/cpu's equivalence suite and internal/task's three-way tests
+// cover the instruction level; this is the machine level, and the CI soak
+// (msspfuzz -fuse both) extends it to fresh seeds.
+func TestFuseDifferentialCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is slow; skipped with -short")
+	}
+	for _, seed := range corpusSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			fused := Run(Options{Seed: seed, FaultIntensity: 1, ModelCheckCap: 64, Fuse: "on"})
+			unfused := Run(Options{Seed: seed, FaultIntensity: 1, ModelCheckCap: 64, Fuse: "off"})
+
+			if !fused.OK {
+				t.Errorf("fused run failed:\n%s", strings.Join(fused.Failures, "\n"))
+			}
+			if !unfused.OK {
+				t.Errorf("unfused run failed:\n%s", strings.Join(unfused.Failures, "\n"))
+			}
+			if fused.SeqSteps != unfused.SeqSteps {
+				t.Errorf("baseline step count: fused %d, unfused %d", fused.SeqSteps, unfused.SeqSteps)
+			}
+			if fused.SeqDigest != unfused.SeqDigest {
+				t.Errorf("baseline final-state digest: fused %#x, unfused %#x", fused.SeqDigest, unfused.SeqDigest)
+			}
+			for leg, pair := range map[string][2]*LegReport{
+				"clean": {fused.Clean, unfused.Clean},
+				"fault": {fused.Fault, unfused.Fault},
+			} {
+				fs, us := summarize(pair[0]), summarize(pair[1])
+				if !reflect.DeepEqual(fs, us) {
+					t.Errorf("%s leg diverges with fusion:\nfused: %+v\nunfused: %+v", leg, fs, us)
+				}
+			}
+		})
+	}
+}

@@ -124,6 +124,15 @@ type Config struct {
 	// flag); the chaos harness runs both and diffs them.
 	DisableFastPath bool
 
+	// DisableFusion keeps the predecoded tables but skips the
+	// superinstruction fusion pass (internal/fuse), so every fast-path
+	// dispatch retires exactly one instruction. Like DisableFastPath it is
+	// functionally invisible — fused execution is defined as the in-order
+	// execution of the group's components — and exists for the chaos
+	// harness's fused-vs-unfused differential leg and for ablation
+	// benchmarks. Implied by DisableFastPath (no tables, nothing to fuse).
+	DisableFusion bool
+
 	// MasterSuppliesAllData makes checkpoints carry the master's entire
 	// memory image, so slave data reads never consult architected state —
 	// the design alternative the paper rejects as demanding too much

@@ -6,6 +6,7 @@ import (
 
 	"mssp/internal/cpu"
 	"mssp/internal/distill"
+	"mssp/internal/fuse"
 	"mssp/internal/isa"
 	"mssp/internal/predict"
 	"mssp/internal/state"
@@ -123,7 +124,17 @@ func New(orig *isa.Program, dist *distill.Result, cfg Config) (*Machine, error) 
 		shareCk:   cfg.Fault == nil,
 	}
 	if !cfg.DisableFastPath {
-		m.origCode = isa.Predecode(orig)
+		if cfg.DisableFusion {
+			m.origCode = isa.Predecode(orig)
+		} else {
+			// Slaves retire fused groups; the anchor set keeps every fork
+			// target out of group interiors so a task can always stop on an
+			// end-anchor crossing (the slave loop guards dynamically too).
+			m.origCode = fuse.Predecode(orig, fuse.Options{Anchors: m.anchors})
+		}
+		// The deterministic master steps one distilled instruction per
+		// simulation event (master.go), so a fused table on distCode would
+		// never be consulted: plain predecode suffices.
 		m.distCode = isa.Predecode(dist.Prog)
 		m.codeClean = true
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"mssp/internal/fuse"
 	"mssp/internal/isa"
 	"mssp/internal/state"
 	"mssp/internal/workloads"
@@ -116,6 +117,9 @@ func equivPrograms(t testing.TB) []equivProgram {
 		{"fault", faultProgram(t), 10_000},
 		{"jump-off-table", jumpOffTableProgram(t), 10_000},
 		{"step-limit", tightLoopProgram(t, 50), 17}, // exhaust max mid-loop
+		{"jump-into-pair", jumpIntoPairProgram(t), 10_000},
+		{"store-into-pair", storeIntoPairProgram(t), 10_000},
+		{"chain-selfmod", chainSelfModifyProgram(t), 10_000},
 	}
 	for _, w := range workloads.All() {
 		progs = append(progs, equivProgram{"workload-" + w.Name, w.Build(workloads.Train), 50_000_000})
@@ -170,6 +174,42 @@ var executors = []struct {
 			}
 		}
 		return res, nil
+	}},
+	{"fused-devirt", func(p *isa.Program, s *state.State, max uint64) (RunResult, error) {
+		return NewCode(fuse.Predecode(p, fuse.Options{})).RunState(s, max)
+	}},
+	{"fused-anchors", func(p *isa.Program, s *state.State, max uint64) (RunResult, error) {
+		// Anchors at every third pc knock out the groups they interrupt;
+		// whatever still fuses must behave identically.
+		anchors := make(map[uint64]bool)
+		for pc := p.Code.Base; pc < p.Code.Base+uint64(len(p.Code.Words)); pc += 3 {
+			anchors[pc] = true
+		}
+		return NewCode(fuse.Predecode(p, fuse.Options{Anchors: anchors})).RunState(s, max)
+	}},
+	{"fused-stops", func(p *isa.Program, s *state.State, max uint64) (RunResult, error) {
+		// The RunToStop contract over a fused table: resume across fork/jalr
+		// stops until halt, fault, or budget exhaustion.
+		c := NewCode(fuse.Predecode(p, fuse.Options{}))
+		var total RunResult
+		for total.Steps < max {
+			st, err := c.RunToStop(s, max-total.Steps)
+			total.Steps += st.Steps
+			if err != nil {
+				return total, err
+			}
+			if st.Kind == StopHalt {
+				total.Halted = true
+				break
+			}
+			if st.Kind == StopSteps {
+				break
+			}
+		}
+		return total, nil
+	}},
+	{"threaded", func(p *isa.Program, s *state.State, max uint64) (RunResult, error) {
+		return NewThreaded(fuse.Predecode(p, fuse.Options{})).RunState(s, max)
 	}},
 }
 

@@ -111,7 +111,8 @@ func (c *Code) Run(env Env, max uint64) (RunResult, error) {
 // across calls, so a self-modifying program stays on the slow fetch path
 // for this runner's whole life.
 func (c *Code) RunState(s *state.State, max uint64) (RunResult, error) {
-	res, _, dirty, err := runConcrete(s, c.prog, c.dirty, max, false)
+	var stop StopResult
+	res, dirty, err := runConcrete(s, c.prog, c.dirty, max, false, &stop)
 	c.dirty = dirty
 	return res, err
 }
@@ -120,7 +121,8 @@ func (c *Code) RunState(s *state.State, max uint64) (RunResult, error) {
 // interface dispatch, decoding each instruction from memory (no predecoded
 // table). This is the devirtualized drop-in for Run(StateEnv{S: s}, max).
 func RunState(s *state.State, max uint64) (RunResult, error) {
-	res, _, _, err := runConcrete(s, nil, false, max, false)
+	var stop StopResult
+	res, _, err := runConcrete(s, nil, false, max, false, &stop)
 	return res, err
 }
 
@@ -151,6 +153,10 @@ type StopResult struct {
 	// engines use it to skip checkpoint materialization over store-free
 	// stretches of distilled code (see docs/MEMORY.md).
 	Stores uint64
+	// Fused is the number of instructions retired through fused
+	// (superinstruction) dispatches this call; Fused/Steps is the dynamic
+	// fusion ratio msspbench tracks as dispatch/fused_ratio.
+	Fused uint64
 }
 
 // RunToStop executes at most max instructions directly against s on the
@@ -162,7 +168,8 @@ type StopResult struct {
 // layers fork/translation policy on top, instead of stepping through the
 // Env interface. The dirty flag persists like RunState's.
 func (c *Code) RunToStop(s *state.State, max uint64) (StopResult, error) {
-	res, stop, dirty, err := runConcrete(s, c.prog, c.dirty, max, true)
+	var stop StopResult
+	res, dirty, err := runConcrete(s, c.prog, c.dirty, max, true, &stop)
 	c.dirty = dirty
 	stop.Steps = res.Steps
 	return stop, err
@@ -180,6 +187,122 @@ func RemSigned(a, b uint64) uint64 { return remSigned(a, b) }
 // BoolWord returns 1 for true and 0 for false, the MIR comparison result
 // encoding.
 func BoolWord(b bool) uint64 { return boolWord(b) }
+
+// aluQuick computes one straight-line register-writing fused component's
+// value (OpAdd..OpLdih) for the ops that dominate fused groups in practice —
+// the addi back-edge/induction forms, constant loads and register adds —
+// reporting ok=false for everything else so the dispatch site falls back to
+// the full-switch aluVal. The split exists purely for the inliner: aluVal's
+// 26-way switch is far past the inline budget, and an out-of-line call per
+// component was measured to cancel the entire fused-dispatch win
+// (docs/PERFORMANCE.md); keeping the fallback call out of this function
+// keeps it under the budget, so the hot ops execute with zero call overhead.
+func aluQuick(s *state.State, in *isa.Inst) (uint64, bool) {
+	switch in.Op {
+	case isa.OpAddi:
+		return rdr(s, in.Rs1) + uint64(in.Imm), true
+	case isa.OpLdi:
+		return uint64(in.Imm), true
+	case isa.OpAdd:
+		return rdr(s, in.Rs1) + rdr(s, in.Rs2), true
+	}
+	return 0, false
+}
+
+// brQuick evaluates a conditional-branch fused component's condition for the
+// loop back-edge compares (bne, blt), with ok=false sending the dispatch
+// site to the full brTaken; see aluQuick for why the fallback lives at the
+// call site.
+func brQuick(s *state.State, in *isa.Inst) (taken, ok bool) {
+	// Every branch op reads both source registers, so the reads hoist out of
+	// the switch (which also keeps this function under the inline budget).
+	a, b := rdr(s, in.Rs1), rdr(s, in.Rs2)
+	switch in.Op {
+	case isa.OpBne:
+		return a != b, true
+	case isa.OpBlt:
+		return int64(a) < int64(b), true
+	}
+	return false, false
+}
+
+// aluVal computes one fused ALU component's value (OpAdd..OpLdih); the
+// per-op semantics mirror runConcrete's cases exactly.
+func aluVal(s *state.State, in *isa.Inst) uint64 {
+	var v uint64
+	switch in.Op {
+	case isa.OpAdd:
+		v = rdr(s, in.Rs1) + rdr(s, in.Rs2)
+	case isa.OpSub:
+		v = rdr(s, in.Rs1) - rdr(s, in.Rs2)
+	case isa.OpMul:
+		v = rdr(s, in.Rs1) * rdr(s, in.Rs2)
+	case isa.OpDiv:
+		v = divSigned(rdr(s, in.Rs1), rdr(s, in.Rs2))
+	case isa.OpRem:
+		v = remSigned(rdr(s, in.Rs1), rdr(s, in.Rs2))
+	case isa.OpAnd:
+		v = rdr(s, in.Rs1) & rdr(s, in.Rs2)
+	case isa.OpOr:
+		v = rdr(s, in.Rs1) | rdr(s, in.Rs2)
+	case isa.OpXor:
+		v = rdr(s, in.Rs1) ^ rdr(s, in.Rs2)
+	case isa.OpSll:
+		v = rdr(s, in.Rs1) << (rdr(s, in.Rs2) & 63)
+	case isa.OpSrl:
+		v = rdr(s, in.Rs1) >> (rdr(s, in.Rs2) & 63)
+	case isa.OpSra:
+		v = uint64(int64(rdr(s, in.Rs1)) >> (rdr(s, in.Rs2) & 63))
+	case isa.OpSlt:
+		v = boolWord(int64(rdr(s, in.Rs1)) < int64(rdr(s, in.Rs2)))
+	case isa.OpSltu:
+		v = boolWord(rdr(s, in.Rs1) < rdr(s, in.Rs2))
+	case isa.OpAddi:
+		v = rdr(s, in.Rs1) + uint64(in.Imm)
+	case isa.OpAndi:
+		v = rdr(s, in.Rs1) & uint64(in.Imm)
+	case isa.OpOri:
+		v = rdr(s, in.Rs1) | uint64(in.Imm)
+	case isa.OpXori:
+		v = rdr(s, in.Rs1) ^ uint64(in.Imm)
+	case isa.OpSlli:
+		v = rdr(s, in.Rs1) << (uint64(in.Imm) & 63)
+	case isa.OpSrli:
+		v = rdr(s, in.Rs1) >> (uint64(in.Imm) & 63)
+	case isa.OpSrai:
+		v = uint64(int64(rdr(s, in.Rs1)) >> (uint64(in.Imm) & 63))
+	case isa.OpSlti:
+		v = boolWord(int64(rdr(s, in.Rs1)) < in.Imm)
+	case isa.OpSltui:
+		v = boolWord(rdr(s, in.Rs1) < uint64(in.Imm))
+	case isa.OpMuli:
+		v = rdr(s, in.Rs1) * uint64(in.Imm)
+	case isa.OpLdi:
+		v = uint64(in.Imm)
+	case isa.OpLdih:
+		v = uint64(in.Imm)<<32 | rdr(s, in.Rs1)&0xffffffff
+	}
+	return v
+}
+
+// brTaken evaluates a conditional-branch fused component's condition,
+// mirroring runConcrete's branch cases exactly.
+func brTaken(s *state.State, in *isa.Inst) bool {
+	switch in.Op {
+	case isa.OpBeq:
+		return rdr(s, in.Rs1) == rdr(s, in.Rs2)
+	case isa.OpBne:
+		return rdr(s, in.Rs1) != rdr(s, in.Rs2)
+	case isa.OpBlt:
+		return int64(rdr(s, in.Rs1)) < int64(rdr(s, in.Rs2))
+	case isa.OpBge:
+		return int64(rdr(s, in.Rs1)) >= int64(rdr(s, in.Rs2))
+	case isa.OpBltu:
+		return rdr(s, in.Rs1) < rdr(s, in.Rs2)
+	}
+	// isa.OpBgeu: the builder admits only branch opcodes here.
+	return rdr(s, in.Rs1) >= rdr(s, in.Rs2)
+}
 
 // rdr reads register r of s; register 0 reads as zero. The &31 lets the
 // compiler drop the bounds check (decode already masks to five bits).
@@ -204,30 +327,283 @@ func wrr(s *state.State, r uint8, v uint64) {
 // stops set, fork and jalr instructions end the run after executing (the
 // RunToStop contract); the StopResult's Steps field is filled by the caller.
 //
+// The stop report is filled through an out-pointer rather than returned:
+// returning it by value pushed the function's return state past the
+// register ABI's capacity and spilled the loop's hot locals to the stack,
+// which is where the cpu/run_tight drift between the fastpath and predict
+// baselines came from (see docs/PERFORMANCE.md).
+//
 // Per-instruction semantics mirror stepExec exactly; the equivalence suite
 // and the chaos corpus differential hold the two definitions together.
-func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint64, stops bool) (RunResult, StopResult, bool, error) {
+func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint64, stops bool, stop *StopResult) (RunResult, bool, error) {
 	var res RunResult
 	m := s.Mem
 	pc := s.PC
-	var stores uint64
 
-	fast := code != nil && !dirty
 	var base uint64
 	var insts []isa.Inst
 	var valid []bool
 	var words []uint64
+	var fusedTab []isa.FusedInst
 	if code != nil {
 		base, insts, valid, words = code.Table()
+		fusedTab = code.FusedTable()
 	}
+	// ilen doubles as the fast-path flag: zeroing it (here when the runner
+	// starts dirty, or mid-run when a store hits the code segment) sends
+	// every subsequent fetch through memory with a single compare per
+	// iteration instead of a separate boolean test.
 	ilen := uint64(len(insts))
+	flen := uint64(len(fusedTab))
+	if code == nil || dirty {
+		ilen, flen = 0, 0
+	}
 
-	for res.Steps < max {
-		var in isa.Inst
-		if i := pc - base; fast && i < ilen {
+	// Stores and fused-retire counts accumulate in locals (registers) and
+	// flush to the out-parameter at every exit: a through-the-pointer
+	// increment per dispatch would cost a load+store in the hottest path.
+	// The step budget runs as a countdown for the same reason — one live
+	// register serves both the loop condition and the fused budget check;
+	// exits reconstruct res.Steps as max-left.
+	var stores, fusedN uint64
+	left := max
+
+	var in isa.Inst
+	for left != 0 {
+		if i := pc - base; i < ilen {
+			// Superinstruction dispatch: a fused group headed at this pc
+			// retires in one trip around the loop, provided the remaining
+			// step budget covers the whole group — otherwise the components
+			// execute singly below, so a budget expires mid-group exactly as
+			// it would unfused. Groups perform every architectural write in
+			// program order (modulo proved-dead elisions, see internal/fuse),
+			// contain no stopping ops, and end any store last, so the dirty
+			// transition happens after the group like after a single store.
+			if i < flen {
+				f := &fusedTab[i]
+				if k := f.Kind; k != isa.FuseNone && uint64(f.N) <= left {
+					if k >= isa.FuseLoopAB {
+						// Loop superinstruction: the final branch targets this
+						// group's own head, so iterate locally while the branch
+						// is taken and the budget allows whole groups. The
+						// components are pure register ops (no loads, stores,
+						// or stopping instructions), so nothing inside an
+						// iteration can fault, stop, or dirty the table; when
+						// the budget ceiling (iters) is hit, pc is back at the
+						// head and the remaining <N steps execute singly below.
+						if k == isa.FuseLoopChain {
+							// Chained loop: this ld+op+st group plus the
+							// alu+alu+br group at head+3, whose branch
+							// returns here. Each local iteration retires all
+							// six instructions; the store ends the first
+							// half, so a self-modifying hit leaves the local
+							// loop with pc at the second group's head and the
+							// rest executes singly off the (now stale) table
+							// path, exactly like the unfused order.
+							g := &fusedTab[i+3]
+							if left < 6 {
+								// Budget tail: dispatch the head group alone,
+								// like a plain ld+op+st.
+								wrr(s, f.RdA, m.Read(rdr(s, f.A.Rs1)+uint64(f.A.Imm)))
+								v, ok := aluQuick(s, &f.B)
+								if !ok {
+									v = aluVal(s, &f.B)
+								}
+								wrr(s, f.RdB, v)
+								addr := rdr(s, f.C.Rs1) + uint64(f.C.Imm)
+								m.Write(addr, rdr(s, f.C.Rs2))
+								stores++
+								if addr-base < ilen {
+									ilen, flen, dirty = 0, 0, true
+								}
+								pc += 3
+								left -= 3
+								fusedN += 3
+								continue
+							}
+							iters := left / 6
+							var done uint64
+							for it := uint64(0); it < iters; it++ {
+								wrr(s, f.RdA, m.Read(rdr(s, f.A.Rs1)+uint64(f.A.Imm)))
+								v, ok := aluQuick(s, &f.B)
+								if !ok {
+									v = aluVal(s, &f.B)
+								}
+								wrr(s, f.RdB, v)
+								addr := rdr(s, f.C.Rs1) + uint64(f.C.Imm)
+								m.Write(addr, rdr(s, f.C.Rs2))
+								stores++
+								done += 3
+								if addr-base < ilen {
+									ilen, flen, dirty = 0, 0, true
+									pc += 3
+									break
+								}
+								if v, ok = aluQuick(s, &g.A); !ok {
+									v = aluVal(s, &g.A)
+								}
+								wrr(s, g.RdA, v)
+								if v, ok = aluQuick(s, &g.B); !ok {
+									v = aluVal(s, &g.B)
+								}
+								wrr(s, g.RdB, v)
+								done += 3
+								t, ok := brQuick(s, &g.C)
+								if !ok {
+									t = brTaken(s, &g.C)
+								}
+								if !t {
+									pc += 6
+									break
+								}
+							}
+							left -= done
+							fusedN += done
+							continue
+						}
+						n := uint64(f.N)
+						iters := left / n
+						var done uint64
+						exit := false
+						if k == isa.FuseLoopAAB {
+							for done < iters {
+								v, ok := aluQuick(s, &f.A)
+								if !ok {
+									v = aluVal(s, &f.A)
+								}
+								wrr(s, f.RdA, v)
+								if v, ok = aluQuick(s, &f.B); !ok {
+									v = aluVal(s, &f.B)
+								}
+								wrr(s, f.RdB, v)
+								done++
+								t, ok := brQuick(s, &f.C)
+								if !ok {
+									t = brTaken(s, &f.C)
+								}
+								if !t {
+									exit = true
+									break
+								}
+							}
+						} else {
+							for done < iters {
+								v, ok := aluQuick(s, &f.A)
+								if !ok {
+									v = aluVal(s, &f.A)
+								}
+								wrr(s, f.RdA, v)
+								done++
+								t, ok := brQuick(s, &f.B)
+								if !ok {
+									t = brTaken(s, &f.B)
+								}
+								if !t {
+									exit = true
+									break
+								}
+							}
+						}
+						if exit {
+							pc += n
+						}
+						fusedN += done * n
+						left -= done * n
+						continue
+					}
+					switch k {
+					case isa.FuseAluAlu:
+						v, ok := aluQuick(s, &f.A)
+						if !ok {
+							v = aluVal(s, &f.A)
+						}
+						wrr(s, f.RdA, v)
+						if v, ok = aluQuick(s, &f.B); !ok {
+							v = aluVal(s, &f.B)
+						}
+						wrr(s, f.B.Rd, v)
+						pc += 2
+					case isa.FuseAluBr:
+						v, ok := aluQuick(s, &f.A)
+						if !ok {
+							v = aluVal(s, &f.A)
+						}
+						wrr(s, f.RdA, v)
+						t, ok := brQuick(s, &f.B)
+						if !ok {
+							t = brTaken(s, &f.B)
+						}
+						if t {
+							pc = uint64(f.B.Imm)
+						} else {
+							pc += 2
+						}
+					case isa.FuseAluAluBr:
+						v, ok := aluQuick(s, &f.A)
+						if !ok {
+							v = aluVal(s, &f.A)
+						}
+						wrr(s, f.RdA, v)
+						if v, ok = aluQuick(s, &f.B); !ok {
+							v = aluVal(s, &f.B)
+						}
+						wrr(s, f.RdB, v)
+						t, ok := brQuick(s, &f.C)
+						if !ok {
+							t = brTaken(s, &f.C)
+						}
+						if t {
+							pc = uint64(f.C.Imm)
+						} else {
+							pc += 3
+						}
+					case isa.FuseLdOp:
+						wrr(s, f.RdA, m.Read(rdr(s, f.A.Rs1)+uint64(f.A.Imm)))
+						v, ok := aluQuick(s, &f.B)
+						if !ok {
+							v = aluVal(s, &f.B)
+						}
+						wrr(s, f.B.Rd, v)
+						pc += 2
+					case isa.FuseOpSt:
+						v, ok := aluQuick(s, &f.A)
+						if !ok {
+							v = aluVal(s, &f.A)
+						}
+						wrr(s, f.RdA, v)
+						addr := rdr(s, f.B.Rs1) + uint64(f.B.Imm)
+						m.Write(addr, rdr(s, f.B.Rs2))
+						stores++
+						if addr-base < ilen {
+							ilen, flen, dirty = 0, 0, true
+						}
+						pc += 2
+					case isa.FuseLdAluSt:
+						wrr(s, f.RdA, m.Read(rdr(s, f.A.Rs1)+uint64(f.A.Imm)))
+						v, ok := aluQuick(s, &f.B)
+						if !ok {
+							v = aluVal(s, &f.B)
+						}
+						wrr(s, f.RdB, v)
+						addr := rdr(s, f.C.Rs1) + uint64(f.C.Imm)
+						m.Write(addr, rdr(s, f.C.Rs2))
+						stores++
+						if addr-base < ilen {
+							ilen, flen, dirty = 0, 0, true
+						}
+						pc += 3
+					}
+					left -= uint64(f.N)
+					fusedN += uint64(f.N)
+					continue
+				}
+			}
 			if !valid[i] {
 				s.PC = pc
-				return res, StopResult{Kind: StopFault, Stores: stores}, dirty, &Fault{PC: pc, Word: words[i]}
+				stop.Kind = StopFault
+				res.Steps = max - left
+				stop.Stores, stop.Fused = stop.Stores+stores, stop.Fused+fusedN
+				return res, dirty, &Fault{PC: pc, Word: words[i]}
 			}
 			in = insts[i]
 		} else {
@@ -235,7 +611,10 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 			in = isa.Decode(w)
 			if !in.Op.Valid() {
 				s.PC = pc
-				return res, StopResult{Kind: StopFault, Stores: stores}, dirty, &Fault{PC: pc, Word: w}
+				stop.Kind = StopFault
+				res.Steps = max - left
+				stop.Stores, stop.Fused = stop.Stores+stores, stop.Fused+fusedN
+				return res, dirty, &Fault{PC: pc, Word: w}
 			}
 		}
 
@@ -246,8 +625,11 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 		case isa.OpFork:
 			if stops {
 				s.PC = next
-				res.Steps++
-				return res, StopResult{Kind: StopFork, Anchor: uint64(in.Imm), Stores: stores}, dirty, nil
+				left--
+				stop.Kind, stop.Anchor = StopFork, uint64(in.Imm)
+				res.Steps = max - left
+				stop.Stores, stop.Fused = stop.Stores+stores, stop.Fused+fusedN
+				return res, dirty, nil
 			}
 
 		case isa.OpAdd:
@@ -310,9 +692,9 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 			addr := rdr(s, in.Rs1) + uint64(in.Imm)
 			m.Write(addr, rdr(s, in.Rs2))
 			stores++
-			if fast && addr-base < ilen {
+			if addr-base < ilen {
 				// Self-modifying store: the table is stale from here on.
-				fast, dirty = false, true
+				ilen, flen, dirty = 0, 0, true
 			}
 
 		case isa.OpBeq:
@@ -349,20 +731,29 @@ func runConcrete(s *state.State, code *isa.DecodedProgram, dirty bool, max uint6
 			next = target
 			if stops {
 				s.PC = next
-				res.Steps++
-				return res, StopResult{Kind: StopJalr, Stores: stores}, dirty, nil
+				left--
+				stop.Kind = StopJalr
+				res.Steps = max - left
+				stop.Stores, stop.Fused = stop.Stores+stores, stop.Fused+fusedN
+				return res, dirty, nil
 			}
 
 		case isa.OpHalt:
 			s.PC = pc // halt is a fixpoint
-			res.Steps++
+			left--
 			res.Halted = true
-			return res, StopResult{Kind: StopHalt, Stores: stores}, dirty, nil
+			stop.Kind = StopHalt
+			res.Steps = max - left
+			stop.Stores, stop.Fused = stop.Stores+stores, stop.Fused+fusedN
+			return res, dirty, nil
 		}
 
 		pc = next
-		res.Steps++
+		left--
 	}
 	s.PC = pc
-	return res, StopResult{Kind: StopSteps, Stores: stores}, dirty, nil
+	stop.Kind = StopSteps
+	res.Steps = max - left
+	stop.Stores, stop.Fused = stop.Stores+stores, stop.Fused+fusedN
+	return res, dirty, nil
 }

@@ -1,0 +1,469 @@
+package cpu
+
+// Threaded-code dispatch: the second dispatch strategy of the fast-path core
+// (docs/PERFORMANCE.md), next to runConcrete's central switch.
+//
+// A Threaded executor binds, at construction time, one handler funcref per
+// predecoded code slot. Slots that head a fused group get the group's
+// handler; every other slot gets a per-opcode single-instruction handler
+// (with the hottest opcodes specialized and the long tail sharing generic
+// ALU/branch handlers). The run loop is then just
+//
+//	i = handlers[i](r, i)
+//
+// — an indirect call per dispatch, with no central switch. Predecode-time
+// work (picking the handler) replaces run-time work (the switch), which is
+// the classic threaded-code trade.
+//
+// Semantics are identical to runConcrete by construction and by the
+// equivalence suite: the same self-modifying-code discipline (a store into
+// the code segment permanently demotes the executor to the slow
+// fetch-and-decode path), the same budget rules (a fused handler whose group
+// does not fit the remaining budget delegates to the head instruction's
+// single handler), and the same fault identity. Execution that leaves the
+// predecoded table — a jump past its end, or the post-dirty remainder —
+// is delegated to runConcrete with a nil table, i.e. the pure slow path.
+//
+// Measured on the micro loops, threaded dispatch lands between the plain
+// predecoded switch and the fused switch loop (see docs/PERFORMANCE.md for
+// numbers): the indirect-call overhead per group costs more than the
+// well-predicted switch, so the switch loop remains the default engine and
+// Threaded is kept as the measured alternative the tentpole called for.
+
+import (
+	"mssp/internal/isa"
+	"mssp/internal/mem"
+	"mssp/internal/state"
+)
+
+// thRun is the mutable per-run context threaded handlers execute against.
+// It lives inside the Threaded executor (one run at a time, like Code's
+// dirty flag) so steady-state runs do not allocate.
+type thRun struct {
+	t     *Threaded
+	s     *state.State
+	m     *mem.Memory
+	base  uint64
+	insts []isa.Inst
+	fused []isa.FusedInst
+
+	left   uint64 // remaining step budget (countdown, like runConcrete)
+	halted bool
+	fault  *Fault
+	dirty  bool // a store hit the code segment this run
+	done   bool // stop the threaded loop (halt, fault, or dirty)
+}
+
+// thFn is a threaded handler: execute the slot's instruction (or fused
+// group) at slot index i and return the next slot index. Handlers account
+// their own budget in r.left and flag run-ending events in r.
+type thFn func(r *thRun, i uint64) uint64
+
+// Threaded is a threaded-code executor over a predecoded (optionally fused)
+// program. Like Code it is cheap to reset and single-use per execution
+// context; unlike Code it precomputes a handler table, so construction is
+// O(code length) and worth it only for repeated runs.
+type Threaded struct {
+	prog     *isa.DecodedProgram
+	handlers []thFn // per slot, fused overrides applied
+	singles  []thFn // per slot, single-instruction handlers only
+	stale    bool   // a store hit the code segment in an earlier run
+	run      thRun
+}
+
+// NewThreaded builds the handler tables for prog (nil for a pure slow-path
+// executor, mirroring NewCode).
+func NewThreaded(prog *isa.DecodedProgram) *Threaded {
+	t := &Threaded{prog: prog}
+	if prog == nil {
+		return t
+	}
+	_, insts, valid, _ := prog.Table()
+	fused := prog.FusedTable()
+	t.singles = make([]thFn, len(insts))
+	t.handlers = make([]thFn, len(insts))
+	for i := range insts {
+		h := thSingleHandler(&insts[i], valid[i])
+		t.singles[i] = h
+		t.handlers[i] = h
+	}
+	for i := range fused {
+		if h := thFusedHandler(fused[i].Kind); h != nil {
+			t.handlers[i] = h
+		}
+	}
+	return t
+}
+
+// Dirty reports whether a store has hit the code segment, permanently
+// demoting this executor to the slow fetch path (same contract as
+// Code.Dirty).
+func (t *Threaded) Dirty() bool { return t.stale }
+
+// RunState executes at most max instructions directly against s, with
+// Run's stopping rules, dispatching through the per-slot handler table.
+func (t *Threaded) RunState(s *state.State, max uint64) (RunResult, error) {
+	if t.prog == nil || t.stale {
+		var stop StopResult
+		res, _, err := runConcrete(s, nil, false, max, false, &stop)
+		return res, err
+	}
+	r := &t.run
+	*r = thRun{
+		t: t, s: s, m: s.Mem,
+		base: t.prog.Base(), left: max,
+	}
+	_, r.insts, _, _ = t.prog.Table()
+	r.fused = t.prog.FusedTable()
+
+	i := s.PC - r.base
+	ilen := uint64(len(r.insts))
+	for r.left != 0 && !r.done && i < ilen {
+		i = t.handlers[i](r, i)
+	}
+
+	res := RunResult{Steps: max - r.left, Halted: r.halted}
+	s.PC = r.base + i
+	if r.fault != nil {
+		return res, r.fault
+	}
+	if r.halted {
+		return res, nil
+	}
+	if r.dirty {
+		t.stale = true
+	}
+	if r.left != 0 && (r.dirty || i >= ilen) {
+		// Off the table (a jump past its end) or on a stale table: finish
+		// the budget on the pure slow path, exactly like runConcrete's
+		// fallback fetch.
+		var stop StopResult
+		tail, _, err := runConcrete(s, nil, false, r.left, false, &stop)
+		res.Steps += tail.Steps
+		res.Halted = tail.Halted
+		return res, err
+	}
+	return res, nil
+}
+
+// thSingleHandler picks the single-instruction handler for a decoded slot.
+func thSingleHandler(in *isa.Inst, valid bool) thFn {
+	if !valid {
+		return hFault
+	}
+	switch in.Op {
+	case isa.OpNop, isa.OpFork:
+		// FORK is a nop outside RunToStop, and Threaded serves the
+		// RunState contract only.
+		return hNop
+	case isa.OpAddi:
+		return hAddi
+	case isa.OpLdi:
+		return hLdi
+	case isa.OpLd:
+		return hLd
+	case isa.OpSt:
+		return hSt
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
+		return hBr
+	case isa.OpJal:
+		return hJal
+	case isa.OpJalr:
+		return hJalr
+	case isa.OpHalt:
+		return hHalt
+	default:
+		// The remaining register writers (OpAdd..OpLdih) share the generic
+		// ALU handler.
+		return hAlu
+	}
+}
+
+// thFusedHandler picks the group handler for a fused kind (nil for none).
+func thFusedHandler(k isa.FuseKind) thFn {
+	switch k {
+	case isa.FuseAluAlu:
+		return hFuseAluAlu
+	case isa.FuseAluBr:
+		return hFuseAluBr
+	case isa.FuseAluAluBr:
+		return hFuseAluAluBr
+	case isa.FuseLdOp:
+		return hFuseLdOp
+	case isa.FuseOpSt:
+		return hFuseOpSt
+	case isa.FuseLdAluSt:
+		return hFuseLdAluSt
+	case isa.FuseLoopAB:
+		return hFuseLoopAB
+	case isa.FuseLoopAAB:
+		return hFuseLoopAAB
+	case isa.FuseLoopChain:
+		return hFuseLoopChain
+	}
+	return nil
+}
+
+// --- single-instruction handlers ---
+
+func hFault(r *thRun, i uint64) uint64 {
+	r.fault = &Fault{PC: r.base + i, Word: r.t.prog.Word(r.base + i)}
+	r.done = true
+	return i
+}
+
+func hNop(r *thRun, i uint64) uint64 {
+	r.left--
+	return i + 1
+}
+
+func hAddi(r *thRun, i uint64) uint64 {
+	in := &r.insts[i]
+	wrr(r.s, in.Rd, rdr(r.s, in.Rs1)+uint64(in.Imm))
+	r.left--
+	return i + 1
+}
+
+func hLdi(r *thRun, i uint64) uint64 {
+	in := &r.insts[i]
+	wrr(r.s, in.Rd, uint64(in.Imm))
+	r.left--
+	return i + 1
+}
+
+func hAlu(r *thRun, i uint64) uint64 {
+	in := &r.insts[i]
+	wrr(r.s, in.Rd, aluVal(r.s, in))
+	r.left--
+	return i + 1
+}
+
+func hLd(r *thRun, i uint64) uint64 {
+	in := &r.insts[i]
+	wrr(r.s, in.Rd, r.m.Read(rdr(r.s, in.Rs1)+uint64(in.Imm)))
+	r.left--
+	return i + 1
+}
+
+func hSt(r *thRun, i uint64) uint64 {
+	in := &r.insts[i]
+	addr := rdr(r.s, in.Rs1) + uint64(in.Imm)
+	r.m.Write(addr, rdr(r.s, in.Rs2))
+	r.left--
+	if addr-r.base < uint64(len(r.insts)) {
+		r.dirty = true
+		r.done = true
+	}
+	return i + 1
+}
+
+func hBr(r *thRun, i uint64) uint64 {
+	in := &r.insts[i]
+	r.left--
+	if brTaken(r.s, in) {
+		return uint64(in.Imm) - r.base
+	}
+	return i + 1
+}
+
+func hJal(r *thRun, i uint64) uint64 {
+	in := &r.insts[i]
+	wrr(r.s, in.Rd, r.base+i+1)
+	r.left--
+	return uint64(in.Imm) - r.base
+}
+
+func hJalr(r *thRun, i uint64) uint64 {
+	in := &r.insts[i]
+	target := rdr(r.s, in.Rs1) + uint64(in.Imm)
+	wrr(r.s, in.Rd, r.base+i+1)
+	r.left--
+	return target - r.base
+}
+
+func hHalt(r *thRun, i uint64) uint64 {
+	r.left--
+	r.halted = true
+	r.done = true
+	return i // halt is a fixpoint
+}
+
+// --- fused-group handlers ---
+//
+// Each mirrors the corresponding runConcrete dispatch case, with the budget
+// tail handled by delegating to the head instruction's single handler so a
+// budget expires mid-group exactly as it would unfused.
+
+func thAlu(r *thRun, in *isa.Inst, rd uint8) {
+	v, ok := aluQuick(r.s, in)
+	if !ok {
+		v = aluVal(r.s, in)
+	}
+	wrr(r.s, rd, v)
+}
+
+func thBr(r *thRun, in *isa.Inst) bool {
+	t, ok := brQuick(r.s, in)
+	if !ok {
+		t = brTaken(r.s, in)
+	}
+	return t
+}
+
+func hFuseAluAlu(r *thRun, i uint64) uint64 {
+	f := &r.fused[i]
+	if r.left < 2 {
+		return r.t.singles[i](r, i)
+	}
+	thAlu(r, &f.A, f.RdA)
+	thAlu(r, &f.B, f.B.Rd)
+	r.left -= 2
+	return i + 2
+}
+
+func hFuseAluBr(r *thRun, i uint64) uint64 {
+	f := &r.fused[i]
+	if r.left < 2 {
+		return r.t.singles[i](r, i)
+	}
+	thAlu(r, &f.A, f.RdA)
+	r.left -= 2
+	if thBr(r, &f.B) {
+		return uint64(f.B.Imm) - r.base
+	}
+	return i + 2
+}
+
+func hFuseAluAluBr(r *thRun, i uint64) uint64 {
+	f := &r.fused[i]
+	if r.left < 3 {
+		return r.t.singles[i](r, i)
+	}
+	thAlu(r, &f.A, f.RdA)
+	thAlu(r, &f.B, f.RdB)
+	r.left -= 3
+	if thBr(r, &f.C) {
+		return uint64(f.C.Imm) - r.base
+	}
+	return i + 3
+}
+
+func hFuseLdOp(r *thRun, i uint64) uint64 {
+	f := &r.fused[i]
+	if r.left < 2 {
+		return r.t.singles[i](r, i)
+	}
+	wrr(r.s, f.RdA, r.m.Read(rdr(r.s, f.A.Rs1)+uint64(f.A.Imm)))
+	thAlu(r, &f.B, f.B.Rd)
+	r.left -= 2
+	return i + 2
+}
+
+func hFuseOpSt(r *thRun, i uint64) uint64 {
+	f := &r.fused[i]
+	if r.left < 2 {
+		return r.t.singles[i](r, i)
+	}
+	thAlu(r, &f.A, f.RdA)
+	addr := rdr(r.s, f.B.Rs1) + uint64(f.B.Imm)
+	r.m.Write(addr, rdr(r.s, f.B.Rs2))
+	r.left -= 2
+	if addr-r.base < uint64(len(r.insts)) {
+		r.dirty = true
+		r.done = true
+	}
+	return i + 2
+}
+
+func hFuseLdAluSt(r *thRun, i uint64) uint64 {
+	f := &r.fused[i]
+	if r.left < 3 {
+		return r.t.singles[i](r, i)
+	}
+	wrr(r.s, f.RdA, r.m.Read(rdr(r.s, f.A.Rs1)+uint64(f.A.Imm)))
+	thAlu(r, &f.B, f.RdB)
+	addr := rdr(r.s, f.C.Rs1) + uint64(f.C.Imm)
+	r.m.Write(addr, rdr(r.s, f.C.Rs2))
+	r.left -= 3
+	if addr-r.base < uint64(len(r.insts)) {
+		r.dirty = true
+		r.done = true
+	}
+	return i + 3
+}
+
+func hFuseLoopAB(r *thRun, i uint64) uint64 {
+	f := &r.fused[i]
+	if r.left < 2 {
+		return r.t.singles[i](r, i)
+	}
+	iters := r.left / 2
+	var done uint64
+	next := i
+	for done < iters {
+		thAlu(r, &f.A, f.RdA)
+		done++
+		if !thBr(r, &f.B) {
+			next = i + 2
+			break
+		}
+	}
+	r.left -= done * 2
+	return next
+}
+
+func hFuseLoopAAB(r *thRun, i uint64) uint64 {
+	f := &r.fused[i]
+	if r.left < 3 {
+		return r.t.singles[i](r, i)
+	}
+	iters := r.left / 3
+	var done uint64
+	next := i
+	for done < iters {
+		thAlu(r, &f.A, f.RdA)
+		thAlu(r, &f.B, f.RdB)
+		done++
+		if !thBr(r, &f.C) {
+			next = i + 3
+			break
+		}
+	}
+	r.left -= done * 3
+	return next
+}
+
+func hFuseLoopChain(r *thRun, i uint64) uint64 {
+	if r.left < 6 {
+		// Budget tail: the head group alone (or its head instruction, one
+		// more level down).
+		return hFuseLdAluSt(r, i)
+	}
+	f := &r.fused[i]
+	g := &r.fused[i+3]
+	iters := r.left / 6
+	var done uint64
+	next := i
+	for it := uint64(0); it < iters; it++ {
+		wrr(r.s, f.RdA, r.m.Read(rdr(r.s, f.A.Rs1)+uint64(f.A.Imm)))
+		thAlu(r, &f.B, f.RdB)
+		addr := rdr(r.s, f.C.Rs1) + uint64(f.C.Imm)
+		r.m.Write(addr, rdr(r.s, f.C.Rs2))
+		done += 3
+		if addr-r.base < uint64(len(r.insts)) {
+			r.dirty = true
+			r.done = true
+			next = i + 3
+			break
+		}
+		thAlu(r, &g.A, g.RdA)
+		thAlu(r, &g.B, g.RdB)
+		done += 3
+		if !thBr(r, &g.C) {
+			next = i + 6
+			break
+		}
+	}
+	r.left -= done
+	return next
+}

@@ -19,6 +19,9 @@ type DecodedProgram struct {
 	insts []Inst
 	valid []bool
 	words []uint64 // raw instruction words, for fault reporting
+	// fused, when non-nil, is the superinstruction table built by
+	// internal/fuse (see fused.go); attached via SetFused before sharing.
+	fused []FusedInst
 }
 
 // Predecode decodes every instruction word of p's code segment into a dense

@@ -61,6 +61,7 @@ import (
 	"mssp/internal/core"
 	"mssp/internal/cpu"
 	"mssp/internal/distill"
+	"mssp/internal/fuse"
 	"mssp/internal/isa"
 	"mssp/internal/mem"
 	"mssp/internal/predict"
@@ -199,8 +200,19 @@ func newEngine(orig *isa.Program, dist *distill.Result, cfg core.Config) (*Engin
 		resultCh:   make(chan *slot, cfg.TaskBuffer+cfg.Slaves+4),
 	}
 	if !cfg.DisableFastPath {
-		e.origCode = isa.Predecode(orig)
-		e.distCode = isa.Predecode(dist.Prog)
+		if cfg.DisableFusion {
+			e.origCode = isa.Predecode(orig)
+			e.distCode = isa.Predecode(dist.Prog)
+		} else {
+			// Slaves retire fused groups; the anchor set keeps fork targets
+			// out of group interiors (the slave loop guards dynamically too).
+			e.origCode = fuse.Predecode(orig, fuse.Options{Anchors: e.anchors})
+			// The master's RunToStop loop is the one execution context whose
+			// register file is only observed at FORK stops, so its distilled
+			// table may additionally elide dead intermediate writes (see the
+			// internal/fuse package comment for why nothing else may).
+			e.distCode = fuse.Predecode(dist.Prog, fuse.Options{Elide: true})
+		}
 		e.codeClean = true
 	}
 	return e, nil

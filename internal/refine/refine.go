@@ -21,6 +21,7 @@ import (
 	"mssp/internal/core"
 	"mssp/internal/cpu"
 	"mssp/internal/distill"
+	"mssp/internal/fuse"
 	"mssp/internal/isa"
 	"mssp/internal/state"
 )
@@ -99,8 +100,11 @@ func NewAuditor(orig *isa.Program, sp uint64, opts Options) *Auditor {
 		// One predecoded runner replays the whole reference trajectory; its
 		// dirty flag persists across commits, so a store into the code
 		// segment drops the replay onto the slow fetch path for the rest of
-		// the audit.
-		refRun: cpu.NewCode(isa.Predecode(orig)),
+		// the audit. The table is fused but never elided: the replay is
+		// step-bounded to each commit's length and the full register file
+		// is compared after every advance, so every architectural write
+		// must land (see the internal/fuse package comment).
+		refRun: cpu.NewCode(fuse.Predecode(orig, fuse.Options{})),
 		rep:    &Report{},
 	}
 }

@@ -30,12 +30,31 @@ func (t *Task) executeFast(env *slaveEnv, ex *Exec, cap uint64, remaining uint64
 	fast := true
 	pc := env.pc
 
+	// Fused dispatch is gated off when the task carries non-speculative
+	// regions: the single-step loop checks nonSpecHit after every
+	// instruction, and keeping that exact stop point inside a group would
+	// mean per-component checks. Tasks with NonSpec regions are the rare
+	// ablation case, so they simply run unfused.
+	fusedTab := t.Code.FusedTable()
+	useFused := len(fusedTab) != 0 && len(t.NonSpec) == 0
+
+	// Cancel polling runs on step-count boundaries. The single-step loop
+	// used to test ex.Steps%cancelEvery == 0; fused dispatch advances Steps
+	// by group sizes and would skip exact multiples, so the poll is due
+	// whenever Steps has reached nextPoll. Local-loop dispatches bound their
+	// iteration count by the same boundary, so a poll is never deferred by
+	// more than one group.
+	nextPoll := ex.Steps
+
 	for ex.Steps < cap {
-		if t.Cancel != nil && ex.Steps%cancelEvery == 0 && t.Cancel() {
-			env.pc = pc
-			ex.Outcome = OutcomeCanceled
-			t.finish(env, ex)
-			return
+		if t.Cancel != nil && ex.Steps >= nextPoll {
+			if t.Cancel() {
+				env.pc = pc
+				ex.Outcome = OutcomeCanceled
+				t.finish(env, ex)
+				return
+			}
+			nextPoll = ex.Steps + cancelEvery
 		}
 
 		var in isa.Inst
@@ -45,6 +64,25 @@ func (t *Task) executeFast(env *slaveEnv, ex *Exec, cap uint64, remaining uint64
 				ex.Outcome = OutcomeFault
 				t.finish(env, ex)
 				return
+			}
+			if useFused {
+				limit := cap
+				if t.Cancel != nil && nextPoll < limit {
+					limit = nextPoll
+				}
+				if next, ok := t.dispatchFused(env, ex, fusedTab, pc, base, ilen, cap, limit, &fast); ok {
+					pc = next
+					if t.HasEnd && pc == t.End {
+						remaining--
+						if remaining == 0 {
+							env.pc = pc
+							ex.Outcome = OutcomeReachedEnd
+							t.finish(env, ex)
+							return
+						}
+					}
+					continue
+				}
 			}
 			in = insts[i]
 		} else {
@@ -192,4 +230,241 @@ func (t *Task) executeFast(env *slaveEnv, ex *Exec, cap uint64, remaining uint64
 	env.pc = pc
 	ex.Outcome = OutcomeOverflow
 	t.finish(env, ex)
+}
+
+// dispatchFused tries to retire the fused group at pc in one dispatch and
+// returns (next pc, true) when it does. It declines — leaving the caller on
+// the single-step path — when no group starts at pc, the remaining task
+// budget does not cover the whole group, or the task's end anchor falls in
+// the group's interior (a slave must observe every end-anchor crossing; the
+// static Anchors option keeps known anchors out of interiors, and this
+// dynamic guard covers tasks whose end the builder did not know).
+//
+// The loop kinds additionally iterate locally, bounded by limit (the lesser
+// of the task budget and the next cancel-poll boundary) and only when the
+// task's end anchor is not the loop head itself — each pass over the head
+// must count as an anchor crossing, so an end-anchored head runs one
+// iteration per dispatch.
+func (t *Task) dispatchFused(env *slaveEnv, ex *Exec, fusedTab []isa.FusedInst, pc, base, ilen, cap, limit uint64, fast *bool) (uint64, bool) {
+	f := &fusedTab[pc-base]
+	n := uint64(f.N)
+	if f.Kind == isa.FuseNone || ex.Steps+n > cap {
+		return 0, false
+	}
+	if t.HasEnd {
+		if d := t.End - pc; d > 0 && d < n {
+			return 0, false
+		}
+	}
+
+	switch f.Kind {
+	case isa.FuseAluAlu:
+		slaveAlu(env, &f.A, f.RdA)
+		slaveAlu(env, &f.B, f.B.Rd)
+		ex.Steps += 2
+		return pc + 2, true
+
+	case isa.FuseAluBr:
+		slaveAlu(env, &f.A, f.RdA)
+		ex.Steps += 2
+		if slaveBr(env, &f.B) {
+			return uint64(f.B.Imm), true
+		}
+		return pc + 2, true
+
+	case isa.FuseAluAluBr:
+		slaveAlu(env, &f.A, f.RdA)
+		slaveAlu(env, &f.B, f.RdB)
+		ex.Steps += 3
+		if slaveBr(env, &f.C) {
+			return uint64(f.C.Imm), true
+		}
+		return pc + 3, true
+
+	case isa.FuseLdOp:
+		env.WriteReg(int(f.RdA), env.ReadMem(env.ReadReg(int(f.A.Rs1))+uint64(f.A.Imm)))
+		slaveAlu(env, &f.B, f.B.Rd)
+		ex.Steps += 2
+		return pc + 2, true
+
+	case isa.FuseOpSt:
+		slaveAlu(env, &f.A, f.RdA)
+		addr := env.ReadReg(int(f.B.Rs1)) + uint64(f.B.Imm)
+		env.WriteMem(addr, env.ReadReg(int(f.B.Rs2)))
+		ex.Steps += 2
+		if addr-base < ilen {
+			*fast = false
+		}
+		return pc + 2, true
+
+	case isa.FuseLdAluSt:
+		env.WriteReg(int(f.RdA), env.ReadMem(env.ReadReg(int(f.A.Rs1))+uint64(f.A.Imm)))
+		slaveAlu(env, &f.B, f.RdB)
+		addr := env.ReadReg(int(f.C.Rs1)) + uint64(f.C.Imm)
+		env.WriteMem(addr, env.ReadReg(int(f.C.Rs2)))
+		ex.Steps += 3
+		if addr-base < ilen {
+			*fast = false
+		}
+		return pc + 3, true
+
+	case isa.FuseLoopAB:
+		iters := uint64(1)
+		if !t.HasEnd || t.End != pc {
+			if k := (limit - ex.Steps) / 2; k > 1 {
+				iters = k
+			}
+		}
+		for ; iters > 0; iters-- {
+			slaveAlu(env, &f.A, f.RdA)
+			ex.Steps += 2
+			if !slaveBr(env, &f.B) {
+				return pc + 2, true
+			}
+		}
+		return pc, true
+
+	case isa.FuseLoopAAB:
+		iters := uint64(1)
+		if !t.HasEnd || t.End != pc {
+			if k := (limit - ex.Steps) / 3; k > 1 {
+				iters = k
+			}
+		}
+		for ; iters > 0; iters-- {
+			slaveAlu(env, &f.A, f.RdA)
+			slaveAlu(env, &f.B, f.RdB)
+			ex.Steps += 3
+			if !slaveBr(env, &f.C) {
+				return pc + 3, true
+			}
+		}
+		return pc, true
+
+	case isa.FuseLoopChain:
+		// A full chained iteration retires both halves (six instructions);
+		// when the budget, the poll boundary, or the end anchor rules that
+		// out, the head half alone runs as a plain ld+op+st (its own guards
+		// passed above with n == 3).
+		if ex.Steps+6 > cap || (t.HasEnd && t.End-pc < 6) {
+			env.WriteReg(int(f.RdA), env.ReadMem(env.ReadReg(int(f.A.Rs1))+uint64(f.A.Imm)))
+			slaveAlu(env, &f.B, f.RdB)
+			addr := env.ReadReg(int(f.C.Rs1)) + uint64(f.C.Imm)
+			env.WriteMem(addr, env.ReadReg(int(f.C.Rs2)))
+			ex.Steps += 3
+			if addr-base < ilen {
+				*fast = false
+			}
+			return pc + 3, true
+		}
+		g := &fusedTab[pc-base+3]
+		iters := uint64(1)
+		if k := (limit - ex.Steps) / 6; k > 1 {
+			iters = k
+		}
+		for ; iters > 0; iters-- {
+			env.WriteReg(int(f.RdA), env.ReadMem(env.ReadReg(int(f.A.Rs1))+uint64(f.A.Imm)))
+			slaveAlu(env, &f.B, f.RdB)
+			addr := env.ReadReg(int(f.C.Rs1)) + uint64(f.C.Imm)
+			env.WriteMem(addr, env.ReadReg(int(f.C.Rs2)))
+			ex.Steps += 3
+			if addr-base < ilen {
+				// The store hit the code segment mid-chain: abandon the
+				// iteration and resume singly at the successor head, the
+				// same order unfused execution produces (the store precedes
+				// the instructions it may have modified).
+				*fast = false
+				return pc + 3, true
+			}
+			slaveAlu(env, &g.A, g.RdA)
+			slaveAlu(env, &g.B, g.RdB)
+			ex.Steps += 3
+			if !slaveBr(env, &g.C) {
+				return pc + 6, true
+			}
+		}
+		return pc, true
+	}
+	return 0, false
+}
+
+// slaveAlu executes one straight-line register-writer component
+// (OpAdd..OpLdih) against the slave environment, writing rd — the group's
+// effective destination, which elision may have redirected to r0.
+// Semantics mirror the single-step switch in executeFast case for case.
+func slaveAlu(env *slaveEnv, in *isa.Inst, rd uint8) {
+	var v uint64
+	switch in.Op {
+	case isa.OpAdd:
+		v = env.ReadReg(int(in.Rs1)) + env.ReadReg(int(in.Rs2))
+	case isa.OpSub:
+		v = env.ReadReg(int(in.Rs1)) - env.ReadReg(int(in.Rs2))
+	case isa.OpMul:
+		v = env.ReadReg(int(in.Rs1)) * env.ReadReg(int(in.Rs2))
+	case isa.OpDiv:
+		v = cpu.DivSigned(env.ReadReg(int(in.Rs1)), env.ReadReg(int(in.Rs2)))
+	case isa.OpRem:
+		v = cpu.RemSigned(env.ReadReg(int(in.Rs1)), env.ReadReg(int(in.Rs2)))
+	case isa.OpAnd:
+		v = env.ReadReg(int(in.Rs1)) & env.ReadReg(int(in.Rs2))
+	case isa.OpOr:
+		v = env.ReadReg(int(in.Rs1)) | env.ReadReg(int(in.Rs2))
+	case isa.OpXor:
+		v = env.ReadReg(int(in.Rs1)) ^ env.ReadReg(int(in.Rs2))
+	case isa.OpSll:
+		v = env.ReadReg(int(in.Rs1)) << (env.ReadReg(int(in.Rs2)) & 63)
+	case isa.OpSrl:
+		v = env.ReadReg(int(in.Rs1)) >> (env.ReadReg(int(in.Rs2)) & 63)
+	case isa.OpSra:
+		v = uint64(int64(env.ReadReg(int(in.Rs1))) >> (env.ReadReg(int(in.Rs2)) & 63))
+	case isa.OpSlt:
+		v = cpu.BoolWord(int64(env.ReadReg(int(in.Rs1))) < int64(env.ReadReg(int(in.Rs2))))
+	case isa.OpSltu:
+		v = cpu.BoolWord(env.ReadReg(int(in.Rs1)) < env.ReadReg(int(in.Rs2)))
+	case isa.OpAddi:
+		v = env.ReadReg(int(in.Rs1)) + uint64(in.Imm)
+	case isa.OpAndi:
+		v = env.ReadReg(int(in.Rs1)) & uint64(in.Imm)
+	case isa.OpOri:
+		v = env.ReadReg(int(in.Rs1)) | uint64(in.Imm)
+	case isa.OpXori:
+		v = env.ReadReg(int(in.Rs1)) ^ uint64(in.Imm)
+	case isa.OpSlli:
+		v = env.ReadReg(int(in.Rs1)) << (uint64(in.Imm) & 63)
+	case isa.OpSrli:
+		v = env.ReadReg(int(in.Rs1)) >> (uint64(in.Imm) & 63)
+	case isa.OpSrai:
+		v = uint64(int64(env.ReadReg(int(in.Rs1))) >> (uint64(in.Imm) & 63))
+	case isa.OpSlti:
+		v = cpu.BoolWord(int64(env.ReadReg(int(in.Rs1))) < in.Imm)
+	case isa.OpSltui:
+		v = cpu.BoolWord(env.ReadReg(int(in.Rs1)) < uint64(in.Imm))
+	case isa.OpMuli:
+		v = env.ReadReg(int(in.Rs1)) * uint64(in.Imm)
+	case isa.OpLdi:
+		v = uint64(in.Imm)
+	case isa.OpLdih:
+		v = uint64(in.Imm)<<32 | env.ReadReg(int(in.Rs1))&0xffffffff
+	}
+	env.WriteReg(int(rd), v)
+}
+
+// slaveBr evaluates a conditional-branch component against the slave
+// environment.
+func slaveBr(env *slaveEnv, in *isa.Inst) bool {
+	a, b := env.ReadReg(int(in.Rs1)), env.ReadReg(int(in.Rs2))
+	switch in.Op {
+	case isa.OpBeq:
+		return a == b
+	case isa.OpBne:
+		return a != b
+	case isa.OpBlt:
+		return int64(a) < int64(b)
+	case isa.OpBge:
+		return int64(a) >= int64(b)
+	case isa.OpBltu:
+		return a < b
+	default: // OpBgeu
+		return a >= b
+	}
 }

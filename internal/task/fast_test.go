@@ -4,38 +4,53 @@ import (
 	"testing"
 
 	"mssp/internal/asm"
+	"mssp/internal/fuse"
 	"mssp/internal/isa"
 	"mssp/internal/mem"
 	"mssp/internal/state"
 )
 
-// runBoth executes the same task once per path — devirtualized (with the
-// predecode table) and Env-stepping (without) — and requires identical
-// results. Returns the fast-path Exec.
+// runBoth executes the same task once per path — fused (the production
+// table, superinstruction dispatch included), plain predecoded (fused table
+// stripped), and Env-stepping (no table) — and requires identical results.
+// Returns the fused-path Exec.
 func runBoth(t *testing.T, mk func() *Task, cap uint64) *Exec {
 	t.Helper()
-	fastTask := mk()
-	if fastTask.Code == nil {
+	fusedTask := mk()
+	if fusedTask.Code == nil {
 		t.Fatal("runBoth caller must set Code")
 	}
+	plainTask := mk()
+	plainTask.Code.SetFused(nil)
 	slowTask := mk()
 	slowTask.Code = nil
 
-	fast := fastTask.Execute(cap)
-	slow := slowTask.Execute(cap)
-	if fast.Outcome != slow.Outcome || fast.Steps != slow.Steps {
-		t.Fatalf("fast %v/%d steps != slow %v/%d steps", fast.Outcome, fast.Steps, slow.Outcome, slow.Steps)
+	fused := fusedTask.Execute(cap)
+	for _, leg := range []struct {
+		name string
+		ex   *Exec
+	}{
+		{"plain", plainTask.Execute(cap)},
+		{"slow", slowTask.Execute(cap)},
+	} {
+		if fused.Outcome != leg.ex.Outcome || fused.Steps != leg.ex.Steps {
+			t.Fatalf("fused %v/%d steps != %s %v/%d steps",
+				fused.Outcome, fused.Steps, leg.name, leg.ex.Outcome, leg.ex.Steps)
+		}
+		if !fused.LiveIn.Equal(leg.ex.LiveIn) {
+			t.Fatalf("live-in divergence:\nfused %s\n%s %s", fused.LiveIn, leg.name, leg.ex.LiveIn)
+		}
+		if !fused.LiveOut.Equal(leg.ex.LiveOut) {
+			t.Fatalf("live-out divergence:\nfused %s\n%s %s", fused.LiveOut, leg.name, leg.ex.LiveOut)
+		}
 	}
-	if !fast.LiveIn.Equal(slow.LiveIn) {
-		t.Fatalf("live-in divergence:\nfast %s\nslow %s", fast.LiveIn, slow.LiveIn)
-	}
-	if !fast.LiveOut.Equal(slow.LiveOut) {
-		t.Fatalf("live-out divergence:\nfast %s\nslow %s", fast.LiveOut, slow.LiveOut)
-	}
-	return fast
+	return fused
 }
 
-// mkCoded is mkTask plus a predecode table.
+// mkCoded is mkTask plus a fused predecode table — deliberately built with
+// no anchor set, so the task-end guards in dispatchFused carry the whole
+// correctness burden (production tables additionally exclude known anchors
+// from group interiors).
 func mkCoded(t *testing.T, src string, start, end uint64, hasEnd bool) func() *Task {
 	t.Helper()
 	p := asm.MustAssemble(src)
@@ -51,7 +66,7 @@ func mkCoded(t *testing.T, src string, start, end uint64, hasEnd bool) func() *T
 				MemDiff: mem.NewOverlay(),
 			},
 			Snap: arch.Clone(),
-			Code: isa.Predecode(p),
+			Code: fuse.Predecode(p, fuse.Options{}),
 		}
 	}
 }
@@ -165,13 +180,52 @@ func TestExecuteFastSlowEquivalence(t *testing.T) {
 				Start:      0,
 				Checkpoint: Checkpoint{Regs: arch.Regs, MemDiff: mem.NewOverlay()},
 				Snap:       arch.Clone(),
-				Code:       isa.Predecode(p),
+				Code:       fuse.Predecode(p, fuse.Options{}),
 			}
 		}
 		if ex := runBoth(t, mk, 100); ex.Outcome != OutcomeHalted {
 			t.Errorf("got %v, want halted", ex.Outcome)
 		}
 	})
+}
+
+// TestExecuteFusedBudgetSweep overflows the fused loop at every cap from 1
+// up to past-halt: the budget must be able to expire at any offset inside a
+// fused group (the dispatcher declines groups that do not fit and executes
+// the tail singly) with step counts and live sets identical to the slow path.
+func TestExecuteFusedBudgetSweep(t *testing.T) {
+	for cap := uint64(1); cap <= 20; cap++ {
+		runBoth(t, mkCoded(t, sumSrc, 0, 0, false), cap)
+	}
+}
+
+// TestExecuteCancelFusedLoop pins cancel-poll liveness under local-loop
+// dispatch: a fused counted loop iterates inside a single dispatch, but the
+// iteration count is bounded by the poll boundary, so Cancel still fires
+// within roughly one poll period.
+func TestExecuteCancelFusedLoop(t *testing.T) {
+	src := `
+	        ldi  r1, 1000000
+	loop:   addi r2, r2, 1
+	        addi r1, r1, -1
+	        bnez r1, loop
+	        halt
+	`
+	tk := mkCoded(t, src, 0, 0, false)()
+	calls := 0
+	tk.Cancel = func() bool {
+		calls++
+		return calls > 2 // let a couple of poll periods run first
+	}
+	ex := tk.Execute(1 << 20)
+	if ex.Outcome != OutcomeCanceled {
+		t.Fatalf("outcome = %v, want canceled", ex.Outcome)
+	}
+	// Three polls at ~256-step boundaries, each overshooting by at most one
+	// group: well under four periods.
+	if ex.Steps == 0 || ex.Steps >= 4*256 {
+		t.Fatalf("steps = %d, want within a few poll periods", ex.Steps)
+	}
 }
 
 func TestExecuteCancel(t *testing.T) {

@@ -82,6 +82,8 @@ var Rules = []Rule{
 		Summary: "distilled code contains a raw link-writing call the expander should have rewritten"},
 	{ID: "MV007", Name: "no-reachable-halt",
 		Summary: "no halt instruction is reachable; the program cannot terminate"},
+	{ID: "MV008", Name: "fused-bijection", Both: true,
+		Summary: "a fused superinstruction's expansion does not re-encode to the original instruction words"},
 }
 
 // GoRules catalogs the Go-source determinism rules enforced by the

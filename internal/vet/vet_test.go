@@ -332,7 +332,7 @@ func TestRuleCatalogWellFormed(t *testing.T) {
 			t.Errorf("rule %s missing name or summary", r.ID)
 		}
 	}
-	if len(Rules) != 7 {
-		t.Errorf("catalog has %d rules, want 7", len(Rules))
+	if len(Rules) != 8 {
+		t.Errorf("catalog has %d rules, want 8", len(Rules))
 	}
 }
