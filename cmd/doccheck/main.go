@@ -1,5 +1,5 @@
 // Command doccheck is the documentation linter run by CI's docs job. It
-// enforces six invariants that markdown and godoc rot silently break:
+// enforces seven invariants that markdown and godoc rot silently break:
 //
 //  1. Every relative link in the repository's *.md files resolves to an
 //     existing file (anchors and external URLs are not checked).
@@ -24,6 +24,11 @@
 //     every exported identifier of internal/mem and of the task pool
 //     (internal/task/pool.go) — the lifecycle/aliasing rules live there,
 //     and an API addition that skips the contract is a build failure.
+//  7. The security write-up stays complete: docs/SECURITY.md must mention
+//     every static taint rule (vet.TaintRules) and every dynamic flag kind
+//     (taint.AllFlags), and README.md, docs/ANALYSIS.md and docs/TESTING.md
+//     must each link to it — the taint suite's taxonomies are governed by
+//     the same no-undocumented-extension rule as the squash reasons.
 //
 // Usage:
 //
@@ -47,6 +52,7 @@ import (
 
 	"mssp/internal/core"
 	"mssp/internal/obs"
+	"mssp/internal/taint"
 	"mssp/internal/vet"
 )
 
@@ -64,6 +70,7 @@ var checkedPackages = []string{
 	"internal/mem",
 	"internal/predict",
 	"internal/fuse",
+	"internal/taint",
 }
 
 // taxonomyDocs are the markdown files that must each mention every
@@ -100,6 +107,7 @@ func main() {
 	problems = append(problems, checkBenchDoc(*root)...)
 	problems = append(problems, checkAnalysisRules(*root)...)
 	problems = append(problems, checkMemoryDoc(*root)...)
+	problems = append(problems, checkSecurityDoc(*root)...)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, p)
 	}
@@ -365,6 +373,43 @@ func checkAnalysisRules(root string) []string {
 				problems = append(problems,
 					fmt.Sprintf("%s: msspvet rule `%s` (%s) is never documented", analysisDoc, r.ID, r.Name))
 			}
+		}
+	}
+	return problems
+}
+
+// checkSecurityDoc verifies that docs/SECURITY.md — the speculative-taint
+// write-up — mentions every static taint rule ID (vet.TaintRules) and every
+// dynamic flag kind (taint.AllFlags) as backtick-quoted terms, and that the
+// documents which gate on the suite (README.md, docs/ANALYSIS.md,
+// docs/TESTING.md) each link to it.
+func checkSecurityDoc(root string) []string {
+	const secDoc = "docs/SECURITY.md"
+	b, err := os.ReadFile(filepath.Join(root, secDoc))
+	if err != nil {
+		return []string{fmt.Sprintf("doccheck: %s: %v", secDoc, err)}
+	}
+	text := string(b)
+	var problems []string
+	check := func(what string, terms []string) {
+		for _, term := range terms {
+			if !strings.Contains(text, "`"+term+"`") {
+				problems = append(problems,
+					fmt.Sprintf("%s: %s `%s` is never mentioned", secDoc, what, term))
+			}
+		}
+	}
+	check("static taint rule", vet.TaintRules)
+	check("dynamic taint flag", taint.AllFlags())
+	for _, doc := range []string{"README.md", "docs/ANALYSIS.md", "docs/TESTING.md"} {
+		db, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("doccheck: %s: %v", doc, err))
+			continue
+		}
+		if !strings.Contains(string(db), "SECURITY.md") {
+			problems = append(problems,
+				fmt.Sprintf("%s: does not link to %s", doc, secDoc))
 		}
 	}
 	return problems

@@ -223,6 +223,19 @@ func run(quick bool, in, out, label string) error {
 	upsert(f, "predict/master_insts", "insts", "off", pq.masterOff)
 	upsert(f, "predict/master_insts", "insts", "predict", pq.masterOn)
 
+	// Static taint-rule cost (docs/SECURITY.md): the security soak runs
+	// vet.CheckTaint once per seed, so its cost is gated by an absolute
+	// tripwire rather than a label-to-label comparison.
+	tn, err := taintBench()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %10.0f ns/program\n", "vet/taint_ns", tn)
+	if tn > taintNsBudget {
+		return fmt.Errorf("taint rule regression: CheckTaint costs %.0f ns/program, budget %.0f", tn, taintNsBudget)
+	}
+	upsert(f, "vet/taint_ns", "ns/program", label, tn)
+
 	reportSpeedups(f, label)
 	return save(out, f)
 }

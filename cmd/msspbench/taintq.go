@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"mssp/internal/chaos"
+	"mssp/internal/isa"
+	"mssp/internal/vet"
+)
+
+// taintNsBudget is the absolute tripwire for vet/taint_ns: the security
+// soak runs CheckTaint once per seed, so the static rules must stay cheap
+// relative to the ~1-2 ms a full chaos differential costs. The budget is
+// deliberately generous (the measured cost is tens of microseconds) — it
+// catches an accidental complexity blowup in the taint lattice, not noise.
+const taintNsBudget = 5e6
+
+// taintBench times vet.CheckTaint over declared-secret taint-mode chaos
+// programs — the per-program static cost the security soak and the CI vet
+// job pay. Returns ns per checked program.
+func taintBench() (float64, error) {
+	var progs []*isa.Program
+	for seed := uint64(0); len(progs) < 16 && seed < 200; seed++ {
+		g := chaos.GenerateOpts(seed, chaos.GenOptions{Taint: true})
+		if len(g.Prog.Secret) > 0 {
+			progs = append(progs, g.Prog)
+		}
+	}
+	if len(progs) == 0 {
+		return 0, fmt.Errorf("taint bench: no declared-secret programs in 200 seeds")
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := vet.CheckTaint(progs[i%len(progs)], vet.TaintOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return nsPerOp(r), nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// TestTaintBenchUnderBudget runs the vet/taint_ns measurement once and
+// holds it under the absolute tripwire, so a taint-lattice complexity
+// blowup fails fast in the unit suite rather than first appearing in a
+// baseline refresh.
+func TestTaintBenchUnderBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark")
+	}
+	ns, err := taintBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns <= 0 {
+		t.Fatalf("degenerate measurement: %f ns/program", ns)
+	}
+	if ns > taintNsBudget {
+		t.Fatalf("CheckTaint costs %.0f ns/program, budget %.0f", ns, taintNsBudget)
+	}
+	t.Logf("vet/taint_ns = %.0f ns/program", ns)
+}

@@ -8,6 +8,13 @@
 //	msspfuzz -seed 42 -faults 1 -v                    # reproduce one seed
 //	msspfuzz -count 1000 -out failures.jsonl          # record failures
 //	msspfuzz -replay failures.jsonl                   # re-run recorded failures
+//	msspfuzz -taint -count 1000 -faults 0 -require-coverage  # security soak
+//
+// With -taint the generator emits Spectre-shaped leak gadgets over a secret
+// data segment and every seed additionally runs the security differential:
+// the static leak rules MV009–MV011 (vet.CheckTaint) against a dynamic
+// taint observer replaying the clean legs' tasks, failing any seed where a
+// static-clean program is dynamically flagged (docs/SECURITY.md).
 //
 // Every run is a pure function of (seed, fault intensity): a soak over
 // -count seeds starting at -seed finds exactly the same failures every
@@ -25,6 +32,7 @@ import (
 	"strings"
 
 	"mssp/internal/chaos"
+	"mssp/internal/core"
 )
 
 func main() {
@@ -40,6 +48,7 @@ func main() {
 		fuse     = flag.String("fuse", "on", "superinstruction dispatch: on, off, or both (run each seed fused and unfused and diff the reports)")
 		engine   = flag.String("engine", "det", "speculative engine(s): det, or parallel (adds true-parallel legs cross-checked against det)")
 		predictF = flag.Bool("predict", false, "attach a value predictor to every leg (kind derived from the seed); faulted legs must leave it untrained")
+		taintF   = flag.Bool("taint", false, "generate leak gadgets over a secret segment and run the taint differential: static leak rules, dynamic observer on clean legs, static-dominates-dynamic check")
 	)
 	flag.Parse()
 
@@ -77,7 +86,7 @@ func main() {
 	if *replay != "" {
 		os.Exit(replayArtifacts(*replay, *engine, *predictF, *verbose))
 	}
-	os.Exit(soak(*seed, *count, *faults, *out, *interp, *fuse, *engine, *requireC, *predictF, *verbose))
+	os.Exit(soak(*seed, *count, *faults, *out, *interp, *fuse, *engine, *requireC, *predictF, *taintF, *verbose))
 }
 
 // runSeed executes one seed under the selected interpreter(s) and fusion
@@ -85,10 +94,10 @@ func main() {
 // the fused and unfused dispatchers, and appends a failure to the primary
 // report if the two reports are not byte-identical JSON — the command-line
 // forms of the interpreter and fusion differentials.
-func runSeed(s uint64, faults float64, interp, fuse, engine string, predict bool) *chaos.Report {
+func runSeed(s uint64, faults float64, interp, fuse, engine string, predict, taint bool) *chaos.Report {
 	if fuse == "both" {
-		fused := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Fuse: "on", Predict: predict})
-		unfused := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Fuse: "off", Predict: predict})
+		fused := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Fuse: "on", Predict: predict, Taint: taint})
+		unfused := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Fuse: "off", Predict: predict, Taint: taint})
 		fb, _ := json.Marshal(fused)
 		ub, _ := json.Marshal(unfused)
 		if string(fb) != string(ub) {
@@ -99,10 +108,10 @@ func runSeed(s uint64, faults float64, interp, fuse, engine string, predict bool
 		return fused
 	}
 	if interp != "both" {
-		return chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: interp, Fuse: fuse, Engine: engine, Predict: predict})
+		return chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: interp, Fuse: fuse, Engine: engine, Predict: predict, Taint: taint})
 	}
-	fast := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "fast", Fuse: fuse, Predict: predict})
-	slow := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "slow", Fuse: fuse, Predict: predict})
+	fast := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "fast", Fuse: fuse, Predict: predict, Taint: taint})
+	slow := chaos.Run(chaos.Options{Seed: s, FaultIntensity: faults, Interp: "slow", Fuse: fuse, Predict: predict, Taint: taint})
 	fb, _ := json.Marshal(fast)
 	sb, _ := json.Marshal(slow)
 	if string(fb) != string(sb) {
@@ -114,7 +123,7 @@ func runSeed(s uint64, faults float64, interp, fuse, engine string, predict bool
 }
 
 // soak runs count consecutive seeds and reports aggregate coverage.
-func soak(seed uint64, count int, faults float64, out, interp, fuse, engine string, requireC, predict, verbose bool) int {
+func soak(seed uint64, count int, faults float64, out, interp, fuse, engine string, requireC, predict, taint, verbose bool) int {
 	var sink *os.File
 	if out != "" {
 		f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -130,7 +139,7 @@ func soak(seed uint64, count int, faults float64, out, interp, fuse, engine stri
 	failed := 0
 	for i := 0; i < count; i++ {
 		s := seed + uint64(i)
-		rep := runSeed(s, faults, interp, fuse, engine, predict)
+		rep := runSeed(s, faults, interp, fuse, engine, predict, taint)
 		if verbose {
 			b, _ := json.MarshalIndent(rep, "", "  ")
 			fmt.Println(string(b))
@@ -155,12 +164,26 @@ func soak(seed uint64, count int, faults float64, out, interp, fuse, engine stri
 
 	missK := cov.MissingKinds()
 	missR := cov.MissingReasons(faults > 0)
+	if taint {
+		// Taint-mode programs are call-free and keep every computed address
+		// masked in bounds (the static analysis's precision depends on it),
+		// so they cannot provoke the organic "fault" squash; exempt it.
+		missR = dropString(missR, core.SquashFault)
+	}
 	fmt.Printf("msspfuzz: %d/%d seeds clean (faults=%g); coverage: %d kinds missing %v, reasons missing %v\n",
 		count-failed, count, faults, len(missK), missK, missR)
+	var missG, missF []string
+	if taint {
+		// A taint soak must also have emitted every gadget shape and raised
+		// every dynamic flag kind — otherwise the dominance property was
+		// tested against a corpus that never exercised part of the taxonomy.
+		missG, missF = cov.MissingGadgets(), cov.MissingFlags()
+		fmt.Printf("msspfuzz: taint coverage: gadgets missing %v, flags missing %v\n", missG, missF)
+	}
 	if failed > 0 {
 		return 1
 	}
-	if requireC && (len(missK) > 0 || len(missR) > 0) {
+	if requireC && (len(missK) > 0 || len(missR) > 0 || len(missG) > 0 || len(missF) > 0) {
 		fmt.Fprintln(os.Stderr, "msspfuzz: -require-coverage: taxonomy not fully provoked")
 		return 1
 	}
@@ -188,7 +211,7 @@ func replayArtifacts(path, engine string, predict, verbose bool) int {
 	}
 	reproduced := 0
 	for _, a := range arts {
-		rep := chaos.Run(chaos.Options{Seed: a.Seed, FaultIntensity: a.FaultIntensity, Engine: engine, Predict: predict})
+		rep := chaos.Run(chaos.Options{Seed: a.Seed, FaultIntensity: a.FaultIntensity, Engine: engine, Predict: predict, Taint: a.Gen.Taint})
 		if verbose {
 			b, _ := json.MarshalIndent(rep, "", "  ")
 			fmt.Println(string(b))
@@ -214,4 +237,14 @@ func legCoverage(lr *chaos.LegReport) *chaos.Coverage {
 		return nil
 	}
 	return lr.Coverage
+}
+
+func dropString(xs []string, drop string) []string {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != drop {
+			out = append(out, x)
+		}
+	}
+	return out
 }

@@ -18,11 +18,17 @@
 //	       the engine counts, joins and drains every goroutine through its
 //	       spawn helper; a stray `go func` escapes shutdown accounting and
 //	       can outlive the engine (or deadlock its WaitGroup-based drain).
+//	GA005  rule-catalog drift — every MVnnn/GAnnn rule ID that appears as a
+//	       string literal in the vet sources (or in this analyzer) must be
+//	       registered in the internal/vet catalog (Rules or GoRules) AND
+//	       catalogued in docs/ANALYSIS.md's rule tables, so a rule can
+//	       never ship half-documented.
 //
 // Test files are exempt from GA001/GA002 (tests may measure wall time and
 // draw seeds) and GA004 (tests may race goroutines against the engine),
 // but not from GA003: a test string-matching a squash reason is exactly
-// the silent breakage the rule exists for.
+// the silent breakage the rule exists for. GA005 scans non-test files
+// only: tests asserting on rule IDs are not rule definitions.
 //
 // Usage:
 //
@@ -30,7 +36,8 @@
 //
 // With no package directories, the four determinism/concurrency packages
 // are checked: internal/core, internal/chaos, internal/distill,
-// internal/parallel.
+// internal/parallel — plus the GA005 catalog cross-check over internal/vet,
+// this analyzer's own source, and docs/ANALYSIS.md.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -58,6 +66,10 @@ var spawnFiles = map[string]bool{"spawn.go": true}
 func main() {
 	corePath := flag.String("core", "internal/core/config.go",
 		"file defining the core.Squash* constants")
+	vetDir := flag.String("vet", "internal/vet",
+		"directory holding the vet rule catalog (GA005); empty disables the check")
+	ruleDoc := flag.String("ruledoc", "docs/ANALYSIS.md",
+		"document whose rule tables GA005 cross-checks")
 	flag.Parse()
 
 	dirs := flag.Args()
@@ -76,6 +88,13 @@ func main() {
 	var findings []finding
 	for _, dir := range dirs {
 		fs, err := checkDir(dir, *corePath, squash)
+		if err != nil {
+			fatal(err)
+		}
+		findings = append(findings, fs...)
+	}
+	if *vetDir != "" {
+		fs, err := checkRuleCatalog(*vetDir, *ruleDoc, "cmd/msspvet/goanalysis/main.go")
 		if err != nil {
 			fatal(err)
 		}
@@ -246,6 +265,101 @@ func checkFile(path, corePath string, squash map[string]string) ([]finding, erro
 		return true
 	})
 	return out, nil
+}
+
+// ruleIDPat matches the rule-ID namespace GA005 polices.
+var ruleIDPat = regexp.MustCompile(`^(MV|GA)[0-9]{3}$`)
+
+// checkRuleCatalog is GA005: collect every MVnnn/GAnnn string literal from
+// the vet package's non-test sources (plus selfPath, this analyzer), and
+// require each to be (a) registered in the catalog — a composite-literal
+// field `ID: "..."` in the vet sources — and (b) mentioned in backticks in
+// the rule document. Drift in either direction ships a rule that tooling or
+// readers cannot discover.
+func checkRuleCatalog(vetDir, docPath, selfPath string) ([]finding, error) {
+	entries, err := os.ReadDir(vetDir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		paths = append(paths, filepath.Join(vetDir, e.Name()))
+	}
+	if selfPath != "" {
+		if _, err := os.Stat(selfPath); err == nil {
+			paths = append(paths, selfPath)
+		}
+	}
+
+	catalog := map[string]bool{} // IDs registered via `ID: "..."` fields
+	used := map[string]string{}  // ID -> first position it appears at
+	for _, path := range paths {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "ID" {
+					if id, ok := stringLit(kv.Value); ok && ruleIDPat.MatchString(id) {
+						catalog[id] = true
+					}
+				}
+			}
+			if lit, ok := n.(*ast.BasicLit); ok {
+				if id, ok := stringLit(lit); ok && ruleIDPat.MatchString(id) {
+					if _, seen := used[id]; !seen {
+						used[id] = fset.Position(lit.Pos()).String()
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, err
+	}
+	documented := map[string]bool{}
+	for _, m := range regexp.MustCompile("`(MV|GA)[0-9]{3}`").FindAllString(string(doc), -1) {
+		documented[strings.Trim(m, "`")] = true
+	}
+
+	var out []finding
+	ids := make([]string, 0, len(used))
+	for id := range used {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if !catalog[id] {
+			out = append(out, finding{pos: used[id], rule: "GA005",
+				msg: fmt.Sprintf("rule ID %q is used in source but not registered in the %s catalog (Rules/GoRules)", id, vetDir)})
+		}
+		if !documented[id] {
+			out = append(out, finding{pos: used[id], rule: "GA005",
+				msg: fmt.Sprintf("rule ID %q is used in source but not catalogued in %s", id, docPath)})
+		}
+	}
+	return out, nil
+}
+
+// stringLit unquotes e if it is a string literal.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	v, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return v, true
 }
 
 // importName returns the local name an import is referred to by.

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -254,5 +255,79 @@ func TestRealTreeIsClean(t *testing.T) {
 		for _, f := range fs {
 			t.Errorf("%s: %s: %s", f.pos, f.rule, f.msg)
 		}
+	}
+}
+
+func TestRuleCatalogDrift(t *testing.T) {
+	dir := t.TempDir()
+	vetDir := filepath.Join(dir, "vet")
+	if err := os.Mkdir(vetDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write(t, vetDir, "vet.go", `package vet
+
+type Rule struct{ ID, Name, Summary string }
+
+var Rules = []Rule{
+	{ID: "MV001", Name: "a", Summary: "s"},
+	{ID: "MV009", Name: "b", Summary: "s"},
+}
+
+func report() string { return "MV001" }
+func drift() string  { return "MV999" } // used, never registered
+`)
+	write(t, vetDir, "other_test.go", `package vet
+
+func testOnly() string { return "MV500" } // tests are not definitions
+`)
+	doc := write(t, dir, "ANALYSIS.md", "| `MV001` | documented |\n")
+
+	fs, err := checkRuleCatalog(vetDir, doc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ruleCount(fs)["GA005"] != 3 {
+		// MV999: unregistered + undocumented; MV009: undocumented.
+		t.Fatalf("want 3 GA005 findings, got %v", fs)
+	}
+	var sawUnregistered, sawUndocumented bool
+	for _, f := range fs {
+		if strings.Contains(f.msg, `"MV999"`) && strings.Contains(f.msg, "not registered") {
+			sawUnregistered = true
+		}
+		if strings.Contains(f.msg, `"MV009"`) && strings.Contains(f.msg, "not catalogued") {
+			sawUndocumented = true
+		}
+		if strings.Contains(f.msg, "MV500") {
+			t.Fatalf("test-file literal leaked into GA005: %v", f)
+		}
+	}
+	if !sawUnregistered || !sawUndocumented {
+		t.Fatalf("missing expected findings: %v", fs)
+	}
+}
+
+func TestRuleCatalogCleanWhenSynced(t *testing.T) {
+	dir := t.TempDir()
+	vetDir := filepath.Join(dir, "vet")
+	if err := os.Mkdir(vetDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write(t, vetDir, "vet.go", `package vet
+
+type Rule struct{ ID string }
+
+var Rules = []Rule{{ID: "MV001"}}
+var GoRules = []Rule{{ID: "GA001"}}
+
+func use() []string { return []string{"MV001", "GA001"} }
+`)
+	doc := write(t, dir, "ANALYSIS.md", "`MV001` and `GA001` are documented\n")
+	fs, err := checkRuleCatalog(vetDir, doc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("synced catalog flagged: %v", fs)
 	}
 }

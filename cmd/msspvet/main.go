@@ -9,12 +9,27 @@
 //	msspvet -all                         # every registered workload
 //	msspvet -workload compress -distill -threshold 0.95,0.999
 //	msspvet -file prog.s
+//	msspvet -all -distill -taint         # add the MV009–MV011 leak rules
+//	msspvet -all -json                   # machine-readable findings
+//
+// With -taint every target additionally runs the speculative-taint rules
+// MV009–MV011 (vet.CheckTaint, docs/SECURITY.md): plain programs are vetted
+// entry-rooted as the loader starts them; distilled output is vetted with
+// the surviving anchors (translated through OrigToDist) as task roots and
+// arbitrary entry state, matching how the master reseeds there. Programs
+// declaring no Secret regions are vacuously clean.
+//
+// With -json findings go to stdout as one JSON array of
+// {target, mode, rule, pc, msg} records (empty array when clean) and the
+// human summary moves to stderr, so CI and tooling can consume findings
+// without parsing text.
 //
 // Exit status is non-zero when any finding is reported, so CI can gate on
 // workload and distiller cleanliness directly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +55,8 @@ func main() {
 		stride     = flag.Uint64("stride", 100, "profiling task-size target for -distill")
 		passes     = flag.Bool("passes", false, "enable analysis-driven distillation passes for -distill")
 		ref        = flag.Bool("ref", false, "build workloads at reference scale instead of training scale")
+		taint      = flag.Bool("taint", false, "also run the speculative-taint leak rules MV009-MV011")
+		jsonOut    = flag.Bool("json", false, "emit findings as a JSON array on stdout (summary goes to stderr)")
 	)
 	flag.Parse()
 
@@ -86,11 +103,34 @@ func main() {
 		fatal(fmt.Errorf("need -workload, -all, or -file"))
 	}
 
+	// jsonFinding is the machine-readable record -json emits, one per
+	// finding: the target (workload or file), the vetting mode that raised
+	// it, and the finding itself.
+	type jsonFinding struct {
+		Target string `json:"target"`
+		Mode   string `json:"mode"`
+		Rule   string `json:"rule"`
+		PC     uint64 `json:"pc"`
+		Msg    string `json:"msg"`
+	}
+	records := []jsonFinding{}
 	findings := 0
-	emit := func(name string, fs []vet.Finding) {
+	emit := func(name, mode string, fs []vet.Finding) {
 		for _, f := range fs {
-			fmt.Printf("%s: %v\n", name, f)
 			findings++
+			if *jsonOut {
+				m := mode
+				if m == "" {
+					m = "plain"
+				}
+				records = append(records, jsonFinding{Target: name, Mode: m, Rule: f.Rule, PC: f.PC, Msg: f.Msg})
+				continue
+			}
+			if mode == "" {
+				fmt.Printf("%s: %v\n", name, f)
+			} else {
+				fmt.Printf("%s[%s]: %v\n", name, mode, f)
+			}
 		}
 	}
 
@@ -99,10 +139,17 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %v", tg.name, err))
 		}
-		emit(tg.name, fs)
+		emit(tg.name, "", fs)
 		// MV008: the superinstruction table the engines would build for this
 		// program must re-encode to the original words (fused-bijection).
-		emit(tg.name+"[fused]", vet.CheckFused(fuse.Predecode(tg.prog, fuse.Options{})))
+		emit(tg.name, "fused", vet.CheckFused(fuse.Predecode(tg.prog, fuse.Options{})))
+		if *taint {
+			tfs, err := vet.CheckTaint(tg.prog, vet.TaintOptions{})
+			if err != nil {
+				fatal(fmt.Errorf("%s: %v", tg.name, err))
+			}
+			emit(tg.name, "taint", tfs)
+		}
 
 		if !*doDistill {
 			continue
@@ -129,20 +176,49 @@ func main() {
 			if err != nil {
 				fatal(fmt.Errorf("%s@%v: %v", tg.name, thr, err))
 			}
-			emit(fmt.Sprintf("%s[distilled@%v]", tg.name, thr), dfs)
+			emit(tg.name, fmt.Sprintf("distilled@%v", thr), dfs)
 			// MV008 on the distilled program's table, elision included —
 			// elision redirects FusedInst.RdA/RdB, never the components, so
 			// the bijection must hold for the master's table too.
-			emit(fmt.Sprintf("%s[distilled@%v,fused]", tg.name, thr),
+			emit(tg.name, fmt.Sprintf("distilled@%v,fused", thr),
 				vet.CheckFused(fuse.Predecode(res.Prog, fuse.Options{Elide: true})))
+			if *taint {
+				// The master reseeds its PC at each surviving anchor's
+				// distilled address with whatever architected state the
+				// last squash left: vet those addresses as roots over
+				// arbitrary (but untainted) entry state.
+				var roots []uint64
+				for _, a := range res.Anchors {
+					if d, ok := res.OrigToDist[a]; ok {
+						roots = append(roots, d)
+					}
+				}
+				tfs, err := vet.CheckTaint(res.Prog, vet.TaintOptions{Roots: roots, EntryArbitrary: true})
+				if err != nil {
+					fatal(fmt.Errorf("%s@%v: %v", tg.name, thr, err))
+				}
+				emit(tg.name, fmt.Sprintf("distilled@%v,taint", thr), tfs)
+			}
 		}
 	}
 
+	if *jsonOut {
+		b, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(b))
+	}
 	if findings > 0 {
 		fmt.Fprintf(os.Stderr, "msspvet: %d finding(s)\n", findings)
 		os.Exit(1)
 	}
-	fmt.Printf("msspvet: %d target(s) clean\n", len(targets))
+	summary := fmt.Sprintf("msspvet: %d target(s) clean", len(targets))
+	if *jsonOut {
+		fmt.Fprintln(os.Stderr, summary)
+	} else {
+		fmt.Println(summary)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,21 @@
+# MV009: the Spectre shape. A secret word becomes an array index, so the
+# speculative load at `leak` leaves a secret-dependent footprint in the
+# memory system that squashing cannot undo.
+#
+# Expected findings: MV009 (secret-indexed load). The secret load itself is
+# clean — reading a secret is fine; leaking it through an address is not.
+
+        .data
+        .org 4096
+arr:    .space 64
+secret: .word 0x2a
+        .secret secret, secret+1
+
+        .code
+main:   la   r1, secret
+        ld   r2, 0(r1)          # r2 := secret (tainted from here on)
+        andi r2, r2, 63         # masking bounds the range, not the taint
+        la   r3, arr
+        add  r4, r3, r2         # r4 := &arr[secret & 63]  (tainted address)
+leak:   ld   r5, 0(r4)          # MV009: load through a secret-derived address
+        halt

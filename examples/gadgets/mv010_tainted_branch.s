@@ -1,0 +1,20 @@
+# MV010: a branch condition computed from a secret. MSSP slaves execute
+# everything speculatively, so the taken/not-taken decision is observable
+# through timing (and through which wrong-path footprints get left behind)
+# even when the task squashes.
+#
+# Expected findings: MV010 (tainted speculative branch).
+
+        .data
+        .org 4096
+arr:    .space 64
+secret: .word 1
+        .secret secret, secret+1
+
+        .code
+main:   la   r1, secret
+        ld   r2, 0(r1)          # r2 := secret
+        andi r3, r2, 1          # low bit, still secret-derived
+        beqz r3, skip           # MV010: branch keyed on secret data
+        addi r4, r4, 1
+skip:   halt

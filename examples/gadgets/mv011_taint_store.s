@@ -1,0 +1,19 @@
+# MV011: a secret value stored to memory. Every slave store is a task
+# live-out, and the verify/commit unit applies live-outs to architected
+# state — so a stored secret survives verification into committed state.
+#
+# Expected findings: MV011 (tainted store value). The store address here is
+# public, so MV009 stays quiet; only the stored value is secret-derived.
+
+        .data
+        .org 4096
+arr:    .space 64
+secret: .word 0x2a
+        .secret secret, secret+1
+
+        .code
+main:   la   r1, secret
+        ld   r2, 0(r1)          # r2 := secret
+        la   r3, arr
+        st   r2, 0(r3)          # MV011: secret value into task live-outs
+        halt

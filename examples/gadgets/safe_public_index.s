@@ -1,0 +1,23 @@
+# Clean: the same load/mask/index/load shape as mv009_secret_indexed.s, but
+# the index comes from public data. The secret region exists and is
+# annotated — it is just never read — so this pins the analysis's precision:
+# declaring a secret must not taint unrelated address arithmetic.
+#
+# Expected findings: none.
+
+        .data
+        .org 4096
+arr:    .space 64
+pub:    .word 17
+secret: .word 0x2a
+        .secret secret, secret+1
+
+        .code
+main:   la   r1, pub
+        ld   r2, 0(r1)          # r2 := public word (untainted)
+        andi r2, r2, 63
+        la   r3, arr
+        add  r4, r3, r2
+        ld   r5, 0(r4)          # public-indexed load: clean
+        st   r5, 0(r3)          # public value stored: clean
+        halt

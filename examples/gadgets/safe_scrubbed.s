@@ -1,0 +1,26 @@
+# Clean: the secret is read and used in pure register arithmetic, then every
+# register that held secret-derived data is overwritten with constants before
+# anything reaches a sink. An ldi kills taint (its value is input-
+# independent), so the later load, store and branch are all public.
+#
+# Expected findings: none.
+
+        .data
+        .org 4096
+arr:    .space 64
+secret: .word 0x2a
+        .secret secret, secret+1
+
+        .code
+main:   la   r1, secret
+        ld   r2, 0(r1)          # r2 := secret (tainted)
+        add  r3, r2, r2         # r3 tainted too — but only ALU use
+        li   r2, 0              # scrub: r2 untainted again
+        li   r3, 5              # scrub: r3 untainted again
+        la   r4, arr
+        add  r5, r4, r3
+        ld   r6, 0(r5)          # clean load
+        st   r6, 0(r4)          # clean store
+        beqz r6, done           # clean branch
+        addi r7, r7, 1
+done:   halt

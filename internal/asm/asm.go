@@ -13,6 +13,9 @@
 //	.entry LABEL     set the program entry point (default: code base)
 //	.word E, E, ...  emit data words (expressions allowed)
 //	.space N         reserve N zeroed words
+//	.secret E, E     annotate the half-open address range [lo, hi) as
+//	                 secret (isa.Program.Secret) for the taint analyses;
+//	                 emits nothing and is allowed in either section
 //
 // Operands:
 //
@@ -136,6 +139,11 @@ func (a *assembler) size(st *stmt) (uint64, error) {
 	switch st.mnem {
 	case "", ".org", ".entry", ".code", ".data":
 		return 0, nil
+	case ".secret":
+		if len(st.args) != 2 {
+			return 0, &Error{st.line, ".secret wants two arguments: lo, hi"}
+		}
+		return 0, nil
 	case ".word":
 		return uint64(len(st.args)), nil
 	case ".space":
@@ -244,6 +252,17 @@ func (a *assembler) pass2(src string) (*isa.Program, error) {
 		st := &stmts[i]
 		switch st.mnem {
 		case "", ".org", ".entry", ".code", ".data":
+			continue
+		case ".secret":
+			lo, err := a.evalExpr(st.args[0], st.line)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := a.evalExpr(st.args[1], st.line)
+			if err != nil {
+				return nil, err
+			}
+			p.Secret = append(p.Secret, isa.Region{Lo: lo, Hi: hi})
 			continue
 		case ".word":
 			for _, arg := range st.args {

@@ -8,10 +8,10 @@ import (
 )
 
 // Artifact is the JSONL failure record cmd/msspfuzz writes: everything
-// needed to reproduce a failing differential run. Replay needs only Seed and
-// FaultIntensity — the whole run is a pure function of those two — but the
-// record also carries the rendered failures and the generated-program shape
-// so a human can triage without re-running.
+// needed to reproduce a failing differential run. Replay needs only Seed,
+// FaultIntensity and the taint mode recorded in Gen — the whole run is a
+// pure function of those — but the record also carries the rendered failures
+// and the generated-program shape so a human can triage without re-running.
 type Artifact struct {
 	// Seed replays the run: chaos.Run({Seed, FaultIntensity}).
 	Seed uint64 `json:"seed"`

@@ -38,7 +38,9 @@ import (
 	"mssp/internal/profile"
 	"mssp/internal/refine"
 	"mssp/internal/state"
+	"mssp/internal/taint"
 	"mssp/internal/task"
+	"mssp/internal/vet"
 )
 
 // Options configures one differential run.
@@ -105,6 +107,16 @@ type Options struct {
 	// never poison the table, and the harness fails the seed if the unit
 	// absorbed anything.
 	Predict bool
+	// Taint switches the generator into taint mode (secret data segment,
+	// leak-gadget emission, Secret region annotations on ~75% of seeds) and
+	// arms the security differential: the static leak rules (vet.CheckTaint,
+	// rooted at the distiller's anchors) run over the generated program, a
+	// dynamic taint observer (internal/taint) replays every task on the
+	// clean legs, and the run fails if dominance is violated — a program the
+	// static analysis certifies clean must never be flagged dynamically.
+	// Fault legs are never observed: injected faults corrupt task starts and
+	// checkpoints, taking dynamic execution outside the static contract.
+	Taint bool
 }
 
 // Engine values for Options.Engine.
@@ -173,6 +185,9 @@ type Report struct {
 	// Options.Engine is "parallel"); same digest contract as ParClean,
 	// cross-checked against the deterministic faulted leg.
 	ParFault *LegReport `json:"parFault,omitempty"`
+	// Taint is the security differential's outcome (nil unless
+	// Options.Taint).
+	Taint *TaintReport `json:"taint,omitempty"`
 	// Failures lists every divergence or harness error, rendered. Empty
 	// iff OK.
 	Failures []string `json:"failures,omitempty"`
@@ -180,6 +195,43 @@ type Report struct {
 	// audits passed, all final states byte-identical.
 	OK bool `json:"ok"`
 }
+
+// TaintReport is the outcome of one seed's security differential: the static
+// leak-rule verdict over the generated program, the dynamic taint observer's
+// aggregated findings from the clean legs, and the dominance check tying
+// them together.
+type TaintReport struct {
+	// SecretDeclared reports whether the generator annotated the secret
+	// segment as isa.Region — when false the program is vacuously
+	// static-clean even though gadgets may touch secret-segment addresses,
+	// which is exactly the case that makes the clean direction of the
+	// dominance property non-trivial.
+	SecretDeclared bool `json:"secretDeclared"`
+	// StaticClean reports whether vet.CheckTaint found nothing.
+	StaticClean bool `json:"staticClean"`
+	// StaticCount is the total number of static findings.
+	StaticCount int `json:"staticCount"`
+	// StaticFindings renders the first few static findings (capped; see
+	// StaticCount for the true total).
+	StaticFindings []string `json:"staticFindings,omitempty"`
+	// Flags counts the dynamic observer's findings per kind across the
+	// clean legs.
+	Flags map[string]int `json:"flags,omitempty"`
+	// FlagCount is the total number of dynamic flags.
+	FlagCount int `json:"flagCount"`
+	// Replayed counts the tasks the observers replayed.
+	Replayed int `json:"replayed"`
+	// Truncated counts the replays cut short defensively (missing live-in
+	// cell, PC outside the code segment).
+	Truncated int `json:"truncated"`
+	// DominanceOK reports the core soundness property: static-clean implies
+	// dynamically unflagged. Its violation is a Report failure.
+	DominanceOK bool `json:"dominanceOK"`
+}
+
+// staticFindingsCap bounds how many rendered static findings a TaintReport
+// carries; gadget-dense seeds can produce hundreds.
+const staticFindingsCap = 10
 
 // Knobs is the machine/distillation configuration derived from the seed.
 // Varying these per seed is what walks the harness through the machine's
@@ -253,9 +305,25 @@ func Run(opts Options) *Report {
 		opts.ModelCheckCap = 256
 	}
 
-	g := Generate(opts.Seed)
+	g := GenerateOpts(opts.Seed, GenOptions{Taint: opts.Taint})
 	rep.Gen = g.Config
 	rep.Knobs = deriveKnobs(opts.Seed)
+
+	// In taint mode each clean leg gets its own dynamic observer; fault
+	// legs run unobserved (injection corrupts task starts, so their replays
+	// would sit outside the static analysis's coverage argument).
+	var cleanObs, parCleanObs *taint.Observer
+	if opts.Taint {
+		var terr error
+		if cleanObs, terr = taint.NewObserver(g.Prog); terr != nil {
+			failf("taint: observer: %v", terr)
+			return rep
+		}
+		if parCleanObs, terr = taint.NewObserver(g.Prog); terr != nil {
+			failf("taint: observer: %v", terr)
+			return rep
+		}
+	}
 
 	// Leg 1: sequential baseline. The generator guarantees termination;
 	// trust but verify. Under -interp slow the baseline runs on the
@@ -304,25 +372,26 @@ func Run(opts Options) *Report {
 	}
 
 	// Legs 2 and 3: MSSP clean, then MSSP faulted.
-	rep.Clean = runLeg(g, dist, rep.Knobs, nil, baseline, opts, "clean", failf)
+	rep.Clean = runLeg(g, dist, rep.Knobs, nil, baseline, opts, "clean", cleanObs, failf)
 	if opts.FaultIntensity > 0 {
 		plan := &FaultPlan{Seed: opts.Seed, Intensity: opts.FaultIntensity}
-		rep.Fault = runLeg(g, dist, rep.Knobs, plan, baseline, opts, "fault", failf)
+		rep.Fault = runLeg(g, dist, rep.Knobs, plan, baseline, opts, "fault", nil, failf)
 	}
 
 	// Legs 4 and 5: the true-parallel engine, differentially against both
 	// the sequential baseline and the deterministic machine's digests.
 	switch opts.Engine {
 	case "", EngineDet:
+		parCleanObs = nil
 	case EngineParallel:
-		rep.ParClean = runParallelLeg(g, dist, rep.Knobs, nil, baseline, opts, "par-clean", failf)
+		rep.ParClean = runParallelLeg(g, dist, rep.Knobs, nil, baseline, opts, "par-clean", parCleanObs, failf)
 		if rep.Clean != nil && rep.ParClean.FinalDigest != rep.Clean.FinalDigest {
 			failf("par-clean: final digest %x differs from deterministic machine's %x",
 				rep.ParClean.FinalDigest, rep.Clean.FinalDigest)
 		}
 		if opts.FaultIntensity > 0 {
 			plan := &FaultPlan{Seed: opts.Seed, Intensity: opts.FaultIntensity}
-			rep.ParFault = runParallelLeg(g, dist, rep.Knobs, plan, baseline, opts, "par-fault", failf)
+			rep.ParFault = runParallelLeg(g, dist, rep.Knobs, plan, baseline, opts, "par-fault", nil, failf)
 			if rep.Fault != nil && rep.ParFault.FinalDigest != rep.Fault.FinalDigest {
 				failf("par-fault: final digest %x differs from deterministic machine's %x",
 					rep.ParFault.FinalDigest, rep.Fault.FinalDigest)
@@ -331,8 +400,64 @@ func Run(opts Options) *Report {
 	default:
 		failf("options: unknown engine %q", opts.Engine)
 	}
+	if opts.Taint {
+		rep.Taint = taintVerdict(g, dist, rep, cleanObs, parCleanObs, failf)
+	}
 	rep.OK = len(rep.Failures) == 0
 	return rep
+}
+
+// taintVerdict runs the static leak rules over the generated program, folds
+// in the clean legs' dynamic observations, records gadget/flag coverage, and
+// checks dominance: a static-clean program must have zero dynamic flags. Any
+// violation is a seed failure — it means either the static analysis has a
+// soundness hole or the observer over-approximates outside the lattice.
+func taintVerdict(g *Generated, dist *distill.Result, rep *Report,
+	cleanObs, parCleanObs *taint.Observer, failf func(string, ...any)) *TaintReport {
+
+	tr := &TaintReport{SecretDeclared: g.Config.SecretDeclared, Flags: map[string]int{}}
+
+	findings, err := vet.CheckTaint(g.Prog, vet.TaintOptions{Roots: dist.Anchors})
+	if err != nil {
+		failf("taint: static: %v", err)
+		return tr
+	}
+	tr.StaticCount = len(findings)
+	tr.StaticClean = len(findings) == 0
+	for i, f := range findings {
+		if i >= staticFindingsCap {
+			break
+		}
+		tr.StaticFindings = append(tr.StaticFindings, f.String())
+	}
+
+	for _, o := range []*taint.Observer{cleanObs, parCleanObs} {
+		if o == nil {
+			continue
+		}
+		for k, n := range o.Counts() {
+			tr.Flags[k] += n
+			tr.FlagCount += n
+		}
+		r, t := o.Replayed()
+		tr.Replayed += r
+		tr.Truncated += t
+	}
+	if rep.Clean != nil {
+		rep.Clean.Coverage.AddGadgets(g.Config.Gadgets)
+		if cleanObs != nil {
+			rep.Clean.Coverage.AddFlags(cleanObs.Counts())
+		}
+	}
+	if rep.ParClean != nil && parCleanObs != nil {
+		rep.ParClean.Coverage.AddFlags(parCleanObs.Counts())
+	}
+
+	tr.DominanceOK = !tr.StaticClean || tr.FlagCount == 0
+	if !tr.DominanceOK {
+		failf("taint: dominance violated: static-clean program dynamically flagged %v", tr.Flags)
+	}
+	return tr
 }
 
 // runParallelLeg executes one leg on the true-parallel engine under the
@@ -341,7 +466,8 @@ func Run(opts Options) *Report {
 // auditors consume the engine-agnostic commit stream and cannot tell which
 // machine produced it.
 func runParallelLeg(g *Generated, dist *distill.Result, knobs Knobs, plan *FaultPlan,
-	baseline *state.State, opts Options, leg string, failf func(string, ...any)) *LegReport {
+	baseline *state.State, opts Options, leg string, tob *taint.Observer,
+	failf func(string, ...any)) *LegReport {
 
 	lr := &LegReport{Coverage: NewCoverage()}
 	cfg := knobs.Config()
@@ -361,6 +487,10 @@ func runParallelLeg(g *Generated, dist *distill.Result, knobs Knobs, plan *Fault
 	cfg.OnCommit = func(ev core.CommitEvent) {
 		shadow.onCommit(ev)
 		aud.OnCommit(ev)
+	}
+	if tob != nil {
+		// After OnCommit is set: Attach chains over the existing handlers.
+		tob.Attach(&cfg)
 	}
 
 	res, err := parallel.Run(g.Prog, dist, cfg)
@@ -393,7 +523,8 @@ func runParallelLeg(g *Generated, dist *distill.Result, knobs Knobs, plan *Fault
 // runLeg executes one MSSP leg under the refinement checker, the model
 // shadow and the coverage sink, appending any divergence through failf.
 func runLeg(g *Generated, dist *distill.Result, knobs Knobs, plan *FaultPlan,
-	baseline *state.State, opts Options, leg string, failf func(string, ...any)) *LegReport {
+	baseline *state.State, opts Options, leg string, tob *taint.Observer,
+	failf func(string, ...any)) *LegReport {
 
 	lr := &LegReport{Coverage: NewCoverage()}
 	cfg := knobs.Config()
@@ -415,6 +546,10 @@ func runLeg(g *Generated, dist *distill.Result, knobs Knobs, plan *FaultPlan,
 	// with internal/model semantics rather than internal/refine's.
 	shadow := newModelAudit(baselineStart(g), opts.ModelCheckCap)
 	cfg.OnCommit = shadow.onCommit
+	if tob != nil {
+		// After OnCommit is set: Attach chains over the existing handlers.
+		tob.Attach(&cfg)
+	}
 
 	rrep, err := refine.Check(g.Prog, dist, cfg, refine.Options{FullCheckEvery: 16, CheckTaskSafety: true})
 	if err != nil {

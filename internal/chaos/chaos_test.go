@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestGenerateDeterministic(t *testing.T) {
 				t.Fatalf("seed %d: code differs at word %d", seed, i)
 			}
 		}
-		if a.Config != b.Config {
+		if !reflect.DeepEqual(a.Config, b.Config) {
 			t.Fatalf("seed %d: configs differ: %+v vs %+v", seed, a.Config, b.Config)
 		}
 	}

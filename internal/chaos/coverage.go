@@ -7,6 +7,7 @@ import (
 
 	"mssp/internal/core"
 	"mssp/internal/obs"
+	"mssp/internal/taint"
 )
 
 // Coverage tallies which lifecycle event kinds and squash-taxonomy reasons a
@@ -20,11 +21,22 @@ type Coverage struct {
 	Kinds map[string]uint64 `json:"kinds"`
 	// Reasons counts squash events per taxonomy reason.
 	Reasons map[string]uint64 `json:"reasons"`
+	// Gadgets counts generated leak gadgets per kind (taint mode; fed from
+	// GenConfig.Gadgets via AddGadgets, not from the event stream).
+	Gadgets map[string]uint64 `json:"gadgets,omitempty"`
+	// Flags counts dynamic taint-observer findings per kind (taint mode;
+	// fed from taint.Observer counts via AddFlags).
+	Flags map[string]uint64 `json:"flags,omitempty"`
 }
 
 // NewCoverage returns an empty tally.
 func NewCoverage() *Coverage {
-	return &Coverage{Kinds: map[string]uint64{}, Reasons: map[string]uint64{}}
+	return &Coverage{
+		Kinds:   map[string]uint64{},
+		Reasons: map[string]uint64{},
+		Gadgets: map[string]uint64{},
+		Flags:   map[string]uint64{},
+	}
 }
 
 // Emit implements obs.Sink.
@@ -44,6 +56,7 @@ func (c *Coverage) Merge(o *Coverage) {
 	}
 	o.mu.Lock()
 	kinds, reasons := cloneCounts(o.Kinds), cloneCounts(o.Reasons)
+	gadgets, flags := cloneCounts(o.Gadgets), cloneCounts(o.Flags)
 	o.mu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -53,6 +66,51 @@ func (c *Coverage) Merge(o *Coverage) {
 	for r, n := range reasons {
 		c.Reasons[r] += n
 	}
+	for g, n := range gadgets {
+		c.addGadgetLocked(g, n)
+	}
+	for f, n := range flags {
+		c.addFlagLocked(f, n)
+	}
+}
+
+// AddGadgets folds a generator's per-kind gadget tally (GenConfig.Gadgets)
+// into the coverage, so a taint soak can require every gadget shape was
+// actually emitted.
+func (c *Coverage) AddGadgets(tally map[string]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, n := range tally {
+		if n > 0 {
+			c.addGadgetLocked(k, uint64(n))
+		}
+	}
+}
+
+// AddFlags folds a dynamic taint observer's per-kind flag counts into the
+// coverage.
+func (c *Coverage) AddFlags(counts map[string]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, n := range counts {
+		if n > 0 {
+			c.addFlagLocked(k, uint64(n))
+		}
+	}
+}
+
+func (c *Coverage) addGadgetLocked(k string, n uint64) {
+	if c.Gadgets == nil {
+		c.Gadgets = map[string]uint64{}
+	}
+	c.Gadgets[k] += n
+}
+
+func (c *Coverage) addFlagLocked(k string, n uint64) {
+	if c.Flags == nil {
+		c.Flags = map[string]uint64{}
+	}
+	c.Flags[k] += n
 }
 
 // allKinds is the full lifecycle vocabulary a soak must provoke.
@@ -83,6 +141,22 @@ func (c *Coverage) MissingReasons(faults bool) []string {
 	return missing(want, c.Reasons)
 }
 
+// MissingGadgets returns the leak-gadget kinds a taint soak never generated,
+// sorted. Only meaningful when the soak ran with taint-mode generation.
+func (c *Coverage) MissingGadgets() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return missing(AllGadgetKinds(), c.Gadgets)
+}
+
+// MissingFlags returns the dynamic taint-flag kinds never raised, sorted.
+// Only meaningful when the soak ran with taint-mode generation.
+func (c *Coverage) MissingFlags() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return missing(taint.AllFlags(), c.Flags)
+}
+
 // MarshalJSON locks around the map reads so a soak can snapshot coverage
 // while machines are still emitting.
 func (c *Coverage) MarshalJSON() ([]byte, error) {
@@ -91,7 +165,9 @@ func (c *Coverage) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
 		Kinds   map[string]uint64 `json:"kinds"`
 		Reasons map[string]uint64 `json:"reasons"`
-	}{c.Kinds, c.Reasons})
+		Gadgets map[string]uint64 `json:"gadgets,omitempty"`
+		Flags   map[string]uint64 `json:"flags,omitempty"`
+	}{c.Kinds, c.Reasons, c.Gadgets, c.Flags})
 }
 
 func missing(want []string, have map[string]uint64) []string {

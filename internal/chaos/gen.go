@@ -16,11 +16,16 @@ const (
 	genDataBase   = 1 << 20
 	genPtrBase    = genDataBase + 1024
 	genPoisonBase = 1 << 21
+	genSecretBase = 3 << 20
 
 	// ArrWords is the size of the generated program's shared data array.
 	// All generated loads and stores land inside it (modulo masking), so
 	// aliasing between program regions is frequent by construction.
 	ArrWords = 64
+
+	// SecretWords is the size of the secret segment taint-mode programs
+	// carry (GenOptions.Taint); gadget loads index into it modulo masking.
+	SecretWords = 32
 
 	// poisonWords is the size of the poison segment.
 	poisonWords = 16
@@ -32,6 +37,7 @@ const (
 const (
 	regArrBase = 16 // base address of the data array
 	regPtrBase = 17 // base address of the function-pointer table
+	regSecBase = 18 // base address of the secret segment (taint mode only)
 	regIdx     = 14 // scratch for computed addresses
 	regAddr    = 15 // scratch for computed addresses
 	regLoop0   = 20 // main-body loop counters, one per nesting depth
@@ -55,6 +61,16 @@ type GenConfig struct {
 	Segments int `json:"segments"`
 	// CodeWords is the generated code segment's length.
 	CodeWords int `json:"codeWords"`
+	// Taint reports whether the program was generated in taint mode
+	// (secret segment present, gadget family in the segment mix).
+	Taint bool `json:"taint,omitempty"`
+	// SecretDeclared reports whether the secret segment is annotated as
+	// Program.Secret. Taint-mode seeds leave it unannotated with
+	// probability 1/4, producing vacuously taint-clean programs that pin
+	// the clean direction of the static-dominates-dynamic property.
+	SecretDeclared bool `json:"secretDeclared,omitempty"`
+	// Gadgets tallies emitted leak gadgets by kind (taint mode only).
+	Gadgets map[string]int `json:"gadgets,omitempty"`
 }
 
 // Generated is a seeded random program plus the layout facts the
@@ -69,13 +85,46 @@ type Generated struct {
 	FuncAddrs []uint64
 }
 
+// The leak-gadget taxonomy taint-mode generation draws from. Each kind maps
+// to the static rule that must catch it (MV009, MV010, MV011) and to the
+// dynamic flag family in internal/taint; coverage-gated soaks require every
+// kind to have been generated.
+const (
+	// GadgetSecretIndexed loads a secret word and uses it as a load index —
+	// the classic Spectre shape (MV009 / secret-indexed).
+	GadgetSecretIndexed = "secret-indexed-load"
+	// GadgetTaintedBranch loads a secret word and branches on it
+	// (MV010 / tainted-branch).
+	GadgetTaintedBranch = "tainted-branch"
+	// GadgetTaintToStore loads a secret word and stores it into the shared
+	// array (MV011 / taint-committed).
+	GadgetTaintToStore = "taint-to-store"
+)
+
+// AllGadgetKinds lists every gadget kind, for coverage accounting.
+func AllGadgetKinds() []string {
+	return []string{GadgetSecretIndexed, GadgetTaintedBranch, GadgetTaintToStore}
+}
+
+// GenOptions selects optional generation dimensions.
+type GenOptions struct {
+	// Taint adds the security dimension: a secret data segment, a
+	// secret-base register in the prologue, leak gadgets in the segment
+	// mix, and (usually) a Program.Secret annotation. Taint-mode programs
+	// contain no functions, so they stay free of indirect jumps and the
+	// taint analysis keeps per-point precision.
+	Taint bool
+}
+
 // gen is the in-progress generator state.
 type gen struct {
-	r     *rand.Rand
-	code  []isa.Inst
-	funcs []uint64
-	depth int
-	calls bool // emitting inside a function body (no nested calls)
+	r       *rand.Rand
+	code    []isa.Inst
+	funcs   []uint64
+	depth   int
+	calls   bool // emitting inside a function body (no nested calls)
+	taint   bool // taint mode: secret segment + gadget mix
+	gadgets map[string]int
 }
 
 func (g *gen) addr() uint64 { return genCodeBase + uint64(len(g.code)) }
@@ -93,20 +142,40 @@ func (g *gen) scratch() uint8 {
 // functions), and a halt. The same seed always yields the identical
 // program.
 func Generate(seed uint64) *Generated {
-	g := &gen{r: rand.New(rand.NewSource(int64(seed)))}
+	return GenerateOpts(seed, GenOptions{})
+}
+
+// GenerateOpts is Generate with optional dimensions. GenerateOpts(seed,
+// GenOptions{}) is byte-identical to Generate(seed): every extra random
+// draw is gated on the option that needs it, so existing seed corpora keep
+// their meaning.
+func GenerateOpts(seed uint64, opts GenOptions) *Generated {
+	g := &gen{r: rand.New(rand.NewSource(int64(seed))), taint: opts.Taint}
+	if g.taint {
+		g.gadgets = make(map[string]int)
+	}
 
 	// Functions first, so calls in the main body have known targets.
-	nFuncs := g.r.Intn(4)
+	// Taint mode generates none: function-pointer calls make the graph
+	// indirect, where the taint analysis degrades to top everywhere.
+	nFuncs := 0
+	if !g.taint {
+		nFuncs = g.r.Intn(4)
+	}
 	for i := 0; i < nFuncs; i++ {
 		g.funcs = append(g.funcs, g.addr())
 		g.fnBody()
 	}
+	declared := g.taint && g.r.Intn(4) > 0
 
 	entry := g.addr()
 	// Prologue: materialize the data-region base registers and seed the
 	// scratch registers with distinct values.
 	g.emit(isa.Inst{Op: isa.OpLdi, Rd: regArrBase, Imm: genDataBase})
 	g.emit(isa.Inst{Op: isa.OpLdi, Rd: regPtrBase, Imm: genPtrBase})
+	if g.taint {
+		g.emit(isa.Inst{Op: isa.OpLdi, Rd: regSecBase, Imm: genSecretBase})
+	}
 	for r := uint8(scratchLo); r <= scratchHi; r++ {
 		g.emit(isa.Inst{Op: isa.OpLdi, Rd: r, Imm: int64(g.r.Intn(1 << 16))})
 	}
@@ -120,15 +189,22 @@ func Generate(seed uint64) *Generated {
 	})
 	g.emit(isa.Inst{Op: isa.OpHalt})
 
+	symbols := map[string]uint64{
+		"arr":    genDataBase,
+		"ptrs":   genPtrBase,
+		"poison": genPoisonBase,
+	}
+	if g.taint {
+		symbols["secret"] = genSecretBase
+	}
 	prog := &isa.Program{
-		Entry: entry,
-		Code:  isa.Segment{Base: genCodeBase, Words: encodeAll(g.code)},
-		Data:  g.dataSegments(),
-		Symbols: map[string]uint64{
-			"arr":    genDataBase,
-			"ptrs":   genPtrBase,
-			"poison": genPoisonBase,
-		},
+		Entry:   entry,
+		Code:    isa.Segment{Base: genCodeBase, Words: encodeAll(g.code)},
+		Data:    g.dataSegments(),
+		Symbols: symbols,
+	}
+	if declared {
+		prog.Secret = []isa.Region{{Lo: genSecretBase, Hi: genSecretBase + SecretWords}}
 	}
 	if err := prog.Validate(); err != nil {
 		// The generator's structural invariants make this unreachable; a
@@ -138,11 +214,14 @@ func Generate(seed uint64) *Generated {
 	return &Generated{
 		Prog: prog,
 		Config: GenConfig{
-			Seed:       seed,
-			Funcs:      nFuncs,
-			OuterTrips: outer,
-			Segments:   segs,
-			CodeWords:  len(prog.Code.Words),
+			Seed:           seed,
+			Funcs:          nFuncs,
+			OuterTrips:     outer,
+			Segments:       segs,
+			CodeWords:      len(prog.Code.Words),
+			Taint:          g.taint,
+			SecretDeclared: declared,
+			Gadgets:        g.gadgets,
 		},
 		FuncAddrs: append([]uint64(nil), g.funcs...),
 	}
@@ -172,6 +251,14 @@ func (g *gen) dataSegments() []isa.Segment {
 		poison[i] = 0xff<<56 | uint64(i) // opcode 0xff: always invalid
 	}
 	segs = append(segs, isa.Segment{Base: genPoisonBase, Words: poison})
+
+	if g.taint {
+		secret := make([]uint64, SecretWords)
+		for i := range secret {
+			secret[i] = uint64(g.r.Intn(1 << 20))
+		}
+		segs = append(segs, isa.Segment{Base: genSecretBase, Words: secret})
+	}
 	return segs
 }
 
@@ -196,6 +283,10 @@ func (g *gen) fnBody() {
 
 // segment emits one top-level body segment.
 func (g *gen) segment() {
+	if g.taint && g.r.Intn(3) == 0 {
+		g.gadget()
+		return
+	}
 	max := 6
 	if g.depth >= maxDepth-1 {
 		max = 4 // no deeper loops
@@ -298,6 +389,64 @@ func (g *gen) rareDiamond() {
 	g.code[jIdx].Imm = int64(end)
 	// Keep the branch source evolving so the rare side actually recurs.
 	g.emit(isa.Inst{Op: isa.OpAddi, Rd: src, Rs1: src, Imm: int64(1 + g.r.Intn(7))})
+}
+
+// gadget emits one leak gadget from the taxonomy, tallying its kind.
+func (g *gen) gadget() {
+	switch g.r.Intn(3) {
+	case 0:
+		g.gadgetSecretIndexed()
+	case 1:
+		g.gadgetTaintedBranch()
+	default:
+		g.gadgetTaintToStore()
+	}
+}
+
+// secretLoad emits a masked load from the secret segment into dst: the
+// canonical taint source every gadget starts from. The index comes from a
+// scratch register, so which secret word leaks varies across iterations.
+func (g *gen) secretLoad(dst uint8) {
+	g.emit(isa.Inst{Op: isa.OpAndi, Rd: regIdx, Rs1: g.scratch(), Imm: SecretWords - 1})
+	g.emit(isa.Inst{Op: isa.OpAdd, Rd: regAddr, Rs1: regSecBase, Rs2: regIdx})
+	g.emit(isa.Inst{Op: isa.OpLd, Rd: dst, Rs1: regAddr})
+}
+
+// gadgetSecretIndexed is the Spectre shape: a secret word becomes a load
+// index into the shared array. The loaded value lands in a scratch
+// register, so downstream segments keep propagating the taint.
+func (g *gen) gadgetSecretIndexed() {
+	s := g.scratch()
+	g.secretLoad(s)
+	g.emit(isa.Inst{Op: isa.OpAndi, Rd: regIdx, Rs1: s, Imm: ArrWords - 1})
+	g.emit(isa.Inst{Op: isa.OpAdd, Rd: regAddr, Rs1: regArrBase, Rs2: regIdx})
+	g.emit(isa.Inst{Op: isa.OpLd, Rd: g.scratch(), Rs1: regAddr})
+	g.gadgets[GadgetSecretIndexed]++
+}
+
+// gadgetTaintedBranch branches on a secret bit, skipping forward over a
+// short ALU burst — secret-keyed control flow, never a loop counter, so
+// termination is unaffected.
+func (g *gen) gadgetTaintedBranch() {
+	s := g.scratch()
+	g.secretLoad(s)
+	g.emit(isa.Inst{Op: isa.OpAndi, Rd: regIdx, Rs1: s, Imm: 1})
+	bIdx := len(g.code)
+	g.emit(isa.Inst{Op: isa.OpBeq, Rs1: regIdx, Rs2: isa.RegZero}) // target patched below
+	g.aluBurst()
+	g.code[bIdx].Imm = int64(g.addr())
+	g.gadgets[GadgetTaintedBranch]++
+}
+
+// gadgetTaintToStore writes a secret-derived value through an aliasing
+// address into the shared array, so the taint reaches committed live-outs.
+func (g *gen) gadgetTaintToStore() {
+	s := g.scratch()
+	g.secretLoad(s)
+	g.emit(isa.Inst{Op: isa.OpAndi, Rd: regIdx, Rs1: g.scratch(), Imm: ArrWords - 1})
+	g.emit(isa.Inst{Op: isa.OpAdd, Rd: regAddr, Rs1: regArrBase, Rs2: regIdx})
+	g.emit(isa.Inst{Op: isa.OpSt, Rs1: regAddr, Rs2: s})
+	g.gadgets[GadgetTaintToStore]++
 }
 
 // callSite emits a direct call, or an indirect call through the function-

@@ -1,0 +1,159 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"mssp/internal/taint"
+)
+
+// TestGenerateOptsByteIdentical: taint mode must not perturb the non-taint
+// stream — GenerateOpts(seed, {}) and Generate(seed) are the same draw
+// sequence, so every historical seed (fuzz corpus, recorded artifacts)
+// still replays exactly.
+func TestGenerateOptsByteIdentical(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		a, b := Generate(seed), GenerateOpts(seed, GenOptions{})
+		if !reflect.DeepEqual(a.Prog.Code.Words, b.Prog.Code.Words) ||
+			!reflect.DeepEqual(a.Config, b.Config) {
+			t.Fatalf("seed %d: GenerateOpts(seed, {}) diverged from Generate(seed)", seed)
+		}
+		if len(a.Prog.Secret) != 0 {
+			t.Fatalf("seed %d: non-taint program carries Secret regions", seed)
+		}
+	}
+}
+
+// TestTaintGeneration: taint-mode programs are deterministic, call-free,
+// and carry the secret segment; the declared/undeclared split leaves both
+// sides populated.
+func TestTaintGeneration(t *testing.T) {
+	declared, undeclared, gadgets := 0, 0, 0
+	for seed := uint64(0); seed < 60; seed++ {
+		a := GenerateOpts(seed, GenOptions{Taint: true})
+		b := GenerateOpts(seed, GenOptions{Taint: true})
+		if !reflect.DeepEqual(a.Prog.Code.Words, b.Prog.Code.Words) ||
+			!reflect.DeepEqual(a.Prog.Secret, b.Prog.Secret) {
+			t.Fatalf("seed %d: taint generation not deterministic", seed)
+		}
+		if !a.Config.Taint {
+			t.Fatalf("seed %d: GenConfig.Taint not set", seed)
+		}
+		if a.Config.Funcs != 0 {
+			t.Fatalf("seed %d: taint mode generated %d functions", seed, a.Config.Funcs)
+		}
+		if a.Config.SecretDeclared {
+			declared++
+			if len(a.Prog.Secret) == 0 {
+				t.Fatalf("seed %d: declared but no Secret region", seed)
+			}
+		} else {
+			undeclared++
+			if len(a.Prog.Secret) != 0 {
+				t.Fatalf("seed %d: undeclared but Secret region present", seed)
+			}
+		}
+		for _, n := range a.Config.Gadgets {
+			gadgets += n
+		}
+	}
+	if declared == 0 || undeclared == 0 {
+		t.Fatalf("declared/undeclared split is vacuous: %d/%d", declared, undeclared)
+	}
+	if gadgets == 0 {
+		t.Fatal("no gadgets generated across 60 seeds")
+	}
+}
+
+// TestTaintDominanceProperty is the suite's core soundness check, the
+// in-tree slice of the msspfuzz -taint soak: across a seed corpus, whenever
+// the static rules (vet.CheckTaint rooted at the distiller's anchors) leave
+// a program clean, the dynamic observer must raise zero flags on the clean
+// legs. Both directions must be non-vacuous — some seeds static-clean (the
+// undeclared-secret draw guarantees candidates), some dynamically flagged —
+// or the property test is testing nothing.
+func TestTaintDominanceProperty(t *testing.T) {
+	seeds := uint64(150)
+	if testing.Short() {
+		seeds = 40
+	}
+	var staticClean, flagged, replayed int
+	for s := uint64(0); s < seeds; s++ {
+		opts := Options{Seed: s, Taint: true}
+		if s%5 == 0 {
+			opts.Engine = EngineParallel
+		}
+		if s%7 == 0 {
+			opts.FaultIntensity = 1 // fault legs must stay unobserved, not break
+		}
+		rep := Run(opts)
+		if !rep.OK {
+			t.Fatalf("seed %d: differential failed: %v", s, rep.Failures)
+		}
+		tr := rep.Taint
+		if tr == nil {
+			t.Fatalf("seed %d: no taint report", s)
+		}
+		if !tr.DominanceOK {
+			t.Fatalf("seed %d: dominance violated: static-clean but flags %v", s, tr.Flags)
+		}
+		if tr.StaticClean && tr.FlagCount != 0 {
+			t.Fatalf("seed %d: DominanceOK lied: clean with %d flags", s, tr.FlagCount)
+		}
+		if tr.StaticClean {
+			staticClean++
+		}
+		if tr.FlagCount > 0 {
+			flagged++
+		}
+		replayed += tr.Replayed
+	}
+	if staticClean == 0 {
+		t.Fatal("no static-clean seeds: the dominance property was never exercised")
+	}
+	if flagged == 0 {
+		t.Fatal("no dynamically flagged seeds: the observer was never exercised")
+	}
+	if replayed == 0 {
+		t.Fatal("no tasks replayed across the corpus")
+	}
+	t.Logf("%d seeds: %d static-clean, %d dynamically flagged, %d tasks replayed",
+		seeds, staticClean, flagged, replayed)
+}
+
+// TestTaintCoverageTallies: gadget and flag tallies flow into leg coverage
+// and survive Merge, so a soak can gate on the taint taxonomy.
+func TestTaintCoverageTallies(t *testing.T) {
+	cov := NewCoverage()
+	for s := uint64(0); s < 25; s++ {
+		rep := Run(Options{Seed: s, Taint: true})
+		if !rep.OK {
+			t.Fatalf("seed %d: %v", s, rep.Failures)
+		}
+		cov.Merge(rep.Clean.Coverage)
+	}
+	if miss := cov.MissingGadgets(); len(miss) != 0 {
+		t.Fatalf("gadget kinds never generated over 25 seeds: %v", miss)
+	}
+	if miss := cov.MissingFlags(); len(miss) != 0 {
+		t.Fatalf("flag kinds never raised over 25 seeds: %v", miss)
+	}
+	for _, k := range AllGadgetKinds() {
+		if cov.Gadgets[k] == 0 {
+			t.Fatalf("gadget tally for %q is zero", k)
+		}
+	}
+	for _, k := range taint.AllFlags() {
+		if cov.Flags[k] == 0 {
+			t.Fatalf("flag tally for %q is zero", k)
+		}
+	}
+	// A non-taint run carries no taint tallies.
+	rep := Run(Options{Seed: 1})
+	if len(rep.Clean.Coverage.Gadgets) != 0 || len(rep.Clean.Coverage.Flags) != 0 {
+		t.Fatal("non-taint run recorded taint tallies")
+	}
+	if rep.Taint != nil {
+		t.Fatal("non-taint run produced a taint report")
+	}
+}

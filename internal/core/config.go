@@ -383,6 +383,16 @@ type SquashEvent struct {
 	Inconsistency *state.Inconsistency
 	// Discarded is the number of younger in-flight tasks thrown away.
 	Discarded int
+	// Steps is how many instructions the squashed task executed before the
+	// verify unit rejected it — the wrong-path work the squash threw away.
+	Steps uint64
+	// LiveIn is the read-before-write footprint the squashed task observed,
+	// exactly as the verify unit compared it. Like CommitEvent's deltas it
+	// is borrowed pooled storage: valid only during the callback, cloned if
+	// retained (see docs/MEMORY.md). The dynamic taint observer
+	// (internal/taint) replays squashed tasks from it. Nil when the task
+	// produced no execution (e.g. dropped completions).
+	LiveIn *state.Delta
 }
 
 // CommitEvent describes one in-order advance of architected state.

@@ -469,13 +469,18 @@ func (m *Machine) verifyHead() (squashed bool) {
 	fail := func(reason string, inc *state.Inconsistency, forceFallback bool) {
 		m.train(h, false, reason)
 		if m.cfg.OnSquash != nil {
-			m.cfg.OnSquash(SquashEvent{
+			ev := SquashEvent{
 				TaskID:        h.t.ID,
 				Start:         h.t.Start,
 				Reason:        reason,
 				Inconsistency: inc,
 				Discarded:     len(m.queue) - 1,
-			})
+			}
+			if h.ex != nil {
+				ev.Steps = h.ex.Steps
+				ev.LiveIn = h.ex.LiveIn
+			}
+			m.cfg.OnSquash(ev)
 		}
 		m.emit(LifecycleEvent{
 			Kind:      LifecycleSquash,

@@ -1,0 +1,212 @@
+package dataflow
+
+import (
+	"testing"
+
+	"mssp/internal/isa"
+)
+
+var testSecret = []isa.Region{{Lo: 4096 + 64, Hi: 4096 + 65}}
+
+const taintTestData = `
+		.data
+		.org 4096
+	arr:	.space 64
+	secret:	.word 42
+		.code
+`
+
+func TestTaintStraightLine(t *testing.T) {
+	g := mustGraph(t, taintTestData+`
+	main:	ldi r1, 4160
+		ld  r2, 0(r1)
+		add r3, r2, r2
+		ldi r2, 0
+		halt
+	`)
+	tf := Taint(g, TaintOptions{Secret: testSecret})
+	if got := tf.Before(pcOf(1)); got != 0 {
+		t.Fatalf("nothing tainted before the secret load, got %v", got)
+	}
+	if !tf.SourceAt(pcOf(1)) {
+		t.Fatal("ld from the secret region must be a source")
+	}
+	if got := tf.Before(pcOf(2)); !got.Has(2) {
+		t.Fatalf("r2 tainted after the secret load, got %v", got)
+	}
+	if got := tf.Before(pcOf(3)); !got.Has(3) {
+		t.Fatalf("taint must propagate through ALU ops, got %v", got)
+	}
+	// The ldi at pc 3 scrubs r2; r3 stays tainted.
+	if got := tf.Before(pcOf(4)); got.Has(2) || !got.Has(3) {
+		t.Fatalf("ldi must untaint r2 and leave r3, got %v", got)
+	}
+}
+
+func TestTaintRangeExcludesSecret(t *testing.T) {
+	// The load address is provably arr[0..63]: the andi bounds the index
+	// into the public array, so even though the same base register also
+	// reaches the secret word's page, the span analysis keeps it clean.
+	g := mustGraph(t, taintTestData+`
+	main:	ldi  r1, 4096
+		ld   r2, 0(r1)
+		andi r2, r2, 63
+		add  r3, r1, r2
+		ld   r4, 0(r3)
+		halt
+	`)
+	tf := Taint(g, TaintOptions{Secret: testSecret})
+	if got := tf.Before(pcOf(5)); got.Has(4) {
+		t.Fatalf("in-bounds public load must stay clean, got %v", got)
+	}
+	// Without the mask the computed address may reach the secret word, so
+	// the load must conservatively taint.
+	g2 := mustGraph(t, taintTestData+`
+	main:	ldi  r1, 4096
+		ld   r2, 0(r1)
+		add  r3, r1, r2
+		ld   r4, 0(r3)
+		halt
+	`)
+	tf2 := Taint(g2, TaintOptions{Secret: testSecret})
+	if got := tf2.Before(pcOf(4)); !got.Has(4) {
+		t.Fatalf("unbounded indexed load may read the secret, got %v", got)
+	}
+}
+
+func TestTaintMemoryRoundTrip(t *testing.T) {
+	g := mustGraph(t, taintTestData+`
+	main:	ldi r1, 4160
+		ld  r2, 0(r1)
+		ldi r3, 4096
+		st  r2, 0(r3)
+		ldi r2, 0
+		ld  r4, 0(r3)
+		halt
+	`)
+	tf := Taint(g, TaintOptions{Secret: testSecret})
+	if got := tf.Before(pcOf(6)); !got.Has(4) {
+		t.Fatalf("taint must survive a store/load round trip, got %v", got)
+	}
+}
+
+func TestTaintBranchJoin(t *testing.T) {
+	// Taint on one arm of a diamond must survive the join.
+	g := mustGraph(t, taintTestData+`
+	main:	ldi  r1, 4160
+		beqz r5, other
+		ld   r2, 0(r1)
+		j    join
+	other:	ldi  r2, 7
+	join:	add  r3, r2, r2
+		halt
+	`)
+	tf := Taint(g, TaintOptions{Secret: testSecret})
+	if got := tf.Before(pcOf(6)); !got.Has(3) {
+		t.Fatalf("taint must survive the join, got %v", got)
+	}
+}
+
+func TestTaintRootsJoinNotReset(t *testing.T) {
+	// A root pc joins an untainted flow into the incoming facts — it must
+	// NOT reset them: a task may span several anchors, so taint arriving at
+	// an anchor is still live for the rest of the task.
+	g := mustGraph(t, taintTestData+`
+	main:	ldi r1, 4160
+		ld  r2, 0(r1)
+	anchor:	add r3, r2, r2
+		halt
+	`)
+	tf := Taint(g, TaintOptions{Secret: testSecret, Roots: []uint64{pcOf(2)}})
+	if got := tf.Before(pcOf(2)); !got.Has(2) {
+		t.Fatalf("root must join, not clear, incoming taint: %v", got)
+	}
+	if got := tf.Before(pcOf(3)); !got.Has(3) {
+		t.Fatalf("taint must keep flowing past the root, got %v", got)
+	}
+}
+
+func TestTaintUnreachableCode(t *testing.T) {
+	g := mustGraph(t, taintTestData+`
+	main:	halt
+	dead:	ldi r1, 4160
+		ld  r2, 0(r1)
+		halt
+	`)
+	tf := Taint(g, TaintOptions{Secret: testSecret})
+	if tf.Reachable(pcOf(2)) {
+		t.Fatal("dead code must be unreachable")
+	}
+	// Rooting the dead block makes it reachable and tainted.
+	tf = Taint(g, TaintOptions{Secret: testSecret, Roots: []uint64{pcOf(1)}})
+	if !tf.Reachable(pcOf(2)) || !tf.Before(pcOf(3)).Has(2) {
+		t.Fatal("rooted block must be analyzed")
+	}
+}
+
+// TestTaintIndirectShortCircuitsToTop is the satellite contract: a jalr can
+// land at ANY instruction — including the middle of a basic block — so no
+// per-block dataflow can bound where tainted state enters. The analysis must
+// short-circuit the whole lattice to top: every register tainted at every
+// reachable pc, and every load a potential source.
+func TestTaintIndirectShortCircuitsToTop(t *testing.T) {
+	g := mustGraph(t, taintTestData+`
+	main:	la   r1, mid
+		jr   r1
+		ldi  r2, 1
+	entry:	ldi  r3, 4096
+	mid:	addi r3, r3, 4
+		ld   r4, 0(r3)
+		halt
+	`)
+	if !g.HasIndirect {
+		t.Fatal("test program must contain an indirect jump")
+	}
+	// The jalr target (mid) is the middle of the entry:/mid: straight-line
+	// run — a mid-block entry no block-granular analysis can represent.
+	tf := Taint(g, TaintOptions{Secret: testSecret})
+	for pc := uint64(0); pc < uint64(7); pc++ {
+		if !tf.Reachable(pc) {
+			t.Fatalf("pc %d must be reachable under indirection", pc)
+		}
+		if got := tf.Before(pc); got != AllRegs {
+			t.Fatalf("taint must be top (AllRegs) everywhere under indirection; pc %d: %v", pc, got)
+		}
+	}
+	// Loads are sources under top — the address may point anywhere — and
+	// non-loads are not, keeping SourceAt meaningful for diagnostics.
+	if !tf.SourceAt(pcOf(5)) {
+		t.Fatal("the ld must be a potential source under indirection")
+	}
+	if tf.SourceAt(pcOf(4)) {
+		t.Fatal("an addi is not a source even under indirection")
+	}
+}
+
+func TestTaintNoSecretsClean(t *testing.T) {
+	g := mustGraph(t, taintTestData+`
+	main:	ldi r1, 4160
+		ld  r2, 0(r1)
+		halt
+	`)
+	tf := Taint(g, TaintOptions{})
+	for pc := uint64(0); pc < 3; pc++ {
+		if tf.Before(pc) != 0 || tf.SourceAt(pc) {
+			t.Fatalf("no declared secrets: everything clean, pc %d", pc)
+		}
+	}
+}
+
+func TestTaintCallConservative(t *testing.T) {
+	g := mustGraph(t, taintTestData+`
+	main:	call fn
+		add  r3, r2, r2
+		halt
+	fn:	ldi  r2, 1
+		ret
+	`)
+	tf := Taint(g, TaintOptions{Secret: testSecret})
+	if got := tf.Before(pcOf(1)); got != AllRegs {
+		t.Fatalf("a call may return anything: want AllRegs after it, got %v", got)
+	}
+}

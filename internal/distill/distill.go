@@ -401,6 +401,7 @@ func Distill(p *isa.Program, prof *profile.Profile, opts Options) (*Result, erro
 		Code:    isa.Segment{Base: base, Words: code},
 		Data:    work.Data,
 		Symbols: work.Symbols,
+		Secret:  work.Secret,
 	}
 	// The distilled image must not collide with data.
 	for _, seg := range dist.Data {

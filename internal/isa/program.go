@@ -14,6 +14,19 @@ type Segment struct {
 // End returns the first word address past the segment.
 func (s Segment) End() uint64 { return s.Base + uint64(len(s.Words)) }
 
+// Region is a half-open range of word addresses [Lo, Hi). Programs use
+// regions to annotate address ranges with properties the machine itself
+// ignores — today only secrecy (Program.Secret).
+type Region struct {
+	// Lo is the first word address in the region.
+	Lo uint64
+	// Hi is the first word address past the region.
+	Hi uint64
+}
+
+// Contains reports whether addr lies within the region.
+func (r Region) Contains(addr uint64) bool { return addr >= r.Lo && addr < r.Hi }
+
 // Program is a fully linked MIR program image: an entry point, a code
 // segment, zero or more data segments, and a symbol table. The code segment
 // is distinguished because the control-flow analyses and the distiller
@@ -28,6 +41,13 @@ type Program struct {
 	// Symbols maps labels to word addresses. Used by workloads and tests
 	// to locate inputs and results; never consulted by the machine.
 	Symbols map[string]uint64
+	// Secret lists word-address regions holding confidential data. The
+	// machine ignores them; the taint analysis (internal/dataflow), the
+	// MV009–MV011 vet rules and the dynamic taint observer (internal/taint)
+	// treat loads from these regions as taint sources. Empty means the
+	// program declares no secrets and is vacuously taint-clean. See
+	// docs/SECURITY.md.
+	Secret []Region
 }
 
 // Validate checks structural invariants: a nonempty code segment containing
@@ -51,6 +71,11 @@ func (p *Program) Validate() error {
 	for i := 1; i < len(segs); i++ {
 		if segs[i].Base < segs[i-1].End() {
 			return fmt.Errorf("isa: segments overlap at %#x", segs[i].Base)
+		}
+	}
+	for _, r := range p.Secret {
+		if r.Lo > r.Hi {
+			return fmt.Errorf("isa: secret region [%#x,%#x) is inverted", r.Lo, r.Hi)
 		}
 	}
 	return nil
@@ -99,6 +124,7 @@ func (p *Program) Clone() *Program {
 	for k, v := range p.Symbols {
 		q.Symbols[k] = v
 	}
+	q.Secret = append([]Region(nil), p.Secret...)
 	return q
 }
 

@@ -508,13 +508,18 @@ func (e *Engine) verifyHead() (squashed bool) {
 	fail := func(reason string, inc *state.Inconsistency, forceFallback bool) {
 		e.train(h, false, reason)
 		if e.cfg.OnSquash != nil {
-			e.cfg.OnSquash(core.SquashEvent{
+			ev := core.SquashEvent{
 				TaskID:        h.t.ID,
 				Start:         h.t.Start,
 				Reason:        reason,
 				Inconsistency: inc,
 				Discarded:     e.ring.Len() - 1,
-			})
+			}
+			if h.ex != nil {
+				ev.Steps = h.ex.Steps
+				ev.LiveIn = h.ex.LiveIn
+			}
+			e.cfg.OnSquash(ev)
 		}
 		e.emit(core.LifecycleEvent{
 			Kind:      core.LifecycleSquash,

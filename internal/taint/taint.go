@@ -1,0 +1,455 @@
+// Package taint is the dynamic side of the speculative-taint suite: an
+// observer that shadows MSSP task execution and flags runs where
+// secret-derived data reached a leak-shaped sink. The static analysis
+// (internal/dataflow, vet.CheckTaint) is the other side; its verdict must
+// dominate this one — a program the static rules leave clean is never
+// flagged here, a property internal/chaos soaks enforce. docs/SECURITY.md
+// is the full write-up.
+//
+// Task execution is a pure function of the program, the start PC and the
+// recorded read-before-write footprint (the live-in delta), so the observer
+// replays each verified task from the deltas the engines already publish on
+// CommitEvent and SquashEvent, tracking exact per-register and per-word
+// taint as it goes. Squashed tasks are judged for wrong-path leaks
+// (secret-indexed accesses, secret-keyed control flow — timing the squash
+// cannot undo, attributed in cycles); committed tasks are judged for
+// secret-derived data surviving into verified architected state.
+//
+// Replay is defensive: it stops (without flagging further) if the PC leaves
+// the code segment — slave instruction fetches outside it are not part of
+// the recorded footprint — or if a live-in cell the replay needs is absent.
+// Both cases are counted, never silently dropped.
+package taint
+
+import (
+	"fmt"
+	"sync"
+
+	"mssp/internal/cfg"
+	"mssp/internal/core"
+	"mssp/internal/cpu"
+	"mssp/internal/dataflow"
+	"mssp/internal/isa"
+	"mssp/internal/state"
+)
+
+// The dynamic flag taxonomy. Coverage-gated soaks (msspfuzz -taint) require
+// every kind to be exercised, like the squash-reason taxonomy.
+const (
+	// FlagSecretIndexed marks a squashed task that issued a load or store
+	// whose address was computed from secret-derived data.
+	FlagSecretIndexed = "secret-indexed"
+	// FlagTaintedBranch marks a squashed task that resolved a branch (or
+	// indirect jump) on secret-derived data.
+	FlagTaintedBranch = "tainted-branch"
+	// FlagTaintCommitted marks a committed task whose live-outs carried
+	// secret-derived data into verified architected state: a tainted
+	// memory word, or a tainted register the program may still read.
+	FlagTaintCommitted = "taint-committed"
+)
+
+// AllFlags lists every dynamic flag kind, for coverage accounting.
+func AllFlags() []string {
+	return []string{FlagSecretIndexed, FlagTaintedBranch, FlagTaintCommitted}
+}
+
+// Flag is one dynamic taint finding.
+type Flag struct {
+	// Kind is the taxonomy value (one of the Flag* constants).
+	Kind string `json:"kind"`
+	// TaskID is the flagged task's fork sequence number.
+	TaskID uint64 `json:"taskId"`
+	// Start is the task's start PC.
+	Start uint64 `json:"start"`
+	// PC is the instruction the flag is anchored to.
+	PC uint64 `json:"pc"`
+	// Committed reports whether the task's live-outs were applied.
+	Committed bool `json:"committed"`
+	// Cycles attributes wasted wrong-path time to a squashed task's leak:
+	// the fork-to-squash span of the machine's timing model. Zero for
+	// committed tasks.
+	Cycles float64 `json:"cycles,omitempty"`
+	// Detail is a human-readable description.
+	Detail string `json:"detail"`
+}
+
+// flagsPerTaskCap bounds the flags one task can contribute (a leaky loop
+// body would otherwise flood the report); distinct (kind, pc) pairs only.
+const flagsPerTaskCap = 8
+
+// Observer shadows one machine run. Attach it to a core.Config before the
+// run; it chains the existing callbacks. All methods are safe for the
+// single-callback-goroutine discipline the engines guarantee, and the
+// accessor methods may be called concurrently with a run.
+type Observer struct {
+	prog *isa.Program
+	live *dataflow.LiveFacts
+
+	mu        sync.Mutex
+	forkCycle map[uint64]float64
+	pending   []Flag // squash flags awaiting cycle attribution
+	pendingID uint64
+	flags     []Flag
+	counts    map[string]int
+	replayed  int
+	truncated int
+}
+
+// NewObserver builds an observer for one program. The program's Secret
+// regions define the taint sources; with none declared the observer is
+// valid but can never flag anything. The error case is a program whose CFG
+// cannot be built (the liveness filter for FlagTaintCommitted needs it).
+func NewObserver(p *isa.Program) (*Observer, error) {
+	g, err := cfg.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("taint: %w", err)
+	}
+	return &Observer{
+		prog:      p,
+		live:      dataflow.Live(g, dataflow.LivenessOptions{}),
+		forkCycle: make(map[uint64]float64),
+		counts:    make(map[string]int),
+	}, nil
+}
+
+// Attach chains the observer onto a machine configuration's OnSquash,
+// OnCommit and OnLifecycle callbacks, preserving any already installed.
+func (o *Observer) Attach(cfg *core.Config) {
+	prevSquash := cfg.OnSquash
+	cfg.OnSquash = func(ev core.SquashEvent) {
+		o.onSquash(ev)
+		if prevSquash != nil {
+			prevSquash(ev)
+		}
+	}
+	prevCommit := cfg.OnCommit
+	cfg.OnCommit = func(ev core.CommitEvent) {
+		o.onCommit(ev)
+		if prevCommit != nil {
+			prevCommit(ev)
+		}
+	}
+	prevLifecycle := cfg.OnLifecycle
+	cfg.OnLifecycle = func(ev core.LifecycleEvent) {
+		o.onLifecycle(ev)
+		if prevLifecycle != nil {
+			prevLifecycle(ev)
+		}
+	}
+}
+
+func (o *Observer) onLifecycle(ev core.LifecycleEvent) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch ev.Kind {
+	case core.LifecycleFork:
+		o.forkCycle[ev.TaskID] = ev.Cycle
+	case core.LifecycleSquash:
+		// The squash lifecycle event follows the SquashEvent callback and
+		// carries the timing model's squash cycle: attribute the pending
+		// flags' wasted wrong-path time now.
+		if ev.TaskID == o.pendingID && len(o.pending) > 0 {
+			span := ev.Cycle - o.forkCycle[ev.TaskID]
+			for i := range o.pending {
+				if span > 0 {
+					o.pending[i].Cycles = span
+				}
+			}
+		}
+		o.flushPendingLocked()
+	}
+}
+
+func (o *Observer) flushPendingLocked() {
+	for _, f := range o.pending {
+		o.flags = append(o.flags, f)
+		o.counts[f.Kind]++
+	}
+	o.pending = o.pending[:0]
+}
+
+func (o *Observer) onSquash(ev core.SquashEvent) {
+	if len(o.prog.Secret) == 0 || ev.LiveIn == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.flushPendingLocked() // a prior task's attribution never arrived
+	r := o.replay(ev.Start, ev.Steps, ev.LiveIn)
+	o.replayed++
+	if r.truncated {
+		o.truncated++
+	}
+	for _, f := range r.flags {
+		f.TaskID = ev.TaskID
+		f.Start = ev.Start
+		o.pending = append(o.pending, f)
+	}
+	o.pendingID = ev.TaskID
+}
+
+func (o *Observer) onCommit(ev core.CommitEvent) {
+	if len(o.prog.Secret) == 0 || ev.Kind != "task" || ev.LiveIn == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	r := o.replay(ev.Start, ev.Steps, ev.LiveIn)
+	o.replayed++
+	if r.truncated {
+		o.truncated++
+		return // end-state taint is unreliable after a defensive stop
+	}
+	n := 0
+	add := func(f Flag) {
+		if n >= flagsPerTaskCap {
+			return
+		}
+		n++
+		f.Kind = FlagTaintCommitted
+		f.TaskID = ev.TaskID
+		f.Start = ev.Start
+		f.Committed = true
+		o.flags = append(o.flags, f)
+		o.counts[FlagTaintCommitted]++
+	}
+	// A tainted register is a leak only if the program past the task end
+	// may still read it — the same liveness filter MV011 applies, which is
+	// what makes the static verdict dominate this one.
+	if o.prog.InCode(r.pc) {
+		liveRegs := o.live.Before(r.pc)
+		for reg := uint8(1); reg < isa.NumRegs; reg++ {
+			if r.regTaint.Has(reg) && liveRegs.Has(reg) {
+				add(Flag{PC: r.pc,
+					Detail: fmt.Sprintf("committed live-out r%d is secret-derived and live at task end pc=%d", reg, r.pc)})
+			}
+		}
+	}
+	for addr, at := range r.memTaint {
+		if at {
+			add(Flag{PC: r.pc,
+				Detail: fmt.Sprintf("committed live-out word %#x is secret-derived", addr)})
+		}
+	}
+}
+
+// Flags returns the accumulated findings. Squash flags whose cycle
+// attribution never arrived are flushed with zero cycles.
+func (o *Observer) Flags() []Flag {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.flushPendingLocked()
+	return append([]Flag(nil), o.flags...)
+}
+
+// Counts returns per-kind flag totals.
+func (o *Observer) Counts() map[string]int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.flushPendingLocked()
+	out := make(map[string]int, len(o.counts))
+	for k, v := range o.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Replayed returns how many task executions the observer replayed and how
+// many of those stopped defensively before completing.
+func (o *Observer) Replayed() (replayed, truncated int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.replayed, o.truncated
+}
+
+// replayResult is one task replay's outcome.
+type replayResult struct {
+	flags     []Flag // Kind/PC/Detail filled; identity filled by caller
+	regTaint  dataflow.RegSet
+	memTaint  map[uint64]bool
+	pc        uint64
+	truncated bool
+}
+
+// replay re-executes a task from its recorded live-in footprint, tracking
+// exact taint. Wrong-path sink hits (secret-indexed access, secret-keyed
+// control flow) are flagged inline; the caller judges end-state taint.
+func (o *Observer) replay(start, steps uint64, liveIn *state.Delta) replayResult {
+	env := &replayEnv{prog: o.prog, liveIn: liveIn, pc: start, memTaint: make(map[uint64]bool)}
+	r := replayResult{}
+	seen := make(map[[2]uint64]bool) // dedup flags by (kind-index, pc)
+	flag := func(kindIdx int, kind string, pc uint64, detail string) {
+		key := [2]uint64{uint64(kindIdx), pc}
+		if seen[key] || len(r.flags) >= flagsPerTaskCap {
+			return
+		}
+		seen[key] = true
+		r.flags = append(r.flags, Flag{Kind: kind, PC: pc, Detail: detail})
+	}
+
+	for i := uint64(0); i < steps; i++ {
+		if !o.prog.InCode(env.pc) {
+			// The real slave fetched from its snapshot; those words are not
+			// in the recorded footprint, so the replay cannot follow.
+			r.truncated = true
+			break
+		}
+		pc := env.pc
+		in := o.prog.InstAt(pc)
+		o.stepTaint(in, pc, env, &r, flag)
+		if _, err := cpu.Step(env); err != nil || env.missing {
+			r.truncated = r.truncated || env.missing
+			break
+		}
+	}
+	r.regTaint = env.regTaint
+	r.memTaint = env.memTaint
+	r.pc = env.pc
+	return r
+}
+
+// stepTaint applies one instruction's exact taint transfer using the
+// pre-step machine state, flagging wrong-path sinks.
+func (o *Observer) stepTaint(in isa.Inst, pc uint64, env *replayEnv, r *replayResult, flag func(int, string, uint64, string)) {
+	rt := func(reg uint8) bool { return env.regTaint.Has(reg) }
+	set := func(reg uint8, tainted bool) {
+		if reg == isa.RegZero {
+			return
+		}
+		if tainted {
+			env.regTaint = env.regTaint.Add(reg)
+		} else {
+			env.regTaint = env.regTaint.Remove(reg)
+		}
+	}
+	switch {
+	case in.Op == isa.OpLdi:
+		set(in.Rd, false)
+	case in.Op == isa.OpLd:
+		addr := env.peekReg(in.Rs1) + uint64(in.Imm)
+		if rt(in.Rs1) {
+			flag(0, FlagSecretIndexed, pc,
+				fmt.Sprintf("%v loaded through secret-derived address %#x", in, addr))
+		}
+		set(in.Rd, o.inSecret(addr) || env.memTaint[addr] || rt(in.Rs1))
+	case in.Op == isa.OpSt:
+		addr := env.peekReg(in.Rs1) + uint64(in.Imm)
+		if rt(in.Rs1) {
+			flag(0, FlagSecretIndexed, pc,
+				fmt.Sprintf("%v stored through secret-derived address %#x", in, addr))
+		}
+		if rt(in.Rs2) {
+			env.memTaint[addr] = true
+		} else {
+			delete(env.memTaint, addr)
+		}
+	case in.Op.IsBranch():
+		if rt(in.Rs1) || rt(in.Rs2) {
+			flag(1, FlagTaintedBranch, pc,
+				fmt.Sprintf("%v resolved on secret-derived data", in))
+		}
+	case in.Op == isa.OpJalr:
+		if rt(in.Rs1) {
+			flag(1, FlagTaintedBranch, pc,
+				fmt.Sprintf("%v jumped to a secret-derived target", in))
+		}
+		set(in.Rd, false)
+	case in.Op == isa.OpJal:
+		set(in.Rd, false)
+	case in.Op.HasRd():
+		t := in.Op.ReadsRs1() && rt(in.Rs1) || in.Op.ReadsRs2() && rt(in.Rs2)
+		set(in.Rd, t)
+	}
+}
+
+func (o *Observer) inSecret(addr uint64) bool {
+	for _, s := range o.prog.Secret {
+		if s.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// replayEnv is a cpu.Env over a task's recorded live-in footprint plus the
+// replay's own writes. Reads the footprint cannot answer set missing — the
+// signal that replay has diverged from the recorded execution and must stop.
+type replayEnv struct {
+	prog     *isa.Program
+	liveIn   *state.Delta
+	pc       uint64
+	regs     [isa.NumRegs]uint64
+	written  uint32
+	mem      map[uint64]uint64
+	regTaint dataflow.RegSet
+	memTaint map[uint64]bool
+	missing  bool
+}
+
+// peekReg reads a register for taint bookkeeping without tripping missing:
+// if the value is unavailable the subsequent cpu.Step read reports it.
+func (e *replayEnv) peekReg(r uint8) uint64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	if e.written&(1<<r) != 0 {
+		return e.regs[r]
+	}
+	v, _ := e.liveIn.Reg(int(r))
+	return v
+}
+
+// ReadReg implements cpu.Env.
+func (e *replayEnv) ReadReg(r int) uint64 {
+	if r == int(isa.RegZero) {
+		return 0
+	}
+	if e.written&(1<<uint(r)) != 0 {
+		return e.regs[r]
+	}
+	if v, ok := e.liveIn.Reg(r); ok {
+		return v
+	}
+	e.missing = true
+	return 0
+}
+
+// WriteReg implements cpu.Env.
+func (e *replayEnv) WriteReg(r int, v uint64) {
+	if r == int(isa.RegZero) {
+		return
+	}
+	e.regs[r] = v
+	e.written |= 1 << uint(r)
+}
+
+// ReadMem implements cpu.Env.
+func (e *replayEnv) ReadMem(addr uint64) uint64 {
+	if v, ok := e.mem[addr]; ok {
+		return v
+	}
+	if v, ok := e.liveIn.MemVal(addr); ok {
+		return v
+	}
+	e.missing = true
+	return 0
+}
+
+// WriteMem implements cpu.Env.
+func (e *replayEnv) WriteMem(addr, v uint64) {
+	if e.mem == nil {
+		e.mem = make(map[uint64]uint64)
+	}
+	e.mem[addr] = v
+}
+
+// PC implements cpu.Env.
+func (e *replayEnv) PC() uint64 { return e.pc }
+
+// SetPC implements cpu.Env.
+func (e *replayEnv) SetPC(pc uint64) { e.pc = pc }
+
+// Fetch implements cpu.Env; callers guard with InCode first.
+func (e *replayEnv) Fetch(addr uint64) uint64 {
+	return e.prog.Code.Words[addr-e.prog.Code.Base]
+}

@@ -1,0 +1,228 @@
+package taint
+
+import (
+	"testing"
+
+	"mssp/internal/asm"
+	"mssp/internal/core"
+	"mssp/internal/cpu"
+	"mssp/internal/distill"
+	"mssp/internal/profile"
+	"mssp/internal/state"
+	"mssp/internal/vet"
+)
+
+// gadgetSrc is a loop that leaks on purpose: every iteration loads the
+// secret, branches on it, indexes the public array with it and stores it.
+// The rare hostile path forces live-in squashes, so one run exercises both
+// the squash-side flags (with cycle attribution) and the commit-side flag.
+const gadgetSrc = `
+	.data
+	.org 4096
+arr:	.space 64
+secret:	.word 42
+	.secret secret, secret+1
+
+	.code
+	.entry main
+main:	ldi  r1, 2048
+	ldi  r4, 1
+loop:	andi r2, r1, 511
+	bnez r2, common
+rare:	muli r4, r4, 17      ; hostile: forces squashes
+common:	la   r5, secret
+	ld   r6, 0(r5)       ; secret load: r6 tainted
+	beqz r6, over        ; tainted branch
+over:	andi r7, r6, 63
+	la   r8, arr
+	add  r9, r8, r7
+	ld   r10, 0(r9)      ; secret-indexed load
+	st   r6, 0(r8)       ; tainted store: taints arr[0]
+	addi r4, r4, 1
+	andi r4, r4, 0xffff
+	addi r1, r1, -1
+	bnez r1, loop
+	halt
+`
+
+// runObserved assembles src, runs it on the deterministic MSSP machine with
+// an observer attached, and returns the observer.
+func runObserved(t *testing.T, src string) *Observer {
+	t.Helper()
+	p := asm.MustAssemble(src)
+	prof, err := profile.Collect(p, profile.Options{Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := distill.Distill(p, prof, distill.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewObserver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	o.Attach(&cfg)
+	m, err := core.New(p, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the observer must not perturb execution.
+	seq := state.NewFromProgram(p, cfg.SP)
+	if _, err := cpu.Seq(seq, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Final.Equal(seq) {
+		t.Fatal("observed run diverged from sequential baseline")
+	}
+	return o
+}
+
+func TestObserverFlagsGadgetRun(t *testing.T) {
+	o := runObserved(t, gadgetSrc)
+	replayed, truncated := o.Replayed()
+	if replayed == 0 {
+		t.Fatal("observer replayed no tasks")
+	}
+	counts := o.Counts()
+	if counts[FlagTaintCommitted] == 0 {
+		t.Fatalf("tainted store committed every iteration, no %s flag: %v", FlagTaintCommitted, counts)
+	}
+	t.Logf("replayed=%d truncated=%d counts=%v", replayed, truncated, counts)
+
+	for _, f := range o.Flags() {
+		if f.Kind == FlagTaintCommitted && !f.Committed {
+			t.Errorf("%s flag on an uncommitted task: %+v", f.Kind, f)
+		}
+		if f.Kind != FlagTaintCommitted && f.Committed {
+			t.Errorf("squash-side flag %s marked committed: %+v", f.Kind, f)
+		}
+		if f.Committed && f.Cycles != 0 {
+			t.Errorf("committed flag carries cycle attribution: %+v", f)
+		}
+		if f.Detail == "" {
+			t.Errorf("flag without detail: %+v", f)
+		}
+	}
+
+	// The contrapositive of dominance: a dynamically flagged program must be
+	// statically flagged too.
+	fs, err := vet.CheckTaint(asm.MustAssemble(gadgetSrc), vet.TaintOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) == 0 {
+		t.Fatal("dynamically flagged program is statically clean: dominance violated")
+	}
+}
+
+func TestObserverNoSecretsNeverReplays(t *testing.T) {
+	// Same program, secret annotation stripped: the observer short-circuits
+	// before replaying anything.
+	p := asm.MustAssemble(gadgetSrc)
+	p.Secret = nil
+	prof, err := profile.Collect(p, profile.Options{Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := distill.Distill(p, prof, distill.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewObserver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	o.Attach(&cfg)
+	m, err := core.New(p, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if replayed, _ := o.Replayed(); replayed != 0 {
+		t.Fatalf("no secrets declared but %d tasks replayed", replayed)
+	}
+	if len(o.Flags()) != 0 {
+		t.Fatalf("no secrets declared but flags raised: %v", o.Flags())
+	}
+}
+
+func TestObserverCleanProgramNoFlags(t *testing.T) {
+	// Secret declared but never read: replays happen, flags must not.
+	o := runObserved(t, `
+	.data
+	.org 4096
+arr:	.space 64
+secret:	.word 42
+	.secret secret, secret+1
+
+	.code
+	.entry main
+main:	ldi  r1, 2048
+	ldi  r4, 1
+loop:	andi r2, r1, 511
+	bnez r2, common
+rare:	muli r4, r4, 17
+common:	andi r7, r4, 63
+	ldi  r8, 4096
+	add  r9, r8, r7
+	ld   r10, 0(r9)
+	st   r10, 0(r8)
+	addi r4, r4, 1
+	andi r4, r4, 0xffff
+	addi r1, r1, -1
+	bnez r1, loop
+	halt
+`)
+	replayed, _ := o.Replayed()
+	if replayed == 0 {
+		t.Fatal("observer replayed no tasks")
+	}
+	if flags := o.Flags(); len(flags) != 0 {
+		t.Fatalf("clean program flagged: %v", flags)
+	}
+}
+
+func TestAllFlagsTaxonomy(t *testing.T) {
+	want := map[string]bool{FlagSecretIndexed: true, FlagTaintedBranch: true, FlagTaintCommitted: true}
+	got := AllFlags()
+	if len(got) != len(want) {
+		t.Fatalf("AllFlags = %v", got)
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("unexpected flag kind %q", k)
+		}
+	}
+}
+
+func TestReplayEnvMissingCell(t *testing.T) {
+	// A replay whose live-in lacks a needed register must stop defensively,
+	// not fabricate values.
+	p := asm.MustAssemble(`
+	.data
+	.org 4096
+secret:	.word 42
+	.secret secret, secret+1
+	.code
+main:	add r3, r1, r2
+	halt
+`)
+	o, err := NewObserver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &state.Delta{}
+	r := o.replay(p.Entry, 2, empty)
+	if !r.truncated {
+		t.Fatal("replay with a missing live-in cell must truncate")
+	}
+}

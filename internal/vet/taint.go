@@ -1,0 +1,120 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+
+	"mssp/internal/cfg"
+	"mssp/internal/dataflow"
+	"mssp/internal/isa"
+)
+
+// TaintOptions configures CheckTaint. The zero value vets a plain program
+// entered from the loader's zeroed register file.
+type TaintOptions struct {
+	// Roots are additional entry points entered with arbitrary but
+	// untainted register state. Pass fork anchors here: for distilled
+	// output the FORK addresses (the master is reseeded there), and for an
+	// original program vetted as slave task bodies the anchor addresses
+	// (tasks start there from master checkpoints the analysis cannot see).
+	Roots []uint64
+	// EntryArbitrary treats the program entry's registers as arbitrary
+	// values instead of zeros — set it for distilled output, which runs
+	// from whatever architected state the squash left behind.
+	EntryArbitrary bool
+}
+
+// CheckTaint runs the speculative-taint rules MV009–MV011 over p, driven by
+// the forward taint analysis in internal/dataflow and the program's Secret
+// region annotations. A program declaring no secrets is vacuously clean.
+//
+// MSSP slaves execute every instruction speculatively (verification happens
+// only at commit), so the rules treat all reachable code as speculative:
+//
+//   - MV009: a load or store address computed from a tainted register —
+//     the Spectre shape, where a wrong-path access leaves a secret-indexed
+//     footprint in the memory system.
+//   - MV010: a branch condition (or indirect-jump target) read from a
+//     tainted register — wrong-path control flow keyed on a secret leaks it
+//     through timing, and squashing does not undo that.
+//   - MV011: secret-derived data that can survive into verified live-outs:
+//     a store of a tainted value (every slave write is a live-out the
+//     commit unit applies), or a tainted register that liveness says the
+//     continuation past an anchor may read.
+//
+// Findings come back sorted by address then rule ID, like Check. The static
+// verdict here dominates the dynamic observer's (internal/taint): a program
+// CheckTaint leaves clean is never flagged at run time — see docs/SECURITY.md
+// and the property tests in internal/chaos.
+func CheckTaint(p *isa.Program, opts TaintOptions) ([]Finding, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("vet: %w", err)
+	}
+	if len(p.Secret) == 0 {
+		return nil, nil
+	}
+	g, err := cfg.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("vet: %w", err)
+	}
+	tf := dataflow.Taint(g, dataflow.TaintOptions{
+		Secret:         p.Secret,
+		Roots:          opts.Roots,
+		EntryArbitrary: opts.EntryArbitrary,
+	})
+	lv := dataflow.Live(g, dataflow.LivenessOptions{})
+
+	roots := make(map[uint64]bool, len(opts.Roots))
+	for _, r := range opts.Roots {
+		roots[r] = true
+	}
+
+	var out []Finding
+	report := func(rule string, pc uint64, format string, args ...any) {
+		out = append(out, Finding{Rule: rule, PC: pc, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	for pc := p.Code.Base; pc < p.Code.End(); pc++ {
+		if !tf.Reachable(pc) {
+			continue
+		}
+		tnt := tf.Before(pc)
+		in := p.InstAt(pc)
+		switch {
+		case in.Op == isa.OpLd:
+			if tnt.Has(in.Rs1) {
+				report("MV009", pc, "%v loads through a secret-derived address (r%d tainted)", in, in.Rs1)
+			}
+		case in.Op == isa.OpSt:
+			if tnt.Has(in.Rs1) {
+				report("MV009", pc, "%v stores through a secret-derived address (r%d tainted)", in, in.Rs1)
+			}
+			if tnt.Has(in.Rs2) {
+				report("MV011", pc, "%v stores a secret-derived value (r%d tainted) into task live-outs", in, in.Rs2)
+			}
+		case in.Op.IsBranch():
+			if tnt.Has(in.Rs1) || tnt.Has(in.Rs2) {
+				report("MV010", pc, "%v branches on secret-derived data", in)
+			}
+		case in.Op == isa.OpJalr:
+			if tnt.Has(in.Rs1) {
+				report("MV010", pc, "%v jumps to a secret-derived target (r%d tainted)", in, in.Rs1)
+			}
+		}
+		// At an anchor the task boundary commits: any tainted register the
+		// continuation may still read flows into verified architected state.
+		if roots[pc] {
+			if leak := tnt & lv.Before(pc); leak != 0 {
+				report("MV011", pc, "tainted registers %v are live across the anchor into committed state", leak)
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PC != out[j].PC {
+			return out[i].PC < out[j].PC
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out, nil
+}

@@ -84,7 +84,17 @@ var Rules = []Rule{
 		Summary: "no halt instruction is reachable; the program cannot terminate"},
 	{ID: "MV008", Name: "fused-bijection", Both: true,
 		Summary: "a fused superinstruction's expansion does not re-encode to the original instruction words"},
+	{ID: "MV009", Name: "secret-indexed-access", Both: true,
+		Summary: "a load or store address is computed from secret-derived data (Spectre-shaped leak)"},
+	{ID: "MV010", Name: "tainted-speculative-branch", Both: true,
+		Summary: "a branch condition (or indirect-jump target) depends on secret-derived data in speculatively executed code"},
+	{ID: "MV011", Name: "taint-to-committed-state", Both: true,
+		Summary: "secret-derived data can survive into verified task live-outs (a tainted store, or a tainted register live across an anchor)"},
 }
+
+// TaintRules lists the IDs of the taint rules CheckTaint reports, the
+// subset of Rules catalogued in docs/SECURITY.md.
+var TaintRules = []string{"MV009", "MV010", "MV011"}
 
 // GoRules catalogs the Go-source determinism rules enforced by the
 // companion analyzer (cmd/msspvet/goanalysis). They live here so the
@@ -100,6 +110,8 @@ var GoRules = []Rule{
 		Summary: "comparison or switch on a raw string equal to a core.Squash* value"},
 	{ID: "GA004", Name: "no-bare-go",
 		Summary: "go statement in internal/parallel outside the spawn helper; goroutines must stay joinable at shutdown"},
+	{ID: "GA005", Name: "rule-catalog-drift",
+		Summary: "a rule ID appears in source but not in the vet catalog or the docs/ANALYSIS.md rule tables"},
 }
 
 // Check runs every applicable rule over p. Pass dist non-nil to vet p as

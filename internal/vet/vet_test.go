@@ -332,7 +332,12 @@ func TestRuleCatalogWellFormed(t *testing.T) {
 			t.Errorf("rule %s missing name or summary", r.ID)
 		}
 	}
-	if len(Rules) != 8 {
-		t.Errorf("catalog has %d rules, want 8", len(Rules))
+	if len(Rules) != 11 {
+		t.Errorf("catalog has %d rules, want 11", len(Rules))
+	}
+	for _, id := range TaintRules {
+		if !seen[id] {
+			t.Errorf("taint rule %s missing from the catalog", id)
+		}
 	}
 }
